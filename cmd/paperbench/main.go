@@ -1,0 +1,81 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section as text (plus PGM images for Figure 7).
+//
+// Usage:
+//
+//	paperbench                  # everything
+//	paperbench -table 2         # one table (1-4)
+//	paperbench -figure 8        # one figure (7 or 8)
+//	paperbench -experiment xyz  # ratio | accelerator | fidelity | ablation
+//	paperbench -out DIR         # where Figure 7 PGMs are written
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-4)")
+	figure := flag.Int("figure", 0, "regenerate one figure (7 or 8)")
+	experiment := flag.String("experiment", "", "ratio | accelerator | fidelity | ablation | gpusim")
+	outDir := flag.String("out", ".", "directory for Figure 7 PGM output")
+	csvDir := flag.String("csv", "", "also write CSV series (table2, figure8, ratio, size sweep) into this directory")
+	flag.Parse()
+
+	w := os.Stdout
+	run := func(name string, f func(io.Writer) error) {
+		fmt.Fprintf(w, "\n==== %s ====\n", name)
+		if err := f(w); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	selected := *table != 0 || *figure != 0 || *experiment != ""
+
+	if *table == 1 || !selected {
+		run("Table 1", bench.Table1)
+	}
+	if *table == 2 || !selected {
+		run("Table 2", bench.Table2)
+	}
+	if *table == 3 || !selected {
+		run("Table 3", bench.Table3)
+	}
+	if *table == 4 || !selected {
+		run("Table 4", bench.Table4)
+	}
+	if *figure == 7 || !selected {
+		run("Figure 7", func(w io.Writer) error { return bench.Figure7(w, *outDir) })
+	}
+	if *figure == 8 || !selected {
+		run("Figure 8", bench.Figure8)
+	}
+	if *experiment == "accelerator" || !selected {
+		run("Accelerator analysis (8.2)", bench.Accelerator)
+	}
+	if *experiment == "ratio" || !selected {
+		run("Prototype ratio sweep (7)", bench.Ratio)
+	}
+	if *experiment == "fidelity" || !selected {
+		run("Functional fidelity", bench.Fidelity)
+	}
+	if *experiment == "ablation" || !selected {
+		run("Design ablations", bench.Ablation)
+	}
+	if *experiment == "gpusim" || !selected {
+		run("Bottom-up GPU simulation", bench.GPUSim)
+	}
+	if *csvDir != "" {
+		if err := bench.WriteCSVSeries(*csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: csv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\nwrote CSV series to %s\n", *csvDir)
+	}
+}

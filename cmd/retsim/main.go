@@ -1,0 +1,97 @@
+// Command retsim samples time-to-fluorescence values from a simulated
+// RET circuit and prints a histogram against the ideal exponential law —
+// a direct view of the physical substrate the RSU-G builds on (§2.3).
+//
+// Usage:
+//
+//	retsim -code 15 -n 100000
+//	retsim -bank binary -code 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/ret"
+	"repro/internal/rng"
+)
+
+func main() {
+	code := flag.Int("code", 15, "4-bit LED intensity code (0-15)")
+	n := flag.Int("n", 50000, "number of TTF samples")
+	bank := flag.String("bank", "ladder", "LED sizing: ladder | binary")
+	bins := flag.Int("bins", 24, "histogram bins")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *code < 0 || *code > 15 {
+		fmt.Fprintln(os.Stderr, "retsim: code must be 0-15")
+		os.Exit(1)
+	}
+	src := rng.New(*seed)
+	var circuit *ret.Circuit
+	switch *bank {
+	case "ladder":
+		circuit = ret.DefaultLadderCircuit(src)
+	case "binary":
+		circuit = ret.DefaultCircuit(src)
+	default:
+		fmt.Fprintln(os.Stderr, "retsim: bank must be ladder or binary")
+		os.Exit(1)
+	}
+
+	rate := circuit.EffectiveRate(uint8(*code))
+	fmt.Printf("RET circuit (%s bank), code %d\n", *bank, *code)
+	fmt.Printf("  effective rate: %.3g Hz", rate)
+	if rate > 0 {
+		fmt.Printf("  (mean TTF %.3g ns)", 1e9/rate)
+	}
+	fmt.Println()
+	if rate == 0 {
+		fmt.Println("  dark code: the circuit never fires")
+		return
+	}
+
+	window := 5 / rate // cover ~5 mean lifetimes
+	xs := make([]float64, 0, *n)
+	saturated := 0
+	for i := 0; i < *n; i++ {
+		t := circuit.SampleTTF(uint8(*code), window, src)
+		if math.IsInf(t, 1) || t > window {
+			saturated++
+			continue
+		}
+		xs = append(xs, t)
+	}
+	counts := rng.Histogram(xs, 0, window, *bins)
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	binW := window / float64(*bins)
+	fmt.Printf("  %d samples, %d beyond window\n", len(xs), saturated)
+	fmt.Println("  TTF histogram (observed # vs ideal exponential x):")
+	for i, c := range counts {
+		barLen := 0
+		if maxC > 0 {
+			barLen = c * 50 / maxC
+		}
+		lo := float64(i) * binW
+		ideal := float64(len(xs)) * (math.Exp(-rate*lo) - math.Exp(-rate*(lo+binW))) /
+			(1 - math.Exp(-rate*window))
+		idealPos := int(ideal * 50 / float64(maxC))
+		row := []byte(strings.Repeat("#", barLen) + strings.Repeat(" ", 52-barLen))
+		if idealPos >= 0 && idealPos < len(row) {
+			row[idealPos] = 'x'
+		}
+		fmt.Printf("  %6.2fns |%s| %d\n", lo*1e9, string(row), c)
+	}
+	s := rng.Summarize(xs)
+	fmt.Printf("  sample mean %.3g ns (ideal %.3g ns), KS vs Exp: %.4f\n",
+		s.Mean*1e9, 1e9/rate, rng.KSExponential(xs, rate))
+}

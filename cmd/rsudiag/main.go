@@ -1,0 +1,135 @@
+// Command rsudiag inspects an RSU-G design: the LED intensity ladder,
+// the energy→intensity LUT and its compressed threshold form, the
+// latency table across label counts and widths, the cycle-accurate
+// pipeline simulation, and the wear-out lifetime estimate.
+//
+// Usage:
+//
+//	rsudiag                      # everything, default design
+//	rsudiag -bank binary -t 12   # paper-literal LED sizing, temperature 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/power"
+	"repro/internal/ret"
+	"repro/internal/rng"
+	"repro/internal/rsu"
+)
+
+func main() {
+	bank := flag.String("bank", "ladder", "LED sizing: ladder | binary")
+	temp := flag.Float64("t", 12, "LUT temperature (8-bit energy units per e-fold)")
+	flag.Parse()
+
+	src := rng.New(1)
+	var circuit *ret.Circuit
+	switch *bank {
+	case "ladder":
+		circuit = ret.DefaultLadderCircuit(src)
+	case "binary":
+		circuit = ret.DefaultCircuit(src)
+	default:
+		fmt.Fprintln(os.Stderr, "rsudiag: bank must be ladder or binary")
+		os.Exit(1)
+	}
+
+	unit, err := rsu.New(rsu.Config{M: 5, Width: 1, ClockHz: 1e9, Circuit: circuit})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsudiag:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("== LED intensity ladder (%s) ==\n", *bank)
+	levels := unit.Levels()
+	maxLevel := 0.0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	for c, l := range levels {
+		bar := int(l / maxLevel * 40)
+		fmt.Printf("  code %2d  %10.3g Hz  %s\n", c, l, stars(bar))
+	}
+
+	lut, err := rsu.BuildIntensityMap(levels, *temp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsudiag:", err)
+		os.Exit(1)
+	}
+	unit.SetMap(lut)
+
+	fmt.Printf("\n== Intensity LUT (temperature %.1f) as energy runs ==\n", *temp)
+	tm, err := rsu.CompressMap(lut)
+	if err != nil {
+		fmt.Printf("  (not threshold-compressible: %v)\n", err)
+	} else {
+		lo, hi := tm.Words()
+		fmt.Printf("  map_lo=0x%016x map_hi=0x%016x\n", lo, hi)
+		prev := -1
+		for r := 0; r < 16; r++ {
+			if int(tm.Starts[r]) == prev {
+				continue
+			}
+			prev = int(tm.Starts[r])
+			fmt.Printf("  E >= %3d -> code %2d (%.3g Hz)\n", tm.Starts[r], tm.Codes[r], levels[tm.Codes[r]])
+		}
+	}
+
+	fmt.Printf("\n== Latency table (cycles per variable; closed form | pipeline sim) ==\n")
+	fmt.Printf("  %6s %8s %8s %8s %8s\n", "M", "K=1", "K=4", "K=16", "K=64")
+	for _, m := range []int{2, 5, 16, 49, 64} {
+		fmt.Printf("  %6d", m)
+		for _, k := range []int{1, 4, 16, 64} {
+			u, err := rsu.New(rsu.Config{M: m, Width: k, ClockHz: 1e9, Circuit: circuit})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rsudiag:", err)
+				os.Exit(1)
+			}
+			stats, err := rsu.SimulatePipeline(rsu.PipelineConfig{M: m, Width: k, Replicas: 4}, 1)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rsudiag:", err)
+				os.Exit(1)
+			}
+			fmt.Printf(" %3d|%-4d", u.EvalTiming().Cycles, stats.FirstLatency)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\n== Throughput (M=49, RSU-G1, 1000 variables) ==\n")
+	for _, replicas := range []int{1, 2, 4} {
+		stats, err := rsu.SimulatePipeline(rsu.PipelineConfig{M: 49, Width: 1, Replicas: replicas}, 1000)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsudiag:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %d replicas: %.2f cycles/variable, %d stall cycles\n",
+			replicas, stats.ThroughputCyclesPerVariable, stats.StallCycles)
+	}
+
+	fmt.Printf("\n== Power / area (15nm, Tables 3-4) ==\n")
+	b := power.RSUG1Budget(power.N15)
+	fmt.Printf("  %.2f mW, %.0f um^2 per RSU-G1\n", b.TotalPowerMW(), b.TotalAreaUM2())
+
+	fmt.Printf("\n== Wear-out (mean 1e6 excitations/network, full-drive 4ns ops) ==\n")
+	aging, err := ret.NewAgingCircuit(circuit, ret.Wearout{MeanExcitations: 1e6})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsudiag:", err)
+		os.Exit(1)
+	}
+	ops := aging.OperationsUntil(0.9, 15, 4e-9)
+	fmt.Printf("  sampling operations to 10%% rate loss: %.3g\n", ops)
+	fmt.Printf("  at 1 GHz issue: %.3g seconds of continuous operation\n", ops*4e-9)
+}
+
+func stars(n int) string {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = '#'
+	}
+	return string(s)
+}

@@ -1,0 +1,51 @@
+// Accelerator example: architecture exploration with the §8.2 models.
+// Sweeps image size, RSU width and memory bandwidth to show where the
+// speedups come from and where the bandwidth wall sits — the design
+// conversation of the paper's evaluation, runnable in milliseconds.
+package main
+
+import (
+	"fmt"
+
+	rsugibbs "repro"
+)
+
+func main() {
+	gpu := rsugibbs.TitanX()
+
+	fmt.Println("== Speedup vs image size (motion estimation, RSU-G1 GPU over baseline GPU) ==")
+	for _, s := range [][2]int{{160, 160}, {320, 320}, {640, 480}, {1280, 720}, {1920, 1080}} {
+		w := rsugibbs.MotionWorkload(s[0], s[1])
+		rep, err := rsugibbs.Performance(w)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %5dx%-5d GPU %7.3fs  RSU-G1 %7.3fs  speedup %.1fx\n",
+			s[0], s[1], rep.GPUSeconds, rep.RSUG1Seconds, rep.GPUSeconds/rep.RSUG1Seconds)
+	}
+
+	fmt.Println("\n== Accelerator bound vs memory bandwidth (motion, HD) ==")
+	hd := rsugibbs.MotionWorkload(1920, 1080)
+	repHD, err := rsugibbs.Performance(hd)
+	if err != nil {
+		panic(err)
+	}
+	for _, bwGB := range []float64{84, 168, 336, 672, 1344} {
+		a := rsugibbs.DefaultAccelerator()
+		a.MemBW = bwGB * 1e9
+		t := a.Time(hd)
+		fmt.Printf("  %6.0f GB/s: %6.4fs (%4d units, %.1fx over the %v GPU)\n",
+			bwGB, t, a.Units(), repHD.GPUSeconds/t, gpu.Name)
+	}
+
+	fmt.Println("\n== Where RSU width stops helping (motion, HD, modeled GPU time) ==")
+	// Wider units shrink the per-variable step count; once the kernel's
+	// fixed overhead or the memory floor dominates, width is wasted —
+	// the Table 2 seg rows (G1 == G4) are the same effect.
+	for _, k := range []int{1, 2, 4, 8, 16, 49} {
+		steps := (49 + k - 1) / k
+		fmt.Printf("  K=%-3d -> %2d steps/variable\n", k, steps)
+	}
+	fmt.Println("  (segmentation's M=5 means even K=1 is close to the fixed-cost floor,")
+	fmt.Println("   which is why Table 2 shows identical RSU-G1 and RSU-G4 times there)")
+}

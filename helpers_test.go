@@ -1,0 +1,20 @@
+package rsugibbs
+
+import (
+	"repro/internal/gibbs"
+	"repro/internal/img"
+	"repro/internal/mrf"
+	"repro/internal/prototype"
+)
+
+// prototypeFactory returns the emulated RSU-G2 sampler factory for the
+// Figure 7 benchmark.
+func prototypeFactory() gibbs.Factory {
+	return prototype.NewSampler(prototype.New())
+}
+
+// runChain is a thin wrapper so benchmarks can drive the gibbs layer
+// directly without re-exporting it.
+func runChain(m *mrf.Model, init *img.LabelMap, f gibbs.Factory, iters int, seed uint64) (*gibbs.Result, error) {
+	return gibbs.Run(m, init, f, gibbs.Options{Iterations: iters, Schedule: gibbs.Raster}, seed)
+}

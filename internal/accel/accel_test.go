@@ -1,0 +1,144 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/gibbs"
+	"repro/internal/img"
+	"repro/internal/rng"
+	"repro/internal/rsu"
+)
+
+func segSetup(t testing.TB, w, h int) (*apps.Segmentation, img.Scene, *rsu.Unit) {
+	t.Helper()
+	scene := img.BlobScene(w, h, 5, 6, rng.New(1))
+	app, err := apps.NewSegmentation(scene.Image, scene.Means, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := apps.BuildUnit(app, nil, 1, rsu.Ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, scene, unit
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := PaperConfig(5, 10, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Units = 0 },
+		func(c *Config) { c.ClockHz = 0 },
+		func(c *Config) { c.MemBW = 0 },
+		func(c *Config) { c.BytesPerPixel = 0 },
+		func(c *Config) { c.Iterations = 0 },
+	} {
+		cfg := good
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config accepted: %+v", cfg)
+		}
+	}
+}
+
+// TestAcceleratorProducesGoodLabeling: the functional simulation must
+// actually solve the inference problem.
+func TestAcceleratorProducesGoodLabeling(t *testing.T) {
+	app, scene, unit := segSetup(t, 40, 40)
+	_, mode, stats, err := Run(app, unit, PaperConfig(5, 50, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := mode.MislabelRate(scene.Truth); rate > 0.10 {
+		t.Fatalf("accelerator mislabel rate %v", rate)
+	}
+	if stats.Cycles <= 0 || stats.Seconds <= 0 {
+		t.Fatalf("bad stats %+v", stats)
+	}
+}
+
+// TestMemoryBoundConvergesToAnalyticBound: with the paper's design point
+// and a compute-rich array, large images make every phase memory bound
+// and the simulated time approaches bytes/bandwidth (§8.2's claim that
+// the accelerator's "upper bound is dictated by memory bandwidth").
+func TestMemoryBoundConvergesToAnalyticBound(t *testing.T) {
+	app, _, unit := segSetup(t, 96, 96)
+	cfg := PaperConfig(5, 10, 3)
+	// Make memory clearly the bottleneck: slow DRAM relative to the
+	// array's compute throughput.
+	cfg.MemBW = 1e9
+	_, _, stats, err := Run(app, unit, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MemoryBoundPhases == 0 || stats.ComputeBoundPhases != 0 {
+		t.Fatalf("expected all phases memory bound: %+v", stats)
+	}
+	if ratio := stats.Seconds / stats.AnalyticBoundSeconds; ratio < 0.999 || ratio > 1.01 {
+		t.Fatalf("memory-bound time %v vs analytic bound %v (ratio %v)",
+			stats.Seconds, stats.AnalyticBoundSeconds, ratio)
+	}
+}
+
+// TestComputeBoundWhenStarvedOfUnits: with one unit the array is
+// compute bound and much slower than the bandwidth bound.
+func TestComputeBoundWhenStarvedOfUnits(t *testing.T) {
+	app, _, unit := segSetup(t, 48, 48)
+	cfg := PaperConfig(5, 5, 4)
+	cfg.Units = 1
+	_, _, stats, err := Run(app, unit, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ComputeBoundPhases == 0 {
+		t.Fatalf("expected compute-bound phases: %+v", stats)
+	}
+	if stats.Seconds < 2*stats.AnalyticBoundSeconds {
+		t.Fatalf("single-unit time %v suspiciously close to bandwidth bound %v",
+			stats.Seconds, stats.AnalyticBoundSeconds)
+	}
+}
+
+// TestUnitsScalingReducesTime: doubling the array shortens compute-bound
+// runs and never lengthens them.
+func TestUnitsScalingReducesTime(t *testing.T) {
+	app, _, unit := segSetup(t, 48, 48)
+	prev := math.Inf(1)
+	for _, units := range []int{1, 4, 16, 64} {
+		cfg := PaperConfig(5, 5, 5)
+		cfg.Units = units
+		_, _, stats, err := Run(app, unit, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Seconds > prev*1.001 {
+			t.Fatalf("time increased with more units: %v -> %v at %d units", prev, stats.Seconds, units)
+		}
+		prev = stats.Seconds
+	}
+}
+
+// TestAcceleratorMatchesGibbsRSURun: the functional result must agree
+// statistically with the gibbs-layer RSU chain (same kernel, different
+// driver).
+func TestAcceleratorMatchesGibbsRSURun(t *testing.T) {
+	app, scene, unit := segSetup(t, 32, 32)
+	_, mode, _, err := Run(app, unit, PaperConfig(5, 60, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := apps.RunRSU(app, unit, app.InitLabels(), gibbs.Options{
+		Iterations: 60, BurnIn: 30, Schedule: gibbs.Checkerboard, TrackMode: true,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree := mode.Agreement(hw.MAP); agree < 0.93 {
+		t.Fatalf("accelerator/gibbs agreement %v", agree)
+	}
+	_ = scene
+}

@@ -1,0 +1,139 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/fixed"
+	"repro/internal/img"
+	"repro/internal/mrf"
+	"repro/internal/rsu"
+)
+
+// MotionEstimation computes a dense motion field between two frames
+// (paper §8.1: "searches over a 7x7 block to find the most likely
+// position of a pixel in a subsequent frame (49 possible values)",
+// ref [17] Konrad & Dubois).
+//
+// Labels are displacement vectors in a (2R+1)² window. The singleton is
+// the 6-bit squared intensity difference between the pixel in frame 1
+// and its candidate position in frame 2; the doubleton is the
+// per-component squared difference of neighboring displacement vectors
+// (Eq. 2 with 2-D vector labels).
+type MotionEstimation struct {
+	Frame1, Frame2 *img.Gray
+	Window         mrf.VectorSpace
+	LambdaD        float64
+	Temperature    float64
+
+	q1, q2 []uint8       // 6-bit frames
+	codes  []fixed.Label // label index -> packed (dy,dx) datapath code
+}
+
+// NewMotionEstimation builds the app with window radius r (r=3 is the
+// paper's 7×7, M=49).
+func NewMotionEstimation(f1, f2 *img.Gray, r int, lambdaD, temperature float64) (*MotionEstimation, error) {
+	if f1 == nil || f2 == nil {
+		return nil, fmt.Errorf("apps: nil frame")
+	}
+	if f1.W != f2.W || f1.H != f2.H {
+		return nil, fmt.Errorf("apps: frame size mismatch %dx%d vs %dx%d", f1.W, f1.H, f2.W, f2.H)
+	}
+	if r < 1 || r > 3 {
+		// Components are offset-encoded into 3 bits: 2r+1 <= 8.
+		return nil, fmt.Errorf("apps: window radius %d outside [1,3]", r)
+	}
+	if lambdaD < 0 || lambdaD != float64(uint8(lambdaD)) || temperature <= 0 {
+		return nil, fmt.Errorf("apps: invalid lambdaD=%v temperature=%v", lambdaD, temperature)
+	}
+	m := &MotionEstimation{
+		Frame1: f1, Frame2: f2,
+		Window:      mrf.VectorSpace{R: r},
+		LambdaD:     lambdaD,
+		Temperature: temperature,
+		q1:          make([]uint8, len(f1.Pix)),
+		q2:          make([]uint8, len(f2.Pix)),
+	}
+	for i := range f1.Pix {
+		m.q1[i] = fixed.Quantize6(f1.Pix[i])
+		m.q2[i] = fixed.Quantize6(f2.Pix[i])
+	}
+	m.codes = make([]fixed.Label, m.Window.Size())
+	for l := range m.codes {
+		dx, dy := m.Window.Vec(l)
+		m.codes[l] = fixed.PackVec(uint8(dy+r), uint8(dx+r))
+	}
+	return m, nil
+}
+
+// Name implements App.
+func (m *MotionEstimation) Name() string { return "motion" }
+
+// Model implements App.
+func (m *MotionEstimation) Model() *mrf.Model {
+	w, h := m.Frame1.W, m.Frame1.H
+	return &mrf.Model{
+		W: w, H: h, M: m.Window.Size(),
+		T:       m.Temperature,
+		LambdaS: 1, LambdaD: m.LambdaD,
+		Singleton: func(x, y, label int) float64 {
+			dx, dy := m.Window.Vec(label)
+			a := int(m.q1[y*w+x])
+			b := int(fixed.Quantize6(m.Frame2.At(x+dx, y+dy)))
+			d := a - b
+			return float64(d * d)
+		},
+		Doubleton: m.Window.SquaredDiffVec,
+	}
+}
+
+// RSUConfig implements App: vector labels with the label-decode ROM
+// mapping window indices to packed (dy,dx) codes.
+func (m *MotionEstimation) RSUConfig() rsu.Config {
+	return rsu.Config{
+		M: m.Window.Size(), Vector: true,
+		DoubletonWeight: uint8(m.LambdaD), SingletonWeight: 1,
+		Labels: m.codes,
+	}
+}
+
+// RSUInput implements App: Data1 is the frame-1 intensity; the per-label
+// second data value is the frame-2 intensity at the candidate position
+// (the §6 "target location" stream).
+func (m *MotionEstimation) RSUInput(lm *img.LabelMap, x, y int) rsu.Input {
+	var n [4]fixed.Label
+	for i, off := range mrf.NeighborOffsets {
+		n[i] = m.codes[lm.At(x+off[0], y+off[1])]
+	}
+	targets := make([]uint8, m.Window.Size())
+	for l := range targets {
+		dx, dy := m.Window.Vec(l)
+		targets[l] = fixed.Quantize6(m.Frame2.At(x+dx, y+dy))
+	}
+	return rsu.Input{
+		Neighbors:     n,
+		Data1:         m.q1[y*m.Frame1.W+x],
+		Data2PerLabel: targets,
+		Current:       fixed.Label(lm.At(x, y)),
+	}
+}
+
+// Field converts a label map produced by inference into a vector field.
+func (m *MotionEstimation) Field(lm *img.LabelMap) *img.VectorField {
+	f := img.NewVectorField(lm.W, lm.H)
+	for y := 0; y < lm.H; y++ {
+		for x := 0; x < lm.W; x++ {
+			dx, dy := m.Window.Vec(lm.At(x, y))
+			f.Set(x, y, int8(dx), int8(dy))
+		}
+	}
+	return f
+}
+
+// ZeroLabel returns the label index of zero displacement, the natural
+// chain initialization.
+func (m *MotionEstimation) ZeroLabel() int { return m.Window.Index(0, 0) }
+
+// InitLabels implements App: each pixel starts at its best block match
+// (argmin singleton), which is the zero displacement wherever the frames
+// already agree.
+func (m *MotionEstimation) InitLabels() *img.LabelMap { return ArgminSingletonInit(m.Model()) }

@@ -1,0 +1,180 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/gibbs"
+	"repro/internal/img"
+	"repro/internal/mrf"
+	"repro/internal/rng"
+	"repro/internal/rsu"
+)
+
+// restorationScene builds a clean piecewise-constant image whose region
+// intensities sit exactly on the restoration levels, plus a noisy copy.
+func restorationScene(w, h, nLevels int, sigma float64, seed uint64) (clean, noisy *img.Gray) {
+	src := rng.New(seed)
+	r, _ := NewRestoration(img.NewGray(4, 4), nLevels, 1, 0, 8, mrf.FirstOrder)
+	clean = img.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			region := 0
+			if x > w/2 {
+				region = nLevels - 1
+			} else if y > h/2 {
+				region = nLevels / 2
+			}
+			clean.Set(x, y, fixed.Dequantize6(r.Levels6[region]))
+		}
+	}
+	noisy = clean.Clone()
+	for i := range noisy.Pix {
+		v := float64(noisy.Pix[i]) + src.Normal(0, sigma)
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		noisy.Pix[i] = uint8(v)
+	}
+	return clean, noisy
+}
+
+func TestNewRestorationValidation(t *testing.T) {
+	im := img.NewGray(8, 8)
+	cases := []struct {
+		name string
+		fn   func() (*Restoration, error)
+	}{
+		{"nil image", func() (*Restoration, error) {
+			return NewRestoration(nil, 4, 1, 0, 8, mrf.FirstOrder)
+		}},
+		{"one level", func() (*Restoration, error) {
+			return NewRestoration(im, 1, 1, 0, 8, mrf.FirstOrder)
+		}},
+		{"nine levels", func() (*Restoration, error) {
+			return NewRestoration(im, 9, 1, 0, 8, mrf.FirstOrder)
+		}},
+		{"fractional weight", func() (*Restoration, error) {
+			return NewRestoration(im, 4, 0.5, 0, 8, mrf.FirstOrder)
+		}},
+		{"zero temperature", func() (*Restoration, error) {
+			return NewRestoration(im, 4, 1, 0, 0, mrf.FirstOrder)
+		}},
+		{"bad neighborhood", func() (*Restoration, error) {
+			return NewRestoration(im, 4, 1, 0, 8, mrf.Neighborhood(9))
+		}},
+	}
+	for _, c := range cases {
+		if _, err := c.fn(); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestRestorationLevelsSpanRange(t *testing.T) {
+	r, err := NewRestoration(img.NewGray(4, 4), 8, 1, 0, 8, mrf.FirstOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Levels6) != 8 {
+		t.Fatalf("levels %v", r.Levels6)
+	}
+	if r.Levels6[0] != 4 || r.Levels6[7] != 60 {
+		t.Fatalf("levels %v, want centers 4..60", r.Levels6)
+	}
+	for i := 1; i < len(r.Levels6); i++ {
+		if r.Levels6[i] <= r.Levels6[i-1] {
+			t.Fatalf("levels not increasing: %v", r.Levels6)
+		}
+	}
+}
+
+// TestRestorationDenoises: MAP restoration must beat the noisy input by
+// a wide margin in MSE against the clean image.
+func TestRestorationDenoises(t *testing.T) {
+	clean, noisy := restorationScene(32, 32, 4, 14, 5)
+	app, err := NewRestoration(noisy, 4, 1, 0, 10, mrf.FirstOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSoftware(app, app.InitLabels(), gibbs.Options{
+		Iterations: 60, BurnIn: 20, Schedule: gibbs.Checkerboard, TrackMode: true,
+	}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := app.Render(res.MAP)
+	noisyMSE := img.MSE(noisy, clean)
+	restoredMSE := img.MSE(restored, clean)
+	if restoredMSE > noisyMSE/3 {
+		t.Fatalf("restoration MSE %.1f vs noisy %.1f: insufficient denoising", restoredMSE, noisyMSE)
+	}
+}
+
+// TestRestorationSecondOrderRSU: the full §9 extension path — an
+// 8-neighbor prior solved by an emulated RSU-G8 with diagonal
+// registers — must denoise at least as well as it started and track the
+// software second-order chain.
+func TestRestorationSecondOrderRSU(t *testing.T) {
+	clean, noisy := restorationScene(32, 32, 4, 14, 7)
+	app, err := NewRestoration(noisy, 4, 1, 1, 10, mrf.SecondOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := BuildUnit(app, nil, 1, rsu.Ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unit.Config().Diagonal {
+		t.Fatal("second-order restoration should configure RSU-G8")
+	}
+	// RSU-G8 has one extra pipeline stage: 8 + (M-1).
+	if got := unit.EvalTiming().Cycles; got != 8+3 {
+		t.Fatalf("RSU-G8 latency %d, want 11", got)
+	}
+	opt := gibbs.Options{Iterations: 60, BurnIn: 20, Schedule: gibbs.Checkerboard, TrackMode: true}
+	sw, err := RunSoftware(app, app.InitLabels(), opt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := RunRSU(app, unit, app.InitLabels(), opt, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisyMSE := img.MSE(noisy, clean)
+	hwMSE := img.MSE(app.Render(hw.MAP), clean)
+	if hwMSE > noisyMSE/3 {
+		t.Fatalf("RSU-G8 restoration MSE %.1f vs noisy %.1f", hwMSE, noisyMSE)
+	}
+	if agree := sw.MAP.Agreement(hw.MAP); agree < 0.90 {
+		t.Fatalf("software/RSU-G8 agreement %v", agree)
+	}
+}
+
+// TestRestorationSecondOrderSmoother: with diagonal cliques the prior is
+// stronger; on a very noisy input the second-order MAP should have no
+// more label flips than the first-order MAP (identical seeds).
+func TestRestorationSecondOrderSmoother(t *testing.T) {
+	clean, noisy := restorationScene(32, 32, 2, 30, 11)
+	run := func(hood mrf.Neighborhood, diag float64) float64 {
+		app, err := NewRestoration(noisy, 2, 1, diag, 10, hood)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunSoftware(app, app.InitLabels(), gibbs.Options{
+			Iterations: 50, BurnIn: 20, Schedule: gibbs.Checkerboard, TrackMode: true,
+		}, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img.MSE(app.Render(res.MAP), clean)
+	}
+	first := run(mrf.FirstOrder, 0)
+	second := run(mrf.SecondOrder, 1)
+	if second > first*1.1 {
+		t.Fatalf("second-order MSE %.1f notably worse than first-order %.1f", second, first)
+	}
+}

@@ -1,0 +1,165 @@
+package arch
+
+import "fmt"
+
+// Table2Row is one (application, size) row of Table 2.
+type Table2Row struct {
+	App     string
+	Size    string // "Small" or "HD"
+	Seconds map[Impl]float64
+}
+
+// Table2 reproduces Table 2: modeled execution times for segmentation
+// and motion estimation at both image sizes across all four
+// implementations. HD entries match the calibration anchors by
+// construction; Small entries are predictions.
+func Table2(g GPU) []Table2Row {
+	models := Calibrate(g)
+	var rows []Table2Row
+	for _, app := range []string{"segmentation", "motion"} {
+		for _, size := range []string{"Small", "HD"} {
+			w := workloadFor(app, size)
+			km := models[app]
+			sec := make(map[Impl]float64, len(Impls))
+			for _, impl := range Impls {
+				sec[impl] = g.Time(w, km.CyclesPerPixel(impl, w.Labels))
+			}
+			rows = append(rows, Table2Row{App: app, Size: size, Seconds: sec})
+		}
+	}
+	return rows
+}
+
+func workloadFor(app, size string) Workload {
+	w, h := SmallW, SmallH
+	if size == "HD" {
+		w, h = HDW, HDH
+	}
+	switch app {
+	case "motion":
+		return Motion(w, h)
+	case "stereo":
+		return Stereo(w, h)
+	default:
+		return Segmentation(w, h)
+	}
+}
+
+// SpeedupRow is one bar group of Figure 8.
+type SpeedupRow struct {
+	App        string
+	Size       string
+	Unit       Impl    // RSUG1 or RSUG4
+	OverGPU    float64 // speedup vs Baseline
+	OverOptGPU float64 // speedup vs Optimized
+}
+
+// Figure8 reproduces Figure 8: RSU speedups over the baseline and
+// optimized GPU implementations for each application, size and width.
+func Figure8(g GPU) []SpeedupRow {
+	rows := Table2(g)
+	var out []SpeedupRow
+	for _, r := range rows {
+		for _, unit := range []Impl{RSUG1, RSUG4} {
+			out = append(out, SpeedupRow{
+				App:        r.App,
+				Size:       r.Size,
+				Unit:       unit,
+				OverGPU:    r.Seconds[Baseline] / r.Seconds[unit],
+				OverOptGPU: r.Seconds[Optimized] / r.Seconds[unit],
+			})
+		}
+	}
+	return out
+}
+
+// AccelRow is one line of the §8.2 discrete-accelerator analysis.
+type AccelRow struct {
+	App          string
+	Size         string
+	AccelSeconds float64
+	// OverGPU is the upper-bound speedup vs the baseline GPU (the
+	// paper's headline 21/54/39/84 numbers).
+	OverGPU float64
+	// OverRSUG1GPU is the additional speedup over the RSU-G1 GPU
+	// (12.1×/7×/6.5×/3.4× in the text).
+	OverRSUG1GPU float64
+	// OverRSUG4GPU is the margin over the RSU-G4 GPU (1.55× for motion
+	// HD: "RSU-G4 nearly saturates memory BW").
+	OverRSUG4GPU float64
+}
+
+// AcceleratorAnalysis reproduces the §8.2 text: bandwidth-bound times
+// and the speedup hierarchy over the GPU implementations.
+func AcceleratorAnalysis(g GPU, a Accelerator) []AccelRow {
+	rows := Table2(g)
+	var out []AccelRow
+	for _, r := range rows {
+		w := workloadFor(r.App, r.Size)
+		at := a.Time(w)
+		out = append(out, AccelRow{
+			App:          r.App,
+			Size:         r.Size,
+			AccelSeconds: at,
+			OverGPU:      r.Seconds[Baseline] / at,
+			OverRSUG1GPU: r.Seconds[RSUG1] / at,
+			OverRSUG4GPU: r.Seconds[RSUG4] / at,
+		})
+	}
+	return out
+}
+
+// CPURow compares the sequential CPU baseline against an RSU-G1
+// augmented core for one workload.
+type CPURow struct {
+	App             string
+	BaselineSeconds float64
+	RSUSeconds      float64
+	Speedup         float64
+}
+
+// CPUAnalysis reproduces the §8.2 CPU observation (speedup over 100 for
+// segmentation and stereo vision on an E5-2640).
+func CPUAnalysis(c CPU, workloads []Workload) []CPURow {
+	var out []CPURow
+	for _, w := range workloads {
+		b := c.BaselineTime(w)
+		r := c.RSUTime(w)
+		out = append(out, CPURow{App: w.Name, BaselineSeconds: b, RSUSeconds: r, Speedup: b / r})
+	}
+	return out
+}
+
+// SizeLabel formats a workload's dimensions as in the paper's figures.
+func SizeLabel(w Workload) string {
+	return fmt.Sprintf("%dx%d", w.Width, w.Height)
+}
+
+// EnergyRow compares energy-to-solution for one workload across
+// platforms (a §8.3 extension: the paper reports power; energy is
+// power × the Table 2 / accelerator times).
+type EnergyRow struct {
+	App, Size      string
+	GPUJoules      float64
+	RSUG1GPUJoules float64
+	AccelJoules    float64
+}
+
+// EnergyAnalysis computes energy-to-solution with the stated platform
+// powers: gpuWatts for the GPU runs (the RSU-augmented GPU adds the
+// §8.3 12 W of unit power), and the accelerator at its 1.3 W of RSU
+// units plus dramWatts for the memory system.
+func EnergyAnalysis(g GPU, a Accelerator, gpuWatts, rsuExtraWatts, accelWatts float64) []EnergyRow {
+	rows := Table2(g)
+	var out []EnergyRow
+	for _, r := range rows {
+		w := workloadFor(r.App, r.Size)
+		out = append(out, EnergyRow{
+			App: r.App, Size: r.Size,
+			GPUJoules:      r.Seconds[Baseline] * gpuWatts,
+			RSUG1GPUJoules: r.Seconds[RSUG1] * (gpuWatts + rsuExtraWatts),
+			AccelJoules:    a.Time(w) * accelWatts,
+		})
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+)
+
+// §8.2 closes with: "Further speedups are possible by using on-chip
+// storage to increase memory bandwidth and staging image frames. The
+// number of RSU-G units needed scales linearly with available memory
+// bandwidth." This file models that design point: an accelerator with
+// an SRAM whose bandwidth exceeds DRAM, which serves iterations from
+// on-chip storage when the per-iteration working set fits.
+
+// StagedAccelerator extends the DRAM-bound accelerator with an on-chip
+// frame store.
+type StagedAccelerator struct {
+	Accelerator
+	// SRAMBytes is the on-chip storage capacity.
+	SRAMBytes float64
+	// SRAMBW is the on-chip bandwidth (bytes/s), typically several times
+	// the DRAM bandwidth.
+	SRAMBW float64
+}
+
+// DefaultStagedAccelerator returns a plausible staged design: the base
+// 336 GB/s DRAM accelerator plus 24 MB of SRAM at 4x DRAM bandwidth
+// (Titan-X-class L2 capacity, on-chip wire speed).
+func DefaultStagedAccelerator() StagedAccelerator {
+	return StagedAccelerator{
+		Accelerator: DefaultAccelerator(),
+		SRAMBytes:   24e6,
+		SRAMBW:      4 * 336e9,
+	}
+}
+
+// WorkingSetBytes returns the per-iteration resident footprint of a
+// workload: the pixel data consumed per iteration (BytesPerPixel) plus
+// one byte per pixel for the current label field. If this fits in SRAM
+// the frame can be staged once and iterated on-chip.
+func WorkingSetBytes(w Workload) float64 {
+	return float64(w.Pixels()) * (w.BytesPerPixel + 1)
+}
+
+// Fits reports whether the workload's working set stages on-chip.
+func (s StagedAccelerator) Fits(w Workload) bool {
+	return WorkingSetBytes(w) <= s.SRAMBytes
+}
+
+// Time returns the staged execution time: one DRAM pass to load the
+// frame, then all iterations at SRAM bandwidth when the working set
+// fits; the plain DRAM bound otherwise.
+func (s StagedAccelerator) Time(w Workload) float64 {
+	if !s.Fits(w) {
+		return s.Accelerator.Time(w)
+	}
+	load := WorkingSetBytes(w) / s.MemBW
+	iterate := w.TotalBytes() / s.SRAMBW
+	return load + iterate
+}
+
+// Units returns the RSU-G count needed to consume the SRAM bandwidth
+// (the paper's linear-scaling rule applied to the staged design).
+func (s StagedAccelerator) Units() int {
+	return int(math.Round(s.SRAMBW / s.ClockHz / s.BytesPerUnitCycle))
+}
+
+// Validate checks parameters.
+func (s StagedAccelerator) Validate() error {
+	if s.SRAMBytes <= 0 || s.SRAMBW <= 0 {
+		return fmt.Errorf("arch: staged accelerator needs positive SRAM size and bandwidth")
+	}
+	if s.SRAMBW < s.MemBW {
+		return fmt.Errorf("arch: SRAM bandwidth below DRAM bandwidth")
+	}
+	return nil
+}

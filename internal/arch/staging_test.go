@@ -1,0 +1,87 @@
+package arch
+
+import "testing"
+
+func TestStagedAcceleratorValidate(t *testing.T) {
+	s := DefaultStagedAccelerator()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := s
+	bad.SRAMBytes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero SRAM accepted")
+	}
+	bad = s
+	bad.SRAMBW = s.MemBW / 2
+	if err := bad.Validate(); err == nil {
+		t.Error("slow SRAM accepted")
+	}
+}
+
+// TestStagedSmallImageSpeedup: a 320x320 segmentation working set
+// (~614 KB) fits in 24 MB SRAM, so iterations run at SRAM bandwidth —
+// approaching the 4x speedup over the DRAM-bound design.
+func TestStagedSmallImageSpeedup(t *testing.T) {
+	s := DefaultStagedAccelerator()
+	w := Segmentation(SmallW, SmallH)
+	if !s.Fits(w) {
+		t.Fatal("small segmentation should fit on-chip")
+	}
+	plain := s.Accelerator.Time(w)
+	staged := s.Time(w)
+	gain := plain / staged
+	if gain < 3.5 || gain > 4.01 {
+		t.Fatalf("staged gain %v, want ~4 (SRAM/DRAM bandwidth ratio)", gain)
+	}
+}
+
+// TestStagedHDFallsBack: an HD motion working set (~114 MB) exceeds
+// SRAM, so the staged design degrades to the DRAM bound.
+func TestStagedHDFallsBack(t *testing.T) {
+	s := DefaultStagedAccelerator()
+	w := Motion(HDW, HDH)
+	if s.Fits(w) {
+		t.Fatal("HD motion should not fit in 24MB")
+	}
+	if s.Time(w) != s.Accelerator.Time(w) {
+		t.Fatal("non-fitting workload should use the DRAM bound")
+	}
+}
+
+// TestStagedCrossover: scanning image sizes shows the capacity wall —
+// staged wins below it, equal above it.
+func TestStagedCrossover(t *testing.T) {
+	s := DefaultStagedAccelerator()
+	sawStaged, sawFallback := false, false
+	for _, side := range []int{64, 128, 320, 640, 1280, 1920, 2560} {
+		w := Segmentation(side, side)
+		if s.Fits(w) {
+			sawStaged = true
+			if s.Time(w) >= s.Accelerator.Time(w) {
+				t.Errorf("size %d: staged not faster", side)
+			}
+		} else {
+			sawFallback = true
+		}
+	}
+	if !sawStaged || !sawFallback {
+		t.Fatal("size sweep did not cross the capacity wall")
+	}
+}
+
+func TestStagedUnitsScaleWithSRAMBW(t *testing.T) {
+	s := DefaultStagedAccelerator()
+	if got := s.Units(); got != 4*336 {
+		t.Fatalf("staged units %d, want 1344", got)
+	}
+}
+
+// TestWorkingSetBytes pins the footprint formula.
+func TestWorkingSetBytes(t *testing.T) {
+	w := Segmentation(100, 100)
+	// (5 bytes consumed + 1 label byte) per pixel.
+	if got := WorkingSetBytes(w); got != 100*100*6 {
+		t.Fatalf("working set %v", got)
+	}
+}

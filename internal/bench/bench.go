@@ -1,0 +1,104 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation as formatted text (plus PGM
+// images for Figure 7) and records paper-vs-measured comparisons.
+// cmd/paperbench is a thin CLI over this package; the root-level Go
+// benchmarks reuse the same entry points.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteTo renders the table with aligned columns.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Comparison records one paper-vs-measured data point for
+// EXPERIMENTS.md-style reporting.
+type Comparison struct {
+	Metric   string
+	Paper    float64
+	Measured float64
+}
+
+// RelDiff returns |measured-paper|/|paper| (infinite for paper==0).
+func (c Comparison) RelDiff() float64 {
+	if c.Paper == 0 {
+		if c.Measured == 0 {
+			return 0
+		}
+		return 1e308
+	}
+	d := (c.Measured - c.Paper) / c.Paper
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// FormatComparisons renders a comparison list as a table.
+func FormatComparisons(title string, cs []Comparison, w io.Writer) error {
+	t := Table{Title: title, Header: []string{"metric", "paper", "measured", "rel.diff"}}
+	for _, c := range cs {
+		t.AddRow(c.Metric,
+			fmt.Sprintf("%.4g", c.Paper),
+			fmt.Sprintf("%.4g", c.Measured),
+			fmt.Sprintf("%.1f%%", 100*c.RelDiff()))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{Title: "T", Header: []string{"a", "long-column"}}
+	tbl.AddRow("x", "1")
+	tbl.AddRow("yyyy", "2")
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T\n", "a     long-column", "yyyy  2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComparisonRelDiff(t *testing.T) {
+	if d := (Comparison{Paper: 10, Measured: 12}).RelDiff(); d != 0.2 {
+		t.Fatalf("rel diff %v", d)
+	}
+	if d := (Comparison{Paper: 0, Measured: 0}).RelDiff(); d != 0 {
+		t.Fatalf("zero/zero rel diff %v", d)
+	}
+	if d := (Comparison{Paper: 0, Measured: 1}).RelDiff(); d < 1e300 {
+		t.Fatalf("zero-paper rel diff %v", d)
+	}
+}
+
+func TestFormatComparisons(t *testing.T) {
+	var buf bytes.Buffer
+	err := FormatComparisons("cmp", []Comparison{{Metric: "m", Paper: 2, Measured: 2.2}}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "10.0%") {
+		t.Fatalf("output: %s", buf.String())
+	}
+}
+
+// The experiment generators must all run cleanly end to end; content
+// correctness is covered by the underlying package tests.
+func TestTable2Generates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"segmentation", "motion", "HD", "Small", "RSU-G4"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("Table 2 output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestTables3And4Generate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3.91") {
+		t.Fatalf("Table 3 missing 15nm total:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Table4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2898") {
+		t.Fatalf("Table 4 missing 15nm total:\n%s", buf.String())
+	}
+}
+
+func TestFigure8Generates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure8(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "over Opt GPU") {
+		t.Fatalf("Figure 8 output:\n%s", buf.String())
+	}
+}
+
+func TestAcceleratorGenerates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Accelerator(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "336") {
+		t.Fatalf("accelerator output:\n%s", buf.String())
+	}
+}
+
+func TestFigure7Generates(t *testing.T) {
+	var buf bytes.Buffer
+	dir := t.TempDir()
+	if err := Figure7(&buf, dir); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mislabel rate") {
+		t.Fatalf("Figure 7 output:\n%s", buf.String())
+	}
+}
+
+func TestFidelityGenerates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fidelity sweep is slow")
+	}
+	var buf bytes.Buffer
+	if err := Fidelity(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"segmentation", "motion", "stereo"} {
+		if !strings.Contains(buf.String(), app) {
+			t.Fatalf("fidelity output missing %s:\n%s", app, buf.String())
+		}
+	}
+}
+
+func TestAblationGenerates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is slow")
+	}
+	var buf bytes.Buffer
+	if err := Ablation(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"geometric", "binary", "K=4"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRatioGenerates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ratio sweep is slow")
+	}
+	var buf bytes.Buffer
+	if err := Ratio(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "P90") {
+		t.Fatalf("ratio output:\n%s", buf.String())
+	}
+}
+
+func TestWriteCSVSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ratio sweep is slow")
+	}
+	dir := t.TempDir()
+	if err := WriteCSVSeries(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table2.csv", "figure8.csv", "ratio.csv", "sizesweep.csv"} {
+		data, err := os.ReadFile(dir + "/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 3 {
+			t.Fatalf("%s too short:\n%s", name, data)
+		}
+	}
+}
+
+func TestGPUSimGenerates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := GPUSim(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "motion RSU-G1") {
+		t.Fatalf("gpusim output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/arch"
+	"repro/internal/prototype"
+	"repro/internal/rng"
+)
+
+// CSV exports of the figure-like series, for replotting the paper's
+// graphics from this reproduction's data. WriteCSVSeries drops one file
+// per series into dir.
+
+// WriteCSVSeries writes table2.csv, figure8.csv, ratio.csv and
+// sizesweep.csv into dir.
+func WriteCSVSeries(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "table2.csv"), table2CSV()); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "figure8.csv"), figure8CSV()); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "ratio.csv"), ratioCSV()); err != nil {
+		return err
+	}
+	return writeCSV(filepath.Join(dir, "sizesweep.csv"), sizeSweepCSV())
+}
+
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func table2CSV() [][]string {
+	rows := [][]string{{"app", "size", "impl", "seconds"}}
+	for _, r := range arch.Table2(arch.TitanX()) {
+		for _, impl := range arch.Impls {
+			rows = append(rows, []string{
+				r.App, r.Size, impl.String(),
+				fmt.Sprintf("%.6f", r.Seconds[impl]),
+			})
+		}
+	}
+	return rows
+}
+
+func figure8CSV() [][]string {
+	rows := [][]string{{"app", "size", "unit", "over_gpu", "over_opt_gpu"}}
+	for _, r := range arch.Figure8(arch.TitanX()) {
+		rows = append(rows, []string{
+			r.App, r.Size, r.Unit.String(),
+			fmt.Sprintf("%.3f", r.OverGPU),
+			fmt.Sprintf("%.3f", r.OverOptGPU),
+		})
+	}
+	return rows
+}
+
+func ratioCSV() [][]string {
+	p := prototype.New()
+	src := rng.New(9)
+	var ratios []float64
+	for r := 1.0; r <= 255; r *= 1.5 {
+		ratios = append(ratios, r)
+	}
+	ratios = append(ratios, 255)
+	rows := [][]string{{"commanded", "mean_measured", "p90_rel_err", "max_rel_err"}}
+	for _, pt := range p.RatioSweep(ratios, 30, 20000, src) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", pt.Commanded),
+			fmt.Sprintf("%.3f", pt.MeanMeasured),
+			fmt.Sprintf("%.4f", pt.P90RelError),
+			fmt.Sprintf("%.4f", pt.MaxRelError),
+		})
+	}
+	return rows
+}
+
+// sizeSweepCSV is the examples/accelerator scan as data: modeled motion
+// times across image sizes for every implementation plus the
+// accelerator bound.
+func sizeSweepCSV() [][]string {
+	g := arch.TitanX()
+	models := arch.Calibrate(g)
+	a := arch.DefaultAccelerator()
+	km := models["motion"]
+	rows := [][]string{{"width", "height", "gpu_s", "opt_gpu_s", "rsu_g1_s", "rsu_g4_s", "accel_s"}}
+	for _, s := range [][2]int{{160, 160}, {320, 320}, {640, 480}, {1280, 720}, {1920, 1080}, {3840, 2160}} {
+		w := arch.Motion(s[0], s[1])
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", s[0]), fmt.Sprintf("%d", s[1]),
+			fmt.Sprintf("%.6f", g.Time(w, km.CyclesPerPixel(arch.Baseline, w.Labels))),
+			fmt.Sprintf("%.6f", g.Time(w, km.CyclesPerPixel(arch.Optimized, w.Labels))),
+			fmt.Sprintf("%.6f", g.Time(w, km.CyclesPerPixel(arch.RSUG1, w.Labels))),
+			fmt.Sprintf("%.6f", g.Time(w, km.CyclesPerPixel(arch.RSUG4, w.Labels))),
+			fmt.Sprintf("%.6f", a.Time(w)),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,231 @@
+// Package core is the top of the reproduction stack: a single Solver
+// API that runs MRF-MCMC inference for any of the paper's applications
+// on a selectable backend — exact software Gibbs, ideal first-to-fire,
+// Metropolis, or an emulated RSU-G unit of any width — and reports both
+// the inference result and the modeled hardware performance
+// (GPU/accelerator times, power, area) for the equivalent workload.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/arch"
+	"repro/internal/gibbs"
+	"repro/internal/img"
+	"repro/internal/power"
+	"repro/internal/prototype"
+	"repro/internal/ret"
+	"repro/internal/rsu"
+)
+
+// Backend selects the sampling engine.
+type Backend int
+
+// Available sampling backends.
+const (
+	// SoftwareGibbs is the exact softmax Gibbs kernel (the paper's
+	// software baseline).
+	SoftwareGibbs Backend = iota
+	// SoftwareFirstToFire is the unquantized first-to-fire race —
+	// mathematically identical to SoftwareGibbs, the RSU's principle
+	// without its hardware approximations.
+	SoftwareFirstToFire
+	// Metropolis is the uniform-proposal MH kernel.
+	Metropolis
+	// RSU emulates an RSU-G unit (width set by Config.RSUWidth).
+	RSU
+	// Prototype drives the emulated macro-scale RSU-G2 bench (§7).
+	// Restricted to two-label models.
+	Prototype
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case SoftwareGibbs:
+		return "software-gibbs"
+	case SoftwareFirstToFire:
+		return "software-first-to-fire"
+	case Metropolis:
+		return "metropolis"
+	case RSU:
+		return "rsu"
+	case Prototype:
+		return "prototype"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Config selects the backend and chain parameters.
+type Config struct {
+	Backend    Backend
+	Iterations int
+	BurnIn     int
+	// Workers sets checkerboard parallelism (defaults to 1).
+	Workers int
+	// RSUWidth is the unit width K for the RSU backend (default 1).
+	RSUWidth int
+	// RSUMode selects ideal or photon-level RET simulation.
+	RSUMode rsu.SamplingMode
+	// Circuit optionally overrides the RET circuit design for the RSU
+	// backend (nil: high-dynamic-range ladder).
+	Circuit *ret.Circuit
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Anneal optionally enables simulated-annealing cooling: the chain
+	// temperature starts at StartT, decays geometrically by Rate per
+	// iteration, and floors at the model temperature. Sharper MAP
+	// estimates for hard energy landscapes.
+	Anneal *AnnealSpec
+}
+
+// AnnealSpec parameterizes geometric simulated-annealing cooling.
+type AnnealSpec struct {
+	// StartT is the initial temperature (in model energy units).
+	StartT float64
+	// Rate is the per-iteration multiplier in (0, 1).
+	Rate float64
+}
+
+// Solver runs inference for one application instance.
+type Solver struct {
+	app  apps.App
+	cfg  Config
+	unit *rsu.Unit
+}
+
+// NewSolver validates the configuration and prepares the backend.
+func NewSolver(app apps.App, cfg Config) (*Solver, error) {
+	if app == nil {
+		return nil, fmt.Errorf("core: nil application")
+	}
+	if cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("core: iterations must be positive, got %d", cfg.Iterations)
+	}
+	if cfg.BurnIn < 0 || cfg.BurnIn >= cfg.Iterations {
+		return nil, fmt.Errorf("core: burn-in %d outside [0,%d)", cfg.BurnIn, cfg.Iterations)
+	}
+	if a := cfg.Anneal; a != nil && (a.StartT <= 0 || a.Rate <= 0 || a.Rate >= 1) {
+		return nil, fmt.Errorf("core: invalid anneal spec %+v", *a)
+	}
+	s := &Solver{app: app, cfg: cfg}
+	if cfg.Backend == Prototype && app.Model().M != 2 {
+		return nil, fmt.Errorf("core: the RSU-G2 prototype supports exactly 2 labels, model has %d", app.Model().M)
+	}
+	if cfg.Backend == RSU {
+		width := cfg.RSUWidth
+		if width == 0 {
+			width = 1
+		}
+		unit, err := apps.BuildUnit(app, cfg.Circuit, width, cfg.RSUMode)
+		if err != nil {
+			return nil, err
+		}
+		s.unit = unit
+	}
+	return s, nil
+}
+
+// Unit returns the RSU unit (nil for software backends).
+func (s *Solver) Unit() *rsu.Unit { return s.unit }
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	// MAP is the marginal-MAP estimate (per-site mode of post-burn-in
+	// samples).
+	MAP *img.LabelMap
+	// Final is the last chain state.
+	Final *img.LabelMap
+	// Confidence is the per-site agreement with the MAP label (0..255).
+	Confidence *img.Gray
+	// EnergyTrace records the total energy each iteration.
+	EnergyTrace []float64
+	// SamplerName identifies the kernel that ran.
+	SamplerName string
+}
+
+// Solve runs the chain from the application's data-driven initial
+// labeling.
+func (s *Solver) Solve() (*Result, error) {
+	opt := gibbs.Options{
+		Iterations:        s.cfg.Iterations,
+		BurnIn:            s.cfg.BurnIn,
+		Schedule:          gibbs.Checkerboard,
+		Workers:           s.cfg.Workers,
+		TrackMode:         true,
+		RecordEnergyEvery: 1,
+	}
+	if a := s.cfg.Anneal; a != nil {
+		opt.Anneal = gibbs.GeometricAnneal(a.StartT, a.Rate, s.app.Model().T)
+	}
+	var factory gibbs.Factory
+	switch s.cfg.Backend {
+	case SoftwareGibbs:
+		factory = gibbs.NewExactGibbs()
+	case SoftwareFirstToFire:
+		factory = gibbs.NewFirstToFire()
+	case Metropolis:
+		factory = gibbs.NewMetropolis()
+	case RSU:
+		factory = apps.NewRSUSampler(s.app, s.unit)
+	case Prototype:
+		factory = prototype.NewSampler(prototype.New())
+	default:
+		return nil, fmt.Errorf("core: unknown backend %v", s.cfg.Backend)
+	}
+	res, err := gibbs.Run(s.app.Model(), s.app.InitLabels(), factory, opt, s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		MAP:         res.MAP,
+		Final:       res.Final,
+		Confidence:  res.Confidence,
+		EnergyTrace: res.EnergyTrace,
+		SamplerName: res.SamplerName,
+	}, nil
+}
+
+// PerformanceReport models the hardware-level cost of a workload on the
+// paper's architectures (§8) — independent of the functional Solve.
+type PerformanceReport struct {
+	Workload        arch.Workload
+	GPUSeconds      float64
+	OptGPUSeconds   float64
+	RSUG1Seconds    float64
+	RSUG4Seconds    float64
+	AccelSeconds    float64
+	AcceleratorUnit int
+	UnitPowerMW     float64
+	UnitAreaUM2     float64
+}
+
+// Performance returns the modeled Table-2/§8.2 numbers for a workload.
+// Only the calibrated applications ("segmentation", "motion") have GPU
+// models; other workloads return an error.
+func Performance(w arch.Workload) (*PerformanceReport, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	g := arch.TitanX()
+	models := arch.Calibrate(g)
+	km, ok := models[w.Name]
+	if !ok {
+		return nil, fmt.Errorf("core: no calibrated GPU model for workload %q", w.Name)
+	}
+	a := arch.DefaultAccelerator()
+	budget := power.RSUG1Budget(power.N15)
+	return &PerformanceReport{
+		Workload:        w,
+		GPUSeconds:      g.Time(w, km.CyclesPerPixel(arch.Baseline, w.Labels)),
+		OptGPUSeconds:   g.Time(w, km.CyclesPerPixel(arch.Optimized, w.Labels)),
+		RSUG1Seconds:    g.Time(w, km.CyclesPerPixel(arch.RSUG1, w.Labels)),
+		RSUG4Seconds:    g.Time(w, km.CyclesPerPixel(arch.RSUG4, w.Labels)),
+		AccelSeconds:    a.Time(w),
+		AcceleratorUnit: a.Units(),
+		UnitPowerMW:     budget.TotalPowerMW(),
+		UnitAreaUM2:     budget.TotalAreaUM2(),
+	}, nil
+}

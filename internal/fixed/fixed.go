@@ -1,0 +1,186 @@
+// Package fixed implements the limited-precision arithmetic of the RSU-G
+// datapath (paper §4.4 and §5.2).
+//
+// The hardware represents random-variable labels as 6-bit unsigned
+// integers (M <= 64 labels). A 6-bit label is interpreted either as a
+// scalar (only the low 3 bits used) or as a packed 2-D vector
+// [x1, x2] with 3 bits per component (e.g. a motion vector within a
+// 7x7 search window, offset-encoded). Clique potential energies are
+// 8-bit with saturating addition; QD-LED intensity codes are 4-bit.
+package fixed
+
+import "fmt"
+
+// Bit widths of the RSU-G datapath.
+const (
+	LabelBits     = 6 // random-variable labels: M <= 64
+	ScalarBits    = 3 // scalar labels / vector components
+	EnergyBits    = 8 // summed clique potential energies
+	IntensityBits = 4 // QD-LED intensity code (4 binary LEDs)
+
+	MaxLabel     = 1<<LabelBits - 1     // 63
+	MaxScalar    = 1<<ScalarBits - 1    // 7
+	MaxEnergy    = 1<<EnergyBits - 1    // 255
+	MaxIntensity = 1<<IntensityBits - 1 // 15
+	MaxLabels    = 1 << LabelBits       // 64 possible labels
+)
+
+// Label is a 6-bit random-variable value as carried on the RSU-G
+// datapath. The zero value is label 0.
+type Label uint8
+
+// NewLabel returns v as a Label, panicking if v exceeds 6 bits.
+// Construction is the validation point: downstream datapath code may
+// assume every Label is in range.
+func NewLabel(v int) Label {
+	if v < 0 || v > MaxLabel {
+		panic(fmt.Sprintf("fixed: label %d outside 6-bit range", v))
+	}
+	return Label(v)
+}
+
+// ClampLabel saturates v into the 6-bit label range.
+func ClampLabel(v int) Label {
+	if v < 0 {
+		return 0
+	}
+	if v > MaxLabel {
+		return MaxLabel
+	}
+	return Label(v)
+}
+
+// Vec splits a 6-bit label into its two 3-bit vector components
+// [x1, x2] (paper §5.2: "the 6-bit value is split into 3 bits for x1
+// and 3 bits for x2"). x1 occupies the high 3 bits.
+func (l Label) Vec() (x1, x2 uint8) {
+	return uint8(l) >> ScalarBits, uint8(l) & MaxScalar
+}
+
+// Scalar interprets the label as a scalar: only the low 3 bits are used
+// and the second component is zero (paper §5.2).
+func (l Label) Scalar() uint8 { return uint8(l) & MaxScalar }
+
+// PackVec builds a 6-bit vector label from two 3-bit components.
+// It panics if either component exceeds 3 bits.
+func PackVec(x1, x2 uint8) Label {
+	if x1 > MaxScalar || x2 > MaxScalar {
+		panic(fmt.Sprintf("fixed: vector component (%d,%d) outside 3-bit range", x1, x2))
+	}
+	return Label(x1<<ScalarBits | x2)
+}
+
+// Energy is an 8-bit clique-potential energy value.
+type Energy uint8
+
+// SatAddEnergy adds energies with saturation at 255, matching the
+// fixed-width adders of the energy-calculation pipeline stage.
+func SatAddEnergy(a, b Energy) Energy {
+	s := uint16(a) + uint16(b)
+	if s > MaxEnergy {
+		return MaxEnergy
+	}
+	return Energy(s)
+}
+
+// SumEnergies saturating-sums a set of energies (the five clique
+// potentials of Eq. 1: one singleton + four doubletons).
+func SumEnergies(es ...Energy) Energy {
+	var acc Energy
+	for _, e := range es {
+		acc = SatAddEnergy(acc, e)
+	}
+	return acc
+}
+
+// SqDiff3 computes the squared difference of two 3-bit values; the
+// result fits in 6 bits (max 49).
+func SqDiff3(a, b uint8) Energy {
+	d := int(a&MaxScalar) - int(b&MaxScalar)
+	return Energy(d * d)
+}
+
+// DoubletonEnergy computes the smoothness doubleton clique potential of
+// Eq. (2) between two labels: the sum of per-component squared
+// differences, each weighted by w (an integer weight pre-scaled into the
+// fixed-point domain). For scalar labels pass vector=false, which uses
+// only the low 3 bits and treats the second component as zero.
+func DoubletonEnergy(a, b Label, vector bool, w uint8) Energy {
+	if !vector {
+		return mulSat(SqDiff3(a.Scalar(), b.Scalar()), w)
+	}
+	a1, a2 := a.Vec()
+	b1, b2 := b.Vec()
+	return SatAddEnergy(mulSat(SqDiff3(a1, b1), w), mulSat(SqDiff3(a2, b2), w))
+}
+
+func mulSat(e Energy, w uint8) Energy {
+	p := uint32(e) * uint32(w)
+	if p > MaxEnergy {
+		return MaxEnergy
+	}
+	return Energy(p)
+}
+
+// SingletonEnergy computes the data term as the weighted squared
+// difference of two 6-bit data values, saturated to 8 bits (paper §4.3:
+// "the squared difference between two data values"). Any scalar weights
+// are assumed pre-factored into the inputs per §5.2; weight w covers the
+// remaining integer scale.
+func SingletonEnergy(d1, d2 uint8, w uint8) Energy {
+	diff := int(d1&MaxLabel) - int(d2&MaxLabel)
+	p := uint32(diff*diff) * uint32(w)
+	if p > MaxEnergy {
+		return MaxEnergy
+	}
+	return Energy(p)
+}
+
+// Quantize6 maps an 8-bit sample value (0..255) onto the 6-bit data
+// range (0..63) by dropping the two low bits, as when staging image
+// intensities into the RSU-G data registers.
+func Quantize6(v uint8) uint8 { return v >> 2 }
+
+// Dequantize6 maps a 6-bit value back to the center of its 8-bit bucket.
+func Dequantize6(v uint8) uint8 { return v<<2 | 0x2 }
+
+// QuantizeEnergy maps a non-negative float energy into the 8-bit energy
+// domain with saturation; scale sets the fixed-point resolution
+// (energy units per float unit).
+func QuantizeEnergy(e float64, scale float64) Energy {
+	if e <= 0 {
+		return 0
+	}
+	q := int(e*scale + 0.5)
+	if q > MaxEnergy {
+		return MaxEnergy
+	}
+	return Energy(q)
+}
+
+// CollapseEqualLabels implements the §4.4 recommendation: when multiple
+// labels always produce energies within eps of one another they have
+// (near-)equal selection probability, so they should be collapsed into a
+// single representative before execution. Given per-label canonical
+// energies, it returns a mapping from original label index to collapsed
+// label index and the number of collapsed classes. Labels are grouped
+// greedily in index order.
+func CollapseEqualLabels(energies []float64, eps float64) (mapping []int, classes int) {
+	mapping = make([]int, len(energies))
+	reps := []float64{}
+	for i, e := range energies {
+		found := -1
+		for j, r := range reps {
+			if diff := e - r; diff <= eps && diff >= -eps {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			reps = append(reps, e)
+			found = len(reps) - 1
+		}
+		mapping[i] = found
+	}
+	return mapping, len(reps)
+}

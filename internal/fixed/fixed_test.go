@@ -1,0 +1,299 @@
+package fixed
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLabelBounds(t *testing.T) {
+	if l := NewLabel(0); l != 0 {
+		t.Fatalf("NewLabel(0) = %d", l)
+	}
+	if l := NewLabel(63); l != 63 {
+		t.Fatalf("NewLabel(63) = %d", l)
+	}
+	for _, v := range []int{-1, 64, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLabel(%d) did not panic", v)
+				}
+			}()
+			NewLabel(v)
+		}()
+	}
+}
+
+func TestClampLabel(t *testing.T) {
+	cases := []struct {
+		in   int
+		want Label
+	}{{-5, 0}, {0, 0}, {30, 30}, {63, 63}, {64, 63}, {999, 63}}
+	for _, c := range cases {
+		if got := ClampLabel(c.in); got != c.want {
+			t.Errorf("ClampLabel(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVecPackRoundTrip(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x1, x2 := a&MaxScalar, b&MaxScalar
+		l := PackVec(x1, x2)
+		g1, g2 := l.Vec()
+		return g1 == x1 && g2 == x2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackVecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PackVec(8,0) did not panic")
+		}
+	}()
+	PackVec(8, 0)
+}
+
+func TestScalarUsesLowBits(t *testing.T) {
+	l := PackVec(5, 3) // bits 101 011
+	if s := l.Scalar(); s != 3 {
+		t.Fatalf("Scalar() = %d, want low 3 bits = 3", s)
+	}
+}
+
+func TestSatAddEnergy(t *testing.T) {
+	if got := SatAddEnergy(100, 100); got != 200 {
+		t.Errorf("100+100 = %d", got)
+	}
+	if got := SatAddEnergy(200, 100); got != 255 {
+		t.Errorf("saturation failed: %d", got)
+	}
+	if got := SatAddEnergy(255, 255); got != 255 {
+		t.Errorf("saturation failed: %d", got)
+	}
+}
+
+// Property: saturating addition is commutative, monotone, and never
+// exceeds MaxEnergy.
+func TestSatAddProperties(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		ea, eb := Energy(a), Energy(b)
+		s := SatAddEnergy(ea, eb)
+		if s != SatAddEnergy(eb, ea) {
+			return false
+		}
+		if uint16(s) > MaxEnergy {
+			return false
+		}
+		// monotonicity: adding more never reduces the sum
+		return SatAddEnergy(s, Energy(c)) >= s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumEnergies(t *testing.T) {
+	if got := SumEnergies(10, 20, 30); got != 60 {
+		t.Errorf("SumEnergies = %d", got)
+	}
+	if got := SumEnergies(100, 100, 100); got != 255 {
+		t.Errorf("SumEnergies saturation = %d", got)
+	}
+	if got := SumEnergies(); got != 0 {
+		t.Errorf("empty SumEnergies = %d", got)
+	}
+}
+
+func TestSqDiff3(t *testing.T) {
+	if got := SqDiff3(7, 0); got != 49 {
+		t.Errorf("SqDiff3(7,0) = %d", got)
+	}
+	if got := SqDiff3(3, 3); got != 0 {
+		t.Errorf("SqDiff3(3,3) = %d", got)
+	}
+	if got := SqDiff3(2, 5); got != 9 {
+		t.Errorf("SqDiff3(2,5) = %d", got)
+	}
+	// high bits are masked
+	if got := SqDiff3(0xFF, 0x07); got != 0 {
+		t.Errorf("SqDiff3 mask failed: %d", got)
+	}
+}
+
+func TestDoubletonEnergyScalar(t *testing.T) {
+	a, b := NewLabel(2), NewLabel(6)
+	if got := DoubletonEnergy(a, b, false, 1); got != 16 {
+		t.Errorf("scalar doubleton = %d, want 16", got)
+	}
+	if got := DoubletonEnergy(a, b, false, 3); got != 48 {
+		t.Errorf("weighted doubleton = %d, want 48", got)
+	}
+	if got := DoubletonEnergy(a, a, false, 9); got != 0 {
+		t.Errorf("self doubleton = %d", got)
+	}
+}
+
+func TestDoubletonEnergyVector(t *testing.T) {
+	a := PackVec(1, 2)
+	b := PackVec(4, 6)
+	// (4-1)^2 + (6-2)^2 = 9 + 16 = 25
+	if got := DoubletonEnergy(a, b, true, 1); got != 25 {
+		t.Errorf("vector doubleton = %d, want 25", got)
+	}
+	// saturation with large weight
+	if got := DoubletonEnergy(a, b, true, 40); got != 255 {
+		t.Errorf("vector doubleton saturation = %d", got)
+	}
+}
+
+// Property: doubleton energy is symmetric — the smoothness prior is an
+// undirected potential.
+func TestDoubletonSymmetry(t *testing.T) {
+	f := func(a, b, w uint8, vector bool) bool {
+		la, lb := Label(a&MaxLabel), Label(b&MaxLabel)
+		return DoubletonEnergy(la, lb, vector, w) == DoubletonEnergy(lb, la, vector, w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: doubleton energy is zero iff the used label bits agree.
+func TestDoubletonIdentity(t *testing.T) {
+	f := func(a uint8, vector bool, w uint8) bool {
+		la := Label(a & MaxLabel)
+		return DoubletonEnergy(la, la, vector, w) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingletonEnergy(t *testing.T) {
+	if got := SingletonEnergy(10, 14, 1); got != 16 {
+		t.Errorf("singleton = %d, want 16", got)
+	}
+	if got := SingletonEnergy(0, 63, 1); got != 255 {
+		t.Errorf("singleton saturation = %d, want 255", got)
+	}
+	if got := SingletonEnergy(5, 5, 200); got != 0 {
+		t.Errorf("identical data singleton = %d", got)
+	}
+}
+
+func TestQuantize6RoundTrip(t *testing.T) {
+	f := func(v uint8) bool {
+		q := Quantize6(v)
+		if q > 63 {
+			return false
+		}
+		d := Dequantize6(q)
+		// Dequantization error is at most 2 intensity steps.
+		diff := int(v) - int(d)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Quantize6 is monotone non-decreasing.
+func TestQuantize6Monotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return Quantize6(a) <= Quantize6(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeEnergy(t *testing.T) {
+	if got := QuantizeEnergy(-3, 1); got != 0 {
+		t.Errorf("negative energy = %d", got)
+	}
+	if got := QuantizeEnergy(10.4, 1); got != 10 {
+		t.Errorf("QuantizeEnergy(10.4) = %d", got)
+	}
+	if got := QuantizeEnergy(10.6, 1); got != 11 {
+		t.Errorf("QuantizeEnergy(10.6) = %d", got)
+	}
+	if got := QuantizeEnergy(1000, 1); got != 255 {
+		t.Errorf("saturation = %d", got)
+	}
+	if got := QuantizeEnergy(2, 16); got != 32 {
+		t.Errorf("scaled = %d", got)
+	}
+}
+
+func TestCollapseEqualLabels(t *testing.T) {
+	mapping, classes := CollapseEqualLabels([]float64{1, 1.05, 5, 5.01, 9}, 0.1)
+	if classes != 3 {
+		t.Fatalf("classes = %d, want 3", classes)
+	}
+	want := []int{0, 0, 1, 1, 2}
+	for i := range want {
+		if mapping[i] != want[i] {
+			t.Fatalf("mapping = %v, want %v", mapping, want)
+		}
+	}
+}
+
+func TestCollapseEqualLabelsDistinct(t *testing.T) {
+	mapping, classes := CollapseEqualLabels([]float64{1, 2, 3}, 0.5)
+	if classes != 3 {
+		t.Fatalf("classes = %d", classes)
+	}
+	for i, m := range mapping {
+		if m != i {
+			t.Fatalf("mapping = %v", mapping)
+		}
+	}
+}
+
+func TestCollapseEqualLabelsEmpty(t *testing.T) {
+	mapping, classes := CollapseEqualLabels(nil, 1)
+	if len(mapping) != 0 || classes != 0 {
+		t.Fatalf("empty collapse: %v %d", mapping, classes)
+	}
+}
+
+// TestDoubletonEnergyMatchesFloatReference: exhaustively cross-check the
+// fixed-point doubleton against a float reference over the whole 6-bit
+// label space (both interpretations, weight 1).
+func TestDoubletonEnergyMatchesFloatReference(t *testing.T) {
+	ref := func(a, b Label, vector bool) int {
+		if !vector {
+			d := int(a&MaxScalar) - int(b&MaxScalar)
+			return d * d
+		}
+		a1, a2 := a.Vec()
+		b1, b2 := b.Vec()
+		d1 := int(a1) - int(b1)
+		d2 := int(a2) - int(b2)
+		return d1*d1 + d2*d2
+	}
+	for a := 0; a < 64; a++ {
+		for b := 0; b < 64; b++ {
+			la, lb := Label(a), Label(b)
+			for _, vector := range []bool{false, true} {
+				want := ref(la, lb, vector)
+				if want > MaxEnergy {
+					want = MaxEnergy
+				}
+				if got := DoubletonEnergy(la, lb, vector, 1); int(got) != want {
+					t.Fatalf("a=%d b=%d vector=%v: %d != %d", a, b, vector, got, want)
+				}
+			}
+		}
+	}
+}

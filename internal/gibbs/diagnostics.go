@@ -1,0 +1,162 @@
+package gibbs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/img"
+	"repro/internal/mrf"
+)
+
+// MCMC convergence diagnostics. The paper's workloads run a fixed
+// iteration budget (5000 for segmentation, 400 for motion); these tools
+// answer the follow-up question a practitioner asks — was that enough?
+// — using the standard machinery: autocorrelation-based effective
+// sample size on the energy trace, and the Gelman–Rubin potential scale
+// reduction factor across independent chains.
+
+// Autocorrelation returns the normalized autocorrelation of xs at the
+// given lag (lag 0 returns 1). Returns 0 for degenerate inputs.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 || lag >= n {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var c0, cl float64
+	for i, x := range xs {
+		d := x - mean
+		c0 += d * d
+		if i+lag < n {
+			cl += d * (xs[i+lag] - mean)
+		}
+	}
+	if c0 == 0 {
+		return 0
+	}
+	return cl / c0
+}
+
+// IntegratedAutocorrTime estimates the integrated autocorrelation time
+// τ = 1 + 2 Σ ρ(k), truncating the sum at the first non-positive
+// autocorrelation (Geyer's initial positive sequence, simplified).
+// τ >= 1; a chain with τ = t delivers one effectively independent
+// sample every t iterations.
+func IntegratedAutocorrTime(xs []float64) float64 {
+	tau := 1.0
+	for lag := 1; lag < len(xs)/2; lag++ {
+		rho := Autocorrelation(xs, lag)
+		if rho <= 0 {
+			break
+		}
+		tau += 2 * rho
+	}
+	return tau
+}
+
+// EffectiveSampleSize returns len(xs) / τ.
+func EffectiveSampleSize(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return float64(len(xs)) / IntegratedAutocorrTime(xs)
+}
+
+// GelmanRubin computes the potential scale reduction factor R̂ over
+// m >= 2 chains of equal length n >= 2 (split-free, classic form).
+// Values near 1 indicate the chains have mixed into the same
+// distribution. It returns an error for malformed input. When every
+// chain is constant and identical, R̂ is defined as 1.
+func GelmanRubin(chains [][]float64) (float64, error) {
+	m := len(chains)
+	if m < 2 {
+		return 0, fmt.Errorf("gibbs: GelmanRubin needs >= 2 chains, got %d", m)
+	}
+	n := len(chains[0])
+	if n < 2 {
+		return 0, fmt.Errorf("gibbs: GelmanRubin needs chains of length >= 2")
+	}
+	for _, c := range chains {
+		if len(c) != n {
+			return 0, fmt.Errorf("gibbs: GelmanRubin chains must have equal length")
+		}
+	}
+	means := make([]float64, m)
+	vars := make([]float64, m)
+	grand := 0.0
+	for j, c := range chains {
+		for _, x := range c {
+			means[j] += x
+		}
+		means[j] /= float64(n)
+		for _, x := range c {
+			d := x - means[j]
+			vars[j] += d * d
+		}
+		vars[j] /= float64(n - 1)
+		grand += means[j]
+	}
+	grand /= float64(m)
+	// Between-chain variance B and within-chain variance W.
+	b := 0.0
+	for _, mu := range means {
+		d := mu - grand
+		b += d * d
+	}
+	b *= float64(n) / float64(m-1)
+	w := 0.0
+	for _, v := range vars {
+		w += v
+	}
+	w /= float64(m)
+	if w == 0 {
+		if b == 0 {
+			return 1, nil
+		}
+		return math.Inf(1), nil
+	}
+	varPlus := float64(n-1)/float64(n)*w + b/float64(n)
+	return math.Sqrt(varPlus / w), nil
+}
+
+// MultiChainResult couples the per-chain results with the cross-chain
+// diagnostic.
+type MultiChainResult struct {
+	Chains []*Result
+	// RHat is the Gelman–Rubin statistic over the post-burn-in energy
+	// traces (NaN if energy recording was disabled).
+	RHat float64
+}
+
+// RunChains runs `chains` independent chains with decorrelated seeds
+// and reports the Gelman–Rubin diagnostic over their energy traces.
+// Options.RecordEnergyEvery is forced to 1.
+func RunChains(m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed uint64, chains int) (*MultiChainResult, error) {
+	if chains < 2 {
+		return nil, fmt.Errorf("gibbs: RunChains needs >= 2 chains, got %d", chains)
+	}
+	opt.RecordEnergyEvery = 1
+	out := &MultiChainResult{Chains: make([]*Result, chains)}
+	traces := make([][]float64, chains)
+	for i := 0; i < chains; i++ {
+		res, err := Run(m, init, factory, opt, seed+uint64(i)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, err
+		}
+		out.Chains[i] = res
+		if opt.BurnIn < len(res.EnergyTrace) {
+			traces[i] = res.EnergyTrace[opt.BurnIn:]
+		}
+	}
+	rhat, err := GelmanRubin(traces)
+	if err != nil {
+		out.RHat = math.NaN()
+	} else {
+		out.RHat = rhat
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package gibbs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/img"
+	"repro/internal/mrf"
+	"repro/internal/rng"
+)
+
+func TestAutocorrelationBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 4, 3, 2, 1, 2, 3, 4}
+	if got := Autocorrelation(xs, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("lag-0 autocorrelation %v", got)
+	}
+	if got := Autocorrelation(xs, len(xs)); got != 0 {
+		t.Fatalf("out-of-range lag returned %v", got)
+	}
+	if got := Autocorrelation([]float64{3, 3, 3}, 1); got != 0 {
+		t.Fatalf("constant series autocorrelation %v", got)
+	}
+}
+
+func TestAutocorrelationIIDNearZero(t *testing.T) {
+	src := rng.New(71)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = src.Normal(0, 1)
+	}
+	for _, lag := range []int{1, 5, 20} {
+		if got := Autocorrelation(xs, lag); math.Abs(got) > 0.03 {
+			t.Errorf("iid lag-%d autocorrelation %v", lag, got)
+		}
+	}
+}
+
+// TestIntegratedAutocorrTimeAR1: an AR(1) process with coefficient phi
+// has τ = (1+phi)/(1-phi).
+func TestIntegratedAutocorrTimeAR1(t *testing.T) {
+	src := rng.New(72)
+	const phi = 0.8
+	want := (1 + phi) / (1 - phi) // 9
+	xs := make([]float64, 200000)
+	x := 0.0
+	for i := range xs {
+		x = phi*x + src.Normal(0, 1)
+		xs[i] = x
+	}
+	got := IntegratedAutocorrTime(xs)
+	if got < want*0.75 || got > want*1.25 {
+		t.Fatalf("AR(1) τ = %v, want ~%v", got, want)
+	}
+	ess := EffectiveSampleSize(xs)
+	if wantESS := float64(len(xs)) / got; math.Abs(ess-wantESS) > 1e-9 {
+		t.Fatalf("ESS inconsistent with τ")
+	}
+}
+
+func TestEffectiveSampleSizeEmpty(t *testing.T) {
+	if EffectiveSampleSize(nil) != 0 {
+		t.Fatal("empty ESS")
+	}
+}
+
+func TestGelmanRubinValidation(t *testing.T) {
+	if _, err := GelmanRubin([][]float64{{1, 2}}); err == nil {
+		t.Error("single chain accepted")
+	}
+	if _, err := GelmanRubin([][]float64{{1}, {2}}); err == nil {
+		t.Error("length-1 chains accepted")
+	}
+	if _, err := GelmanRubin([][]float64{{1, 2}, {1, 2, 3}}); err == nil {
+		t.Error("ragged chains accepted")
+	}
+}
+
+func TestGelmanRubinMixedChains(t *testing.T) {
+	src := rng.New(73)
+	chains := make([][]float64, 4)
+	for i := range chains {
+		chains[i] = make([]float64, 2000)
+		for j := range chains[i] {
+			chains[i][j] = src.Normal(10, 2)
+		}
+	}
+	rhat, err := GelmanRubin(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhat < 0.99 || rhat > 1.02 {
+		t.Fatalf("mixed-chain R̂ = %v, want ~1", rhat)
+	}
+}
+
+func TestGelmanRubinSeparatedChains(t *testing.T) {
+	src := rng.New(74)
+	chains := make([][]float64, 3)
+	for i := range chains {
+		chains[i] = make([]float64, 500)
+		for j := range chains[i] {
+			chains[i][j] = src.Normal(float64(i)*50, 1) // far-apart means
+		}
+	}
+	rhat, err := GelmanRubin(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhat < 3 {
+		t.Fatalf("separated-chain R̂ = %v, want >> 1", rhat)
+	}
+}
+
+func TestGelmanRubinConstantChains(t *testing.T) {
+	rhat, err := GelmanRubin([][]float64{{5, 5, 5}, {5, 5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhat != 1 {
+		t.Fatalf("constant identical chains R̂ = %v", rhat)
+	}
+	rhat, err = GelmanRubin([][]float64{{5, 5, 5}, {7, 7, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rhat, 1) {
+		t.Fatalf("constant distinct chains R̂ = %v, want +Inf", rhat)
+	}
+}
+
+// TestRunChainsConverged: a well-determined two-label model should show
+// R̂ ≈ 1 across chains after burn-in.
+func TestRunChainsConverged(t *testing.T) {
+	m := twoLabelModel(12, 12)
+	init := img.NewLabelMap(12, 12)
+	res, err := RunChains(m, init, NewExactGibbs(), Options{
+		Iterations: 120, BurnIn: 40, Schedule: Checkerboard,
+	}, 75, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chains) != 4 {
+		t.Fatalf("%d chains", len(res.Chains))
+	}
+	if math.IsNaN(res.RHat) || res.RHat > 1.2 {
+		t.Fatalf("R̂ = %v, want ~1", res.RHat)
+	}
+}
+
+func TestRunChainsValidation(t *testing.T) {
+	m := twoLabelModel(8, 8)
+	init := img.NewLabelMap(8, 8)
+	if _, err := RunChains(m, init, NewExactGibbs(), Options{Iterations: 5}, 1, 1); err == nil {
+		t.Fatal("single chain accepted")
+	}
+}
+
+// TestSecondOrderCheckerboardChain: the generalized color sweep handles
+// second-order (8-neighbor) models and still recovers structure.
+func TestSecondOrderCheckerboardChain(t *testing.T) {
+	m := twoLabelModel(16, 16)
+	m.Hood = mrf.SecondOrder
+	m.LambdaDiag = 0.35
+	init := img.NewLabelMap(16, 16)
+	res, err := Run(m, init, NewExactGibbs(), Options{
+		Iterations: 60, BurnIn: 20, Schedule: Checkerboard, Workers: 3, TrackMode: true,
+	}, 76)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := img.NewLabelMap(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 8; x < 16; x++ {
+			truth.Set(x, y, 1)
+		}
+	}
+	if rate := res.MAP.MislabelRate(truth); rate > 0.05 {
+		t.Fatalf("second-order chain mislabel rate %v", rate)
+	}
+}

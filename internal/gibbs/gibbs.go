@@ -1,0 +1,354 @@
+// Package gibbs implements the software MCMC substrate of the paper
+// (§4.2): Gibbs sampling over first-order MRFs, with raster and
+// checkerboard-parallel sweep schedules, annealing, burn-in, and
+// per-site mode tracking for marginal MAP estimates.
+//
+// Each MCMC iteration updates every random variable once. In a
+// first-order MRF all sites of one checkerboard color are conditionally
+// independent given the other color, exposing the parallelism both the
+// GPU baselines and the RSU architectures exploit.
+package gibbs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/img"
+	"repro/internal/mrf"
+	"repro/internal/rng"
+)
+
+// Sampler draws a new label for one site from (an approximation of) its
+// full conditional distribution. Implementations may keep scratch state
+// and are NOT safe for concurrent use; create one per worker via a
+// Factory.
+type Sampler interface {
+	// SampleSite returns a new label in [0, m.M) for site (x, y).
+	SampleSite(m *mrf.Model, lm *img.LabelMap, x, y int, src *rng.Source) int
+	// Name identifies the sampler in reports.
+	Name() string
+}
+
+// Factory creates an independent Sampler instance for each worker.
+type Factory func() Sampler
+
+// ExactGibbs samples directly from the normalized full conditional
+// p(l) ∝ exp(-E(l)/T) — the textbook Gibbs update the software baselines
+// implement (§8.1).
+type ExactGibbs struct {
+	buf []float64
+}
+
+// NewExactGibbs returns a Factory of exact Gibbs samplers.
+func NewExactGibbs() Factory { return func() Sampler { return &ExactGibbs{} } }
+
+// Name implements Sampler.
+func (g *ExactGibbs) Name() string { return "exact-gibbs" }
+
+// SampleSite implements Sampler.
+func (g *ExactGibbs) SampleSite(m *mrf.Model, lm *img.LabelMap, x, y int, src *rng.Source) int {
+	g.buf = m.ConditionalProbs(g.buf, lm, x, y)
+	return src.Categorical(g.buf)
+}
+
+// FirstToFireGibbs performs the Gibbs update by racing M ideal
+// (unquantized) exponential clocks with rates λ_l = exp(-E(l)/T) — the
+// mathematical principle of the RSU-G (§4.3) without any hardware
+// quantization. It is distributionally identical to ExactGibbs; tests
+// verify the equivalence.
+type FirstToFireGibbs struct {
+	buf []float64
+}
+
+// NewFirstToFire returns a Factory of ideal first-to-fire samplers.
+func NewFirstToFire() Factory { return func() Sampler { return &FirstToFireGibbs{} } }
+
+// Name implements Sampler.
+func (g *FirstToFireGibbs) Name() string { return "first-to-fire" }
+
+// SampleSite implements Sampler.
+func (g *FirstToFireGibbs) SampleSite(m *mrf.Model, lm *img.LabelMap, x, y int, src *rng.Source) int {
+	g.buf = m.ConditionalProbs(g.buf, lm, x, y)
+	winner, _ := src.FirstToFire(g.buf)
+	return winner
+}
+
+// Metropolis implements a Metropolis-Hastings update with a uniform
+// label proposal — the other common MCMC kernel the paper mentions
+// (§4.2). Included as a baseline for convergence comparisons.
+type Metropolis struct{}
+
+// NewMetropolis returns a Factory of Metropolis samplers.
+func NewMetropolis() Factory { return func() Sampler { return &Metropolis{} } }
+
+// Name implements Sampler.
+func (Metropolis) Name() string { return "metropolis" }
+
+// SampleSite implements Sampler.
+func (Metropolis) SampleSite(m *mrf.Model, lm *img.LabelMap, x, y int, src *rng.Source) int {
+	cur := lm.At(x, y)
+	prop := src.Intn(m.M)
+	if prop == cur {
+		return cur
+	}
+	eCur := m.SiteEnergy(lm, x, y, cur)
+	eProp := m.SiteEnergy(lm, x, y, prop)
+	if eProp <= eCur {
+		return prop
+	}
+	if src.Bernoulli(math.Exp(-(eProp - eCur) / m.T)) {
+		return prop
+	}
+	return cur
+}
+
+// Schedule selects the order sites are visited within one iteration.
+type Schedule int
+
+const (
+	// Raster visits sites row-major, one at a time (sequential chain).
+	Raster Schedule = iota
+	// Checkerboard updates all color-0 sites, then all color-1 sites.
+	// Sites within a color are conditionally independent, so they may be
+	// updated concurrently without changing the stationary distribution.
+	Checkerboard
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case Raster:
+		return "raster"
+	case Checkerboard:
+		return "checkerboard"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Options configures a chain run.
+type Options struct {
+	Iterations int      // total MCMC iterations (full sweeps)
+	BurnIn     int      // iterations before mode tracking starts
+	Schedule   Schedule // sweep order
+	Workers    int      // concurrent workers for Checkerboard (<=1: sequential)
+	// Anneal, if non-nil, returns the temperature for iteration t
+	// (0-based); otherwise the model temperature is used throughout.
+	Anneal func(t int) float64
+	// TrackMode enables per-site sample counting for marginal-MAP
+	// estimates; costs W*H*M counters.
+	TrackMode bool
+	// RecordEnergyEvery records the total energy every k iterations into
+	// Result.EnergyTrace (0 disables; 1 records every iteration).
+	RecordEnergyEvery int
+}
+
+// Result is the outcome of a chain run.
+type Result struct {
+	// Final is the labeling after the last iteration.
+	Final *img.LabelMap
+	// MAP is the per-site mode over post-burn-in samples (marginal MAP,
+	// §1: "identifying the mode of the generated samples"). Nil unless
+	// Options.TrackMode.
+	MAP *img.LabelMap
+	// Confidence holds, per site, the fraction of post-burn-in samples
+	// equal to the MAP label, scaled to 0..255 — an uncertainty map
+	// (255 = the chain always agreed). Nil unless Options.TrackMode.
+	Confidence *img.Gray
+	// EnergyTrace holds TotalEnergy snapshots (see RecordEnergyEvery).
+	EnergyTrace []float64
+	// Iterations is the number of sweeps performed.
+	Iterations int
+	// SamplerName records which sampler kernel ran.
+	SamplerName string
+}
+
+// Run executes an MCMC chain on model m starting from init (which is not
+// modified). The run is deterministic given (factory, opt, seed).
+func Run(m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed uint64) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if init.W != m.W || init.H != m.H {
+		return nil, fmt.Errorf("gibbs: init labeling is %dx%d, model is %dx%d", init.W, init.H, m.W, m.H)
+	}
+	for i, l := range init.Labels {
+		if l < 0 || l >= m.M {
+			return nil, fmt.Errorf("gibbs: init label %d at site %d outside [0,%d)", l, i, m.M)
+		}
+	}
+	if opt.Iterations <= 0 {
+		return nil, fmt.Errorf("gibbs: Iterations must be positive, got %d", opt.Iterations)
+	}
+	if opt.BurnIn < 0 || opt.BurnIn >= opt.Iterations {
+		return nil, fmt.Errorf("gibbs: BurnIn %d outside [0,%d)", opt.BurnIn, opt.Iterations)
+	}
+
+	lm := init.Clone()
+	res := &Result{Iterations: opt.Iterations}
+
+	var counts []uint32
+	if opt.TrackMode {
+		counts = make([]uint32, m.W*m.H*m.M)
+	}
+
+	workers := opt.Workers
+	if workers < 1 || opt.Schedule == Raster {
+		workers = 1
+	}
+
+	// Per-worker state: sampler + decorrelated RNG stream.
+	root := rng.New(seed)
+	srcs := make([]*rng.Source, workers)
+	samplers := make([]Sampler, workers)
+	for i := range srcs {
+		srcs[i] = root.Split()
+		samplers[i] = factory()
+	}
+	res.SamplerName = samplers[0].Name()
+
+	baseT := m.T
+	defer func() { m.T = baseT }()
+
+	for it := 0; it < opt.Iterations; it++ {
+		if opt.Anneal != nil {
+			t := opt.Anneal(it)
+			if t <= 0 {
+				return nil, fmt.Errorf("gibbs: Anneal(%d) returned non-positive temperature %v", it, t)
+			}
+			m.T = t
+		}
+		switch opt.Schedule {
+		case Raster:
+			sweepRaster(m, lm, samplers[0], srcs[0])
+		case Checkerboard:
+			sweepCheckerboard(m, lm, samplers, srcs)
+		default:
+			return nil, fmt.Errorf("gibbs: unknown schedule %v", opt.Schedule)
+		}
+		if opt.TrackMode && it >= opt.BurnIn {
+			for i, l := range lm.Labels {
+				counts[i*m.M+l]++
+			}
+		}
+		if opt.RecordEnergyEvery > 0 && it%opt.RecordEnergyEvery == 0 {
+			res.EnergyTrace = append(res.EnergyTrace, m.TotalEnergy(lm))
+		}
+	}
+
+	res.Final = lm
+	if opt.TrackMode {
+		res.MAP = img.NewLabelMap(m.W, m.H)
+		res.Confidence = img.NewGray(m.W, m.H)
+		samples := uint32(opt.Iterations - opt.BurnIn)
+		for i := 0; i < m.W*m.H; i++ {
+			best, bestC := 0, uint32(0)
+			for l := 0; l < m.M; l++ {
+				if c := counts[i*m.M+l]; c > bestC {
+					best, bestC = l, c
+				}
+			}
+			res.MAP.Labels[i] = best
+			if samples > 0 {
+				res.Confidence.Pix[i] = uint8(bestC * 255 / samples)
+			}
+		}
+	}
+	return res, nil
+}
+
+func sweepRaster(m *mrf.Model, lm *img.LabelMap, s Sampler, src *rng.Source) {
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			lm.Set(x, y, s.SampleSite(m, lm, x, y, src))
+		}
+	}
+}
+
+// sweepCheckerboard updates the model's conditional-independence color
+// classes in turn: 2 checkerboard colors for first-order models, 4
+// block colors for second-order models (see mrf.Neighborhood). Sites
+// within a color may be updated concurrently.
+func sweepCheckerboard(m *mrf.Model, lm *img.LabelMap, samplers []Sampler, srcs []*rng.Source) {
+	workers := len(samplers)
+	for color := 0; color < m.Hood.Colors(); color++ {
+		if workers == 1 {
+			sweepColorRows(m, lm, samplers[0], srcs[0], color, 0, m.H)
+			continue
+		}
+		var wg sync.WaitGroup
+		rowsPer := (m.H + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			y0 := w * rowsPer
+			y1 := y0 + rowsPer
+			if y1 > m.H {
+				y1 = m.H
+			}
+			if y0 >= y1 {
+				continue
+			}
+			wg.Add(1)
+			go func(w, y0, y1 int) {
+				defer wg.Done()
+				sweepColorRows(m, lm, samplers[w], srcs[w], color, y0, y1)
+			}(w, y0, y1)
+		}
+		wg.Wait()
+	}
+}
+
+func sweepColorRows(m *mrf.Model, lm *img.LabelMap, s Sampler, src *rng.Source, color, y0, y1 int) {
+	for y := y0; y < y1; y++ {
+		for x := 0; x < m.W; x++ {
+			if m.Hood.ColorOf(x, y) != color {
+				continue
+			}
+			lm.Set(x, y, s.SampleSite(m, lm, x, y, src))
+		}
+	}
+}
+
+// GeometricAnneal returns an annealing schedule T(t) = t0 * r^t, floored
+// at tMin. Classic simulated-annealing cooling for MAP-style inference.
+func GeometricAnneal(t0, r, tMin float64) func(int) float64 {
+	return func(t int) float64 {
+		temp := t0 * math.Pow(r, float64(t))
+		if temp < tMin {
+			return tMin
+		}
+		return temp
+	}
+}
+
+// Converged reports whether the last `window` entries of an energy trace
+// changed by less than relTol relative to their mean — a cheap
+// convergence heuristic for tests and demos.
+func Converged(trace []float64, window int, relTol float64) bool {
+	if len(trace) < window || window < 2 {
+		return false
+	}
+	tail := trace[len(trace)-window:]
+	lo, hi, sum := tail[0], tail[0], 0.0
+	for _, v := range tail {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		sum += v
+	}
+	mean := sum / float64(window)
+	if mean == 0 {
+		return hi-lo == 0
+	}
+	return (hi-lo)/abs(mean) < relTol
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

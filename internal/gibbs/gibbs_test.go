@@ -1,0 +1,343 @@
+package gibbs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/img"
+	"repro/internal/mrf"
+	"repro/internal/rng"
+)
+
+// twoLabelModel builds a small model whose data term pulls the left half
+// to label 0 and the right half to label 1.
+func twoLabelModel(w, h int) *mrf.Model {
+	return &mrf.Model{
+		W: w, H: h, M: 2,
+		T:       1,
+		LambdaS: 1, LambdaD: 0.7,
+		Singleton: func(x, y, label int) float64 {
+			want := 0
+			if x >= w/2 {
+				want = 1
+			}
+			return 4 * mrf.SquaredDiff(label, want)
+		},
+		Doubleton: mrf.SquaredDiff,
+	}
+}
+
+func TestRunValidatesInputs(t *testing.T) {
+	m := twoLabelModel(4, 4)
+	good := img.NewLabelMap(4, 4)
+	cases := []struct {
+		name string
+		init *img.LabelMap
+		opt  Options
+	}{
+		{"zero iterations", good, Options{Iterations: 0}},
+		{"negative burn", good, Options{Iterations: 5, BurnIn: -1}},
+		{"burn >= iters", good, Options{Iterations: 5, BurnIn: 5}},
+		{"size mismatch", img.NewLabelMap(3, 3), Options{Iterations: 5}},
+	}
+	for _, c := range cases {
+		if _, err := Run(m, c.init, NewExactGibbs(), c.opt, 1); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	bad := img.NewLabelMap(4, 4)
+	bad.Labels[0] = 5
+	if _, err := Run(m, bad, NewExactGibbs(), Options{Iterations: 1}, 1); err == nil {
+		t.Error("out-of-range init label accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	m := twoLabelModel(8, 8)
+	init := img.NewLabelMap(8, 8)
+	opt := Options{Iterations: 10, Schedule: Checkerboard, Workers: 4}
+	a, err := Run(m, init, NewExactGibbs(), opt, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, init, NewExactGibbs(), opt, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Final.Labels {
+		if a.Final.Labels[i] != b.Final.Labels[i] {
+			t.Fatalf("same seed diverged at site %d", i)
+		}
+	}
+}
+
+func TestRunDoesNotModifyInit(t *testing.T) {
+	m := twoLabelModel(6, 6)
+	init := img.NewLabelMap(6, 6)
+	init.Labels[7] = 1
+	snapshot := init.Clone()
+	if _, err := Run(m, init, NewExactGibbs(), Options{Iterations: 3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range init.Labels {
+		if init.Labels[i] != snapshot.Labels[i] {
+			t.Fatal("Run modified the init labeling")
+		}
+	}
+}
+
+// TestChainRecoversStructure: with a strong data term the MAP estimate
+// should recover the left/right split almost perfectly.
+func TestChainRecoversStructure(t *testing.T) {
+	m := twoLabelModel(16, 16)
+	init := img.NewLabelMap(16, 16)
+	res, err := Run(m, init, NewExactGibbs(), Options{
+		Iterations: 60, BurnIn: 20, Schedule: Checkerboard, TrackMode: true,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := img.NewLabelMap(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 8; x < 16; x++ {
+			truth.Set(x, y, 1)
+		}
+	}
+	if rate := res.MAP.MislabelRate(truth); rate > 0.05 {
+		t.Fatalf("mislabel rate %v too high", rate)
+	}
+}
+
+// TestSamplersAgreeOnMarginals: exact Gibbs and first-to-fire Gibbs must
+// produce statistically indistinguishable marginals (they implement the
+// same kernel). Compare per-site empirical label frequencies.
+func TestSamplersAgreeOnMarginals(t *testing.T) {
+	m := twoLabelModel(8, 8)
+	init := img.NewLabelMap(8, 8)
+	opt := Options{Iterations: 400, BurnIn: 50, Schedule: Checkerboard, TrackMode: true}
+	a, err := Run(m, init, NewExactGibbs(), opt, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, init, NewFirstToFire(), opt, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree := a.MAP.Agreement(b.MAP); agree < 0.95 {
+		t.Fatalf("MAP agreement %v between exact and first-to-fire", agree)
+	}
+}
+
+// TestMetropolisConverges: Metropolis should reach a similar equilibrium
+// energy as Gibbs, just possibly more slowly.
+func TestMetropolisConverges(t *testing.T) {
+	m := twoLabelModel(12, 12)
+	init := img.NewLabelMap(12, 12)
+	g, err := Run(m, init, NewExactGibbs(), Options{Iterations: 100, RecordEnergyEvery: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, err := Run(m, init, NewMetropolis(), Options{Iterations: 400, RecordEnergyEvery: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gE := g.EnergyTrace[len(g.EnergyTrace)-1]
+	mhE := mh.EnergyTrace[len(mh.EnergyTrace)-1]
+	if math.Abs(gE-mhE) > 0.25*(gE+1) {
+		t.Fatalf("equilibrium energies differ: gibbs %v vs metropolis %v", gE, mhE)
+	}
+}
+
+// TestEnergyDecreasesFromRandomInit: starting from a random labeling,
+// the energy after the chain should be far below the initial energy.
+func TestEnergyDecreasesFromRandomInit(t *testing.T) {
+	m := twoLabelModel(16, 16)
+	src := rng.New(5)
+	init := img.NewLabelMap(16, 16)
+	for i := range init.Labels {
+		init.Labels[i] = src.Intn(2)
+	}
+	before := m.TotalEnergy(init)
+	res, err := Run(m, init, NewExactGibbs(), Options{Iterations: 50}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := m.TotalEnergy(res.Final)
+	if after > 0.6*before {
+		t.Fatalf("energy did not decrease: %v -> %v", before, after)
+	}
+}
+
+// TestCheckerboardMatchesRasterStatistically: both schedules target the
+// same stationary distribution; their MAP estimates on a well-determined
+// problem should agree.
+func TestCheckerboardMatchesRasterStatistically(t *testing.T) {
+	m := twoLabelModel(10, 10)
+	init := img.NewLabelMap(10, 10)
+	opt := Options{Iterations: 200, BurnIn: 50, TrackMode: true}
+	r1, err := Run(m, init, NewExactGibbs(), opt, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Schedule = Checkerboard
+	opt.Workers = 3
+	r2, err := Run(m, init, NewExactGibbs(), opt, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree := r1.MAP.Agreement(r2.MAP); agree < 0.95 {
+		t.Fatalf("schedule agreement %v", agree)
+	}
+}
+
+func TestAnnealScheduleApplied(t *testing.T) {
+	m := twoLabelModel(6, 6)
+	init := img.NewLabelMap(6, 6)
+	var temps []float64
+	_, err := Run(m, init, NewExactGibbs(), Options{
+		Iterations: 5,
+		Anneal: func(t int) float64 {
+			temp := GeometricAnneal(4, 0.5, 0.1)(t)
+			temps = append(temps, temp)
+			return temp
+		},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 2, 1, 0.5, 0.25}
+	for i, w := range want {
+		if math.Abs(temps[i]-w) > 1e-9 {
+			t.Fatalf("temps %v, want %v", temps, want)
+		}
+	}
+	if m.T != 1 {
+		t.Fatalf("model temperature not restored: %v", m.T)
+	}
+}
+
+func TestAnnealRejectsNonPositive(t *testing.T) {
+	m := twoLabelModel(4, 4)
+	init := img.NewLabelMap(4, 4)
+	_, err := Run(m, init, NewExactGibbs(), Options{
+		Iterations: 2,
+		Anneal:     func(int) float64 { return 0 },
+	}, 1)
+	if err == nil {
+		t.Fatal("non-positive temperature accepted")
+	}
+}
+
+func TestGeometricAnnealFloor(t *testing.T) {
+	f := GeometricAnneal(1, 0.5, 0.3)
+	if f(0) != 1 || f(1) != 0.5 || f(2) != 0.3 || f(10) != 0.3 {
+		t.Fatalf("anneal values %v %v %v %v", f(0), f(1), f(2), f(10))
+	}
+}
+
+func TestEnergyTraceRecording(t *testing.T) {
+	m := twoLabelModel(6, 6)
+	init := img.NewLabelMap(6, 6)
+	res, err := Run(m, init, NewExactGibbs(), Options{Iterations: 10, RecordEnergyEvery: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EnergyTrace) != 4 { // iterations 0,3,6,9
+		t.Fatalf("trace length %d, want 4", len(res.EnergyTrace))
+	}
+}
+
+func TestConverged(t *testing.T) {
+	flat := []float64{100, 100.1, 99.9, 100, 100}
+	if !Converged(flat, 4, 0.01) {
+		t.Error("flat trace not detected as converged")
+	}
+	falling := []float64{100, 80, 60, 40, 20}
+	if Converged(falling, 4, 0.01) {
+		t.Error("falling trace detected as converged")
+	}
+	if Converged(flat, 10, 0.01) {
+		t.Error("short trace detected as converged")
+	}
+	if Converged(flat, 1, 0.01) {
+		t.Error("window 1 should not converge")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if Raster.String() != "raster" || Checkerboard.String() != "checkerboard" {
+		t.Fatal("schedule names wrong")
+	}
+	if Schedule(9).String() != "Schedule(9)" {
+		t.Fatal("unknown schedule name wrong")
+	}
+}
+
+func TestSamplerNames(t *testing.T) {
+	if NewExactGibbs()().Name() != "exact-gibbs" {
+		t.Error("exact name")
+	}
+	if NewFirstToFire()().Name() != "first-to-fire" {
+		t.Error("ftf name")
+	}
+	if NewMetropolis()().Name() != "metropolis" {
+		t.Error("mh name")
+	}
+}
+
+func BenchmarkExactGibbsSweep32(b *testing.B) {
+	m := twoLabelModel(32, 32)
+	init := img.NewLabelMap(32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, init, NewExactGibbs(), Options{Iterations: 1}, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckerboardParallelSweep64(b *testing.B) {
+	m := twoLabelModel(64, 64)
+	init := img.NewLabelMap(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := Options{Iterations: 1, Schedule: Checkerboard, Workers: 8}
+		if _, err := Run(m, init, NewExactGibbs(), opt, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestConfidenceMap: interior sites of a well-determined model should be
+// near-certain; confidence is only produced with mode tracking.
+func TestConfidenceMap(t *testing.T) {
+	m := twoLabelModel(12, 12)
+	init := img.NewLabelMap(12, 12)
+	res, err := Run(m, init, NewExactGibbs(), Options{
+		Iterations: 80, BurnIn: 30, Schedule: Checkerboard, TrackMode: true,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confidence == nil {
+		t.Fatal("confidence map missing")
+	}
+	// Deep interior of the left half: strongly label 0.
+	if c := res.Confidence.At(2, 6); c < 200 {
+		t.Fatalf("interior confidence %d, want high", c)
+	}
+	// The boundary column is genuinely uncertain relative to interiors.
+	interior := float64(res.Confidence.At(2, 6))
+	boundary := float64(res.Confidence.At(6, 6))
+	if boundary > interior {
+		t.Fatalf("boundary confidence %v exceeds interior %v", boundary, interior)
+	}
+	// No tracking, no confidence.
+	res2, err := Run(m, init, NewExactGibbs(), Options{Iterations: 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Confidence != nil {
+		t.Fatal("confidence produced without TrackMode")
+	}
+}

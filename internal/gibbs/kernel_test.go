@@ -1,0 +1,180 @@
+package gibbs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/img"
+	"repro/internal/mrf"
+)
+
+// This file verifies the Gibbs kernel by exact linear algebra — no
+// sampling noise at all. For a tiny model we can build the full
+// transition matrix of one raster sweep (the composition of per-site
+// conditional-update kernels) and check that the Boltzmann distribution
+// is exactly invariant under it: πP = π. This is the defining property
+// of a correct Gibbs sweep and holds to floating-point precision.
+
+// siteKernel returns the exact transition matrix of updating one site
+// from its full conditional, acting on the joint state space.
+func siteKernel(m *mrf.Model, x, y int) [][]float64 {
+	n := m.W * m.H
+	states := intPow(m.M, n)
+	p := make([][]float64, states)
+	lm := img.NewLabelMap(m.W, m.H)
+	site := y*m.W + x
+	for s := 0; s < states; s++ {
+		p[s] = make([]float64, states)
+		decodeState(s, m.M, lm)
+		probs := m.ConditionalProbs(nil, lm, x, y)
+		for l, pl := range probs {
+			old := lm.Labels[site]
+			lm.Labels[site] = l
+			p[s][encodeState(lm, m.M)] += pl
+			lm.Labels[site] = old
+		}
+	}
+	return p
+}
+
+func decodeState(s, m int, lm *img.LabelMap) {
+	for i := range lm.Labels {
+		lm.Labels[i] = s % m
+		s /= m
+	}
+}
+
+func intPow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+func matMul(a, b [][]float64) [][]float64 {
+	n := len(a)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for k, aik := range a[i] {
+			if aik == 0 {
+				continue
+			}
+			for j, bkj := range b[k] {
+				out[i][j] += aik * bkj
+			}
+		}
+	}
+	return out
+}
+
+// TestGibbsSweepLeavesBoltzmannInvariant: π P_sweep = π exactly.
+func TestGibbsSweepLeavesBoltzmannInvariant(t *testing.T) {
+	m := tinyModel()
+	pi := exactBoltzmann(m)
+
+	// Compose the per-site kernels in raster order.
+	var sweep [][]float64
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			k := siteKernel(m, x, y)
+			if sweep == nil {
+				sweep = k
+			} else {
+				sweep = matMul(sweep, k)
+			}
+		}
+	}
+
+	// Rows are stochastic.
+	for i, row := range sweep {
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 {
+				t.Fatalf("negative transition probability at row %d", i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+
+	// πP = π.
+	out := make([]float64, len(pi))
+	for s, ps := range pi {
+		for j, pj := range sweep[s] {
+			out[j] += ps * pj
+		}
+	}
+	for s := range pi {
+		if math.Abs(out[s]-pi[s]) > 1e-12 {
+			t.Fatalf("state %d: (πP)=%v, π=%v", s, out[s], pi[s])
+		}
+	}
+}
+
+// TestGibbsSweepErgodic: the sweep kernel has strictly positive entries
+// (every state reachable in one sweep), so the chain is ergodic and the
+// invariant distribution is unique.
+func TestGibbsSweepErgodic(t *testing.T) {
+	m := tinyModel()
+	var sweep [][]float64
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			k := siteKernel(m, x, y)
+			if sweep == nil {
+				sweep = k
+			} else {
+				sweep = matMul(sweep, k)
+			}
+		}
+	}
+	for i, row := range sweep {
+		for j, v := range row {
+			if v <= 0 {
+				t.Fatalf("sweep kernel entry (%d,%d) = %v; chain not ergodic", i, j, v)
+			}
+		}
+	}
+}
+
+// TestPowerIterationConvergesToBoltzmann: iterating the sweep kernel
+// from any start converges to the Boltzmann distribution (the spectral
+// view of chain convergence).
+func TestPowerIterationConvergesToBoltzmann(t *testing.T) {
+	m := tinyModel()
+	pi := exactBoltzmann(m)
+	var sweep [][]float64
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			k := siteKernel(m, x, y)
+			if sweep == nil {
+				sweep = k
+			} else {
+				sweep = matMul(sweep, k)
+			}
+		}
+	}
+	// Point mass on state 0.
+	v := make([]float64, len(pi))
+	v[0] = 1
+	for it := 0; it < 200; it++ {
+		next := make([]float64, len(v))
+		for s, ps := range v {
+			if ps == 0 {
+				continue
+			}
+			for j, pj := range sweep[s] {
+				next[j] += ps * pj
+			}
+		}
+		v = next
+	}
+	for s := range pi {
+		if math.Abs(v[s]-pi[s]) > 1e-9 {
+			t.Fatalf("power iteration state %d: %v vs %v", s, v[s], pi[s])
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package gpusim is a simplified SIMT (GPU) timing simulator used to
+// validate the calibrated model in internal/arch from the bottom up.
+//
+// internal/arch fits per-kernel cycle costs to the paper's measured
+// wall-clock numbers; this package goes the other way: it executes
+// abstract per-pixel kernels — expressed as instruction streams — on a
+// machine with warps, scoreboarded memory latency, a global bandwidth
+// cap, special-function throughput and (optionally) RSU-G functional
+// units, and *derives* relative performance with no fitted constants.
+// The tests check that the derived speedups reproduce the paper's
+// qualitative results: RSU-augmented kernels win, motion estimation
+// (M=49) wins by much more than segmentation (M=5), and wider RSUs help
+// exactly where the label count is large.
+//
+// The machine model is deliberately coarse (in-order warps, one issue
+// per warp per cycle, no caches, per-cycle bandwidth budget); it is a
+// shape checker, not a microarchitecture simulator.
+package gpusim
+
+import "fmt"
+
+// OpKind classifies an abstract instruction.
+type OpKind int
+
+// Instruction kinds.
+const (
+	// ALU is a single-cycle arithmetic instruction.
+	ALU OpKind = iota
+	// SFU is a special-function op (exp, rsqrt): single issue but only
+	// one SFU result per SFUThroughput cycles per warp.
+	SFU
+	// LDG is a global memory load: issues one request per cycle
+	// (consuming Bytes of global bandwidth each); requests pipeline, and
+	// the warp stalls MemLatency cycles after its last outstanding load
+	// (the consumer waits for the data). This models the scoreboarded
+	// memory-level parallelism real SMs have.
+	LDG
+	// STG is a global store: consumes bandwidth, no stall (write buffer).
+	STG
+	// RSUOp is an RSU control-register write (one cycle, §6.1).
+	RSUOp
+	// RSURead blocks the warp for the unit's evaluation latency.
+	RSURead
+)
+
+// Op is one abstract instruction, repeated Count times.
+type Op struct {
+	Kind  OpKind
+	Count int
+	// Bytes per warp for LDG/STG (already aggregated across the 32
+	// lanes: a coalesced 1-byte-per-lane load is 32, an uncoalesced
+	// 32-byte-sector-per-lane load is 1024).
+	Bytes int
+	// Latency for RSURead (the unit's evaluation cycles).
+	Latency int
+}
+
+// Kernel is the per-warp instruction stream (all 32 lanes in lockstep).
+type Kernel []Op
+
+// Machine describes the simulated GPU.
+type Machine struct {
+	SMs           int
+	WarpsPerSM    int // resident warps per SM
+	IssuePerSM    int // instructions issued per SM per cycle
+	MemLatency    int // cycles from LDG issue to data
+	BytesPerCycle int // global bandwidth budget per cycle (whole chip)
+	SFUInterval   int // cycles between SFU issues per warp
+}
+
+// TitanXish returns a Titan-X-flavored machine: 24 SMs, 16 resident
+// warps and dual issue per SM, 400-cycle memory, 336 B/cycle at 1 GHz.
+func TitanXish() Machine {
+	return Machine{
+		SMs: 24, WarpsPerSM: 16, IssuePerSM: 2,
+		MemLatency: 400, BytesPerCycle: 336, SFUInterval: 4,
+	}
+}
+
+// Validate checks machine parameters.
+func (m Machine) Validate() error {
+	if m.SMs < 1 || m.WarpsPerSM < 1 || m.IssuePerSM < 1 || m.MemLatency < 1 ||
+		m.BytesPerCycle < 1 || m.SFUInterval < 1 {
+		return fmt.Errorf("gpusim: invalid machine %+v", m)
+	}
+	return nil
+}
+
+type warp struct {
+	pc      int // index into flattened ops
+	rep     int // repeats left of current op
+	readyAt int64
+	done    bool
+	sfuAt   int64 // next cycle an SFU op may issue
+}
+
+// Result reports one kernel launch.
+type Result struct {
+	Cycles int64
+	// Warps is the number of warps executed.
+	Warps int
+	// BWStallCycles counts issue slots lost to an exhausted bandwidth
+	// budget (an indicator that the launch was memory-bound).
+	BWStallCycles int64
+}
+
+// Run simulates `threads` threads of the kernel and returns the total
+// cycle count. Threads are packed into warps of 32 and distributed
+// round-robin over the SMs; each SM keeps at most WarpsPerSM resident,
+// launching queued warps as residents finish.
+func (m Machine) Run(k Kernel, threads int) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	if threads < 1 || len(k) == 0 {
+		return Result{}, fmt.Errorf("gpusim: empty launch")
+	}
+	totalWarps := (threads + 31) / 32
+	res := Result{Warps: totalWarps}
+
+	// Per-SM queues of warps still to launch.
+	queued := make([]int, m.SMs)
+	for w := 0; w < totalWarps; w++ {
+		queued[w%m.SMs]++
+	}
+	resident := make([][]*warp, m.SMs)
+	launch := func(sm int) {
+		for queued[sm] > 0 && len(resident[sm]) < m.WarpsPerSM {
+			queued[sm]--
+			resident[sm] = append(resident[sm], &warp{rep: k[0].Count})
+		}
+	}
+	for sm := range resident {
+		launch(sm)
+	}
+
+	var cycle int64
+	var bwDebt int64 // outstanding bytes beyond what the bus has drained
+	alive := totalWarps
+	for alive > 0 {
+		if bwDebt > 0 {
+			bwDebt -= int64(m.BytesPerCycle)
+			if bwDebt < 0 {
+				bwDebt = 0
+			}
+		}
+		idle := true
+		bwBlocked := false
+		for sm := 0; sm < m.SMs; sm++ {
+			issued := 0
+			for _, w := range resident[sm] {
+				if issued >= m.IssuePerSM {
+					break
+				}
+				if w.done || w.readyAt > cycle {
+					continue
+				}
+				op := k[w.pc]
+				switch op.Kind {
+				case SFU:
+					if w.sfuAt > cycle {
+						continue
+					}
+					w.sfuAt = cycle + int64(m.SFUInterval)
+				case LDG, STG:
+					// Token-bucket bandwidth: a new request may issue
+					// while the backlog is under one cycle of drain.
+					if bwDebt >= int64(m.BytesPerCycle) {
+						res.BWStallCycles++
+						bwBlocked = true
+						continue
+					}
+					bwDebt += int64(op.Bytes)
+					if op.Kind == LDG && w.rep == 1 {
+						// Last load of the batch: the consumer waits for
+						// the pipelined data to return.
+						w.readyAt = cycle + int64(m.MemLatency)
+					}
+				case RSURead:
+					w.readyAt = cycle + int64(op.Latency)
+				}
+				issued++
+				idle = false
+				// Advance the warp's instruction pointer.
+				w.rep--
+				if w.rep <= 0 {
+					w.pc++
+					if w.pc >= len(k) {
+						w.done = true
+						alive--
+						continue
+					}
+					w.rep = k[w.pc].Count
+				}
+			}
+			// Compact finished warps and launch queued ones.
+			live := resident[sm][:0]
+			for _, w := range resident[sm] {
+				if !w.done {
+					live = append(live, w)
+				}
+			}
+			resident[sm] = live
+			launch(sm)
+		}
+		if idle && !bwBlocked && alive > 0 {
+			// Fast-forward to the earliest wake-up.
+			var next int64 = 1 << 62
+			for sm := range resident {
+				for _, w := range resident[sm] {
+					if !w.done && w.readyAt > cycle && w.readyAt < next {
+						next = w.readyAt
+					}
+					if !w.done && w.sfuAt > cycle && w.sfuAt < next {
+						next = w.sfuAt
+					}
+				}
+			}
+			if next == 1<<62 {
+				return res, fmt.Errorf("gpusim: deadlock at cycle %d", cycle)
+			}
+			cycle = next
+			continue
+		}
+		cycle++
+	}
+	res.Cycles = cycle
+	return res, nil
+}

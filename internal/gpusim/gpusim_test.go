@@ -1,0 +1,162 @@
+package gpusim
+
+import "testing"
+
+const launchThreads = 128 * 128 // saturates the machine: 512 warps over 384 resident slots
+
+func runKernel(t testing.TB, k Kernel) Result {
+	t.Helper()
+	res, err := TitanXish().Run(k, launchThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatalf("non-positive cycles: %+v", res)
+	}
+	return res
+}
+
+func TestMachineValidate(t *testing.T) {
+	if err := TitanXish().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := TitanXish()
+	bad.SMs = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad machine accepted")
+	}
+	if _, err := TitanXish().Run(SegBaseline(5), 0); err == nil {
+		t.Fatal("empty launch accepted")
+	}
+	if _, err := TitanXish().Run(nil, 10); err == nil {
+		t.Fatal("nil kernel accepted")
+	}
+}
+
+// TestDerivedSpeedupShape: with no fitted constants, the simulated
+// machine must reproduce the paper's qualitative result set. The coarse
+// model understates the real GPU's baseline inefficiencies (divergence,
+// register pressure), so absolute ratios land below the paper's
+// measured 3x/16x; the *ordering* and rough bands are the claim.
+func TestDerivedSpeedupShape(t *testing.T) {
+	segBase := runKernel(t, SegBaseline(5))
+	segOpt := runKernel(t, SegOptimized(5))
+	segRSU := runKernel(t, SegRSU(5, 11))
+	motBase := runKernel(t, MotionBaseline(49))
+	motRSU1 := runKernel(t, MotionRSU(49, 55))
+	motRSU4 := runKernel(t, MotionRSU(49, 20))
+
+	segSpeed := float64(segBase.Cycles) / float64(segRSU.Cycles)
+	motSpeed1 := float64(motBase.Cycles) / float64(motRSU1.Cycles)
+	motSpeed4 := float64(motBase.Cycles) / float64(motRSU4.Cycles)
+
+	t.Logf("seg: base=%d opt=%d rsu=%d (%.2fx)", segBase.Cycles, segOpt.Cycles, segRSU.Cycles, segSpeed)
+	t.Logf("motion: base=%d rsuG1=%d (%.2fx) rsuG4=%d (%.2fx)",
+		motBase.Cycles, motRSU1.Cycles, motSpeed1, motRSU4.Cycles, motSpeed4)
+
+	if segSpeed < 1.3 || segSpeed > 10 {
+		t.Errorf("segmentation RSU speedup %.2f outside plausible band", segSpeed)
+	}
+	if motSpeed1 < 2 || motSpeed1 > 40 {
+		t.Errorf("motion RSU-G1 speedup %.2f outside plausible band", motSpeed1)
+	}
+	// Motion (M=49) must gain more than segmentation (M=5).
+	if motSpeed1 <= segSpeed {
+		t.Errorf("motion speedup %.2f should exceed segmentation %.2f", motSpeed1, segSpeed)
+	}
+	// The optimized baseline trades 3 ALU/label for 1 load/label — a
+	// ~10% issue-slot effect the paper measured as 1.2x but which sits
+	// at this model's resolution: require it within 5% of baseline and
+	// clearly slower than RSU.
+	if ratio := float64(segOpt.Cycles) / float64(segBase.Cycles); ratio > 1.05 || ratio < 0.7 {
+		t.Errorf("optimized seg %d implausible vs baseline %d", segOpt.Cycles, segBase.Cycles)
+	}
+	if segOpt.Cycles <= segRSU.Cycles {
+		t.Errorf("optimized seg %d should be slower than RSU %d", segOpt.Cycles, segRSU.Cycles)
+	}
+	// G4's shorter evaluation latency cannot hurt beyond scheduling
+	// noise (the launch is near the bandwidth/issue floor either way).
+	if float64(motRSU4.Cycles) > float64(motRSU1.Cycles)*1.05 {
+		t.Errorf("RSU-G4 (%d) notably slower than RSU-G1 (%d)", motRSU4.Cycles, motRSU1.Cycles)
+	}
+}
+
+// TestBandwidthWall: shrinking the bandwidth budget must slow a
+// memory-heavy kernel and eventually dominate its runtime.
+func TestBandwidthWall(t *testing.T) {
+	k := MotionRSU(49, 55)
+	fast := TitanXish()
+	slow := TitanXish()
+	slow.BytesPerCycle = 8
+	rFast, err := fast.Run(k, launchThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSlow, err := slow.Run(k, launchThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSlow.Cycles <= rFast.Cycles {
+		t.Fatalf("bandwidth cut did not slow the kernel: %d vs %d", rSlow.Cycles, rFast.Cycles)
+	}
+	if rSlow.BWStallCycles == 0 {
+		t.Fatal("no bandwidth stalls recorded on the starved machine")
+	}
+	// At 8 B/cycle the kernel moves ~54*32 B/warp; the runtime must be
+	// at least bytes/bandwidth.
+	warps := int64((launchThreads + 31) / 32)
+	minBytes := warps * int64(54*32)
+	if rSlow.Cycles < minBytes/8 {
+		t.Fatalf("starved runtime %d below the bandwidth floor %d", rSlow.Cycles, minBytes/8)
+	}
+}
+
+// TestMoreSMsNeverSlower: doubling the SM count cannot hurt.
+func TestMoreSMsNeverSlower(t *testing.T) {
+	k := SegBaseline(5)
+	small := TitanXish()
+	big := TitanXish()
+	big.SMs *= 2
+	rSmall, err := small.Run(k, launchThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBig, err := big.Run(k, launchThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBig.Cycles > rSmall.Cycles {
+		t.Fatalf("more SMs slower: %d vs %d", rBig.Cycles, rSmall.Cycles)
+	}
+}
+
+// TestLatencyHiding: with many resident warps, memory latency should be
+// substantially hidden — a latency-bound single-warp launch is far
+// slower per warp than a full launch.
+func TestLatencyHiding(t *testing.T) {
+	k := SegBaseline(5)
+	m := TitanXish()
+	one, err := m.Run(k, 32) // a single warp
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := m.Run(k, launchThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWarpFull := float64(full.Cycles) / float64(full.Warps)
+	if perWarpFull >= float64(one.Cycles) {
+		t.Fatalf("no latency hiding: %.1f cycles/warp at full occupancy vs %d alone",
+			perWarpFull, one.Cycles)
+	}
+}
+
+func BenchmarkSimMotionBaseline(b *testing.B) {
+	m := TitanXish()
+	k := MotionBaseline(49)
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(k, launchThreads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

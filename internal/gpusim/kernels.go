@@ -1,0 +1,86 @@
+package gpusim
+
+// First-principles instruction streams for the paper's four
+// implementations (§8.1), one thread per pixel per MCMC color phase.
+// Byte counts are per warp (32 lanes); label and pixel accesses are
+// coalesced (adjacent threads touch adjacent addresses).
+//
+// These are derived from the algorithm, not fitted: a doubleton is a
+// subtract/multiply/accumulate per neighbor, a Boltzmann weight is one
+// special-function exp, the software sampler is an RNG draw plus a
+// cumulative scan, and the RSU versions replace all per-label math with
+// §6.1 control-register traffic plus the unit's evaluation latency.
+
+const (
+	doubletonALU = 3  // sub, mul, acc — per neighbor
+	singletonALU = 3  // sub, mul, acc
+	rngALU       = 10 // xorshift + float conversion
+	scanALU      = 3  // acc, cmp, select — per label
+	packALU      = 6  // pack neighbor labels + addresses
+)
+
+// SegBaseline is standard-MCMC image segmentation: M labels, per-label
+// energy + exp, then a categorical scan. Neighbor labels and the pixel
+// are one coalesced byte per lane each.
+func SegBaseline(m int) Kernel {
+	return Kernel{
+		{Kind: LDG, Count: 5, Bytes: 32},                            // pixel + 4 neighbor labels
+		{Kind: ALU, Count: m * (4*doubletonALU + singletonALU + 2)}, // energies
+		{Kind: SFU, Count: m},                                       // exp per label
+		{Kind: ALU, Count: rngALU + m*scanALU},                      // sample
+		{Kind: STG, Count: 1, Bytes: 32},                            // new label
+	}
+}
+
+// SegOptimized precomputes singletons: the per-label singleton math is
+// replaced by one extra coalesced load per label, batched with the
+// operand loads (all addresses are known up front, so the compiler
+// hoists them into one pipelined group).
+func SegOptimized(m int) Kernel {
+	return Kernel{
+		{Kind: LDG, Count: 5 + m, Bytes: 32},         // operands + precomputed singletons
+		{Kind: ALU, Count: m * (4*doubletonALU + 2)}, // doubletons only
+		{Kind: SFU, Count: m},
+		{Kind: ALU, Count: rngALU + m*scanALU},
+		{Kind: STG, Count: 1, Bytes: 32},
+	}
+}
+
+// SegRSU offloads the per-label work to an RSU-G: operand loads, three
+// control writes, one blocking read (§6.1).
+func SegRSU(m int, rsuLatency int) Kernel {
+	return Kernel{
+		{Kind: LDG, Count: 5, Bytes: 32},
+		{Kind: ALU, Count: packALU},
+		{Kind: RSUOp, Count: 3},
+		{Kind: RSURead, Count: 1, Latency: rsuLatency},
+		{Kind: STG, Count: 1, Bytes: 32},
+	}
+}
+
+// MotionBaseline is dense motion estimation: per label one candidate
+// load from the target frame plus the energy/exp math, then the scan.
+func MotionBaseline(m int) Kernel {
+	return Kernel{
+		{Kind: LDG, Count: 5, Bytes: 32},
+		{Kind: LDG, Count: m, Bytes: 32},                            // candidate pixels
+		{Kind: ALU, Count: m * (4*doubletonALU + singletonALU + 2)}, // energies
+		{Kind: SFU, Count: m},
+		{Kind: ALU, Count: rngALU + m*scanALU},
+		{Kind: STG, Count: 1, Bytes: 32},
+	}
+}
+
+// MotionRSU streams the M candidate pixels into the unit's singleton-D
+// register (§6) and blocks on the evaluation.
+func MotionRSU(m int, rsuLatency int) Kernel {
+	return Kernel{
+		{Kind: LDG, Count: 5, Bytes: 32},
+		{Kind: ALU, Count: packALU},
+		{Kind: RSUOp, Count: 2},
+		{Kind: LDG, Count: m, Bytes: 32}, // candidate pixels
+		{Kind: RSUOp, Count: m},          // streamed singleton-D writes
+		{Kind: RSURead, Count: 1, Latency: rsuLatency},
+		{Kind: STG, Count: 1, Bytes: 32},
+	}
+}

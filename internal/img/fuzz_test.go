@@ -1,0 +1,40 @@
+package img
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodePGM hardens the parser: arbitrary bytes must either decode
+// into a structurally valid image or return an error — never panic, and
+// never produce an image whose pixel buffer disagrees with its header.
+func FuzzDecodePGM(f *testing.F) {
+	f.Add([]byte("P5\n2 2\n255\nabcd"))
+	f.Add([]byte("P2\n# c\n1 2\n15\n0 15\n"))
+	f.Add([]byte("P5\n0 0\n255\n"))
+	f.Add([]byte("P6\n1 1\n255\nxyz"))
+	f.Add([]byte(""))
+	f.Add([]byte("P5\n1000000 1000000\n255\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodePGM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if g.W <= 0 || g.H <= 0 || len(g.Pix) != g.W*g.H {
+			t.Fatalf("decoded image inconsistent: %dx%d with %d pixels", g.W, g.H, len(g.Pix))
+		}
+		// Round trip: re-encoding a decoded image must succeed and
+		// decode back identical.
+		var buf bytes.Buffer
+		if err := EncodePGM(&buf, g); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		g2, err := DecodePGM(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !g.Equal(g2) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

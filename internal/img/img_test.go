@@ -1,0 +1,320 @@
+package img
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestGrayAtClampsBorders(t *testing.T) {
+	g := NewGray(3, 2)
+	g.Set(0, 0, 10)
+	g.Set(2, 1, 20)
+	if v := g.At(-5, -5); v != 10 {
+		t.Errorf("At(-5,-5) = %d, want 10", v)
+	}
+	if v := g.At(99, 99); v != 20 {
+		t.Errorf("At(99,99) = %d, want 20", v)
+	}
+}
+
+func TestGraySetIgnoresOutOfRange(t *testing.T) {
+	g := NewGray(2, 2)
+	g.Set(-1, 0, 99)
+	g.Set(0, 5, 99)
+	for _, p := range g.Pix {
+		if p != 0 {
+			t.Fatal("out-of-range Set modified image")
+		}
+	}
+}
+
+func TestNewGrayPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 5}, {5, 0}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGray(%v) did not panic", dims)
+				}
+			}()
+			NewGray(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := NewGray(4, 4)
+	g.Fill(7)
+	c := g.Clone()
+	c.Set(1, 1, 99)
+	if g.At(1, 1) != 7 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !g.Equal(g.Clone()) {
+		t.Fatal("clone not equal to original")
+	}
+	if g.Equal(c) {
+		t.Fatal("modified clone equal to original")
+	}
+}
+
+func TestLabelMapBasics(t *testing.T) {
+	m := NewLabelMap(3, 3)
+	m.Set(1, 1, 5)
+	if m.At(1, 1) != 5 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	if m.At(-1, -1) != m.At(0, 0) {
+		t.Fatal("padding mismatch")
+	}
+	c := m.Clone()
+	c.Set(1, 1, 9)
+	if m.At(1, 1) != 5 {
+		t.Fatal("LabelMap clone shares storage")
+	}
+}
+
+func TestLabelMapRender(t *testing.T) {
+	m := NewLabelMap(2, 1)
+	m.Set(0, 0, 1)
+	m.Set(1, 0, 7) // outside palette -> 0
+	g := m.Render([]uint8{10, 200})
+	if g.At(0, 0) != 200 || g.At(1, 0) != 0 {
+		t.Fatalf("render: %v", g.Pix)
+	}
+}
+
+func TestMislabelRateAndAgreement(t *testing.T) {
+	a := NewLabelMap(2, 2)
+	b := NewLabelMap(2, 2)
+	b.Set(0, 0, 1)
+	if r := a.MislabelRate(b); r != 0.25 {
+		t.Fatalf("mislabel rate %v", r)
+	}
+	if r := a.Agreement(b); r != 0.75 {
+		t.Fatalf("agreement %v", r)
+	}
+}
+
+func TestMSE(t *testing.T) {
+	a, b := NewGray(2, 1), NewGray(2, 1)
+	b.Set(0, 0, 2)
+	if got := MSE(a, b); got != 2 {
+		t.Fatalf("MSE = %v, want 2", got)
+	}
+}
+
+func TestVectorFieldEndpointError(t *testing.T) {
+	a, b := NewVectorField(2, 1), NewVectorField(2, 1)
+	a.Set(0, 0, 3, 4)
+	if got := a.AvgEndpointError(b); got != 2.5 {
+		t.Fatalf("AEE = %v, want 2.5", got)
+	}
+	dx, dy := a.At(0, 0)
+	if dx != 3 || dy != 4 {
+		t.Fatalf("At = (%d,%d)", dx, dy)
+	}
+}
+
+func TestPGMRoundTripP5(t *testing.T) {
+	src := rng.New(1)
+	g := NewGray(13, 7)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(src.Intn(256))
+	}
+	var buf bytes.Buffer
+	if err := EncodePGM(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(got) {
+		t.Fatal("PGM round trip mismatch")
+	}
+}
+
+func TestPGMDecodeASCII(t *testing.T) {
+	in := "P2\n# comment line\n2 2\n255\n0 64\n128 255\n"
+	g, err := DecodePGM(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint8{0, 64, 128, 255}
+	for i, v := range want {
+		if g.Pix[i] != v {
+			t.Fatalf("pixels %v, want %v", g.Pix, want)
+		}
+	}
+}
+
+func TestPGMDecodeScalesMaxval(t *testing.T) {
+	in := "P2\n1 1\n15\n15\n"
+	g, err := DecodePGM(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Pix[0] != 255 {
+		t.Fatalf("scaled pixel = %d, want 255", g.Pix[0])
+	}
+}
+
+func TestPGMDecodeErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"P6\n1 1\n255\nx",
+		"P5\n0 1\n255\n",
+		"P5\n1 1\n70000\n",
+		"P5\n2 2\n255\nab", // truncated pixels
+	} {
+		if _, err := DecodePGM(strings.NewReader(in)); err == nil {
+			t.Errorf("DecodePGM(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestPGMFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/x.pgm"
+	g := NewGray(5, 4)
+	g.Fill(42)
+	if err := WritePGMFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGMFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(got) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestBlobSceneProperties(t *testing.T) {
+	src := rng.New(3)
+	s := BlobScene(64, 48, 5, 8, src)
+	if s.Image.W != 64 || s.Image.H != 48 {
+		t.Fatal("wrong dimensions")
+	}
+	if len(s.Means) != 5 {
+		t.Fatal("wrong number of means")
+	}
+	seen := map[int]bool{}
+	for _, l := range s.Truth.Labels {
+		if l < 0 || l >= 5 {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l] = true
+	}
+	if !seen[0] {
+		t.Fatal("background label absent")
+	}
+	// Means strictly increasing => label order is intensity rank.
+	for i := 1; i < len(s.Means); i++ {
+		if s.Means[i] <= s.Means[i-1] {
+			t.Fatal("means not increasing")
+		}
+	}
+}
+
+func TestBlobScenePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BlobScene with 1 label did not panic")
+		}
+	}()
+	BlobScene(8, 8, 1, 0, rng.New(1))
+}
+
+func TestTwoRegionSceneNoiseless(t *testing.T) {
+	s := TwoRegionScene(50, 67, 0, rng.New(4))
+	for i, l := range s.Truth.Labels {
+		want := s.Means[l]
+		if s.Image.Pix[i] != want {
+			t.Fatalf("pixel %d = %d, want %d (label %d)", i, s.Image.Pix[i], want, l)
+		}
+	}
+}
+
+func TestMotionPairGroundTruth(t *testing.T) {
+	s := MotionPair(64, 64, 2, -1, 3, 0, rng.New(5))
+	// Every pixel deep inside the object must satisfy
+	// f2(x+dx, y+dy) == f1(x, y) in the noiseless case.
+	for y := 28; y < 36; y++ {
+		for x := 28; x < 36; x++ {
+			dx, dy := s.Truth.At(x, y)
+			if dx != 2 || dy != -1 {
+				t.Fatalf("truth at (%d,%d) = (%d,%d)", x, y, dx, dy)
+			}
+			if s.Frame2.At(x+int(dx), y+int(dy)) != s.Frame1.At(x, y) {
+				t.Fatalf("frames inconsistent at (%d,%d)", x, y)
+			}
+		}
+	}
+	// Background is static.
+	if dx, dy := s.Truth.At(1, 1); dx != 0 || dy != 0 {
+		t.Fatal("background should have zero motion")
+	}
+}
+
+func TestMotionPairPanicsOnBigDisp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MotionPair(32, 32, 5, 0, 3, 0, rng.New(1))
+}
+
+func TestStereoPairConsistency(t *testing.T) {
+	s := StereoPair(64, 48, 5, 3, 0, rng.New(6))
+	// Inside the raised plane: right(x-d, y) == left(x, y).
+	for y := 20; y < 28; y++ {
+		for x := 30; x < 40; x++ {
+			d := s.Truth.At(x, y)
+			if d != 3 {
+				t.Fatalf("disparity at (%d,%d) = %d", x, y, d)
+			}
+			if s.Right.At(x-d, y) != s.Left.At(x, y) {
+				t.Fatalf("stereo inconsistent at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestStereoPairPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StereoPair(16, 16, 4, 4, 0, rng.New(1))
+}
+
+// Property: PGM round trip preserves arbitrary images.
+func TestPGMRoundTripProperty(t *testing.T) {
+	f := func(wRaw, hRaw uint8, seed uint64) bool {
+		w := int(wRaw%32) + 1
+		h := int(hRaw%32) + 1
+		src := rng.New(seed)
+		g := NewGray(w, h)
+		for i := range g.Pix {
+			g.Pix[i] = uint8(src.Intn(256))
+		}
+		var buf bytes.Buffer
+		if err := EncodePGM(&buf, g); err != nil {
+			return false
+		}
+		got, err := DecodePGM(&buf)
+		if err != nil {
+			return false
+		}
+		return g.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

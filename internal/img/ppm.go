@@ -1,0 +1,143 @@
+package img
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// RGB is an 8-bit color image stored row-major as interleaved R,G,B.
+type RGB struct {
+	W, H int
+	Pix  []uint8 // len == 3*W*H
+}
+
+// NewRGB allocates a zeroed color image.
+func NewRGB(w, h int) *RGB {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("img: invalid dimensions %dx%d", w, h))
+	}
+	return &RGB{W: w, H: h, Pix: make([]uint8, 3*w*h)}
+}
+
+// Set writes the pixel at (x, y); out-of-range coordinates are ignored.
+func (c *RGB) Set(x, y int, r, g, b uint8) {
+	if x < 0 || x >= c.W || y < 0 || y >= c.H {
+		return
+	}
+	i := 3 * (y*c.W + x)
+	c.Pix[i], c.Pix[i+1], c.Pix[i+2] = r, g, b
+}
+
+// At returns the pixel at (x, y) with border clamping.
+func (c *RGB) At(x, y int) (r, g, b uint8) {
+	if x < 0 {
+		x = 0
+	}
+	if x >= c.W {
+		x = c.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= c.H {
+		y = c.H - 1
+	}
+	i := 3 * (y*c.W + x)
+	return c.Pix[i], c.Pix[i+1], c.Pix[i+2]
+}
+
+// EncodePPM writes the image in binary PPM (P6) format.
+func EncodePPM(w io.Writer, c *RGB) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", c.W, c.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(c.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WritePPMFile writes c to path in binary PPM format.
+func WritePPMFile(path string, c *RGB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := EncodePPM(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// FlowToColor renders a motion field with the standard optical-flow
+// color wheel: hue encodes direction, saturation encodes magnitude
+// relative to maxMag (pass 0 to auto-scale to the field's maximum).
+func FlowToColor(f *VectorField, maxMag float64) *RGB {
+	if maxMag <= 0 {
+		for i := range f.DX {
+			m := math.Hypot(float64(f.DX[i]), float64(f.DY[i]))
+			if m > maxMag {
+				maxMag = m
+			}
+		}
+		if maxMag == 0 {
+			maxMag = 1
+		}
+	}
+	out := NewRGB(f.W, f.H)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			dx, dy := f.At(x, y)
+			mag := math.Hypot(float64(dx), float64(dy)) / maxMag
+			if mag > 1 {
+				mag = 1
+			}
+			ang := math.Atan2(float64(dy), float64(dx)) // [-pi, pi]
+			hue := (ang + math.Pi) / (2 * math.Pi) * 360
+			r, g, b := hsvToRGB(hue, mag, 1)
+			out.Set(x, y, r, g, b)
+		}
+	}
+	return out
+}
+
+// hsvToRGB converts hue [0,360), saturation and value in [0,1].
+func hsvToRGB(h, s, v float64) (uint8, uint8, uint8) {
+	c := v * s
+	hp := h / 60
+	x := c * (1 - math.Abs(math.Mod(hp, 2)-1))
+	var r, g, b float64
+	switch {
+	case hp < 1:
+		r, g, b = c, x, 0
+	case hp < 2:
+		r, g, b = x, c, 0
+	case hp < 3:
+		r, g, b = 0, c, x
+	case hp < 4:
+		r, g, b = 0, x, c
+	case hp < 5:
+		r, g, b = x, 0, c
+	default:
+		r, g, b = c, 0, x
+	}
+	m := v - c
+	return uint8((r + m) * 255), uint8((g + m) * 255), uint8((b + m) * 255)
+}
+
+// GrayToRGB lifts a grayscale image to color (for composing figures).
+func GrayToRGB(g *Gray) *RGB {
+	out := NewRGB(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			v := g.At(x, y)
+			out.Set(x, y, v, v, v)
+		}
+	}
+	return out
+}

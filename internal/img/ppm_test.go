@@ -1,0 +1,114 @@
+package img
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRGBSetAt(t *testing.T) {
+	c := NewRGB(3, 2)
+	c.Set(1, 1, 10, 20, 30)
+	r, g, b := c.At(1, 1)
+	if r != 10 || g != 20 || b != 30 {
+		t.Fatalf("At = (%d,%d,%d)", r, g, b)
+	}
+	// clamped access
+	if r, _, _ := c.At(-5, 9); r != 0 {
+		t.Fatal("clamped access wrong")
+	}
+	// out-of-range set ignored
+	c.Set(9, 9, 1, 1, 1)
+}
+
+func TestNewRGBPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRGB(0, 1)
+}
+
+func TestEncodePPMHeader(t *testing.T) {
+	c := NewRGB(2, 2)
+	var buf bytes.Buffer
+	if err := EncodePPM(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P6\n2 2\n255\n") {
+		t.Fatalf("header: %q", buf.String()[:20])
+	}
+	if buf.Len() != len("P6\n2 2\n255\n")+12 {
+		t.Fatalf("payload length %d", buf.Len())
+	}
+}
+
+func TestWritePPMFile(t *testing.T) {
+	c := NewRGB(4, 4)
+	c.Set(0, 0, 255, 0, 0)
+	path := t.TempDir() + "/x.ppm"
+	if err := WritePPMFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowToColorProperties(t *testing.T) {
+	f := NewVectorField(4, 1)
+	f.Set(0, 0, 3, 0)  // east
+	f.Set(1, 0, -3, 0) // west
+	f.Set(2, 0, 0, 3)  // south
+	// (3,0) zero motion
+	c := FlowToColor(f, 0)
+	// Zero motion renders white (saturation 0, value 1).
+	r, g, b := c.At(3, 0)
+	if r != 255 || g != 255 || b != 255 {
+		t.Fatalf("zero motion color (%d,%d,%d), want white", r, g, b)
+	}
+	// Opposite directions get different colors.
+	r1, g1, b1 := c.At(0, 0)
+	r2, g2, b2 := c.At(1, 0)
+	if r1 == r2 && g1 == g2 && b1 == b2 {
+		t.Fatal("opposite directions share a color")
+	}
+	// Full-magnitude pixels are saturated (not white).
+	if r1 == 255 && g1 == 255 && b1 == 255 {
+		t.Fatal("full-magnitude pixel rendered white")
+	}
+}
+
+func TestFlowToColorZeroField(t *testing.T) {
+	f := NewVectorField(2, 2)
+	c := FlowToColor(f, 0) // auto-scale with all-zero field must not divide by zero
+	r, g, b := c.At(0, 0)
+	if r != 255 || g != 255 || b != 255 {
+		t.Fatalf("zero field color (%d,%d,%d)", r, g, b)
+	}
+}
+
+func TestHSVToRGBPrimaries(t *testing.T) {
+	cases := []struct {
+		h       float64
+		r, g, b uint8
+	}{
+		{0, 255, 0, 0},
+		{120, 0, 255, 0},
+		{240, 0, 0, 255},
+	}
+	for _, c := range cases {
+		r, g, b := hsvToRGB(c.h, 1, 1)
+		if r != c.r || g != c.g || b != c.b {
+			t.Errorf("hue %v: (%d,%d,%d)", c.h, r, g, b)
+		}
+	}
+}
+
+func TestGrayToRGB(t *testing.T) {
+	g := NewGray(2, 1)
+	g.Set(0, 0, 77)
+	c := GrayToRGB(g)
+	r, gg, b := c.At(0, 0)
+	if r != 77 || gg != 77 || b != 77 {
+		t.Fatalf("(%d,%d,%d)", r, gg, b)
+	}
+}

@@ -1,0 +1,217 @@
+package img
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// The paper evaluates on real photographs (a small foreground/background
+// photo for the prototype, HD frames for the GPU study) that we do not
+// have. These generators produce synthetic scenes with known ground
+// truth that exercise the same MRF structure: piecewise-constant regions
+// for segmentation, translating regions for motion estimation, and
+// horizontally shifted surfaces for stereo.
+
+// Scene couples a noisy observation with its ground-truth label map.
+type Scene struct {
+	Image *Gray
+	Truth *LabelMap
+	// Means[i] is the clean intensity of label i.
+	Means []uint8
+}
+
+// BlobScene generates a WxH piecewise-constant scene with nLabels
+// regions: a background plus nLabels-1 random ellipses, each painted with
+// a distinct mean intensity, then corrupted with additive Gaussian noise
+// (stddev sigma) clamped to [0,255]. Labels are ordered by intensity, so
+// label index == intensity rank, matching how the segmentation app
+// assigns labels.
+func BlobScene(w, h, nLabels int, sigma float64, src *rng.Source) Scene {
+	if nLabels < 2 || nLabels > 64 {
+		panic("img: BlobScene needs 2..64 labels")
+	}
+	truth := NewLabelMap(w, h)
+	means := make([]uint8, nLabels)
+	for i := range means {
+		// Evenly spaced intensities with margin from 0 and 255.
+		means[i] = uint8(20 + i*(215/(nLabels-1)))
+	}
+	// Paint ellipses back-to-front so later labels overdraw earlier ones.
+	for l := 1; l < nLabels; l++ {
+		cx := float64(src.Intn(w))
+		cy := float64(src.Intn(h))
+		rx := float64(w)/6 + src.Float64()*float64(w)/5
+		ry := float64(h)/6 + src.Float64()*float64(h)/5
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				dx := (float64(x) - cx) / rx
+				dy := (float64(y) - cy) / ry
+				if dx*dx+dy*dy <= 1 {
+					truth.Set(x, y, l)
+				}
+			}
+		}
+	}
+	im := NewGray(w, h)
+	for i, l := range truth.Labels {
+		im.Pix[i] = addNoise(means[l], sigma, src)
+	}
+	return Scene{Image: im, Truth: truth, Means: means}
+}
+
+// TwoRegionScene generates the prototype-style scene of Figure 7: a
+// bright foreground shape on a dark background, two labels only.
+func TwoRegionScene(w, h int, sigma float64, src *rng.Source) Scene {
+	truth := NewLabelMap(w, h)
+	means := []uint8{60, 190}
+	cx, cy := float64(w)/2, float64(h)/2
+	rx, ry := float64(w)/3.2, float64(h)/2.6
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dx := (float64(x) - cx) / rx
+			dy := (float64(y) - cy) / ry
+			if dx*dx+dy*dy <= 1 {
+				truth.Set(x, y, 1)
+			}
+		}
+	}
+	im := NewGray(w, h)
+	for i, l := range truth.Labels {
+		im.Pix[i] = addNoise(means[l], sigma, src)
+	}
+	return Scene{Image: im, Truth: truth, Means: means}
+}
+
+// MotionScene holds two consecutive frames and the ground-truth motion
+// of each pixel of frame 1 into frame 2.
+type MotionScene struct {
+	Frame1, Frame2 *Gray
+	Truth          *VectorField
+}
+
+// MotionPair generates a textured background with one moving rectangular
+// object. The object translates by (dx, dy), both within
+// [-maxDisp, maxDisp]; the background is static. Texture is random, which
+// gives the block-matching singleton term a well-defined optimum.
+func MotionPair(w, h int, dx, dy int, maxDisp int, sigma float64, src *rng.Source) MotionScene {
+	if dx < -maxDisp || dx > maxDisp || dy < -maxDisp || dy > maxDisp {
+		panic("img: MotionPair displacement exceeds maxDisp")
+	}
+	// Raw random texture: every 1-pixel shift decorrelates, so the
+	// block-matching singleton has a sharp optimum (smoothed textures
+	// make neighboring displacements ambiguous).
+	base := NewGray(w, h)
+	for i := range base.Pix {
+		base.Pix[i] = uint8(40 + src.Intn(160))
+	}
+
+	// Object occupies the central third and carries its own texture.
+	ox0, oy0 := w/3, h/3
+	ox1, oy1 := 2*w/3, 2*h/3
+	obj := NewGray(w, h)
+	for i := range obj.Pix {
+		obj.Pix[i] = uint8(60 + src.Intn(160))
+	}
+
+	f1 := NewGray(w, h)
+	f2 := NewGray(w, h)
+	truth := NewVectorField(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			f1.Set(x, y, base.At(x, y))
+			f2.Set(x, y, base.At(x, y))
+		}
+	}
+	for y := oy0; y < oy1; y++ {
+		for x := ox0; x < ox1; x++ {
+			f1.Set(x, y, obj.At(x, y))
+			f2.Set(x+dx, y+dy, obj.At(x, y))
+			truth.Set(x, y, int8(dx), int8(dy))
+		}
+	}
+	if sigma > 0 {
+		for i := range f1.Pix {
+			f1.Pix[i] = addNoise(f1.Pix[i], sigma, src)
+			f2.Pix[i] = addNoise(f2.Pix[i], sigma, src)
+		}
+	}
+	return MotionScene{Frame1: f1, Frame2: f2, Truth: truth}
+}
+
+// StereoScene holds a rectified stereo pair and ground-truth disparities.
+type StereoScene struct {
+	Left, Right *Gray
+	Truth       *LabelMap // disparity in pixels, 0..maxDisparity
+}
+
+// StereoPair generates a textured scene with a raised central plane at
+// disparity fgDisp over a background at disparity 0 (both < nDisp). The
+// right image is the left image with each pixel shifted left by its
+// disparity.
+func StereoPair(w, h, nDisp, fgDisp int, sigma float64, src *rng.Source) StereoScene {
+	if fgDisp < 0 || fgDisp >= nDisp {
+		panic("img: StereoPair fgDisp out of range")
+	}
+	// Raw (unblurred) texture: smoothing makes 1-pixel shifts nearly
+	// indistinguishable, which turns the matching problem ambiguous in a
+	// way real photographs are not.
+	left := NewGray(w, h)
+	for i := range left.Pix {
+		left.Pix[i] = uint8(30 + src.Intn(180))
+	}
+	truth := NewLabelMap(w, h)
+	ox0, oy0, ox1, oy1 := w/4, h/4, 3*w/4, 3*h/4
+	for y := oy0; y < oy1; y++ {
+		for x := ox0; x < ox1; x++ {
+			truth.Set(x, y, fgDisp)
+		}
+	}
+	right := NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := truth.At(x, y)
+			right.Set(x-d, y, left.At(x, y))
+		}
+	}
+	if sigma > 0 {
+		for i := range left.Pix {
+			left.Pix[i] = addNoise(left.Pix[i], sigma, src)
+			right.Pix[i] = addNoise(right.Pix[i], sigma, src)
+		}
+	}
+	return StereoScene{Left: left, Right: right, Truth: truth}
+}
+
+func addNoise(v uint8, sigma float64, src *rng.Source) uint8 {
+	if sigma <= 0 {
+		return v
+	}
+	n := float64(v) + src.Normal(0, sigma)
+	if n < 0 {
+		n = 0
+	}
+	if n > 255 {
+		n = 255
+	}
+	return uint8(math.Round(n))
+}
+
+// BoxBlur applies a 3x3 box filter with replicate padding. Useful as a
+// preprocessing step; note that blurring inputs to the matching
+// applications makes small displacements harder to distinguish.
+func BoxBlur(g *Gray) *Gray {
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			sum := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					sum += int(g.At(x+dx, y+dy))
+				}
+			}
+			out.Set(x, y, uint8(sum/9))
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package mrf
+
+// Doubleton (smoothness) distance measures over the label space.
+// The paper's RSU-G implements SquaredDiff (Eq. 2); TruncatedQuadratic
+// and Potts are the other smoothness priors common in the MRF vision
+// literature (Szeliski et al. survey, paper ref [36]) and are provided
+// for the software substrate and ablations.
+
+// SquaredDiff returns d(a,b) = (a-b)^2 for scalar labels — the paper's
+// default distance measure.
+func SquaredDiff(a, b int) float64 {
+	d := float64(a - b)
+	return d * d
+}
+
+// TruncatedQuadratic returns min((a-b)^2, cap), a robust smoothness
+// prior that stops penalizing across genuine discontinuities.
+func TruncatedQuadratic(capVal float64) func(a, b int) float64 {
+	return func(a, b int) float64 {
+		d := float64(a - b)
+		if q := d * d; q < capVal {
+			return q
+		}
+		return capVal
+	}
+}
+
+// Potts returns 0 when labels agree and c otherwise — the classic
+// piecewise-constant prior.
+func Potts(c float64) func(a, b int) float64 {
+	return func(a, b int) float64 {
+		if a == b {
+			return 0
+		}
+		return c
+	}
+}
+
+// VectorSpace maps label indices to 2-D displacement vectors inside a
+// square window, the label space of dense motion estimation (paper §8.1:
+// "searches over a 7x7 block", M = 49). Index 0 is the top-left
+// displacement (-R, -R); indices advance in raster order.
+type VectorSpace struct {
+	R int // window radius; window is (2R+1)^2 labels
+}
+
+// Size returns the number of labels, (2R+1)^2.
+func (v VectorSpace) Size() int { s := 2*v.R + 1; return s * s }
+
+// Vec returns the displacement encoded by label index l.
+// It panics if l is out of range.
+func (v VectorSpace) Vec(l int) (dx, dy int) {
+	s := 2*v.R + 1
+	if l < 0 || l >= s*s {
+		panic("mrf: vector label out of range")
+	}
+	return l%s - v.R, l/s - v.R
+}
+
+// Index returns the label index of displacement (dx, dy).
+// It panics if the displacement is outside the window.
+func (v VectorSpace) Index(dx, dy int) int {
+	if dx < -v.R || dx > v.R || dy < -v.R || dy > v.R {
+		panic("mrf: displacement outside window")
+	}
+	s := 2*v.R + 1
+	return (dy+v.R)*s + (dx + v.R)
+}
+
+// SquaredDiffVec returns the vector-label distance of Eq. 2:
+// the sum of per-component squared differences of the displacements
+// encoded by label indices a and b.
+func (v VectorSpace) SquaredDiffVec(a, b int) float64 {
+	ax, ay := v.Vec(a)
+	bx, by := v.Vec(b)
+	dx, dy := float64(ax-bx), float64(ay-by)
+	return dx*dx + dy*dy
+}

@@ -1,0 +1,178 @@
+// Package power implements the paper's power and area models for the
+// RSU-G1 unit (§8.3, Tables 3 and 4) and the system-level aggregates
+// (GPU with 3072 units, discrete accelerator with 336 units).
+//
+// The paper obtains these numbers from Synopsys synthesis at 45 nm,
+// Cacti, a predictive 15 nm process for the CMOS portions, and first
+// principles for the RET components. We cannot re-run synthesis, so the
+// per-component figures are carried as model constants and the
+// arithmetic (totals, aggregates, scaling bookkeeping) is reproduced;
+// a first-principles estimator for the RET optical power cross-checks
+// the 0.16 mW figure.
+package power
+
+import "fmt"
+
+// Node identifies a CMOS process corner used in the paper.
+type Node int
+
+// Process corners of Tables 3–4.
+const (
+	N45 Node = iota // 45 nm at 590 MHz (synthesized)
+	N15             // 15 nm at 1 GHz (predictive PDK + scaled LUT)
+)
+
+// String implements fmt.Stringer.
+func (n Node) String() string {
+	switch n {
+	case N45:
+		return "45nm"
+	case N15:
+		return "15nm"
+	default:
+		return fmt.Sprintf("Node(%d)", int(n))
+	}
+}
+
+// ClockHz returns the paper's clock for the node.
+func (n Node) ClockHz() float64 {
+	switch n {
+	case N45:
+		return 590e6
+	default:
+		return 1e9
+	}
+}
+
+// Component is one row of Tables 3–4.
+type Component struct {
+	Name    string
+	PowerMW float64
+	AreaUM2 float64
+}
+
+// Budget is the full per-unit breakdown at one node.
+type Budget struct {
+	Node       Node
+	Components []Component
+}
+
+// RSUG1Budget returns the paper's RSU-G1 breakdown at the given node.
+//
+// Table 3 (power, mW):        Table 4 (area, µm²):
+//
+//	          45nm   15nm                45nm   15nm
+//	Logic     7.20   2.33      Logic     2275    642
+//	RET       0.16   0.16      RET       1600   1600
+//	LUT       3.92   1.42      LUT       1798    656
+//	Total    11.28   3.91      Total     5673   2898
+//
+// The RET circuit is not scaled between nodes (its geometry is set by
+// optics, not lithography).
+func RSUG1Budget(n Node) Budget {
+	switch n {
+	case N45:
+		return Budget{Node: n, Components: []Component{
+			{Name: "Logic", PowerMW: 7.20, AreaUM2: 2275},
+			{Name: "RET Circuit", PowerMW: 0.16, AreaUM2: 1600},
+			{Name: "LUT", PowerMW: 3.92, AreaUM2: 1798},
+		}}
+	default:
+		return Budget{Node: N15, Components: []Component{
+			{Name: "Logic", PowerMW: 2.33, AreaUM2: 642},
+			{Name: "RET Circuit", PowerMW: 0.16, AreaUM2: 1600},
+			{Name: "LUT", PowerMW: 1.42, AreaUM2: 656},
+		}}
+	}
+}
+
+// TotalPowerMW sums the component powers.
+func (b Budget) TotalPowerMW() float64 {
+	t := 0.0
+	for _, c := range b.Components {
+		t += c.PowerMW
+	}
+	return t
+}
+
+// TotalAreaUM2 sums the component areas.
+func (b Budget) TotalAreaUM2() float64 {
+	t := 0.0
+	for _, c := range b.Components {
+		t += c.AreaUM2
+	}
+	return t
+}
+
+// Aggregate is a system-level power/area roll-up.
+type Aggregate struct {
+	Name    string
+	Units   int
+	PowerW  float64
+	AreaMM2 float64
+}
+
+// SystemAggregate rolls up `units` RSU-G1 units at the given node:
+// the paper's "GPU augmented with RSU-G units (3072 in total) consumes
+// 12W of additional power" and "the accelerator with 336 units ...
+// consumes only 1.3W" (§8.3).
+func SystemAggregate(name string, units int, n Node) Aggregate {
+	b := RSUG1Budget(n)
+	return Aggregate{
+		Name:    name,
+		Units:   units,
+		PowerW:  b.TotalPowerMW() * float64(units) / 1000,
+		AreaMM2: b.TotalAreaUM2() * float64(units) / 1e6,
+	}
+}
+
+// RET circuit geometry constants (§8.3 area discussion).
+const (
+	SPADAreaUM2        = 1.0         // ~1 µm² (refs [6, 23, 32])
+	QDLEDAreaUM2       = 16 * 25     // ~16×25 µm² (refs [15, 34])
+	RETCircuitAreaUM2  = 400.0       // SPAD + LEDs, dominated by the LEDs
+	CircuitsPerRSUG1   = 4           // replicated circuits (§5.3)
+	RETNetworkVolumeNM = 20 * 20 * 2 // per network, sits above the SPAD
+)
+
+// RETCircuitArea returns the modeled area of the RET circuits in one
+// RSU-G1: 4 replicated circuits × ~400 µm² = 0.0016 mm² (§8.3).
+func RETCircuitArea() float64 {
+	return float64(CircuitsPerRSUG1) * RETCircuitAreaUM2
+}
+
+// OpticalPowerParams drive the first-principles RET power estimate.
+type OpticalPowerParams struct {
+	DetectedRateHz float64 // photons/s the SPAD must see at full intensity
+	QuantumYield   float64 // network emission probability
+	SPADEfficiency float64 // detection efficiency
+	Coupling       float64 // LED photon → chromophore absorption efficiency
+	PhotonEV       float64 // photon energy in eV
+	WallPlug       float64 // LED electrical→optical efficiency
+}
+
+// DefaultOpticalParams are order-of-magnitude values consistent with the
+// paper's cited components.
+func DefaultOpticalParams() OpticalPowerParams {
+	return OpticalPowerParams{
+		DetectedRateHz: 1e9,
+		QuantumYield:   0.8,
+		SPADEfficiency: 0.4,
+		Coupling:       1e-3,
+		PhotonEV:       2.3,
+		WallPlug:       0.03,
+	}
+}
+
+// EstimateRETPowerMW returns the electrical power of one RET circuit's
+// optics from first principles: the LED must source enough photons that,
+// after coupling, emission and detection losses, the SPAD sees
+// DetectedRateHz. With the defaults this lands near 0.04 mW/circuit,
+// i.e. ~0.16 mW for the 4 circuits of an RSU-G1 — the Table 3 figure.
+func EstimateRETPowerMW(p OpticalPowerParams) float64 {
+	const eV = 1.602176634e-19 // joules
+	emittedNeeded := p.DetectedRateHz / (p.SPADEfficiency * p.QuantumYield)
+	ledPhotons := emittedNeeded / p.Coupling
+	opticalW := ledPhotons * p.PhotonEV * eV
+	return opticalW / p.WallPlug * 1000
+}

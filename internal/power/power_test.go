@@ -1,0 +1,96 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable3Totals(t *testing.T) {
+	if got := RSUG1Budget(N45).TotalPowerMW(); math.Abs(got-11.28) > 1e-9 {
+		t.Errorf("45nm total power %v, want 11.28", got)
+	}
+	if got := RSUG1Budget(N15).TotalPowerMW(); math.Abs(got-3.91) > 1e-9 {
+		t.Errorf("15nm total power %v, want 3.91", got)
+	}
+}
+
+func TestTable4Totals(t *testing.T) {
+	if got := RSUG1Budget(N45).TotalAreaUM2(); got != 5673 {
+		t.Errorf("45nm total area %v, want 5673", got)
+	}
+	if got := RSUG1Budget(N15).TotalAreaUM2(); got != 2898 {
+		t.Errorf("15nm total area %v, want 2898", got)
+	}
+}
+
+func TestRETNotScaledAcrossNodes(t *testing.T) {
+	a45 := RSUG1Budget(N45)
+	a15 := RSUG1Budget(N15)
+	var r45, r15 Component
+	for _, c := range a45.Components {
+		if c.Name == "RET Circuit" {
+			r45 = c
+		}
+	}
+	for _, c := range a15.Components {
+		if c.Name == "RET Circuit" {
+			r15 = c
+		}
+	}
+	if r45.PowerMW != r15.PowerMW || r45.AreaUM2 != r15.AreaUM2 {
+		t.Fatal("RET circuit should not scale between nodes")
+	}
+}
+
+// TestSection83Aggregates pins the paper's system-level numbers: a GPU
+// with 3072 units adds ~12 W; the 336-unit accelerator uses ~1.3 W.
+func TestSection83Aggregates(t *testing.T) {
+	gpu := SystemAggregate("gpu+rsu", 3072, N15)
+	if math.Abs(gpu.PowerW-12.0) > 0.1 {
+		t.Errorf("GPU aggregate %v W, want ~12", gpu.PowerW)
+	}
+	acc := SystemAggregate("accelerator", 336, N15)
+	if math.Abs(acc.PowerW-1.3) > 0.05 {
+		t.Errorf("accelerator aggregate %v W, want ~1.3", acc.PowerW)
+	}
+}
+
+func TestRETCircuitArea(t *testing.T) {
+	// §8.3: "all the RET circuits in an RSU-G1 unit require 0.0016 mm²"
+	if got := RETCircuitArea(); got != 1600 {
+		t.Fatalf("RET circuit area %v µm², want 1600", got)
+	}
+}
+
+// TestOpticalPowerEstimate: the first-principles estimate must land
+// near the paper's 0.16 mW for four circuits.
+func TestOpticalPowerEstimate(t *testing.T) {
+	perCircuit := EstimateRETPowerMW(DefaultOpticalParams())
+	total := perCircuit * CircuitsPerRSUG1
+	if total < 0.08 || total > 0.32 {
+		t.Fatalf("estimated RET power %v mW for 4 circuits, want ~0.16", total)
+	}
+}
+
+func TestNodeMetadata(t *testing.T) {
+	if N45.String() != "45nm" || N15.String() != "15nm" {
+		t.Error("node names")
+	}
+	if Node(5).String() != "Node(5)" {
+		t.Error("unknown node name")
+	}
+	if N45.ClockHz() != 590e6 || N15.ClockHz() != 1e9 {
+		t.Error("node clocks")
+	}
+}
+
+func TestAggregateArea(t *testing.T) {
+	// 3072 × 2898 µm² ≈ 8.9 mm²
+	gpu := SystemAggregate("gpu+rsu", 3072, N15)
+	if math.Abs(gpu.AreaMM2-3072*2898e-6) > 1e-9 {
+		t.Fatalf("aggregate area %v", gpu.AreaMM2)
+	}
+	if gpu.Units != 3072 || gpu.Name != "gpu+rsu" {
+		t.Fatal("aggregate metadata")
+	}
+}

@@ -1,0 +1,238 @@
+// Package prototype emulates the paper's macro-scale RSU-G2 prototype
+// (§7): two channels of laser → RET network → SPAD, with an FPGA
+// measuring time-to-fluorescence at 250 ps resolution and a PC doing the
+// energy calculation and intensity mapping in software.
+//
+// We do not have the bench hardware, so the emulation models the parts
+// that drive the paper's two §7 results:
+//
+//  1. Parameterization accuracy — laser intensity control has relative
+//     error that grows as a channel is driven toward the bottom of its
+//     dynamic range; the paper measures pairwise relative probabilities
+//     "within 10% when the ratio is below 30, and 24% for higher
+//     ratios". The control-noise model reproduces those bands.
+//  2. A two-label image segmentation driven by the prototype (Figure 7:
+//     a 50×67 image, 10 MCMC iterations), with the paper's timing
+//     constants: sampling ≤ ~2 µs/pixel but ~60 s/image-iteration lost
+//     to the proprietary laser-controller interface.
+package prototype
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/gibbs"
+	"repro/internal/img"
+	"repro/internal/mrf"
+	"repro/internal/rng"
+)
+
+// Paper timing constants (§7).
+const (
+	// ResolutionS is the FPGA's TTF timing resolution: 250 ps.
+	ResolutionS = 250e-12
+	// SamplePerPixelS is the prototype's per-pixel sampling time
+	// ("no longer than ~2µs per pixel").
+	SamplePerPixelS = 2e-6
+	// InterfaceDelayPerIterationS is the laser-controller interface
+	// overhead ("60 sec/image-iteration").
+	InterfaceDelayPerIterationS = 60.0
+)
+
+// ControlNoise models the laser-intensity control error of one channel:
+// setting a fraction f of full scale realizes f·(1+ε) with
+// ε ~ N(0, Base + Floor/f). Base is the full-scale calibration error;
+// Floor captures the loss of relative precision near the bottom of the
+// dynamic range (driver quantization, amplifier nonlinearity).
+type ControlNoise struct {
+	Base  float64
+	Floor float64
+}
+
+// Sigma returns the relative error std dev at fraction f of full scale.
+func (c ControlNoise) Sigma(f float64) float64 {
+	if f <= 0 {
+		return math.Inf(1)
+	}
+	return c.Base + c.Floor/f
+}
+
+// RSUG2 is the emulated two-channel prototype.
+type RSUG2 struct {
+	// MaxRate is the full-scale detected-photon rate of each channel.
+	MaxRate float64
+	// Noise is the per-channel intensity control error model.
+	Noise ControlNoise
+	// Resolution is the FPGA TTF quantization step.
+	Resolution float64
+}
+
+// New returns the default emulated prototype. The macro bench runs far
+// slower than the integrated design (discrete components, electrical
+// delays; ~2 µs per pixel): full-scale mean TTF is 100 ns = 400 FPGA
+// ticks, so tick-tie bias is negligible. Control noise is calibrated to
+// the §7 accuracy bands (≈3% at full scale, degrading toward 1/255
+// drive).
+func New() *RSUG2 {
+	return &RSUG2{
+		MaxRate:    1e7, // 100 ns mean TTF at full scale
+		Noise:      ControlNoise{Base: 0.03, Floor: 0.00025},
+		Resolution: ResolutionS,
+	}
+}
+
+// realizedRate applies one fresh draw of control noise to a commanded
+// drive fraction and returns the detected-photon rate.
+func (p *RSUG2) realizedRate(f float64, src *rng.Source) float64 {
+	if f <= 0 {
+		return 0
+	}
+	rate := p.MaxRate * f * (1 + src.Normal(0, p.Noise.Sigma(f)))
+	if rate < 0 {
+		return 0
+	}
+	return rate
+}
+
+// raceRates runs one sampling operation at fixed realized rates,
+// returning 0 if channel A fires first. Integer-tick ties go to channel
+// A (the FPGA comparator's fixed priority); at 400-tick means the bias
+// is negligible.
+func (p *RSUG2) raceRates(ra, rb float64, src *rng.Source) int {
+	ta, tb := uint64(math.MaxUint64), uint64(math.MaxUint64)
+	if ra > 0 {
+		ta = uint64(src.Exponential(ra) / p.Resolution)
+	}
+	if rb > 0 {
+		tb = uint64(src.Exponential(rb) / p.Resolution)
+	}
+	if ta == math.MaxUint64 && tb == math.MaxUint64 {
+		return 0
+	}
+	if ta <= tb {
+		return 0
+	}
+	return 1
+}
+
+// Race performs one two-channel sampling operation with the channels
+// commanded to fractions fA and fB of full scale. Each Race is a fresh
+// laser setting, so control noise is redrawn (this is how the Gibbs
+// driver uses the bench: intensities are reprogrammed per pixel).
+func (p *RSUG2) Race(fA, fB float64, src *rng.Source) int {
+	return p.raceRates(p.realizedRate(fA, src), p.realizedRate(fB, src), src)
+}
+
+// MeasureRatio performs one §7 measurement: program the channels once
+// for a commanded `ratio`:1 (control miscalibration is systematic for
+// the whole measurement), run `races` sampling operations, and return
+// the realized probability ratio P(A)/P(B).
+func (p *RSUG2) MeasureRatio(ratio float64, races int, src *rng.Source) float64 {
+	if ratio <= 0 {
+		panic("prototype: ratio must be positive")
+	}
+	ra := p.realizedRate(1, src)
+	rb := p.realizedRate(1/ratio, src)
+	winsA := 0
+	for i := 0; i < races; i++ {
+		if p.raceRates(ra, rb, src) == 0 {
+			winsA++
+		}
+	}
+	pa := float64(winsA) / float64(races)
+	if pa >= 1 {
+		return math.Inf(1)
+	}
+	return pa / (1 - pa)
+}
+
+// RatioPoint is one point of the §7 parameterization sweep.
+type RatioPoint struct {
+	Commanded float64
+	// MeanMeasured is the mean realized ratio over the settings.
+	MeanMeasured float64
+	// P90RelError and MaxRelError summarize |measured-commanded|/commanded
+	// over the repeated settings.
+	P90RelError float64
+	MaxRelError float64
+}
+
+// RatioSweep reproduces the §7 experiment: command pairwise relative
+// probabilities and measure the achieved ratios. Each commanded ratio
+// is programmed `settings` independent times (systematic calibration
+// error redrawn per setting) with `races` sampling operations each.
+func (p *RSUG2) RatioSweep(ratios []float64, settings, races int, src *rng.Source) []RatioPoint {
+	out := make([]RatioPoint, 0, len(ratios))
+	for _, r := range ratios {
+		// Keep the minority-channel win count high enough that the
+		// p/(1-p) estimation noise does not swamp the control noise: at
+		// ratio 255 channel B wins only ~0.4% of races.
+		n := races
+		if min := int(r * 500); n < min {
+			n = min
+		}
+		errs := make([]float64, settings)
+		sum := 0.0
+		for s := 0; s < settings; s++ {
+			m := p.MeasureRatio(r, n, src)
+			sum += m
+			errs[s] = math.Abs(m-r) / r
+		}
+		sort.Float64s(errs)
+		out = append(out, RatioPoint{
+			Commanded:    r,
+			MeanMeasured: sum / float64(settings),
+			P90RelError:  errs[(len(errs)*9)/10-1],
+			MaxRelError:  errs[len(errs)-1],
+		})
+	}
+	return out
+}
+
+// Sampler adapts the prototype to the gibbs.Sampler interface for
+// two-label MRFs: the PC computes the two conditional energies and the
+// intensity mapping in software (as in §7), the prototype races the
+// channels.
+type Sampler struct {
+	proto *RSUG2
+	buf   []float64
+}
+
+// NewSampler returns a gibbs.Factory driving the prototype. The model
+// passed to SampleSite must have exactly two labels.
+func NewSampler(p *RSUG2) gibbs.Factory {
+	return func() gibbs.Sampler { return &Sampler{proto: p} }
+}
+
+// Name implements gibbs.Sampler.
+func (s *Sampler) Name() string { return "prototype-rsu-g2" }
+
+// SampleSite implements gibbs.Sampler.
+func (s *Sampler) SampleSite(m *mrf.Model, lm *img.LabelMap, x, y int, src *rng.Source) int {
+	if m.M != 2 {
+		panic(fmt.Sprintf("prototype: RSU-G2 supports exactly 2 labels, model has %d", m.M))
+	}
+	s.buf = m.ConditionalEnergies(s.buf, lm, x, y)
+	// Software intensity mapping: drive each channel ∝ exp(-E/T),
+	// normalized so the stronger channel is at full scale.
+	e0, e1 := s.buf[0], s.buf[1]
+	minE := math.Min(e0, e1)
+	f0 := math.Exp(-(e0 - minE) / m.T)
+	f1 := math.Exp(-(e1 - minE) / m.T)
+	// Clamp to the prototype's usable dynamic range (ratio 255).
+	const minFrac = 1.0 / 255
+	if f0 < minFrac {
+		f0 = minFrac
+	}
+	if f1 < minFrac {
+		f1 = minFrac
+	}
+	return s.proto.Race(f0, f1, src)
+}
+
+// RunTime returns the prototype wall-clock estimate for a run: the §7
+// interface delay dominates the 2 µs/pixel sampling.
+func RunTime(pixels, iterations int) float64 {
+	return float64(iterations) * (InterfaceDelayPerIterationS + float64(pixels)*SamplePerPixelS)
+}

@@ -1,0 +1,152 @@
+package prototype
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/gibbs"
+	"repro/internal/img"
+	"repro/internal/rng"
+)
+
+func TestControlNoiseSigma(t *testing.T) {
+	c := ControlNoise{Base: 0.03, Floor: 0.0005}
+	if got := c.Sigma(1); math.Abs(got-0.0305) > 1e-12 {
+		t.Fatalf("sigma(1) = %v", got)
+	}
+	if got := c.Sigma(1.0 / 255); got < 0.15 {
+		t.Fatalf("sigma at bottom of range = %v, want > 0.15", got)
+	}
+	if !math.IsInf(c.Sigma(0), 1) {
+		t.Fatal("sigma(0) should be infinite")
+	}
+}
+
+// TestRaceFairAtEqualDrive: equal drives win ~50/50 (tick ties go to A,
+// so A is slightly favored; with 8-tick means the bias is small).
+func TestRaceFairAtEqualDrive(t *testing.T) {
+	p := New()
+	src := rng.New(1)
+	const n = 40000
+	wins := 0
+	for i := 0; i < n; i++ {
+		if p.Race(1, 1, src) == 0 {
+			wins++
+		}
+	}
+	frac := float64(wins) / n
+	if frac < 0.49 || frac > 0.56 {
+		t.Fatalf("equal-drive win fraction %v", frac)
+	}
+}
+
+func TestRaceZeroDriveNeverWins(t *testing.T) {
+	p := New()
+	src := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		if p.Race(0, 1, src) == 0 {
+			t.Fatal("dark channel won the race")
+		}
+	}
+}
+
+// TestSection7AccuracyBands reproduces the §7 result: commanded ratios
+// are achieved "within 10% when the ratio is below 30, and 24% for
+// higher ratios".
+func TestSection7AccuracyBands(t *testing.T) {
+	p := New()
+	src := rng.New(3)
+	var ratios []float64
+	for r := 1.0; r <= 255; r *= 1.6 {
+		ratios = append(ratios, r)
+	}
+	ratios = append(ratios, 255)
+	points := p.RatioSweep(ratios, 40, 20000, src)
+	for _, pt := range points {
+		limit := 0.24
+		if pt.Commanded < 30 {
+			limit = 0.10
+		}
+		if pt.P90RelError > limit {
+			t.Errorf("ratio %.1f: mean measured %.2f (P90 err %.3f) exceeds band %.2f",
+				pt.Commanded, pt.MeanMeasured, pt.P90RelError, limit)
+		}
+	}
+	// The error should genuinely grow with ratio (the two-band structure
+	// is real, not slack): the highest commanded ratio's P90 error must
+	// exceed the lowest's.
+	last := points[len(points)-1]
+	first := points[0]
+	if last.P90RelError <= first.P90RelError {
+		t.Errorf("error did not grow with ratio: %v -> %v", first.P90RelError, last.P90RelError)
+	}
+}
+
+func TestMeasureRatioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().MeasureRatio(0, 10, rng.New(1))
+}
+
+// TestFigure7Segmentation reproduces the prototype demo: a 50×67
+// two-label scene segmented in 10 MCMC iterations by the emulated
+// RSU-G2.
+func TestFigure7Segmentation(t *testing.T) {
+	src := rng.New(4)
+	scene := img.TwoRegionScene(50, 67, 10, src)
+	app, err := apps.NewSegmentation(scene.Image, scene.Means, 2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := img.NewLabelMap(50, 67)
+	res, err := gibbs.Run(app.Model(), init, NewSampler(New()), gibbs.Options{
+		Iterations: 10, Schedule: gibbs.Raster,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := res.Final.MislabelRate(scene.Truth); rate > 0.08 {
+		t.Fatalf("prototype segmentation mislabel rate %v after 10 iterations", rate)
+	}
+	if res.SamplerName != "prototype-rsu-g2" {
+		t.Fatalf("sampler name %q", res.SamplerName)
+	}
+}
+
+func TestSamplerRejectsNonBinaryModel(t *testing.T) {
+	src := rng.New(6)
+	scene := img.BlobScene(8, 8, 3, 5, src)
+	app, err := apps.NewSegmentation(scene.Image, scene.Means, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(New())()
+	lm := img.NewLabelMap(8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("3-label model accepted by RSU-G2")
+		}
+	}()
+	s.SampleSite(app.Model(), lm, 1, 1, src)
+}
+
+// TestRunTime pins the §7 timing estimate: the interface delay
+// dominates (60 s/iteration vs ~6.7 ms of sampling for 50×67).
+func TestRunTime(t *testing.T) {
+	total := RunTime(50*67, 10)
+	if total < 600 || total > 601 {
+		t.Fatalf("prototype run time %v s, want just above 600", total)
+	}
+}
+
+func BenchmarkPrototypeRace(b *testing.B) {
+	p := New()
+	src := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		p.Race(1, 0.1, src)
+	}
+}

@@ -1,0 +1,222 @@
+package ret
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// LEDBank models the RET circuit's on-chip light source: four QD-LEDs
+// with binary on/off control (paper §5.2, "a 4-bit signal ... to control
+// the binary on/off state of its four QD-LEDs"). The LEDs are "sized to
+// provide a suitably large dynamic range of intensities": LED i
+// contributes Weights[i] excitation-rate units when on, so a 4-bit code
+// selects one of 16 aggregate intensities.
+type LEDBank struct {
+	// Weights[i] is the excitation rate contribution (Hz) of LED i.
+	Weights [4]float64
+}
+
+// BinaryWeightedBank sizes the LEDs 1:2:4:8 so the 16 codes form a
+// linear intensity ladder 0..15 × unit.
+func BinaryWeightedBank(unit float64) LEDBank {
+	if unit <= 0 {
+		panic("ret: LED unit rate must be positive")
+	}
+	return LEDBank{Weights: [4]float64{unit, 2 * unit, 4 * unit, 8 * unit}}
+}
+
+// GeometricBank sizes the LEDs unit × {1, r, r², r³} which spreads the
+// 16 achievable sums over a ratio of roughly r³+r²+r+1 : 1 — a larger
+// dynamic range than binary weighting at the cost of uneven spacing.
+// Used by the ablation study on intensity-ladder design.
+func GeometricBank(unit, r float64) LEDBank {
+	if unit <= 0 || r <= 1 {
+		panic("ret: GeometricBank needs unit > 0 and r > 1")
+	}
+	return LEDBank{Weights: [4]float64{unit, unit * r, unit * r * r, unit * r * r * r}}
+}
+
+// Rate returns the aggregate excitation rate of a 4-bit code.
+// It panics if code has bits above the low four.
+func (b LEDBank) Rate(code uint8) float64 {
+	if code > 15 {
+		panic(fmt.Sprintf("ret: LED code %d exceeds 4 bits", code))
+	}
+	rate := 0.0
+	for i := 0; i < 4; i++ {
+		if code&(1<<i) != 0 {
+			rate += b.Weights[i]
+		}
+	}
+	return rate
+}
+
+// Levels returns the 16 achievable aggregate rates indexed by code.
+func (b LEDBank) Levels() [16]float64 {
+	var ls [16]float64
+	for c := 0; c < 16; c++ {
+		ls[c] = b.Rate(uint8(c))
+	}
+	return ls
+}
+
+// SPAD models the single-photon avalanche detector that timestamps the
+// output fluorescence (paper refs [6, 23, 32]).
+type SPAD struct {
+	Efficiency  float64 // photon detection probability, (0, 1]
+	DarkRate    float64 // spurious count rate (Hz), >= 0
+	JitterSigma float64 // Gaussian timestamp jitter (s), >= 0
+}
+
+// Validate checks parameter ranges.
+func (s SPAD) Validate() error {
+	if s.Efficiency <= 0 || s.Efficiency > 1 {
+		return fmt.Errorf("ret: SPAD efficiency %v outside (0,1]", s.Efficiency)
+	}
+	if s.DarkRate < 0 || s.JitterSigma < 0 {
+		return fmt.Errorf("ret: negative SPAD noise parameter")
+	}
+	return nil
+}
+
+// Circuit is one RET circuit: LED bank + an ensemble of identical RET
+// networks + SPAD (paper §2.3: "RET networks are integrated with an
+// on-chip light source ... waveguide, and single photon avalanche
+// detector to create a RET circuit. Each RET circuit can contain an
+// ensemble of RET networks.").
+type Circuit struct {
+	LEDs     LEDBank
+	Network  *Network
+	Ensemble int // number of networks; multiplies the excitation rate
+	Detector SPAD
+
+	emitProb float64 // cached emission probability of Network
+}
+
+// NewCircuit builds a circuit and validates its parts. The emission
+// probability of the network is estimated once by simulation (100k
+// relaxations) and cached for EffectiveRate.
+func NewCircuit(leds LEDBank, network *Network, ensemble int, det SPAD, src *rng.Source) (*Circuit, error) {
+	if ensemble < 1 {
+		return nil, fmt.Errorf("ret: ensemble must be >= 1, got %d", ensemble)
+	}
+	if err := network.Validate(); err != nil {
+		return nil, err
+	}
+	if err := det.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Circuit{LEDs: leds, Network: network, Ensemble: ensemble, Detector: det}
+	c.emitProb = network.EmissionProbability(100000, src)
+	if c.emitProb <= 0 {
+		return nil, fmt.Errorf("ret: network never emits")
+	}
+	return c, nil
+}
+
+// DefaultCircuit builds the paper's G1 exponential-sampler circuit: a
+// single-chromophore network, binary-weighted LEDs whose full-on
+// aggregate rate gives mean TTF ≈ 1 ns (so most samples land within the
+// 4-cycle quiescence window at 1 GHz), and a default SPAD.
+func DefaultCircuit(src *rng.Source) *Circuit {
+	// Choose unit so code 15 yields ~1e9 detected Hz after losses.
+	unit := 1e9 / 15 / (DefaultQuantumYield * DefaultSPADEfficiency)
+	return buildDefault(BinaryWeightedBank(unit), src)
+}
+
+// DefaultLadderCircuit builds the sampler with geometrically sized LEDs
+// (1:4:16:64), giving an 85:1 intensity dynamic range. §5.2 notes the
+// QD-LEDs are "sized to provide a suitably large dynamic range of
+// intensities to match the precision in relative probabilities we
+// demonstrate with the RSU-G2 hardware prototype" (ratios up to 255):
+// binary 1:2:4:8 sizing caps the ratio ladder at 15:1, which floors
+// every improbable label at p >= 1/15 of the best and visibly degrades
+// Gibbs updates; the geometric sizing is the design point the paper's
+// accuracy story needs, at the cost of coarser mid-ladder spacing.
+// The ablation benchmarks compare the two.
+func DefaultLadderCircuit(src *rng.Source) *Circuit {
+	maxSum := 1.0 + 4 + 16 + 64
+	unit := 1e9 / maxSum / (DefaultQuantumYield * DefaultSPADEfficiency)
+	return buildDefault(GeometricBank(unit, 4), src)
+}
+
+func buildDefault(bank LEDBank, src *rng.Source) *Circuit {
+	c, err := NewCircuit(
+		bank,
+		SingleChromophore(DefaultLifetime, DefaultQuantumYield),
+		1000,
+		SPAD{Efficiency: DefaultSPADEfficiency, DarkRate: DefaultDarkRate, JitterSigma: DefaultJitterSigma},
+		src,
+	)
+	if err != nil {
+		panic("ret: default circuit construction failed: " + err.Error())
+	}
+	// The ensemble multiplies the raw excitation rate; fold it out of the
+	// LED unit so the full-on EffectiveRate stays ~1e9 regardless of
+	// ensemble size.
+	for i := range c.LEDs.Weights {
+		c.LEDs.Weights[i] /= float64(c.Ensemble)
+	}
+	return c
+}
+
+// EffectiveRate returns the asymptotic detected-photon rate for a code:
+// excitation rate × ensemble × emission probability × SPAD efficiency.
+// The TTF distribution is approximately Exp(EffectiveRate) when the
+// network relaxation time is much shorter than the mean TTF.
+func (c *Circuit) EffectiveRate(code uint8) float64 {
+	return c.LEDs.Rate(code) * float64(c.Ensemble) * c.emitProb * c.Detector.Efficiency
+}
+
+// SampleTTF simulates one sampling operation: enable the LEDs at the
+// given code and the SPAD simultaneously (paper §5.2, RET Sampling
+// stage) and return the arrival time of the first detected photon in
+// seconds. Dark counts race with real photons. Code 0 (all LEDs off)
+// returns +Inf unless a dark count fires within maxWindow.
+//
+// maxWindow bounds the simulation (the hardware equivalent: the TTF
+// shift register saturates); pass the register's full-scale time.
+func (c *Circuit) SampleTTF(code uint8, maxWindow float64, src *rng.Source) float64 {
+	excRate := c.LEDs.Rate(code) * float64(c.Ensemble)
+	best := math.Inf(1)
+	if c.Detector.DarkRate > 0 {
+		best = src.Exponential(c.Detector.DarkRate)
+	}
+	if excRate > 0 {
+		// Walk Poisson absorption arrivals; each absorbed excitation
+		// relaxes through the network and is detected with probability
+		// Efficiency if it emits.
+		t := 0.0
+		for {
+			t += src.Exponential(excRate)
+			if t >= best || t > maxWindow {
+				break
+			}
+			relax, emitted := c.Network.SampleRelaxation(src)
+			if !emitted {
+				continue
+			}
+			if !src.Bernoulli(c.Detector.Efficiency) {
+				continue
+			}
+			if arrival := t + relax; arrival < best {
+				best = arrival
+			}
+			// Keep scanning: a later absorption with a shorter relaxation
+			// could still beat the current best; the loop exits once the
+			// absorption time itself passes best.
+		}
+	}
+	if math.IsInf(best, 1) {
+		return best
+	}
+	if c.Detector.JitterSigma > 0 {
+		best += src.Normal(0, c.Detector.JitterSigma)
+		if best < 0 {
+			best = 0
+		}
+	}
+	return best
+}

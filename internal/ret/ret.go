@@ -1,0 +1,238 @@
+// Package ret simulates the molecular-optical substrate of the paper:
+// Resonance Energy Transfer (RET) networks and the RET circuits built
+// from them (paper §2.3).
+//
+// RET is the probabilistic, non-radiative transfer of energy between
+// chromophores a few nanometers apart. A RET network — chromophores in a
+// fixed geometry — behaves as a continuous-time Markov chain whose
+// time-to-fluorescence (TTF) follows a phase-type distribution; such
+// networks can approximate virtually arbitrary probabilistic behavior
+// (Wang, Lebeck & Dwyer, IEEE Micro 2015, paper ref [42]).
+//
+// The paper's RSU-G uses the simplest network: an exponential sampler.
+// Illuminating the network with QD-LEDs drives Poisson photon
+// absorption; the first fluorescence photon detected by a SPAD arrives
+// after an (approximately) exponentially distributed time whose rate is
+// proportional to the optical excitation intensity. Intensity is
+// therefore the distribution parameter.
+//
+// We cannot fabricate chromophore networks, so this package implements
+// the closest synthetic equivalent: exact stochastic simulation of the
+// excitation/transfer/emission/detection chain, with the noise sources
+// the paper discusses (quantum efficiency, dark counts, timing jitter).
+// The rest of the system consumes only the TTF samples, exactly as the
+// CMOS side of an RSU would.
+package ret
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Physical default constants (order-of-magnitude values from the paper's
+// component citations; see DESIGN.md).
+const (
+	// DefaultLifetime is a typical chromophore fluorescence lifetime.
+	DefaultLifetime = 4e-9 // seconds
+	// DefaultQuantumYield is the probability an absorbed excitation
+	// produces a fluorescence photon rather than decaying non-radiatively.
+	DefaultQuantumYield = 0.8
+	// DefaultSPADEfficiency is the single-photon detection efficiency.
+	DefaultSPADEfficiency = 0.4
+	// DefaultDarkRate is the SPAD dark-count rate in Hz.
+	DefaultDarkRate = 100.0
+	// DefaultJitterSigma is the SPAD timing jitter (std dev, seconds).
+	DefaultJitterSigma = 50e-12
+)
+
+// ForsterRate returns the donor→acceptor energy transfer rate
+// k = (1/τ_D) (R0/r)^6 for donor lifetime tauD, Förster radius r0 and
+// separation r (Förster theory; paper ref [41]). It panics on
+// non-positive arguments.
+func ForsterRate(tauD, r0, r float64) float64 {
+	if tauD <= 0 || r0 <= 0 || r <= 0 {
+		panic("ret: ForsterRate arguments must be positive")
+	}
+	ratio := r0 / r
+	r2 := ratio * ratio
+	return (1 / tauD) * r2 * r2 * r2
+}
+
+// TransferEfficiency returns the FRET efficiency E = 1 / (1 + (r/R0)^6):
+// the probability that an excited donor transfers to the acceptor rather
+// than decaying.
+func TransferEfficiency(r0, r float64) float64 {
+	if r0 <= 0 || r <= 0 {
+		panic("ret: TransferEfficiency arguments must be positive")
+	}
+	ratio := r / r0
+	r2 := ratio * ratio
+	return 1 / (1 + r2*r2*r2)
+}
+
+// Transition is one outgoing CTMC edge from a network state.
+type Transition struct {
+	To   int     // destination state; ignored when Emit or Lost
+	Rate float64 // transition rate (Hz), > 0
+	Emit bool    // transition produces the output fluorescence photon
+	Lost bool    // transition loses the excitation (non-radiative decay)
+}
+
+// Network is a RET network modeled as a CTMC over exciton positions.
+// State i's outgoing transitions are Edges[i]. An excitation enters at
+// Start and wanders until an Emit transition (photon at the output
+// chromophore) or a Lost transition (quenched). Phase-type TTF
+// distributions arise exactly this way (paper ref [42]).
+type Network struct {
+	Edges [][]Transition
+	Start int
+}
+
+// Validate checks structural invariants: start in range, every edge rate
+// positive, every non-terminal destination in range, and every state
+// having at least one outgoing transition (no absorbing non-terminal
+// states, which would hang sampling).
+func (n *Network) Validate() error {
+	if n.Start < 0 || n.Start >= len(n.Edges) {
+		return fmt.Errorf("ret: start state %d outside [0,%d)", n.Start, len(n.Edges))
+	}
+	for s, edges := range n.Edges {
+		if len(edges) == 0 {
+			return fmt.Errorf("ret: state %d has no outgoing transitions", s)
+		}
+		for _, e := range edges {
+			if e.Rate <= 0 || math.IsNaN(e.Rate) || math.IsInf(e.Rate, 0) {
+				return fmt.Errorf("ret: state %d has non-positive rate %v", s, e.Rate)
+			}
+			if !e.Emit && !e.Lost && (e.To < 0 || e.To >= len(n.Edges)) {
+				return fmt.Errorf("ret: state %d transition to invalid state %d", s, e.To)
+			}
+		}
+	}
+	return nil
+}
+
+// SampleRelaxation follows one excitation through the network and
+// returns the time until it leaves the system and whether it produced
+// the output photon (emitted=true) or was lost.
+func (n *Network) SampleRelaxation(src *rng.Source) (t float64, emitted bool) {
+	state := n.Start
+	for {
+		edges := n.Edges[state]
+		total := 0.0
+		for _, e := range edges {
+			total += e.Rate
+		}
+		t += src.Exponential(total)
+		// Select the competing transition proportionally to rate.
+		u := src.Float64() * total
+		acc := 0.0
+		chosen := edges[len(edges)-1]
+		for _, e := range edges {
+			acc += e.Rate
+			if u < acc {
+				chosen = e
+				break
+			}
+		}
+		switch {
+		case chosen.Emit:
+			return t, true
+		case chosen.Lost:
+			return t, false
+		default:
+			state = chosen.To
+		}
+	}
+}
+
+// EmissionProbability estimates by simulation the probability that an
+// excitation produces an output photon.
+func (n *Network) EmissionProbability(trials int, src *rng.Source) float64 {
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if _, ok := n.SampleRelaxation(src); ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}
+
+// SingleChromophore builds the trivial one-chromophore network: radiative
+// decay (emission) at rate qy/τ and non-radiative decay at (1-qy)/τ.
+// Its relaxation time is Exp(1/τ) and emission probability is qy.
+func SingleChromophore(lifetime, quantumYield float64) *Network {
+	if lifetime <= 0 || quantumYield <= 0 || quantumYield > 1 {
+		panic("ret: SingleChromophore parameters out of range")
+	}
+	edges := []Transition{{Rate: quantumYield / lifetime, Emit: true}}
+	if quantumYield < 1 {
+		edges = append(edges, Transition{Rate: (1 - quantumYield) / lifetime, Lost: true})
+	}
+	return &Network{Edges: [][]Transition{edges}, Start: 0}
+}
+
+// DonorAcceptorChain builds a linear chain of n chromophores where each
+// non-terminal chromophore transfers to the next with the Förster rate
+// for separation r (radius r0), each decays non-radiatively at
+// (1-qy)/τ, and only the terminal chromophore emits (rate qy/τ).
+// Intermediate radiative decay is treated as loss because its photon is
+// outside the SPAD's filter band — the standard cascade-network design.
+func DonorAcceptorChain(n int, lifetime, quantumYield, r0, r float64) *Network {
+	if n < 1 {
+		panic("ret: DonorAcceptorChain needs at least one chromophore")
+	}
+	if lifetime <= 0 || quantumYield <= 0 || quantumYield > 1 {
+		panic("ret: DonorAcceptorChain parameters out of range")
+	}
+	k := ForsterRate(lifetime, r0, r)
+	net := &Network{Edges: make([][]Transition, n), Start: 0}
+	for i := 0; i < n; i++ {
+		if i == n-1 {
+			edges := []Transition{{Rate: quantumYield / lifetime, Emit: true}}
+			if quantumYield < 1 {
+				edges = append(edges, Transition{Rate: (1 - quantumYield) / lifetime, Lost: true})
+			}
+			net.Edges[i] = edges
+		} else {
+			net.Edges[i] = []Transition{
+				{To: i + 1, Rate: k},
+				{Rate: 1 / lifetime, Lost: true}, // decay off-band
+			}
+		}
+	}
+	return net
+}
+
+// BernoulliNetwork builds a two-acceptor RET network that implements a
+// Bernoulli(p) sampler — one of the composable primitives of the
+// underlying device paper (ref [42]): a donor transfers to acceptor A
+// (whose fluorescence is in the detector's band) with probability p, or
+// to a quenching acceptor B otherwise. The transfer-rate split is chosen
+// so that P(emit) = p exactly, accounting for the donor's own decay.
+// It panics unless 0 < p < 1 and lifetime > 0.
+func BernoulliNetwork(p, lifetime float64) *Network {
+	if p <= 0 || p >= 1 || lifetime <= 0 {
+		panic("ret: BernoulliNetwork needs 0 < p < 1 and positive lifetime")
+	}
+	d := 1 / lifetime
+	// Total transfer rate well above the decay rate, and large enough
+	// that kA = p(T+d) <= T has slack.
+	t := 100 * d * (1 + p/(1-p))
+	ka := p * (t + d)
+	kb := t - ka
+	return &Network{
+		Start: 0,
+		Edges: [][]Transition{
+			{ // donor: transfer to A, transfer to B, or decay off-band
+				{To: 1, Rate: ka},
+				{To: 2, Rate: kb},
+				{Rate: d, Lost: true},
+			},
+			{{Rate: d, Emit: true}}, // acceptor A: in-band emission
+			{{Rate: d, Lost: true}}, // acceptor B: quenched
+		},
+	}
+}

@@ -1,0 +1,390 @@
+package ret
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestForsterRate(t *testing.T) {
+	tau := 4e-9
+	// At r == R0 the transfer rate equals the decay rate 1/τ.
+	if got := ForsterRate(tau, 5e-9, 5e-9); math.Abs(got-1/tau) > 1e-3/tau {
+		t.Fatalf("ForsterRate at R0 = %v, want %v", got, 1/tau)
+	}
+	// Halving the distance multiplies the rate by 2^6 = 64.
+	near := ForsterRate(tau, 5e-9, 2.5e-9)
+	if math.Abs(near-64/tau) > 1e-3*64/tau {
+		t.Fatalf("ForsterRate at R0/2 = %v, want %v", near, 64/tau)
+	}
+}
+
+func TestForsterRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ForsterRate(0, 1, 1)
+}
+
+func TestTransferEfficiency(t *testing.T) {
+	if got := TransferEfficiency(5e-9, 5e-9); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("efficiency at R0 = %v, want 0.5", got)
+	}
+	if got := TransferEfficiency(5e-9, 1e-9); got < 0.99 {
+		t.Fatalf("efficiency at close range = %v", got)
+	}
+	if got := TransferEfficiency(5e-9, 20e-9); got > 0.01 {
+		t.Fatalf("efficiency at long range = %v", got)
+	}
+}
+
+func TestNetworkValidate(t *testing.T) {
+	good := SingleChromophore(4e-9, 0.8)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+	bad := []*Network{
+		{Edges: [][]Transition{{{Rate: 1, Emit: true}}}, Start: 5},
+		{Edges: [][]Transition{{}}, Start: 0},
+		{Edges: [][]Transition{{{Rate: 0, Emit: true}}}, Start: 0},
+		{Edges: [][]Transition{{{Rate: 1, To: 7}}}, Start: 0},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("bad network %d accepted", i)
+		}
+	}
+}
+
+// TestSingleChromophoreRelaxation: relaxation time must be Exp(1/τ)
+// regardless of outcome, and emission probability must equal the yield.
+func TestSingleChromophoreRelaxation(t *testing.T) {
+	src := rng.New(1)
+	n := SingleChromophore(4e-9, 0.75)
+	const trials = 100000
+	times := make([]float64, 0, trials)
+	emits := 0
+	for i := 0; i < trials; i++ {
+		tt, ok := n.SampleRelaxation(src)
+		times = append(times, tt)
+		if ok {
+			emits++
+		}
+	}
+	if ks := rng.KSExponential(times, 1/4e-9); ks > 1.95/math.Sqrt(trials) {
+		t.Fatalf("relaxation KS %v", ks)
+	}
+	if p := float64(emits) / trials; math.Abs(p-0.75) > 0.01 {
+		t.Fatalf("emission probability %v, want 0.75", p)
+	}
+}
+
+func TestSingleChromophorePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { SingleChromophore(0, 0.5) },
+		func() { SingleChromophore(1e-9, 0) },
+		func() { SingleChromophore(1e-9, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestChainEmissionProbability: for a 2-chromophore chain, emission
+// requires a successful transfer (k/(k+1/τ)) then terminal emission (qy).
+func TestChainEmissionProbability(t *testing.T) {
+	src := rng.New(2)
+	tau, qy := 4e-9, 0.9
+	r0, r := 5e-9, 5e-9 // transfer rate == decay rate -> transfer prob 0.5
+	n := DonorAcceptorChain(2, tau, qy, r0, r)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := n.EmissionProbability(200000, src)
+	want := 0.5 * qy
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("chain emission probability %v, want %v", got, want)
+	}
+}
+
+// TestChainIsPhaseType: a longer chain has a non-exponential (phase-type)
+// relaxation distribution — its coefficient of variation is below 1,
+// unlike an exponential. This is the generality claim of ref [42].
+func TestChainIsPhaseType(t *testing.T) {
+	src := rng.New(3)
+	// Transfer rate == decay rate: conditional on emission the relaxation
+	// is hypoexponential with rates (2,2,2,1)/τ, CV ≈ 0.53.
+	n := DonorAcceptorChain(4, 4e-9, 1.0, 6e-9, 6e-9)
+	const trials = 50000
+	times := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		tt, ok := n.SampleRelaxation(src)
+		if ok {
+			times = append(times, tt)
+		}
+	}
+	s := rng.Summarize(times)
+	cv := math.Sqrt(s.Variance) / s.Mean
+	if cv > 0.95 {
+		t.Fatalf("chain relaxation CV %v; expected hypoexponential (<1)", cv)
+	}
+}
+
+func TestLEDBankRates(t *testing.T) {
+	b := BinaryWeightedBank(10)
+	if b.Rate(0) != 0 {
+		t.Fatal("code 0 should be dark")
+	}
+	if b.Rate(15) != 150 {
+		t.Fatalf("code 15 rate %v, want 150", b.Rate(15))
+	}
+	if b.Rate(5) != 50 { // LEDs 0 and 2: 10 + 40
+		t.Fatalf("code 5 rate %v, want 50", b.Rate(5))
+	}
+	levels := b.Levels()
+	for c := 1; c < 16; c++ {
+		if levels[c] != float64(c)*10 {
+			t.Fatalf("binary ladder not linear at %d: %v", c, levels[c])
+		}
+	}
+}
+
+func TestLEDBankPanics(t *testing.T) {
+	b := BinaryWeightedBank(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 5-bit code")
+		}
+	}()
+	b.Rate(16)
+}
+
+func TestGeometricBankDynamicRange(t *testing.T) {
+	b := GeometricBank(1, 4)
+	// max/min positive level = (1+4+16+64)/1 = 85
+	if got := b.Rate(15) / b.Rate(1); got != 85 {
+		t.Fatalf("geometric dynamic range %v, want 85", got)
+	}
+}
+
+func TestSPADValidate(t *testing.T) {
+	if err := (SPAD{Efficiency: 0.4}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []SPAD{
+		{Efficiency: 0},
+		{Efficiency: 1.1},
+		{Efficiency: 0.5, DarkRate: -1},
+		{Efficiency: 0.5, JitterSigma: -1},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad SPAD %+v accepted", s)
+		}
+	}
+}
+
+func TestNewCircuitRejectsBadParts(t *testing.T) {
+	src := rng.New(4)
+	net := SingleChromophore(4e-9, 0.8)
+	det := SPAD{Efficiency: 0.4}
+	if _, err := NewCircuit(BinaryWeightedBank(1e9), net, 0, det, src); err == nil {
+		t.Error("zero ensemble accepted")
+	}
+	if _, err := NewCircuit(BinaryWeightedBank(1e9), net, 1, SPAD{}, src); err == nil {
+		t.Error("invalid SPAD accepted")
+	}
+	if _, err := NewCircuit(BinaryWeightedBank(1e9), &Network{Edges: [][]Transition{{}}, Start: 0}, 1, det, src); err == nil {
+		t.Error("invalid network accepted")
+	}
+}
+
+// fastCircuit builds a noiseless circuit whose chromophore relaxation
+// (1 ps) is negligible against the mean TTF (>= 1 ns), so the TTF is
+// exponential to high accuracy: the clean regime for distribution tests.
+func fastCircuit(t testing.TB, src *rng.Source) *Circuit {
+	t.Helper()
+	c, err := NewCircuit(
+		BinaryWeightedBank(1e9/15/0.4), // code 15 -> ~1e9 detected Hz
+		SingleChromophore(1e-12, 1.0),
+		1,
+		SPAD{Efficiency: 0.4},
+		src,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCircuitTTFIsExponential: the core physical contract — TTF at a
+// fixed code follows Exp(EffectiveRate) when relaxation is negligible.
+func TestCircuitTTFIsExponential(t *testing.T) {
+	src := rng.New(5)
+	c := fastCircuit(t, src)
+	for _, code := range []uint8{3, 15} {
+		rate := c.EffectiveRate(code)
+		const trials = 30000
+		xs := make([]float64, trials)
+		for i := range xs {
+			xs[i] = c.SampleTTF(code, 1e-3, src)
+		}
+		s := rng.Summarize(xs)
+		if math.Abs(s.Mean-1/rate) > 0.05/rate {
+			t.Errorf("code %d: mean TTF %v, want ~%v", code, s.Mean, 1/rate)
+		}
+		if ks := rng.KSExponential(xs, rate); ks > 2.2/math.Sqrt(trials) {
+			t.Errorf("code %d: KS %v against Exp(%v)", code, ks, rate)
+		}
+	}
+}
+
+// TestCircuitPhotonPileupShortensTTF: with a slow chromophore (lifetime
+// comparable to the mean TTF), overlapping relaxations make the first
+// detection arrive EARLIER than 1/rate + lifetime — the displaced-
+// Poisson effect that degrades parameterization accuracy at high
+// intensities, consistent with the prototype's larger error at large
+// ratios (§7).
+func TestCircuitPhotonPileupShortensTTF(t *testing.T) {
+	src := rng.New(55)
+	c := DefaultCircuit(src)
+	c.Detector.DarkRate = 0
+	c.Detector.JitterSigma = 0
+	rate := c.EffectiveRate(15)
+	const trials = 20000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += c.SampleTTF(15, 1e-3, src)
+	}
+	mean := sum / trials
+	naive := 1/rate + DefaultLifetime
+	if mean >= naive {
+		t.Fatalf("pileup mean %v not below naive %v", mean, naive)
+	}
+	if mean <= 1/rate/2 {
+		t.Fatalf("mean %v implausibly small vs 1/rate %v", mean, 1/rate)
+	}
+}
+
+// TestCircuitRelativeRates: first-to-fire between two codes must select
+// each in proportion to its effective rate — the parameterization
+// property the macro prototype demonstrates (§7).
+func TestCircuitRelativeRates(t *testing.T) {
+	src := rng.New(6)
+	c := fastCircuit(t, src)
+	codeA, codeB := uint8(12), uint8(3)
+	wantA := c.EffectiveRate(codeA) / (c.EffectiveRate(codeA) + c.EffectiveRate(codeB))
+	const trials = 40000
+	winsA := 0
+	for i := 0; i < trials; i++ {
+		ta := c.SampleTTF(codeA, 1e-3, src)
+		tb := c.SampleTTF(codeB, 1e-3, src)
+		if ta < tb {
+			winsA++
+		}
+	}
+	got := float64(winsA) / trials
+	if math.Abs(got-wantA) > 0.015 {
+		t.Fatalf("P(A first) = %v, want %v", got, wantA)
+	}
+}
+
+func TestCircuitDarkCode(t *testing.T) {
+	src := rng.New(7)
+	c := DefaultCircuit(src)
+	c.Detector.DarkRate = 0
+	if ttf := c.SampleTTF(0, 1e-6, src); !math.IsInf(ttf, 1) {
+		t.Fatalf("dark code fired at %v", ttf)
+	}
+	// With dark counts, code 0 eventually fires.
+	c.Detector.DarkRate = 1e12
+	if ttf := c.SampleTTF(0, 1e-6, src); math.IsInf(ttf, 1) {
+		t.Fatal("dark counts never fired")
+	}
+}
+
+func TestCircuitTTFNonNegative(t *testing.T) {
+	src := rng.New(8)
+	c := DefaultCircuit(src)
+	c.Detector.JitterSigma = 1e-9 // exaggerated jitter
+	for i := 0; i < 5000; i++ {
+		if ttf := c.SampleTTF(15, 1e-3, src); ttf < 0 {
+			t.Fatalf("negative TTF %v", ttf)
+		}
+	}
+}
+
+// Property: EffectiveRate is monotone in the binary-weighted code.
+func TestEffectiveRateMonotoneBinary(t *testing.T) {
+	src := rng.New(9)
+	c := DefaultCircuit(src)
+	f := func(a, b uint8) bool {
+		ca, cb := a&15, b&15
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		return c.EffectiveRate(ca) <= c.EffectiveRate(cb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCircuitSampleTTF(b *testing.B) {
+	src := rng.New(1)
+	c := DefaultCircuit(src)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = c.SampleTTF(7, 1e-6, src)
+	}
+	_ = sink
+}
+
+func BenchmarkChainRelaxation(b *testing.B) {
+	src := rng.New(1)
+	n := DonorAcceptorChain(4, 4e-9, 0.9, 6e-9, 3e-9)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink, _ = n.SampleRelaxation(src)
+	}
+	_ = sink
+}
+
+// TestBernoulliNetworkProbability: the two-acceptor network emits with
+// exactly the designed probability — the composable Bernoulli primitive
+// of ref [42].
+func TestBernoulliNetworkProbability(t *testing.T) {
+	src := rng.New(81)
+	for _, p := range []float64{0.1, 0.37, 0.5, 0.9} {
+		n := BernoulliNetwork(p, 4e-9)
+		if err := n.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got := n.EmissionProbability(200000, src)
+		if math.Abs(got-p) > 0.005 {
+			t.Errorf("p=%v: emission probability %v", p, got)
+		}
+	}
+}
+
+func TestBernoulliNetworkPanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.2, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v accepted", p)
+				}
+			}()
+			BernoulliNetwork(p, 4e-9)
+		}()
+	}
+}

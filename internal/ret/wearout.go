@@ -1,0 +1,107 @@
+package ret
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chromophore longevity (§9): "the presence of oxygen limits the number
+// of excitation cycles through the equivalent of a wear-out process. We
+// can address this issue in two ways: 1) using a larger number of RET
+// networks per RET circuit and 2) encapsulating the chromophores to
+// protect against oxygen."
+//
+// This file models that wear-out. Each network photobleaches after a
+// geometrically distributed number of absorbed excitations with mean
+// MeanExcitations; for the large ensembles a RET circuit carries, the
+// fraction of surviving networks after the ensemble has absorbed E
+// excitations total is exp(-E / (N * MeanExcitations)) — each
+// excitation lands on a uniformly random surviving network. A dead
+// network neither transfers nor emits, so the circuit's effective
+// sampling rate decays by the surviving fraction.
+
+// Wearout parameterizes the photobleaching process.
+type Wearout struct {
+	// MeanExcitations is the expected excitation count a chromophore
+	// network survives. +Inf (or 0, treated as disabled) models
+	// encapsulated chromophores.
+	MeanExcitations float64
+}
+
+// Enabled reports whether wear-out is active.
+func (w Wearout) Enabled() bool {
+	return w.MeanExcitations > 0 && !math.IsInf(w.MeanExcitations, 1)
+}
+
+// AgingCircuit wraps a Circuit with wear-out tracking. It is not safe
+// for concurrent use (the absorbed-count is shared mutable state, as it
+// is in the physical device).
+type AgingCircuit struct {
+	*Circuit
+	Wear Wearout
+
+	absorbed float64 // total excitations absorbed by the ensemble
+}
+
+// NewAgingCircuit wraps circuit with a wear-out model.
+func NewAgingCircuit(c *Circuit, w Wearout) (*AgingCircuit, error) {
+	if c == nil {
+		return nil, fmt.Errorf("ret: nil circuit")
+	}
+	if w.MeanExcitations < 0 || math.IsNaN(w.MeanExcitations) {
+		return nil, fmt.Errorf("ret: invalid MeanExcitations %v", w.MeanExcitations)
+	}
+	return &AgingCircuit{Circuit: c, Wear: w}, nil
+}
+
+// SurvivingFraction returns the fraction of the ensemble still optically
+// active.
+func (a *AgingCircuit) SurvivingFraction() float64 {
+	if !a.Wear.Enabled() {
+		return 1
+	}
+	capacity := float64(a.Ensemble) * a.Wear.MeanExcitations
+	return math.Exp(-a.absorbed / capacity)
+}
+
+// Absorbed returns the total excitation count charged so far.
+func (a *AgingCircuit) Absorbed() float64 { return a.absorbed }
+
+// EffectiveRate returns the aged detected-photon rate for a code.
+func (a *AgingCircuit) EffectiveRate(code uint8) float64 {
+	return a.Circuit.EffectiveRate(code) * a.SurvivingFraction()
+}
+
+// Charge records the excitations of one sampling operation: driving the
+// LEDs at `code` for `duration` seconds absorbs excitationRate×duration
+// photons across the ensemble (each costs one excitation cycle whether
+// or not it emits).
+func (a *AgingCircuit) Charge(code uint8, duration float64) {
+	if !a.Wear.Enabled() || duration <= 0 {
+		return
+	}
+	a.absorbed += a.LEDs.Rate(code) * float64(a.Ensemble) * a.SurvivingFraction() * duration
+}
+
+// OperationsUntil returns how many sampling operations (each driving
+// the LEDs at `code` for `duration`) the circuit sustains before its
+// effective rate drops below `fraction` of fresh. Returns +Inf when
+// wear-out is disabled. The closed form inverts the exponential decay:
+// operations = -ln(fraction) × capacity / (perOp), where perOp is the
+// *initial* per-operation absorption (a slight underestimate of
+// lifetime, since aged ensembles absorb less — the conservative bound a
+// designer wants).
+func (a *AgingCircuit) OperationsUntil(fraction float64, code uint8, duration float64) float64 {
+	if !a.Wear.Enabled() {
+		return math.Inf(1)
+	}
+	if fraction <= 0 || fraction >= 1 {
+		panic("ret: fraction must be in (0,1)")
+	}
+	perOp := a.LEDs.Rate(code) * float64(a.Ensemble) * duration
+	if perOp <= 0 {
+		return math.Inf(1)
+	}
+	capacity := float64(a.Ensemble) * a.Wear.MeanExcitations
+	return -math.Log(fraction) * capacity / perOp
+}

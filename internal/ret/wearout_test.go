@@ -1,0 +1,151 @@
+package ret
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func agingCircuit(t *testing.T, mean float64) *AgingCircuit {
+	t.Helper()
+	src := rng.New(41)
+	a, err := NewAgingCircuit(DefaultLadderCircuit(src), Wearout{MeanExcitations: mean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAgingCircuitValidation(t *testing.T) {
+	src := rng.New(42)
+	c := DefaultLadderCircuit(src)
+	if _, err := NewAgingCircuit(nil, Wearout{}); err == nil {
+		t.Error("nil circuit accepted")
+	}
+	if _, err := NewAgingCircuit(c, Wearout{MeanExcitations: -1}); err == nil {
+		t.Error("negative mean accepted")
+	}
+	if _, err := NewAgingCircuit(c, Wearout{MeanExcitations: math.NaN()}); err == nil {
+		t.Error("NaN mean accepted")
+	}
+}
+
+func TestEncapsulatedNeverAges(t *testing.T) {
+	a := agingCircuit(t, 0) // disabled = encapsulated
+	fresh := a.EffectiveRate(15)
+	for i := 0; i < 1000; i++ {
+		a.Charge(15, 1e-6)
+	}
+	if a.SurvivingFraction() != 1 {
+		t.Fatalf("encapsulated circuit aged: %v", a.SurvivingFraction())
+	}
+	if a.EffectiveRate(15) != fresh {
+		t.Fatal("encapsulated rate changed")
+	}
+	if !math.IsInf(a.OperationsUntil(0.9, 15, 1e-6), 1) {
+		t.Fatal("encapsulated lifetime should be infinite")
+	}
+}
+
+// TestWearoutDecaysExponentially: the surviving fraction must follow
+// exp(-absorbed/capacity).
+func TestWearoutDecaysExponentially(t *testing.T) {
+	a := agingCircuit(t, 1e6)
+	capacity := float64(a.Ensemble) * 1e6
+	// Charge exactly half the capacity (in small steps so the
+	// self-shielding of aged ensembles shows up in Absorbed, not here).
+	for a.Absorbed() < capacity/2 {
+		a.Charge(15, 1e-3)
+	}
+	want := math.Exp(-a.Absorbed() / capacity)
+	if got := a.SurvivingFraction(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("surviving fraction %v, want %v", got, want)
+	}
+	if got := a.EffectiveRate(15) / a.Circuit.EffectiveRate(15); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("rate scaling %v, want %v", got, want)
+	}
+}
+
+// TestEnsembleOversizingExtendsLifetime: §9 mitigation 1 — a K-times
+// larger ensemble survives K^2 times as many identical sampling
+// operations to the same degradation level (capacity scales with N and
+// per-operation absorption is spread over N networks... per-op
+// absorption also scales with N at fixed LED drive, so the net lifetime
+// gain is linear in per-network terms; we assert the designed behavior
+// directly via OperationsUntil).
+func TestEnsembleOversizingExtendsLifetime(t *testing.T) {
+	src := rng.New(43)
+	small := DefaultLadderCircuit(src)
+	big := DefaultLadderCircuit(src)
+	big.Ensemble = small.Ensemble * 10
+	// Same target sampling rate: the LED drive per network is fixed, so
+	// the big ensemble absorbs 10x faster but has 10x capacity; to hold
+	// the *circuit* rate constant the designer dims the LEDs 10x, which
+	// is the real win. Model that by dividing the weights.
+	for i := range big.LEDs.Weights {
+		big.LEDs.Weights[i] /= 10
+	}
+	aSmall, err := NewAgingCircuit(small, Wearout{MeanExcitations: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aBig, err := NewAgingCircuit(big, Wearout{MeanExcitations: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal sampling behavior (up to the Monte Carlo estimate of the
+	// emission probability, re-drawn per circuit)...
+	if math.Abs(aSmall.EffectiveRate(15)/aBig.EffectiveRate(15)-1) > 0.01 {
+		t.Fatalf("rates differ: %v vs %v", aSmall.EffectiveRate(15), aBig.EffectiveRate(15))
+	}
+	// ...but 10x the lifetime.
+	lifeSmall := aSmall.OperationsUntil(0.9, 15, 4e-9)
+	lifeBig := aBig.OperationsUntil(0.9, 15, 4e-9)
+	if math.Abs(lifeBig/lifeSmall-10) > 1e-6 {
+		t.Fatalf("lifetime ratio %v, want 10", lifeBig/lifeSmall)
+	}
+}
+
+// TestOperationsUntilConsistent: charging for the predicted number of
+// operations lands at (or below, due to self-shielding) the target
+// degradation.
+func TestOperationsUntilConsistent(t *testing.T) {
+	a := agingCircuit(t, 1e4)
+	ops := a.OperationsUntil(0.9, 15, 4e-9)
+	if math.IsInf(ops, 1) || ops <= 0 {
+		t.Fatalf("ops %v", ops)
+	}
+	for i := 0; i < int(ops); i++ {
+		a.Charge(15, 4e-9)
+	}
+	got := a.SurvivingFraction()
+	if got < 0.9-1e-3 {
+		t.Fatalf("after predicted ops, surviving %v < target 0.9", got)
+	}
+	if got > 0.93 {
+		t.Fatalf("prediction too conservative: surviving %v", got)
+	}
+}
+
+func TestOperationsUntilPanicsOnBadFraction(t *testing.T) {
+	a := agingCircuit(t, 1e4)
+	for _, f := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("fraction %v accepted", f)
+				}
+			}()
+			a.OperationsUntil(f, 15, 1e-9)
+		}()
+	}
+}
+
+func TestChargeDarkCodeIsFree(t *testing.T) {
+	a := agingCircuit(t, 1e4)
+	a.Charge(0, 1) // all LEDs off
+	if a.Absorbed() != 0 {
+		t.Fatalf("dark charge absorbed %v", a.Absorbed())
+	}
+}

@@ -1,0 +1,86 @@
+package rng
+
+import "math"
+
+// Alias is a Walker/Vose alias table supporting O(1) categorical sampling
+// after O(M) setup. It is included as the strongest software competitor
+// to hardware sampling: even the alias method cannot help a Gibbs solver,
+// because the full-conditional weights change at every pixel so the table
+// must be rebuilt per sample — reducing it to the O(M) cost it was meant
+// to avoid. The benchmarks quantify this.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table for the given non-negative weights.
+// It panics if weights is empty, contains a negative or NaN entry, or
+// sums to zero.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("rng: NewAlias needs at least one weight")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rng: NewAlias weight must be non-negative")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: NewAlias weights must have positive sum")
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	// Scaled probabilities; partition into small (<1) and large (>=1).
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		// Numerical leftovers: treat as probability-1 columns.
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// Len returns the number of categories.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Sample draws one index from the table using src.
+func (a *Alias) Sample(src *Source) int {
+	i := src.Intn(len(a.prob))
+	if src.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

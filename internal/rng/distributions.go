@@ -1,0 +1,152 @@
+package rng
+
+import "math"
+
+// Additional parameterized distributions beyond the Gibbs-critical set.
+// The paper motivates RSUs with the breadth of sampling needs in
+// probabilistic algorithms (§2.1 cites the 20 distributions of the
+// C++11 standard library); these cover the common discrete and
+// heavy-tailed families and are used by the wider benchmarks.
+
+// Poisson returns a sample from Poisson(lambda). Knuth's product method
+// below lambda=30, normal approximation with continuity correction and
+// rejection resampling above (adequate for benchmark workloads; exact
+// methods like PTRS trade more code for tail accuracy we don't need).
+// It panics if lambda <= 0.
+func (r *Source) Poisson(lambda float64) int {
+	if lambda <= 0 || math.IsNaN(lambda) {
+		panic("rng: Poisson lambda must be positive")
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64Open()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	for {
+		v := r.Normal(lambda, math.Sqrt(lambda))
+		if v >= -0.5 {
+			return int(v + 0.5)
+		}
+	}
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials (support 0, 1, 2, …). It panics unless 0 < p <= 1.
+func (r *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		panic("rng: Geometric p must be in (0,1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inverse transform: floor(ln U / ln(1-p)).
+	return int(math.Log(r.Float64Open()) / math.Log(1-p))
+}
+
+// Binomial returns a sample from Binomial(n, p) by inversion for small
+// n·p and the normal approximation for large, mirroring Poisson's
+// strategy. It panics if n < 0 or p outside [0, 1].
+func (r *Source) Binomial(n int, p float64) int {
+	if n < 0 || p < 0 || p > 1 || math.IsNaN(p) {
+		panic("rng: Binomial parameters out of range")
+	}
+	if n == 0 || p == 0 {
+		return 0
+	}
+	if p == 1 {
+		return n
+	}
+	// Work with the smaller tail for efficiency and reflect back.
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	mean := float64(n) * p
+	if n <= 64 || mean < 30 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	for {
+		v := r.Normal(mean, sd)
+		if v >= -0.5 && v <= float64(n)+0.5 {
+			return int(v + 0.5)
+		}
+	}
+}
+
+// Weibull returns a sample from Weibull(shape k, scale lambda) by
+// inverse transform: lambda * (-ln U)^{1/k}. Heavy-tailed for k < 1 —
+// the rare-event-simulation family the paper mentions. It panics on
+// non-positive parameters.
+func (r *Source) Weibull(k, lambda float64) float64 {
+	if k <= 0 || lambda <= 0 {
+		panic("rng: Weibull parameters must be positive")
+	}
+	return lambda * math.Pow(-math.Log(r.Float64Open()), 1/k)
+}
+
+// LogNormal returns exp(N(mu, sigma^2)).
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Laplace returns a sample from Laplace(mu, b) — the double exponential,
+// i.e. the signed version of the distribution RET circuits natively
+// produce. It panics if b <= 0.
+func (r *Source) Laplace(mu, b float64) float64 {
+	if b <= 0 {
+		panic("rng: Laplace scale must be positive")
+	}
+	u := r.Float64Open()
+	if r.Bool() {
+		return mu - b*math.Log(u)
+	}
+	return mu + b*math.Log(u)
+}
+
+// Beta returns a sample from Beta(a, b) via two Gamma draws.
+// It panics on non-positive parameters.
+func (r *Source) Beta(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		panic("rng: Beta parameters must be positive")
+	}
+	x := r.Gamma(a, 1)
+	y := r.Gamma(b, 1)
+	return x / (x + y)
+}
+
+// Dirichlet fills out with a sample from Dirichlet(alpha) (normalized
+// independent Gammas) and returns it; len(out) must equal len(alpha).
+// The categorical-over-simplex workhorse of Bayesian mixture models.
+func (r *Source) Dirichlet(alpha []float64, out []float64) []float64 {
+	if len(alpha) == 0 {
+		panic("rng: Dirichlet needs at least one concentration")
+	}
+	if out == nil {
+		out = make([]float64, len(alpha))
+	}
+	if len(out) != len(alpha) {
+		panic("rng: Dirichlet out length mismatch")
+	}
+	sum := 0.0
+	for i, a := range alpha {
+		out[i] = r.Gamma(a, 1)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

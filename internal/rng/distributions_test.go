@@ -1,0 +1,223 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func moments(t *testing.T, name string, draw func() float64, n int, wantMean, wantVar, relTol float64) {
+	t.Helper()
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = draw()
+	}
+	s := Summarize(xs)
+	if math.Abs(s.Mean-wantMean) > relTol*math.Abs(wantMean)+0.02 {
+		t.Errorf("%s: mean %v, want ~%v", name, s.Mean, wantMean)
+	}
+	if math.Abs(s.Variance-wantVar) > 3*relTol*wantVar+0.05 {
+		t.Errorf("%s: variance %v, want ~%v", name, s.Variance, wantVar)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(51)
+	for _, lambda := range []float64{0.5, 4, 25, 100} {
+		moments(t, "poisson", func() float64 { return float64(r.Poisson(lambda)) },
+			100000, lambda, lambda, 0.03)
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	r := New(52)
+	for i := 0; i < 10000; i++ {
+		if r.Poisson(50) < 0 {
+			t.Fatal("negative Poisson sample")
+		}
+	}
+}
+
+func TestPoissonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Poisson(0)
+}
+
+func TestGeometricMoments(t *testing.T) {
+	r := New(53)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		wantMean := (1 - p) / p
+		wantVar := (1 - p) / (p * p)
+		moments(t, "geometric", func() float64 { return float64(r.Geometric(p)) },
+			100000, wantMean, wantVar, 0.03)
+	}
+	if r.Geometric(1) != 0 {
+		t.Fatal("Geometric(1) should be 0")
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	for _, p := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Geometric(%v) accepted", p)
+				}
+			}()
+			New(1).Geometric(p)
+		}()
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(54)
+	cases := []struct {
+		n int
+		p float64
+	}{{10, 0.3}, {100, 0.5}, {1000, 0.02}, {500, 0.9}}
+	for _, c := range cases {
+		wantMean := float64(c.n) * c.p
+		wantVar := wantMean * (1 - c.p)
+		moments(t, "binomial", func() float64 { return float64(r.Binomial(c.n, c.p)) },
+			60000, wantMean, wantVar, 0.03)
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(55)
+	if r.Binomial(0, 0.5) != 0 {
+		t.Error("n=0")
+	}
+	if r.Binomial(10, 0) != 0 {
+		t.Error("p=0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Error("p=1")
+	}
+	for i := 0; i < 5000; i++ {
+		k := r.Binomial(20, 0.7)
+		if k < 0 || k > 20 {
+			t.Fatalf("Binomial out of support: %d", k)
+		}
+	}
+}
+
+func TestWeibullMoments(t *testing.T) {
+	r := New(56)
+	// k=1 reduces to Exp(1/lambda).
+	moments(t, "weibull-exp", func() float64 { return r.Weibull(1, 2) }, 100000, 2, 4, 0.03)
+	// k=2, lambda=1: mean = Γ(1.5) = sqrt(pi)/2.
+	wantMean := math.Sqrt(math.Pi) / 2
+	wantVar := 1 - math.Pi/4
+	moments(t, "weibull-2", func() float64 { return r.Weibull(2, 1) }, 100000, wantMean, wantVar, 0.03)
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	r := New(57)
+	mu, sigma := 0.0, 0.5
+	wantMean := math.Exp(mu + sigma*sigma/2)
+	wantVar := (math.Exp(sigma*sigma) - 1) * math.Exp(2*mu+sigma*sigma)
+	moments(t, "lognormal", func() float64 { return r.LogNormal(mu, sigma) }, 200000, wantMean, wantVar, 0.05)
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(58)
+	moments(t, "laplace", func() float64 { return r.Laplace(3, 2) }, 200000, 3, 8, 0.03)
+}
+
+func TestBetaMoments(t *testing.T) {
+	r := New(59)
+	a, b := 2.0, 5.0
+	wantMean := a / (a + b)
+	wantVar := a * b / ((a + b) * (a + b) * (a + b + 1))
+	moments(t, "beta", func() float64 { return r.Beta(a, b) }, 150000, wantMean, wantVar, 0.03)
+	for i := 0; i < 5000; i++ {
+		v := r.Beta(0.5, 0.5)
+		if v < 0 || v > 1 {
+			t.Fatalf("Beta out of [0,1]: %v", v)
+		}
+	}
+}
+
+func TestDirichlet(t *testing.T) {
+	r := New(60)
+	alpha := []float64{1, 2, 3}
+	const n = 50000
+	sums := make([]float64, 3)
+	for i := 0; i < n; i++ {
+		out := r.Dirichlet(alpha, nil)
+		total := 0.0
+		for j, v := range out {
+			if v < 0 || v > 1 {
+				t.Fatalf("component out of range: %v", v)
+			}
+			sums[j] += v
+			total += v
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("simplex violated: %v", total)
+		}
+	}
+	for j, a := range alpha {
+		want := a / 6.0
+		if got := sums[j] / n; math.Abs(got-want) > 0.01 {
+			t.Errorf("component %d mean %v, want %v", j, got, want)
+		}
+	}
+}
+
+func TestDirichletReusesOut(t *testing.T) {
+	r := New(61)
+	buf := make([]float64, 2)
+	out := r.Dirichlet([]float64{1, 1}, buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("Dirichlet did not reuse the buffer")
+	}
+}
+
+func TestDirichletPanics(t *testing.T) {
+	r := New(62)
+	for _, f := range []func(){
+		func() { r.Dirichlet(nil, nil) },
+		func() { r.Dirichlet([]float64{1, 2}, make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkPoisson(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Poisson(10)
+	}
+	_ = sink
+}
+
+func BenchmarkBinomial(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Binomial(100, 0.3)
+	}
+	_ = sink
+}
+
+func BenchmarkWeibull(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Weibull(1.5, 1)
+	}
+	_ = sink
+}

@@ -1,0 +1,292 @@
+// Package rng provides deterministic pseudo-random number generation and
+// from-scratch samplers for the parameterized distributions used throughout
+// the reproduction: exponential, normal, gamma, categorical and Bernoulli.
+//
+// These samplers are the software baseline the paper measures in §2.2 /
+// Table 1 ("Cycles to Sample from Different Distributions"): on a
+// conventional processor every Gibbs update pays for (1) parameterizing a
+// distribution and (2) drawing from it, each costing hundreds of cycles.
+// The RSU-G unit built in internal/rsu replaces step (2) with a RET
+// circuit; this package is what it replaces.
+//
+// All generators are deterministic given a seed so experiments are
+// reproducible. Source implements xoshiro256** seeded via SplitMix64.
+package rng
+
+import "math"
+
+// Source is a deterministic 64-bit PRNG (xoshiro256**, seeded with
+// SplitMix64). It is intentionally not safe for concurrent use; create
+// one Source per goroutine (see Split).
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded deterministically from seed.
+func New(seed uint64) *Source {
+	src := &Source{}
+	src.Seed(seed)
+	return src
+}
+
+// Seed re-initializes the generator state from seed using SplitMix64,
+// guaranteeing a non-zero internal state for any seed value.
+func (r *Source) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro requires a non-zero state; SplitMix64 cannot produce four
+	// zeros from any seed, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// Split derives an independent child generator from r. The child's
+// stream is decorrelated from the parent's by reseeding through
+// SplitMix64 with a drawn value.
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *Source) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Float64 returns a uniform sample in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// Float64Open returns a uniform sample in (0, 1): never exactly zero, so
+// it is safe to pass to math.Log.
+func (r *Source) Float64Open() float64 {
+	for {
+		if v := r.Float64(); v > 0 {
+			return v
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	un := uint64(n)
+	// Fast path for powers of two.
+	if un&(un-1) == 0 {
+		return int(r.Uint64() & (un - 1))
+	}
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, un)
+		if lo >= un || lo >= (-un)%un {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Bool returns a fair coin flip.
+func (r *Source) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exponential returns a sample from Exp(rate) via inverse-transform
+// sampling: -ln(U)/rate. It panics if rate <= 0.
+//
+// This is the distribution the RET circuit of §4.3 samples physically:
+// time-to-fluorescence of an exponential RET network.
+func (r *Source) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential rate must be positive")
+	}
+	return -math.Log(r.Float64Open()) / rate
+}
+
+// Normal returns a sample from N(mu, sigma^2) using the Box–Muller
+// transform (the polar/Marsaglia variant to avoid trig calls).
+func (r *Source) Normal(mu, sigma float64) float64 {
+	return mu + sigma*r.stdNormal()
+}
+
+func (r *Source) stdNormal() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Gamma returns a sample from Gamma(shape k, scale theta) using the
+// Marsaglia–Tsang squeeze method, with the standard boost for k < 1.
+// It panics if k <= 0 or theta <= 0.
+func (r *Source) Gamma(k, theta float64) float64 {
+	if k <= 0 || theta <= 0 {
+		panic("rng: Gamma parameters must be positive")
+	}
+	if k < 1 {
+		// Gamma(k) = Gamma(k+1) * U^{1/k}
+		u := r.Float64Open()
+		return r.Gamma(k+1, theta) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.stdNormal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64Open()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * theta
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * theta
+		}
+	}
+}
+
+// Categorical draws an index i with probability weights[i] / sum(weights)
+// by a linear scan of the cumulative sum. Weights must be non-negative
+// with a positive sum; it panics otherwise.
+//
+// This is the O(M) software discrete sampler a Gibbs update uses in the
+// baseline implementations (§8.1): compute M energies, exponentiate,
+// normalize, scan. The alias method (NewAlias) amortizes to O(1) but
+// requires O(M) setup per parameterization, which Gibbs cannot reuse
+// because every pixel update re-parameterizes the distribution — exactly
+// the sampling inefficiency the paper targets.
+func (r *Source) Categorical(weights []float64) int {
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rng: Categorical weight must be non-negative")
+		}
+		_ = i
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: Categorical weights must have positive sum")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	// Floating-point slack: return the last index with positive weight.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// GumbelArgmax draws an index distributed ∝ exp(logits[i]) using the
+// Gumbel-max trick. It is the log-domain analogue of Categorical and the
+// direct mathematical cousin of the first-to-fire race: adding Gumbel
+// noise to log-weights and taking the argmax is equivalent to racing
+// exponential clocks with rates exp(logits) and taking the first to fire.
+func (r *Source) GumbelArgmax(logits []float64) int {
+	if len(logits) == 0 {
+		panic("rng: GumbelArgmax needs at least one logit")
+	}
+	best, bestIdx := math.Inf(-1), 0
+	for i, l := range logits {
+		g := l - math.Log(-math.Log(r.Float64Open()))
+		if g > best {
+			best, bestIdx = g, i
+		}
+	}
+	return bestIdx
+}
+
+// FirstToFire races len(rates) exponential clocks and returns the index
+// of the earliest arrival together with its firing time. The winning
+// index is distributed ∝ rates[i] — the property the RSU-G selection
+// stage exploits (§4.3). Rates must be non-negative with at least one
+// positive entry.
+func (r *Source) FirstToFire(rates []float64) (winner int, ttf float64) {
+	winner = -1
+	ttf = math.Inf(1)
+	for i, rate := range rates {
+		if rate < 0 || math.IsNaN(rate) {
+			panic("rng: FirstToFire rate must be non-negative")
+		}
+		if rate == 0 {
+			continue
+		}
+		t := r.Exponential(rate)
+		if t < ttf {
+			ttf = t
+			winner = i
+		}
+	}
+	if winner < 0 {
+		panic("rng: FirstToFire needs at least one positive rate")
+	}
+	return winner, ttf
+}

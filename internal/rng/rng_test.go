@@ -1,0 +1,513 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical draws out of 1000", same)
+	}
+}
+
+func TestSeedZeroIsUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("seed 0 produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	matches := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			matches++
+		}
+	}
+	if matches > 2 {
+		t.Fatalf("parent and child matched %d/1000 draws", matches)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64OpenNeverZero(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 100000; i++ {
+		if v := r.Float64Open(); v <= 0 || v >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", v)
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(3)
+	const n, draws = 7, 70000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %f", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(4)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	r := New(5)
+	for _, rate := range []float64{0.25, 1, 4, 100} {
+		xs := make([]float64, 200000)
+		for i := range xs {
+			xs[i] = r.Exponential(rate)
+		}
+		s := Summarize(xs)
+		if math.Abs(s.Mean-1/rate) > 0.02/rate {
+			t.Errorf("rate %v: mean %v, want ~%v", rate, s.Mean, 1/rate)
+		}
+		wantVar := 1 / (rate * rate)
+		if math.Abs(s.Variance-wantVar) > 0.1*wantVar {
+			t.Errorf("rate %v: variance %v, want ~%v", rate, s.Variance, wantVar)
+		}
+		if s.Min < 0 {
+			t.Errorf("rate %v: negative sample %v", rate, s.Min)
+		}
+	}
+}
+
+func TestExponentialKS(t *testing.T) {
+	r := New(6)
+	const n = 100000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Exponential(2.5)
+	}
+	// KS critical value at alpha=0.001 is ~1.95/sqrt(n).
+	if ks := KSExponential(xs, 2.5); ks > 1.95/math.Sqrt(n) {
+		t.Fatalf("KS statistic %v too large", ks)
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rate 0")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(7)
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(3, 2)
+	}
+	s := Summarize(xs)
+	if math.Abs(s.Mean-3) > 0.02 {
+		t.Errorf("mean %v, want ~3", s.Mean)
+	}
+	if math.Abs(s.Variance-4) > 0.1 {
+		t.Errorf("variance %v, want ~4", s.Variance)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(8)
+	for _, tc := range []struct{ k, theta float64 }{
+		{0.5, 1}, {1, 2}, {2, 0.5}, {9, 3},
+	} {
+		const n = 200000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Gamma(tc.k, tc.theta)
+		}
+		s := Summarize(xs)
+		wantMean := tc.k * tc.theta
+		wantVar := tc.k * tc.theta * tc.theta
+		if math.Abs(s.Mean-wantMean) > 0.03*wantMean+0.01 {
+			t.Errorf("Gamma(%v,%v): mean %v, want ~%v", tc.k, tc.theta, s.Mean, wantMean)
+		}
+		if math.Abs(s.Variance-wantVar) > 0.1*wantVar+0.01 {
+			t.Errorf("Gamma(%v,%v): var %v, want ~%v", tc.k, tc.theta, s.Variance, wantVar)
+		}
+		if s.Min < 0 {
+			t.Errorf("Gamma(%v,%v): negative sample", tc.k, tc.theta)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(9)
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if math.Abs(float64(hits)/n-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) hit rate %v", float64(hits)/n)
+	}
+}
+
+func TestCategoricalDistribution(t *testing.T) {
+	r := New(10)
+	weights := []float64{1, 0, 3, 6}
+	const n = 100000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category sampled %d times", counts[1])
+	}
+	total := 10.0
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	r := New(1)
+	for _, weights := range [][]float64{{-1, 2}, {0, 0}, {}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for weights %v", weights)
+				}
+			}()
+			r.Categorical(weights)
+		}()
+	}
+}
+
+func TestGumbelArgmaxMatchesCategorical(t *testing.T) {
+	r := New(11)
+	weights := []float64{2, 5, 1, 8}
+	logits := make([]float64, len(weights))
+	for i, w := range weights {
+		logits[i] = math.Log(w)
+	}
+	const n = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[r.GumbelArgmax(logits)]++
+	}
+	for i, w := range weights {
+		want := w / 16.0
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("logit %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestFirstToFireDistribution verifies the core first-to-fire identity
+// the RSU-G relies on: P(argmin_i Exp(rate_i) = j) = rate_j / sum(rates).
+func TestFirstToFireDistribution(t *testing.T) {
+	r := New(12)
+	rates := []float64{1, 4, 0, 5}
+	const n = 200000
+	counts := make([]int, len(rates))
+	for i := 0; i < n; i++ {
+		w, ttf := r.FirstToFire(rates)
+		if ttf < 0 {
+			t.Fatalf("negative TTF %v", ttf)
+		}
+		counts[w]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-rate channel fired %d times", counts[2])
+	}
+	for i, rate := range rates {
+		want := rate / 10.0
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("channel %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestFirstToFireMinIsExponential checks that the winning TTF itself is
+// exponentially distributed with the sum of the rates.
+func TestFirstToFireMinIsExponential(t *testing.T) {
+	r := New(13)
+	rates := []float64{2, 3}
+	const n = 100000
+	xs := make([]float64, n)
+	for i := range xs {
+		_, xs[i] = r.FirstToFire(rates)
+	}
+	if ks := KSExponential(xs, 5); ks > 1.95/math.Sqrt(n) {
+		t.Fatalf("min of exponentials KS %v too large", ks)
+	}
+}
+
+func TestAliasMatchesCategorical(t *testing.T) {
+	r := New(14)
+	weights := []float64{0.5, 0, 2, 7, 0.1}
+	a := NewAlias(weights)
+	if a.Len() != len(weights) {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	const n = 300000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[a.Sample(r)]++
+	}
+	total := 9.6
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	a := NewAlias([]float64{3})
+	r := New(15)
+	for i := 0; i < 100; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("single-category alias returned nonzero index")
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for _, weights := range [][]float64{{}, {0, 0}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %v", weights)
+				}
+			}()
+			NewAlias(weights)
+		}()
+	}
+}
+
+// Property: alias table probabilities are valid and every alias index is
+// in range, for arbitrary weight vectors.
+func TestAliasPropertyValid(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		sum := 0.0
+		for i, v := range raw {
+			weights[i] = float64(v)
+			sum += weights[i]
+		}
+		if sum == 0 {
+			return true // all-zero weights panic by contract; skip
+		}
+		a := NewAlias(weights)
+		for i := range a.prob {
+			if a.prob[i] < 0 || a.prob[i] > 1+1e-9 {
+				return false
+			}
+			if a.alias[i] < 0 || a.alias[i] >= len(weights) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("bad stats: %+v", s)
+	}
+	if math.Abs(s.Variance-5.0/3.0) > 1e-12 {
+		t.Fatalf("variance %v, want 5/3", s.Variance)
+	}
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summarize: %+v", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{-1, 0, 0.5, 0.99, 1.5}, 0, 1, 2)
+	if h[0] != 2 || h[1] != 3 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestChiSquareZeroForExactMatch(t *testing.T) {
+	obs := []int{50, 50}
+	if c := ChiSquare(obs, []float64{0.5, 0.5}); c != 0 {
+		t.Fatalf("chi-square %v, want 0", c)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExponential(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Exponential(1.5)
+	}
+	_ = sink
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Normal(0, 1)
+	}
+	_ = sink
+}
+
+func BenchmarkGamma(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Gamma(2.5, 1)
+	}
+	_ = sink
+}
+
+func BenchmarkCategorical5(b *testing.B) {
+	r := New(1)
+	w := []float64{1, 2, 3, 4, 5}
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Categorical(w)
+	}
+	_ = sink
+}
+
+func BenchmarkCategorical49(b *testing.B) {
+	r := New(1)
+	w := make([]float64, 49)
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Categorical(w)
+	}
+	_ = sink
+}
+
+func BenchmarkAliasBuildAndSample49(b *testing.B) {
+	// Per-parameterization cost: what Gibbs would pay if it used the
+	// alias method, since weights change at every pixel.
+	r := New(1)
+	w := make([]float64, 49)
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = NewAlias(w).Sample(r)
+	}
+	_ = sink
+}
+
+func BenchmarkFirstToFire49(b *testing.B) {
+	r := New(1)
+	rates := make([]float64, 49)
+	for i := range rates {
+		rates[i] = float64(i + 1)
+	}
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink, _ = r.FirstToFire(rates)
+	}
+	_ = sink
+}

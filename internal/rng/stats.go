@@ -1,0 +1,107 @@
+package rng
+
+import (
+	"math"
+	"sort"
+)
+
+// Stats summarizes a sample set; used by tests, the prototype emulation
+// and the RET-circuit validation tooling.
+type Stats struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1) estimator
+	Min, Max float64
+}
+
+// Summarize computes summary statistics with Welford's online algorithm.
+func Summarize(xs []float64) Stats {
+	s := Stats{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	mean, m2 := 0.0, 0.0
+	for i, x := range xs {
+		d := x - mean
+		mean += d / float64(i+1)
+		m2 += d * (x - mean)
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = mean
+	if len(xs) > 1 {
+		s.Variance = m2 / float64(len(xs)-1)
+	}
+	return s
+}
+
+// KSExponential returns the Kolmogorov–Smirnov statistic of xs against
+// Exp(rate): the max absolute deviation between the empirical CDF and
+// 1 - exp(-rate x). Used to validate both the software exponential
+// sampler and the simulated RET circuits.
+func KSExponential(xs []float64, rate float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	maxDev := 0.0
+	for i, x := range sorted {
+		cdf := 1 - math.Exp(-rate*x)
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		if d := math.Abs(cdf - lo); d > maxDev {
+			maxDev = d
+		}
+		if d := math.Abs(cdf - hi); d > maxDev {
+			maxDev = d
+		}
+	}
+	return maxDev
+}
+
+// Histogram counts xs into equal-width bins over [lo, hi); values outside
+// the range are clamped into the boundary bins.
+func Histogram(xs []float64, lo, hi float64, bins int) []int {
+	counts := make([]int, bins)
+	if bins == 0 || hi <= lo {
+		return counts
+	}
+	w := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+// ChiSquare returns the chi-square statistic of observed counts against
+// expected probabilities (which must sum to ~1). Bins with zero expected
+// probability are skipped.
+func ChiSquare(observed []int, expected []float64) float64 {
+	total := 0
+	for _, o := range observed {
+		total += o
+	}
+	stat := 0.0
+	for i, o := range observed {
+		if i >= len(expected) || expected[i] <= 0 {
+			continue
+		}
+		e := expected[i] * float64(total)
+		d := float64(o) - e
+		stat += d * d / e
+	}
+	return stat
+}

@@ -1,0 +1,74 @@
+package rsu
+
+import "fmt"
+
+// This file models the §6.1 context-switch story. An RSU-G holds state
+// over many cycles (it iterates over labels), so on a general-purpose
+// core the OS must be able to save and restore it across exceptions.
+// The paper's optimization: treat each random-variable evaluation as an
+// idempotent region and restart it from its inputs (refs [14, 18]),
+// which shrinks the saved state to the per-application registers (the
+// map table and counter) plus the per-variable operand registers —
+// "only a few cycles per RSU-G unit".
+
+// ArchState is the architectural state of one RSU-G unit under the
+// idempotent-restart discipline: everything needed to re-execute the
+// current variable evaluation from scratch. In-flight TTF counts and
+// the partially advanced down counter are deliberately NOT saved.
+type ArchState struct {
+	// MapLo/MapHi are the two 64-bit map-table control words.
+	MapLo, MapHi uint64
+	// CounterInit is the down-counter reload value (M-1).
+	CounterInit uint8
+	// Neighbors, SingletonA and SingletonD are the operand registers.
+	Neighbors              uint64
+	SingletonA, SingletonD uint8
+}
+
+// SaveCycles and RestoreCycles are the modeled costs of moving the
+// architectural state through the 64-bit register interface: map lo,
+// map hi, counter, neighbors, singleton A, singleton D — one RSU
+// instruction each.
+const (
+	SaveCycles    = 6
+	RestoreCycles = 6
+)
+
+// SaveState captures the driver's architectural state. It fails if the
+// unit was never initialized (there is nothing coherent to save).
+func (d *Driver) SaveState() (ArchState, error) {
+	if !d.mapLoaded || !d.counterSet {
+		return ArchState{}, fmt.Errorf("rsu: cannot save state of uninitialized unit")
+	}
+	return ArchState{
+		MapLo:       d.pendingLo,
+		MapHi:       d.pendingHi,
+		CounterInit: uint8(d.counterInit),
+		Neighbors:   PackNeighbors(d.in.Neighbors),
+		SingletonA:  uint8(d.in.Data1),
+		SingletonD:  uint8(d.in.Data2),
+	}, nil
+}
+
+// RestoreState reloads a previously saved state through the normal
+// control-register writes (6 instructions), leaving the driver ready to
+// re-issue the interrupted variable evaluation from step 3 of §6 —
+// the idempotent restart point.
+func (d *Driver) RestoreState(s ArchState) error {
+	if err := d.Write(OpMapLo, s.MapLo); err != nil {
+		return err
+	}
+	if err := d.Write(OpMapHi, s.MapHi); err != nil {
+		return err
+	}
+	if err := d.Write(OpCounter, uint64(s.CounterInit)); err != nil {
+		return err
+	}
+	if err := d.Write(OpNeighbors, s.Neighbors); err != nil {
+		return err
+	}
+	if err := d.Write(OpSingletonA, uint64(s.SingletonA)); err != nil {
+		return err
+	}
+	return d.Write(OpSingletonD, uint64(s.SingletonD))
+}

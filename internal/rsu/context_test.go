@@ -1,0 +1,112 @@
+package rsu
+
+import (
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/rng"
+)
+
+func TestSaveStateRequiresInit(t *testing.T) {
+	u := testUnit(t, 4, 1, false, 40, Ideal)
+	d := NewDriver(u)
+	if _, err := d.SaveState(); err == nil {
+		t.Fatal("saved state of uninitialized unit")
+	}
+}
+
+// TestContextSwitchRoundTrip: save on one driver, restore on a fresh
+// driver over an equivalent unit, and verify the restored unit samples
+// the same distribution for the interrupted variable — the idempotent
+// restart contract.
+func TestContextSwitchRoundTrip(t *testing.T) {
+	u1 := testUnit(t, 5, 1, false, 40, Ideal)
+	tm, err := CompressMap(u1.Config().Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := NewDriver(u1)
+	if err := d1.Init(tm); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(31)
+	nbrs := [4]fixed.Label{1, 2, 2, 3}
+	if _, err := d1.Sample(nbrs, 7, 9, src); err != nil {
+		t.Fatal(err)
+	}
+	state, err := d1.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Context switch": a brand-new driver and unit (same design) with
+	// a blank map; restore must bring back map, counter and operands.
+	u2 := testUnit(t, 5, 1, false, 40, Ideal)
+	u2.SetMap(IntensityMap{}) // wiped
+	d2 := NewDriver(u2)
+	before := d2.Instructions
+	if err := d2.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Instructions-before != RestoreCycles {
+		t.Fatalf("restore took %d instructions, want %d", d2.Instructions-before, RestoreCycles)
+	}
+	if u2.Config().Map != u1.Config().Map {
+		t.Fatal("map not restored")
+	}
+
+	// Both drivers must now sample the same distribution for the same
+	// operands.
+	const trials = 60000
+	counts1 := make([]int, 5)
+	counts2 := make([]int, 5)
+	srcA, srcB := rng.New(32), rng.New(33)
+	for i := 0; i < trials; i++ {
+		l1, err := d1.Sample(nbrs, 7, 9, srcA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := d2.Sample(nbrs, 7, 9, srcB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts1[l1]++
+		counts2[l2]++
+	}
+	for l := range counts1 {
+		diff := float64(counts1[l]-counts2[l]) / trials
+		if diff > 0.02 || diff < -0.02 {
+			t.Fatalf("restored unit distribution differs at label %d: %v vs %v", l, counts1, counts2)
+		}
+	}
+}
+
+func TestSaveStateCapturesOperands(t *testing.T) {
+	u := testUnit(t, 5, 1, false, 40, Ideal)
+	tm, err := CompressMap(u.Config().Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(u)
+	if err := d.Init(tm); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(34)
+	nbrs := [4]fixed.Label{4, 3, 2, 1}
+	if _, err := d.Sample(nbrs, 5, 6, src); err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if UnpackNeighbors(s.Neighbors) != nbrs {
+		t.Fatal("neighbors not captured")
+	}
+	if s.SingletonA != 5 || s.SingletonD != 6 {
+		t.Fatalf("singleton operands %d/%d", s.SingletonA, s.SingletonD)
+	}
+	if s.CounterInit != 4 {
+		t.Fatalf("counter init %d, want 4", s.CounterInit)
+	}
+}

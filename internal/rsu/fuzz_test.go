@@ -1,0 +1,34 @@
+package rsu
+
+import "testing"
+
+// FuzzThresholdMapWords: any pair of 64-bit control words must expand to
+// a well-formed map (all codes 4-bit) without panicking, and expanding
+// then recompressing a *monotone* word pair must reproduce the same map.
+func FuzzThresholdMapWords(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(0x13120b0403020100), uint64(0x3e3e3e3e2d241c14))
+	f.Add(^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, lo, hi uint64) {
+		var codes [16]uint8
+		for i := range codes {
+			codes[i] = uint8(15 - i)
+		}
+		tm := ThresholdMapFromWords(lo, hi, codes)
+		m := tm.Expand()
+		for e, c := range m {
+			if c > 15 {
+				t.Fatalf("energy %d expanded to 5-bit code %d", e, c)
+			}
+		}
+		// Expansion then compression then expansion is idempotent
+		// whenever the expanded map is compressible.
+		tm2, err := CompressMap(m)
+		if err != nil {
+			return
+		}
+		if tm2.Expand() != m {
+			t.Fatal("compress/expand not idempotent")
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package rsu
+
+import "fmt"
+
+// This file is a cycle-stepped simulator of the RSU-G pipeline (§5.2,
+// §5.3). EvalTiming gives the closed-form latency the paper states;
+// the simulator derives the same numbers from first principles — stage
+// occupancy, the 4-cycle RET quiescence hazard, and the round-robin
+// replica scheduler — and additionally reports throughput for streams
+// of back-to-back variable evaluations, which the closed form does not
+// cover. Tests cross-check the two.
+
+// PipelineConfig describes the simulated datapath shape.
+type PipelineConfig struct {
+	M        int // labels per variable
+	Width    int // lanes (K)
+	Replicas int // RET circuits per lane
+	// Depth overrides the pipeline depth (0: the §5 values — 7 for K=1,
+	// plus the selection-tree growth for wider units).
+	Depth int
+}
+
+// PipelineStats reports one simulation run.
+type PipelineStats struct {
+	// Variables is the number of variable evaluations completed.
+	Variables int
+	// TotalCycles is the cycle the last result was produced.
+	TotalCycles int
+	// FirstLatency is the latency of the first variable (issue of its
+	// first step to its result) — comparable to EvalTiming().Cycles.
+	FirstLatency int
+	// StallCycles counts issue slots lost to the quiescence hazard.
+	StallCycles int
+	// ThroughputCyclesPerVariable is the steady-state cost per variable
+	// (total cycles / variables).
+	ThroughputCyclesPerVariable float64
+}
+
+// SimulatePipeline runs `variables` back-to-back evaluations through
+// the pipeline and returns cycle-accurate statistics.
+//
+// Model: each variable needs steps = ceil(M/K) issue slots; one step
+// per cycle can enter the pipeline when every lane has a RET circuit
+// that has been quiescent for QuiescenceCycles since its previous
+// sampling operation (§5.3). Replicas are scheduled round-robin by the
+// 2-bit counter of §5.3. A variable's result appears depth-1 cycles
+// after its last step issues; the next variable's first step may issue
+// the cycle after the previous variable's last step (the down counter
+// reloads while the tail drains), which is how the unit sustains one
+// label evaluation per cycle.
+func SimulatePipeline(cfg PipelineConfig, variables int) (PipelineStats, error) {
+	if cfg.M < 1 || cfg.Width < 1 || cfg.Replicas < 1 || variables < 1 {
+		return PipelineStats{}, fmt.Errorf("rsu: invalid pipeline simulation config %+v x%d", cfg, variables)
+	}
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = 7
+		if cfg.Width > 1 {
+			depth += ceilLog2(cfg.Width) - 1
+		}
+	}
+	steps := (cfg.M + cfg.Width - 1) / cfg.Width
+
+	// Every lane has its own replica set; lanes issue in lockstep, so
+	// one lane's scheduler represents all of them (identical state).
+	// freeAt[i] is the first cycle replica i can start a new sampling
+	// operation.
+	freeAt := make([]int, cfg.Replicas)
+	rr := 0 // round-robin pointer (the §5.3 two-bit counter)
+
+	stats := PipelineStats{Variables: variables}
+	cycle := 0
+	firstIssue := -1
+	for v := 0; v < variables; v++ {
+		var lastIssue int
+		for s := 0; s < steps; s++ {
+			// The round-robin scheduler always waits for the *next*
+			// replica in order (it does not search): stalls happen when
+			// that replica is still quiescing.
+			if freeAt[rr] > cycle {
+				stats.StallCycles += freeAt[rr] - cycle
+				cycle = freeAt[rr]
+			}
+			if firstIssue < 0 {
+				firstIssue = cycle
+			}
+			freeAt[rr] = cycle + QuiescenceCycles
+			rr = (rr + 1) % cfg.Replicas
+			lastIssue = cycle
+			cycle++ // one issue slot per cycle
+		}
+		// A step issued at cycle c leaves the depth-stage pipeline at
+		// the end of cycle c+depth-1.
+		result := lastIssue + depth - 1
+		if v == 0 {
+			stats.FirstLatency = result - firstIssue + 1
+		}
+		if v == variables-1 {
+			stats.TotalCycles = result + 1
+		}
+	}
+	stats.ThroughputCyclesPerVariable = float64(stats.TotalCycles) / float64(variables)
+	return stats, nil
+}

@@ -1,0 +1,141 @@
+package rsu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ret"
+	"repro/internal/rng"
+)
+
+// TestPipelineMatchesClosedForm: the cycle-stepped simulation must
+// reproduce EvalTiming's closed-form latency for every configuration
+// the closed form covers.
+func TestPipelineMatchesClosedForm(t *testing.T) {
+	src := rng.New(1)
+	circuit := ret.DefaultLadderCircuit(src)
+	cases := []struct{ m, k, r int }{
+		{5, 1, 4}, {49, 1, 4}, {64, 1, 4}, {64, 64, 4}, {49, 4, 4},
+		{5, 1, 1}, {5, 1, 2}, {2, 1, 4}, {17, 2, 4}, {33, 8, 4},
+	}
+	for _, c := range cases {
+		u, err := New(Config{M: c.m, Width: c.k, Replicas: c.r, ClockHz: 1e9, Circuit: circuit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := u.EvalTiming().Cycles
+		stats, err := SimulatePipeline(PipelineConfig{M: c.m, Width: c.k, Replicas: c.r}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.FirstLatency != want {
+			t.Errorf("M=%d K=%d R=%d: simulated latency %d, closed form %d",
+				c.m, c.k, c.r, stats.FirstLatency, want)
+		}
+	}
+}
+
+// TestPipelineSteadyStateThroughput: with 4 replicas the paper claims a
+// sustained throughput of one label evaluation per cycle, i.e. M cycles
+// per variable for RSU-G1 (§5.3).
+func TestPipelineSteadyStateThroughput(t *testing.T) {
+	const vars = 1000
+	stats, err := SimulatePipeline(PipelineConfig{M: 5, Width: 1, Replicas: 4}, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StallCycles != 0 {
+		t.Errorf("4 replicas should hide the quiescence hazard, got %d stalls", stats.StallCycles)
+	}
+	// 5 cycles per variable plus the constant pipeline drain.
+	if got := stats.ThroughputCyclesPerVariable; got > 5.02 {
+		t.Errorf("steady-state throughput %v cycles/var, want ~5", got)
+	}
+}
+
+// TestPipelineStarvedReplicasStall: with 1 replica every step beyond
+// the first waits out the 4-cycle quiescence — throughput drops 4x.
+func TestPipelineStarvedReplicasStall(t *testing.T) {
+	const vars = 500
+	stats, err := SimulatePipeline(PipelineConfig{M: 5, Width: 1, Replicas: 1}, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StallCycles == 0 {
+		t.Fatal("single replica should stall")
+	}
+	if got := stats.ThroughputCyclesPerVariable; got < 19.9 || got > 20.1 {
+		t.Errorf("starved throughput %v cycles/var, want ~20 (4x M)", got)
+	}
+}
+
+// TestPipelineG64SingleCycleThroughput: the RSU-G64 configuration must
+// sustain one variable sample per cycle in steady state... per the
+// paper: "This design can sustain a throughput of one random variable
+// sample per cycle" — each variable is a single 64-wide step, and the
+// 256 RET circuits (4 per lane) hide quiescence.
+func TestPipelineG64SingleCycleThroughput(t *testing.T) {
+	const vars = 1000
+	stats, err := SimulatePipeline(PipelineConfig{M: 64, Width: 64, Replicas: 4}, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StallCycles != 0 {
+		t.Fatalf("G64 stalled %d cycles", stats.StallCycles)
+	}
+	if got := stats.ThroughputCyclesPerVariable; got > 1.02 {
+		t.Errorf("G64 throughput %v cycles/var, want ~1", got)
+	}
+	if stats.FirstLatency != 12 {
+		t.Errorf("G64 latency %d, want 12", stats.FirstLatency)
+	}
+}
+
+func TestPipelineRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []PipelineConfig{
+		{M: 0, Width: 1, Replicas: 1},
+		{M: 5, Width: 0, Replicas: 1},
+		{M: 5, Width: 1, Replicas: 0},
+	} {
+		if _, err := SimulatePipeline(cfg, 1); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := SimulatePipeline(PipelineConfig{M: 5, Width: 1, Replicas: 4}, 0); err == nil {
+		t.Error("zero variables accepted")
+	}
+}
+
+// Property: for any configuration, simulated single-variable latency
+// equals the closed form, throughput is monotone non-increasing in the
+// replica count, and stalls vanish at >= QuiescenceCycles replicas.
+func TestPipelineProperties(t *testing.T) {
+	f := func(mRaw, kRaw, rRaw uint8) bool {
+		m := int(mRaw%64) + 1
+		k := 1 << (kRaw % 4) // 1,2,4,8
+		r := int(rRaw%6) + 1
+		stats, err := SimulatePipeline(PipelineConfig{M: m, Width: k, Replicas: r}, 10)
+		if err != nil {
+			return false
+		}
+		if r >= QuiescenceCycles && stats.StallCycles != 0 {
+			return false
+		}
+		more, err := SimulatePipeline(PipelineConfig{M: m, Width: k, Replicas: r + 1}, 10)
+		if err != nil {
+			return false
+		}
+		return more.ThroughputCyclesPerVariable <= stats.ThroughputCyclesPerVariable+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPipelineSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulatePipeline(PipelineConfig{M: 49, Width: 1, Replicas: 4}, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package rsu
+
+import (
+	"fmt"
+
+	"repro/internal/fixed"
+	"repro/internal/rng"
+)
+
+// This file models the §6.1 software interface: a single instruction
+//
+//	RSU op, reg_src, reg_dst
+//
+// whose 3-bit op field selects one of six control registers (map table
+// hi, map table lo, down counter, neighbors, singleton A, singleton D)
+// plus a result-read bit. Initialization costs 3 instructions (two map
+// writes + the counter); per-variable operation writes neighbors and
+// singleton data and then reads the result, stalling if the evaluation
+// has not finished.
+
+// Op selects an RSU-G control register.
+type Op uint8
+
+// Control-register opcodes (§6.1).
+const (
+	OpMapLo Op = iota
+	OpMapHi
+	OpCounter
+	OpNeighbors
+	OpSingletonA
+	OpSingletonD
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpMapLo:
+		return "map_lo"
+	case OpMapHi:
+		return "map_hi"
+	case OpCounter:
+		return "counter"
+	case OpNeighbors:
+		return "neighbors"
+	case OpSingletonA:
+		return "singleton_a"
+	case OpSingletonD:
+		return "singleton_d"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// ThresholdMap is the compact, architecturally loadable form of an
+// IntensityMap. The paper initializes the map table with just two
+// 64-bit register writes; a full 256×4-bit table cannot cross a 64-bit
+// datapath in two writes, but a *monotone* map can: because the target
+// rate exp(-E/T) is decreasing in E, the map is a step function over at
+// most 16 energy runs. ThresholdMap stores the 16 run-start energies
+// (8 bits each = 128 bits = exactly the "map table hi"/"map table lo"
+// pair); run r uses the r-th brightest LED code of the unit's ladder.
+type ThresholdMap struct {
+	// Starts[r] is the first energy of run r; Starts[0] must be 0 and
+	// entries must be non-decreasing. A run collapses to zero length
+	// when Starts[r] == Starts[r+1].
+	Starts [16]uint8
+	// Codes[r] is the LED code of run r (fixed by the ladder design,
+	// sorted from brightest to darkest).
+	Codes [16]uint8
+}
+
+// CompressMap converts a full IntensityMap into threshold form.
+// It fails when the map is not a step function of at most 16 runs —
+// which cannot happen for maps built by BuildIntensityMap against a
+// rate-sorted ladder, but can for hand-crafted maps.
+func CompressMap(m IntensityMap) (ThresholdMap, error) {
+	var tm ThresholdMap
+	run := -1
+	for e := 0; e < 256; e++ {
+		if run >= 0 && m[e] == tm.Codes[run] {
+			continue
+		}
+		run++
+		if run >= 16 {
+			return tm, fmt.Errorf("rsu: intensity map has more than 16 runs")
+		}
+		tm.Starts[run] = uint8(e)
+		tm.Codes[run] = m[e]
+	}
+	// Unused trailing runs duplicate the last real start: Expand treats a
+	// run whose start does not exceed its predecessor's as empty, so the
+	// encoding is lossless and independent of the trailing codes.
+	for r := run + 1; r < 16; r++ {
+		tm.Starts[r] = tm.Starts[run]
+		tm.Codes[r] = tm.Codes[run]
+	}
+	return tm, nil
+}
+
+// Expand reconstructs the full 256-entry map.
+func (tm ThresholdMap) Expand() IntensityMap {
+	var m IntensityMap
+	run := 0
+	for e := 0; e < 256; e++ {
+		for run+1 < 16 && uint8(e) >= tm.Starts[run+1] && tm.Starts[run+1] > tm.Starts[run] {
+			run++
+		}
+		m[e] = tm.Codes[run]
+	}
+	return m
+}
+
+// Words packs the 16 run-start energies into the two 64-bit control
+// values written to map_lo (runs 0–7) and map_hi (runs 8–15).
+func (tm ThresholdMap) Words() (lo, hi uint64) {
+	for r := 0; r < 8; r++ {
+		lo |= uint64(tm.Starts[r]) << (8 * r)
+		hi |= uint64(tm.Starts[r+8]) << (8 * r)
+	}
+	return lo, hi
+}
+
+// ThresholdMapFromWords rebuilds the run starts from the two control
+// words; codes must be supplied by the ladder design (they are wired,
+// not loaded).
+func ThresholdMapFromWords(lo, hi uint64, codes [16]uint8) ThresholdMap {
+	var tm ThresholdMap
+	for r := 0; r < 8; r++ {
+		tm.Starts[r] = uint8(lo >> (8 * r))
+		tm.Starts[r+8] = uint8(hi >> (8 * r))
+	}
+	tm.Codes = codes
+	return tm
+}
+
+// PackNeighbors packs four 6-bit labels into one 24-bit operand
+// (§6.1: "we assume [values] are packed into 32 or 64-bit registers").
+func PackNeighbors(n [4]fixed.Label) uint64 {
+	var v uint64
+	for i, l := range n {
+		v |= uint64(l&fixed.MaxLabel) << (6 * i)
+	}
+	return v
+}
+
+// UnpackNeighbors reverses PackNeighbors.
+func UnpackNeighbors(v uint64) [4]fixed.Label {
+	var n [4]fixed.Label
+	for i := range n {
+		n[i] = fixed.Label(v>>(6*i)) & fixed.MaxLabel
+	}
+	return n
+}
+
+// Driver models a thread driving one RSU-G unit through the §6.1
+// instruction interface, counting issued instructions and stall cycles.
+type Driver struct {
+	unit  *Unit
+	codes [16]uint8 // ladder codes sorted brightest-first (wired)
+
+	in          Input
+	counterInit int
+	mapLoaded   bool
+	counterSet  bool
+
+	pendingLo, pendingHi uint64
+	haveLo, haveHi       bool
+
+	// Instructions is the number of RSU instructions issued.
+	Instructions int
+	// StallCycles is the total stall waiting for results.
+	StallCycles int
+}
+
+// NewDriver wires a driver to a unit. The driver derives the fixed
+// rate-sorted code order from the unit's LED ladder.
+func NewDriver(u *Unit) *Driver {
+	d := &Driver{unit: u}
+	levels := u.Levels()
+	// Selection sort of codes by descending rate (16 entries).
+	used := [16]bool{}
+	for r := 0; r < 16; r++ {
+		best, bestRate := -1, -1.0
+		for c := 0; c < 16; c++ {
+			if !used[c] && levels[c] > bestRate {
+				best, bestRate = c, levels[c]
+			}
+		}
+		used[best] = true
+		d.codes[r] = uint8(best)
+	}
+	return d
+}
+
+// Codes returns the wired brightest-first code order.
+func (d *Driver) Codes() [16]uint8 { return d.codes }
+
+// Write issues one RSU control-register write (one instruction).
+func (d *Driver) Write(op Op, value uint64) error {
+	d.Instructions++
+	switch op {
+	case OpMapLo:
+		d.pendingLo, d.haveLo = value, true
+		d.tryLoadMap()
+	case OpMapHi:
+		d.pendingHi, d.haveHi = value, true
+		d.tryLoadMap()
+	case OpCounter:
+		v := int(value & fixed.MaxLabel)
+		if v+1 != d.unit.cfg.M {
+			return fmt.Errorf("rsu: counter init %d does not match M=%d", v, d.unit.cfg.M)
+		}
+		d.counterInit = v
+		d.counterSet = true
+	case OpNeighbors:
+		d.in.Neighbors = UnpackNeighbors(value)
+	case OpSingletonA:
+		d.in.Data1 = uint8(value) & fixed.MaxLabel
+	case OpSingletonD:
+		d.in.Data2 = uint8(value) & fixed.MaxLabel
+	default:
+		return fmt.Errorf("rsu: unknown op %v", op)
+	}
+	return nil
+}
+
+// tryLoadMap expands and installs the threshold map once both halves
+// have been written.
+func (d *Driver) tryLoadMap() {
+	if !d.haveLo || !d.haveHi {
+		return
+	}
+	tm := ThresholdMapFromWords(d.pendingLo, d.pendingHi, d.codes)
+	d.unit.SetMap(tm.Expand())
+	d.mapLoaded = true
+}
+
+// Init performs the 3-instruction application setup (§6.1: "The total
+// initialization time is only 3 cycles"): two map writes and the
+// counter write.
+func (d *Driver) Init(tm ThresholdMap) error {
+	lo, hi := tm.Words()
+	if err := d.Write(OpMapLo, lo); err != nil {
+		return err
+	}
+	if err := d.Write(OpMapHi, hi); err != nil {
+		return err
+	}
+	return d.Write(OpCounter, uint64(d.unit.cfg.M-1))
+}
+
+// Sample issues the per-variable sequence: neighbors, singleton A,
+// singleton D (3 instructions), then the result read. The result read
+// stalls for the evaluation latency minus the cycles already overlapped
+// with the writes (§6.1 assumes write overlap with the previous
+// variable's tail; we charge the full evaluation latency as stall for a
+// single in-flight variable, the conservative non-pipelined bound).
+func (d *Driver) Sample(nbrs [4]fixed.Label, data1, data2 uint8, src *rng.Source) (fixed.Label, error) {
+	if !d.mapLoaded || !d.counterSet {
+		return 0, fmt.Errorf("rsu: driver not initialized (map=%v counter=%v)", d.mapLoaded, d.counterSet)
+	}
+	if err := d.Write(OpNeighbors, PackNeighbors(nbrs)); err != nil {
+		return 0, err
+	}
+	if err := d.Write(OpSingletonA, uint64(data1)); err != nil {
+		return 0, err
+	}
+	if err := d.Write(OpSingletonD, uint64(data2)); err != nil {
+		return 0, err
+	}
+	d.Instructions++ // the result-read instruction
+	label, timing := d.unit.Sample(d.in, src)
+	d.StallCycles += timing.Cycles
+	return label, nil
+}
+
+// SampleStream issues the per-variable sequence for applications whose
+// second data value changes per label (§6: "the singleton calculation
+// may also need information from a target location (pixel grayscale)").
+// The software writes neighbors and singleton A once, then streams one
+// singleton-D write per label, overlapped with the down counter's
+// iteration — M extra instructions but no extra evaluation latency
+// beyond the unit's normal M-step schedule.
+func (d *Driver) SampleStream(nbrs [4]fixed.Label, data1 uint8, data2PerLabel []uint8, src *rng.Source) (fixed.Label, error) {
+	if !d.mapLoaded || !d.counterSet {
+		return 0, fmt.Errorf("rsu: driver not initialized")
+	}
+	if len(data2PerLabel) < d.unit.cfg.M {
+		return 0, fmt.Errorf("rsu: stream has %d entries, need M=%d", len(data2PerLabel), d.unit.cfg.M)
+	}
+	if err := d.Write(OpNeighbors, PackNeighbors(nbrs)); err != nil {
+		return 0, err
+	}
+	if err := d.Write(OpSingletonA, uint64(data1)); err != nil {
+		return 0, err
+	}
+	// One singleton-D write per label evaluation, in down-counter order.
+	for i := 0; i < d.unit.cfg.M; i++ {
+		if err := d.Write(OpSingletonD, uint64(data2PerLabel[d.unit.cfg.M-1-i])); err != nil {
+			return 0, err
+		}
+	}
+	d.Instructions++ // result read
+	in := d.in
+	in.Data2PerLabel = data2PerLabel
+	label, timing := d.unit.Sample(in, src)
+	d.StallCycles += timing.Cycles
+	return label, nil
+}

@@ -1,0 +1,243 @@
+package rsu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixed"
+	"repro/internal/rng"
+)
+
+func TestCompressExpandRoundTrip(t *testing.T) {
+	u := testUnit(t, 5, 1, false, 40, Ideal)
+	m := u.Config().Map
+	tm, err := CompressMap(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tm.Expand(); got != m {
+		t.Fatal("compress/expand round trip mismatch")
+	}
+}
+
+func TestCompressRejectsHighFrequencyMap(t *testing.T) {
+	var m IntensityMap
+	for e := range m {
+		m[e] = uint8(e % 3) // 256 runs
+	}
+	if _, err := CompressMap(m); err == nil {
+		t.Fatal("map with 256 runs accepted")
+	}
+}
+
+func TestThresholdWordsRoundTrip(t *testing.T) {
+	u := testUnit(t, 5, 1, false, 40, Ideal)
+	tm, err := CompressMap(u.Config().Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := tm.Words()
+	got := ThresholdMapFromWords(lo, hi, tm.Codes)
+	if got != tm {
+		t.Fatalf("words round trip: %+v vs %+v", got, tm)
+	}
+}
+
+func TestPackNeighborsRoundTrip(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		n := [4]fixed.Label{
+			fixed.Label(a & fixed.MaxLabel),
+			fixed.Label(b & fixed.MaxLabel),
+			fixed.Label(c & fixed.MaxLabel),
+			fixed.Label(d & fixed.MaxLabel),
+		}
+		return UnpackNeighbors(PackNeighbors(n)) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverInitAndSample(t *testing.T) {
+	u := testUnit(t, 5, 1, false, 40, Ideal)
+	lut := u.Config().Map
+	tm, err := CompressMap(lut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(u)
+
+	// Sampling before init must fail.
+	src := rng.New(11)
+	if _, err := d.Sample([4]fixed.Label{}, 0, 0, src); err == nil {
+		t.Fatal("uninitialized driver sampled")
+	}
+
+	if err := d.Init(tm); err != nil {
+		t.Fatal(err)
+	}
+	if d.Instructions != 3 {
+		t.Fatalf("init took %d instructions, want 3 (§6.1)", d.Instructions)
+	}
+	// The map reloaded through the 128-bit interface must equal the
+	// original LUT.
+	if u.Config().Map != lut {
+		t.Fatal("driver-loaded map differs from original")
+	}
+
+	label, err := d.Sample([4]fixed.Label{1, 1, 2, 2}, 5, 6, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(label) >= 5 {
+		t.Fatalf("label %d out of range", label)
+	}
+	if d.Instructions != 7 { // 3 init + 3 writes + 1 read
+		t.Fatalf("instructions %d, want 7", d.Instructions)
+	}
+	if want := u.EvalTiming().Cycles; d.StallCycles != want {
+		t.Fatalf("stall cycles %d, want %d", d.StallCycles, want)
+	}
+}
+
+func TestDriverCounterMismatch(t *testing.T) {
+	u := testUnit(t, 5, 1, false, 40, Ideal)
+	d := NewDriver(u)
+	if err := d.Write(OpCounter, 7); err == nil {
+		t.Fatal("counter mismatch accepted")
+	}
+}
+
+func TestDriverUnknownOp(t *testing.T) {
+	u := testUnit(t, 5, 1, false, 40, Ideal)
+	d := NewDriver(u)
+	if err := d.Write(Op(9), 0); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestDriverCodesSortedByRate(t *testing.T) {
+	u := testUnit(t, 5, 1, false, 40, Ideal)
+	d := NewDriver(u)
+	levels := u.Levels()
+	codes := d.Codes()
+	for i := 1; i < 16; i++ {
+		if levels[codes[i]] > levels[codes[i-1]] {
+			t.Fatalf("codes not sorted brightest-first at %d: %v", i, codes)
+		}
+	}
+	if codes[0] != 15 {
+		t.Fatalf("brightest code %d, want 15 for binary ladder", codes[0])
+	}
+}
+
+// TestDriverSampleMatchesDirectUnit: driving through the instruction
+// interface must sample the same distribution as calling the unit
+// directly.
+func TestDriverSampleMatchesDirectUnit(t *testing.T) {
+	u := testUnit(t, 4, 1, false, 40, Ideal)
+	tm, err := CompressMap(u.Config().Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(u)
+	if err := d.Init(tm); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(12)
+	nbrs := [4]fixed.Label{0, 1, 1, 2}
+	const trials = 60000
+	counts := make([]int, 4)
+	for i := 0; i < trials; i++ {
+		l, err := d.Sample(nbrs, 8, 9, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[l]++
+	}
+	want := u.IdealConditional(Input{Neighbors: nbrs, Data1: 8, Data2: 9})
+	for l := range want {
+		got := float64(counts[l]) / trials
+		if diff := got - want[l]; diff > 0.06 || diff < -0.06 {
+			t.Fatalf("label %d: driver %v vs ideal %v", l, got, want[l])
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	names := map[Op]string{
+		OpMapLo: "map_lo", OpMapHi: "map_hi", OpCounter: "counter",
+		OpNeighbors: "neighbors", OpSingletonA: "singleton_a", OpSingletonD: "singleton_d",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%v != %s", op, want)
+		}
+	}
+	if Op(9).String() != "Op(9)" {
+		t.Error("unknown op string")
+	}
+}
+
+// TestDriverSampleStream: the per-label singleton-D streaming path used
+// by motion estimation — M extra instructions, same distribution as the
+// direct unit call.
+func TestDriverSampleStream(t *testing.T) {
+	u := testUnit(t, 4, 1, false, 10, Ideal)
+	tm, err := CompressMap(u.Config().Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(u)
+	if err := d.Init(tm); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(91)
+	nbrs := [4]fixed.Label{1, 1, 2, 2}
+	targets := []uint8{9, 8, 12, 30}
+
+	before := d.Instructions
+	if _, err := d.SampleStream(nbrs, 8, targets, src); err != nil {
+		t.Fatal(err)
+	}
+	// 2 operand writes + M singleton-D writes + 1 read.
+	if got := d.Instructions - before; got != 2+4+1 {
+		t.Fatalf("stream instructions %d, want 7", got)
+	}
+
+	const trials = 60000
+	counts := make([]int, 4)
+	for i := 0; i < trials; i++ {
+		l, err := d.SampleStream(nbrs, 8, targets, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[l]++
+	}
+	want := u.IdealConditional(Input{Neighbors: nbrs, Data1: 8, Data2PerLabel: targets})
+	for l := range want {
+		got := float64(counts[l]) / trials
+		if diff := got - want[l]; diff > 0.06 || diff < -0.06 {
+			t.Fatalf("label %d: stream %v vs ideal %v", l, got, want[l])
+		}
+	}
+}
+
+func TestDriverSampleStreamValidation(t *testing.T) {
+	u := testUnit(t, 4, 1, false, 10, Ideal)
+	d := NewDriver(u)
+	src := rng.New(92)
+	if _, err := d.SampleStream([4]fixed.Label{}, 0, []uint8{1, 2, 3, 4}, src); err == nil {
+		t.Fatal("uninitialized stream accepted")
+	}
+	tm, err := CompressMap(u.Config().Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Init(tm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SampleStream([4]fixed.Label{}, 0, []uint8{1, 2}, src); err == nil {
+		t.Fatal("short stream accepted")
+	}
+}

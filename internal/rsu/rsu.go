@@ -1,0 +1,354 @@
+// Package rsu implements the paper's primary contribution: RSU-G, a
+// RET-based Gibbs sampling functional unit for first-order MRF inference
+// (paper §4–§6).
+//
+// An RSU-G draws a new label for one MRF random variable by racing M
+// exponential samplers ("first to fire", §4.3): each candidate label's
+// clique-potential energy parameterizes a RET circuit through an
+// intensity LUT; the label whose circuit fluoresces first is the sample.
+// The five pipeline components (§5.1) are:
+//
+//  1. label decrement/input   — down counter iterating M-1 … 0
+//  2. energy computation      — singleton + four doubletons, 8-bit saturating
+//  3. energy→intensity map    — 256×4-bit LUT (IntensityMap)
+//  4. RET circuits            — exponential TTF samplers (internal/ret)
+//  5. selection               — compare-and-update on quantized TTFs
+//
+// A unit of width K (RSU-Gk) evaluates K labels per cycle using K lanes
+// of replicated RET circuits; RSU-G1 takes 7+(M−1) cycles per variable,
+// RSU-G64 takes 12 (§5).
+package rsu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fixed"
+	"repro/internal/ret"
+	"repro/internal/rng"
+)
+
+// SamplingMode selects how RET TTFs are generated.
+type SamplingMode int
+
+const (
+	// Ideal draws TTFs directly from Exp(EffectiveRate(code)): the
+	// asymptotic behavior of the RET circuit without photon-level
+	// simulation. Fast enough for whole-image inference.
+	Ideal SamplingMode = iota
+	// Physical runs the full photon-level simulation in internal/ret
+	// (Poisson absorption, network relaxation, SPAD noise). Slow;
+	// used for fidelity studies.
+	Physical
+)
+
+// String implements fmt.Stringer.
+func (m SamplingMode) String() string {
+	switch m {
+	case Ideal:
+		return "ideal"
+	case Physical:
+		return "physical"
+	default:
+		return fmt.Sprintf("SamplingMode(%d)", int(m))
+	}
+}
+
+// QuiescenceCycles is the recovery time of a RET circuit after a
+// sampling operation (§5.3): "The RSU-G1 design presented here requires
+// four 1ns cycles for the RET circuits to reach a quiescent state."
+const QuiescenceCycles = 4
+
+// DefaultReplicas is the number of replicated RET circuits per lane
+// needed to hide the quiescence hazard and sustain one evaluation per
+// cycle (§5.3).
+const DefaultReplicas = 4
+
+// Config describes one RSU-G unit.
+type Config struct {
+	// M is the number of labels per random variable, 2..64 (6-bit).
+	M int
+	// Width K is the number of labels evaluated per step: 1 for RSU-G1,
+	// 4 for RSU-G4, up to 64 for RSU-G64.
+	Width int
+	// Vector selects 2-D vector label interpretation (two 3-bit
+	// components) for the doubleton distance; scalar otherwise.
+	Vector bool
+	// DoubletonWeight and SingletonWeight are the integer fixed-point
+	// clique weights (w in Eq. 2).
+	DoubletonWeight, SingletonWeight uint8
+	// Diagonal enables the RSU-G8 extension (§9 "other MRF problems"):
+	// four additional diagonal-neighbor registers and doubleton adders
+	// for second-order MRFs, weighted by DiagonalWeight. Costs one extra
+	// pipeline stage for the wider adder tree.
+	Diagonal       bool
+	DiagonalWeight uint8
+	// ClockHz is the system clock (1 GHz at 15 nm, §8).
+	ClockHz float64
+	// Replicas is the number of RET circuits per lane (default 4).
+	Replicas int
+	// Mode selects Ideal or Physical TTF generation.
+	Mode SamplingMode
+	// Circuit is the RET circuit design replicated across lanes.
+	Circuit *ret.Circuit
+	// Map is the energy→intensity LUT (loaded per application, §6.1).
+	Map IntensityMap
+	// Labels optionally maps application label indices 0..M-1 to 6-bit
+	// datapath codes (a small label-decode ROM in front of the energy
+	// stage). Needed when the label space does not pack contiguously:
+	// e.g. a 7×7 motion window (M=49) whose vectors occupy the 3+3-bit
+	// code space sparsely. Nil means the identity mapping. Neighbor
+	// labels in Input are always datapath codes.
+	Labels []fixed.Label
+}
+
+// Unit is an RSU-G instance.
+type Unit struct {
+	cfg    Config
+	timer  TTFTimer
+	levels [16]float64 // EffectiveRate per LED code
+}
+
+// New validates cfg and constructs the unit.
+func New(cfg Config) (*Unit, error) {
+	switch {
+	case cfg.M < 2 || cfg.M > fixed.MaxLabels:
+		return nil, fmt.Errorf("rsu: M=%d outside [2,%d]", cfg.M, fixed.MaxLabels)
+	case cfg.Width < 1 || cfg.Width > fixed.MaxLabels:
+		return nil, fmt.Errorf("rsu: width %d outside [1,%d]", cfg.Width, fixed.MaxLabels)
+	case cfg.ClockHz <= 0:
+		return nil, fmt.Errorf("rsu: clock must be positive")
+	case cfg.Circuit == nil:
+		return nil, fmt.Errorf("rsu: nil RET circuit")
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("rsu: replicas %d < 1", cfg.Replicas)
+	}
+	if cfg.Labels != nil && len(cfg.Labels) != cfg.M {
+		return nil, fmt.Errorf("rsu: label table has %d entries, need M=%d", len(cfg.Labels), cfg.M)
+	}
+	u := &Unit{cfg: cfg, timer: NewTTFTimer(cfg.ClockHz)}
+	for c := 0; c < 16; c++ {
+		u.levels[c] = cfg.Circuit.EffectiveRate(uint8(c))
+	}
+	return u, nil
+}
+
+// Config returns the unit's configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// SetMap installs a new energy→intensity LUT (the §6.1 map-table load).
+func (u *Unit) SetMap(m IntensityMap) { u.cfg.Map = m }
+
+// Timer returns the TTF quantizer.
+func (u *Unit) Timer() TTFTimer { return u.timer }
+
+// Levels returns the effective sampling rate of each LED code — the
+// input needed to build an IntensityMap matched to this unit.
+func (u *Unit) Levels() [16]float64 { return u.levels }
+
+// Input carries the per-variable operands of §6: the four neighbor
+// labels (doubleton terms) and the data values (singleton term).
+type Input struct {
+	// Neighbors are the current labels of the four adjacent variables.
+	Neighbors [4]fixed.Label
+	// NeighborsDiag are the four diagonal neighbors, used only when the
+	// unit is configured with Diagonal (RSU-G8).
+	NeighborsDiag [4]fixed.Label
+	// Data1 is the variable's own 6-bit data value (e.g. pixel
+	// intensity), "singleton A" in the control-register set.
+	Data1 uint8
+	// Data2 is the constant second data value ("singleton D").
+	Data2 uint8
+	// Data2PerLabel optionally supplies a per-label second data value —
+	// the §6 case where "the singleton calculation may also need
+	// information from a target location" (motion estimation's candidate
+	// pixel). When non-nil it must have length >= M and overrides Data2.
+	Data2PerLabel []uint8
+	// SingletonPerLabel optionally supplies externally precomputed
+	// singleton energies (§4.3: "extendable to other applications by
+	// precomputing their singleton energy externally"). When non-nil it
+	// overrides the squared-difference singleton entirely.
+	SingletonPerLabel []fixed.Energy
+	// Current is the variable's current label index, returned unchanged
+	// when no RET circuit fires within the TTF window (every channel
+	// dark or saturated). Keeping the current value on a no-fire —
+	// rather than a fixed tie-break label — matters for chain dynamics:
+	// a deterministic tie-break label acts as an absorbing contagion
+	// under the smoothness prior. Hardware-wise this is a saturation
+	// flag on the selection register that tells software to skip the
+	// update, equivalent to a rejected Metropolis move.
+	Current fixed.Label
+}
+
+// LabelCode returns the 6-bit datapath code of application label index
+// idx (identity unless Config.Labels is set).
+func (u *Unit) LabelCode(idx int) fixed.Label {
+	if u.cfg.Labels != nil {
+		return u.cfg.Labels[idx]
+	}
+	return fixed.Label(idx)
+}
+
+// Energy runs the energy-calculation pipeline stage (§5.2) for the
+// candidate label with index idx: the 8-bit saturating sum of the
+// singleton and the four doubleton clique potentials. Per-label input
+// slices are indexed by idx; the doubleton distance operates on the
+// label's datapath code against the neighbor codes.
+func (u *Unit) Energy(in Input, idx int) fixed.Energy {
+	var e fixed.Energy
+	if in.SingletonPerLabel != nil {
+		e = in.SingletonPerLabel[idx]
+	} else {
+		d2 := in.Data2
+		if in.Data2PerLabel != nil {
+			d2 = in.Data2PerLabel[idx]
+		}
+		e = fixed.SingletonEnergy(in.Data1, d2, u.cfg.SingletonWeight)
+	}
+	code := u.LabelCode(idx)
+	for _, nbr := range in.Neighbors {
+		e = fixed.SatAddEnergy(e, fixed.DoubletonEnergy(code, nbr, u.cfg.Vector, u.cfg.DoubletonWeight))
+	}
+	if u.cfg.Diagonal {
+		for _, nbr := range in.NeighborsDiag {
+			e = fixed.SatAddEnergy(e, fixed.DoubletonEnergy(code, nbr, u.cfg.Vector, u.cfg.DiagonalWeight))
+		}
+	}
+	return e
+}
+
+// Timing reports the cycle cost of one variable evaluation.
+type Timing struct {
+	// Cycles is the steady-state latency in system clock cycles.
+	Cycles int
+	// Steps is the number of label-evaluation steps (ceil(M/K)).
+	Steps int
+}
+
+// EvalTiming returns the pipeline timing for this configuration:
+//
+//	cycles = depth(K) + (steps-1) × interval
+//
+// where steps = ceil(M/K), depth(1) = 7 (the paper's 7+(M−1) for
+// RSU-G1), depth grows with the selection-tree depth for wider units
+// (depth(64) = 12, matching "up to 64 labels in 12 cycles"), and the
+// initiation interval is 1 when enough RET-circuit replicas hide the
+// 4-cycle quiescence hazard (§5.3), else ceil(Quiescence/Replicas).
+func (u *Unit) EvalTiming() Timing {
+	k := u.cfg.Width
+	steps := (u.cfg.M + k - 1) / k
+	depth := 7
+	if k > 1 {
+		// Extra compare stages for the K-wide selection tree.
+		depth += ceilLog2(k) - 1
+	}
+	if u.cfg.Diagonal {
+		// RSU-G8: the eight-input energy adder tree is one level deeper.
+		depth++
+	}
+	interval := 1
+	if u.cfg.Replicas < QuiescenceCycles {
+		interval = (QuiescenceCycles + u.cfg.Replicas - 1) / u.cfg.Replicas
+	}
+	return Timing{Cycles: depth + (steps-1)*interval, Steps: steps}
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}
+
+// Sample draws a new label index for one random variable: the full
+// first-to-fire race over all M candidate labels with hardware
+// quantization (16-level intensity ladder, 8-bit TTF register). The
+// down counter iterates label indices M-1 … 0, and the selection stage
+// keeps the strictly shortest quantized TTF — on ties the earlier-
+// evaluated (higher) index wins, matching a compare-and-update register
+// that only updates on '<'. The returned value is the winning label
+// *index* (the down-counter value latched by the selection stage);
+// use LabelCode for its datapath code.
+func (u *Unit) Sample(in Input, src *rng.Source) (fixed.Label, Timing) {
+	if in.Data2PerLabel != nil && len(in.Data2PerLabel) < u.cfg.M {
+		panic(fmt.Sprintf("rsu: Data2PerLabel has %d entries, need %d", len(in.Data2PerLabel), u.cfg.M))
+	}
+	if in.SingletonPerLabel != nil && len(in.SingletonPerLabel) < u.cfg.M {
+		panic(fmt.Sprintf("rsu: SingletonPerLabel has %d entries, need %d", len(in.SingletonPerLabel), u.cfg.M))
+	}
+	window := u.timer.Window()
+	bestIdx := u.cfg.M - 1
+	bestCount := u.timer.MaxCount()
+	first := true
+	for idx := u.cfg.M - 1; idx >= 0; idx-- {
+		e := u.Energy(in, idx)
+		code := u.cfg.Map[e]
+		var ttf float64
+		switch u.cfg.Mode {
+		case Physical:
+			ttf = u.cfg.Circuit.SampleTTF(code, window, src)
+		default:
+			rate := u.levels[code]
+			if rate <= 0 {
+				ttf = math.Inf(1)
+			} else {
+				ttf = src.Exponential(rate)
+			}
+		}
+		count := u.timer.Quantize(ttf)
+		if first || count < bestCount {
+			bestIdx, bestCount = idx, count
+			first = false
+		}
+	}
+	if bestCount >= u.timer.MaxCount() {
+		// No circuit fired within the window: saturation flag set,
+		// software keeps the current value (see Input.Current).
+		return in.Current, u.EvalTiming()
+	}
+	return fixed.Label(bestIdx), u.EvalTiming()
+}
+
+// SampleDistribution estimates by repeated sampling the label
+// distribution the unit realizes for a fixed input — the quantity
+// compared against the exact softmax in fidelity tests.
+func (u *Unit) SampleDistribution(in Input, trials int, src *rng.Source) []float64 {
+	counts := make([]int, u.cfg.M)
+	for i := 0; i < trials; i++ {
+		l, _ := u.Sample(in, src)
+		counts[l]++
+	}
+	probs := make([]float64, u.cfg.M)
+	for i, c := range counts {
+		probs[i] = float64(c) / float64(trials)
+	}
+	return probs
+}
+
+// IdealConditional returns the exact distribution implied by the
+// unit's quantized energies and LED ladder with *continuous* (ideal)
+// first-to-fire: p(l) = rate(l) / Σ rate — i.e. everything but the TTF
+// register quantization. Useful to separate the two quantization
+// effects in ablations.
+func (u *Unit) IdealConditional(in Input) []float64 {
+	rates := make([]float64, u.cfg.M)
+	sum := 0.0
+	for idx := 0; idx < u.cfg.M; idx++ {
+		rates[idx] = u.levels[u.cfg.Map[u.Energy(in, idx)]]
+		sum += rates[idx]
+	}
+	if sum == 0 {
+		// All channels dark: the no-fire path keeps the current label.
+		rates[in.Current] = 1
+		return rates
+	}
+	for l := range rates {
+		rates[l] /= sum
+	}
+	return rates
+}

@@ -1,0 +1,51 @@
+package rsu
+
+import "math"
+
+// TTFTimer models the time-to-fluorescence measurement of the RET
+// Sampling pipeline stage (paper §5.2): "The time to the first photon
+// detection (TTF) is recorded using an 8-bit shift register that is
+// clocked 8x faster than the system clock."
+type TTFTimer struct {
+	// ClockHz is the system clock frequency; the register ticks at
+	// 8 × ClockHz.
+	ClockHz float64
+	// Bits is the register width (8 in the paper). Max count is
+	// 2^Bits - 1, at which the measurement saturates.
+	Bits int
+}
+
+// NewTTFTimer returns the paper's 8-bit, 8x-overclocked timer for the
+// given system clock. It panics on a non-positive clock.
+func NewTTFTimer(clockHz float64) TTFTimer {
+	if clockHz <= 0 {
+		panic("rsu: TTF timer clock must be positive")
+	}
+	return TTFTimer{ClockHz: clockHz, Bits: 8}
+}
+
+// Resolution returns the tick duration in seconds (125 ps at 1 GHz).
+func (t TTFTimer) Resolution() float64 { return 1 / (8 * t.ClockHz) }
+
+// MaxCount returns the saturation count (255 for 8 bits).
+func (t TTFTimer) MaxCount() uint32 { return 1<<t.Bits - 1 }
+
+// Window returns the full-scale measurement window in seconds
+// (31.875 ns at 1 GHz with 8 bits).
+func (t TTFTimer) Window() float64 { return float64(t.MaxCount()) * t.Resolution() }
+
+// Quantize converts a continuous TTF in seconds to a register count,
+// saturating at MaxCount. Infinite TTF (a dark channel) saturates.
+func (t TTFTimer) Quantize(ttf float64) uint32 {
+	if ttf < 0 {
+		return 0
+	}
+	if math.IsInf(ttf, 1) {
+		return t.MaxCount()
+	}
+	c := uint64(ttf / t.Resolution())
+	if c >= uint64(t.MaxCount()) {
+		return t.MaxCount()
+	}
+	return uint32(c)
+}
