@@ -1,0 +1,31 @@
+# Tier-1 flow for the RSU-G reproduction.
+#
+#   make build   compile everything
+#   make test    full test suite
+#   make race    race-detector pass over the concurrent packages
+#   make bench   sweep-engine micro-benchmarks + throughput report
+
+GO ?= go
+
+.PHONY: build test race bench sweep-report all
+
+all: build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The sweep engine is the only concurrency in the repo; gibbs exercises
+# the worker pool and rng the per-row stream splitting.
+race:
+	$(GO) test -race ./internal/gibbs/... ./internal/rng/...
+
+bench:
+	$(GO) test -run xxx -bench BenchmarkSweep -benchtime 1s ./internal/gibbs/
+
+# Regenerates the committed BENCH_sweep.json (pass SEED_NS to record a
+# seed-tree baseline measurement).
+sweep-report:
+	$(GO) run ./cmd/paperbench -experiment sweep -sweepjson BENCH_sweep.json $(if $(SEED_NS),-sweepbaseline $(SEED_NS))

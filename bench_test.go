@@ -347,3 +347,40 @@ func BenchmarkPipelineThroughputM49(b *testing.B) {
 	}
 	b.ReportMetric(stats.ThroughputCyclesPerVariable, "cycles/var")
 }
+
+// --- Sweep engine (BENCH_sweep.json) ---------------------------------
+
+// BenchmarkSweepEngine runs a full segmentation solve through the
+// façade with and without the compiled sweep fast path
+// (Config.Compile). The per-site numbers behind the committed
+// BENCH_sweep.json come from internal/bench (`make sweep-report`);
+// this benchmark shows the same speedup end to end, label maps
+// bit-identical between the two sub-benchmarks.
+func BenchmarkSweepEngine(b *testing.B) {
+	for _, compiled := range []bool{false, true} {
+		name := "closure"
+		if compiled {
+			name = "compiled"
+		}
+		b.Run(name, func(b *testing.B) {
+			scene := BlobScene(96, 96, 5, 6, NewRand(1))
+			app, err := NewSegmentation(scene.Image, scene.Means, 2, 12)
+			if err != nil {
+				b.Fatal(err)
+			}
+			solver, err := NewSolver(app, Config{
+				Backend: SoftwareGibbs, Iterations: 4,
+				Compile: compiled, Seed: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -8,6 +8,8 @@
 //	paperbench -figure 8        # one figure (7 or 8)
 //	paperbench -experiment xyz  # ratio | accelerator | fidelity | ablation
 //	paperbench -out DIR         # where Figure 7 PGMs are written
+//	paperbench -experiment sweep -sweepjson BENCH_sweep.json
+//	                            # sweep-engine throughput report
 package main
 
 import (
@@ -22,9 +24,11 @@ import (
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-4)")
 	figure := flag.Int("figure", 0, "regenerate one figure (7 or 8)")
-	experiment := flag.String("experiment", "", "ratio | accelerator | fidelity | ablation | gpusim")
+	experiment := flag.String("experiment", "", "ratio | accelerator | fidelity | ablation | gpusim | sweep")
 	outDir := flag.String("out", ".", "directory for Figure 7 PGM output")
 	csvDir := flag.String("csv", "", "also write CSV series (table2, figure8, ratio, size sweep) into this directory")
+	sweepJSON := flag.String("sweepjson", "", "with -experiment sweep: also write the machine-readable report to this file (e.g. BENCH_sweep.json)")
+	sweepBaseline := flag.Float64("sweepbaseline", 0, "with -sweepjson: measured seed-tree ns/site for the acceptance config, recorded in the report")
 	flag.Parse()
 
 	w := os.Stdout
@@ -70,6 +74,15 @@ func main() {
 	}
 	if *experiment == "gpusim" || !selected {
 		run("Bottom-up GPU simulation", bench.GPUSim)
+	}
+	// Host-speed measurement, not a paper artifact: only on request.
+	if *experiment == "sweep" {
+		run("Sweep engine throughput", func(w io.Writer) error {
+			if *sweepJSON != "" {
+				return bench.SweepJSON(w, *sweepJSON, *sweepBaseline)
+			}
+			return bench.Sweep(w)
+		})
 	}
 	if *csvDir != "" {
 		if err := bench.WriteCSVSeries(*csvDir); err != nil {

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/gibbs"
+	"repro/internal/img"
+	"repro/internal/mrf"
+)
+
+// sweepGrid is the benchmark grid for the sweep-engine experiment: the
+// acceptance configuration of the high-throughput engine work is the
+// exact-Gibbs checkerboard sweep at 256x256, M=16.
+const sweepGridW, sweepGridH = 256, 256
+
+// sweepLabelCounts are the label-space sizes exercised (motion-style
+// M=2 up to dense segmentation M=64).
+var sweepLabelCounts = []int{2, 16, 64}
+
+// SweepMeasurement is one (schedule, M, path) throughput sample.
+type SweepMeasurement struct {
+	Schedule    string  `json:"schedule"`
+	Labels      int     `json:"labels"`
+	Path        string  `json:"path"` // "closure" or "compiled"
+	NsPerSite   float64 `json:"ns_per_site"`
+	SitesPerSec float64 `json:"sites_per_sec"`
+}
+
+// SweepReport is the machine-readable output of the sweep experiment
+// (written to BENCH_sweep.json by paperbench -sweepjson).
+type SweepReport struct {
+	Grid    string `json:"grid"`
+	Workers int    `json:"workers"`
+	// SeedNsPerSite, when positive, is the measured throughput of the
+	// pre-engine seed tree on the acceptance configuration (exact-Gibbs
+	// checkerboard, M=16), injected via paperbench -sweepbaseline.
+	SeedNsPerSite float64            `json:"seed_ns_per_site,omitempty"`
+	Results       []SweepMeasurement `json:"results"`
+	// SpeedupCompiledVsClosure compares compiled vs closure sites/sec on
+	// the acceptance configuration within this tree.
+	SpeedupCompiledVsClosure float64 `json:"speedup_compiled_vs_closure"`
+	// SpeedupCompiledVsSeed compares the compiled path against
+	// SeedNsPerSite (0 when no baseline was supplied).
+	SpeedupCompiledVsSeed float64 `json:"speedup_compiled_vs_seed,omitempty"`
+}
+
+// sweepModel builds the segmentation-shaped synthetic model used by the
+// sweep benchmarks: integer energies (so the compiled path engages its
+// exp rate LUT), Potts smoothness, deterministic pseudo-image data.
+// Identical to the model of BenchmarkSweep in internal/gibbs.
+func sweepModel(w, h, m int) (*mrf.Model, *img.LabelMap) {
+	obs := make([]int, w*h)
+	for i := range obs {
+		obs[i] = (i*37 + (i/w)*11) % 64
+	}
+	model := &mrf.Model{
+		W: w, H: h, M: m, T: 12, LambdaS: 1, LambdaD: 2,
+		Singleton: func(x, y, label int) float64 {
+			d := obs[y*w+x] - label*4
+			if d < 0 {
+				d = -d
+			}
+			return float64(d)
+		},
+		Doubleton: func(a, b int) float64 {
+			if a == b {
+				return 0
+			}
+			return 1
+		},
+	}
+	init := img.NewLabelMap(w, h)
+	for i := range init.Labels {
+		init.Labels[i] = obs[i] % m
+	}
+	return model, init
+}
+
+// measureSweep times full exact-Gibbs sweeps of one configuration and
+// returns ns/site.
+func measureSweep(schedule gibbs.Schedule, m int, compiled bool, workers int) (SweepMeasurement, error) {
+	model, init := sweepModel(sweepGridW, sweepGridH, m)
+	if compiled {
+		if err := model.Compile(); err != nil {
+			return SweepMeasurement{}, err
+		}
+	}
+	opt := gibbs.Options{Iterations: 1, Schedule: schedule, Workers: workers}
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gibbs.Run(model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return SweepMeasurement{}, runErr
+	}
+	sites := float64(sweepGridW * sweepGridH)
+	nsPerSite := float64(r.NsPerOp()) / sites
+	path := "closure"
+	if compiled {
+		path = "compiled"
+	}
+	return SweepMeasurement{
+		Schedule:    schedule.String(),
+		Labels:      m,
+		Path:        path,
+		NsPerSite:   nsPerSite,
+		SitesPerSec: 1e9 / nsPerSite,
+	}, nil
+}
+
+// runSweep executes the full sweep-engine experiment grid.
+func runSweep(seedNsPerSite float64) (*SweepReport, error) {
+	workers := runtime.GOMAXPROCS(0)
+	rep := &SweepReport{
+		Grid:          fmt.Sprintf("%dx%d", sweepGridW, sweepGridH),
+		Workers:       workers,
+		SeedNsPerSite: seedNsPerSite,
+	}
+	for _, schedule := range []gibbs.Schedule{gibbs.Raster, gibbs.Checkerboard} {
+		for _, m := range sweepLabelCounts {
+			for _, compiled := range []bool{false, true} {
+				w := 1
+				if schedule == gibbs.Checkerboard {
+					w = workers
+				}
+				meas, err := measureSweep(schedule, m, compiled, w)
+				if err != nil {
+					return nil, err
+				}
+				rep.Results = append(rep.Results, meas)
+			}
+		}
+	}
+	var closure16, compiled16 float64
+	for _, r := range rep.Results {
+		if r.Schedule == "checkerboard" && r.Labels == 16 {
+			if r.Path == "closure" {
+				closure16 = r.SitesPerSec
+			} else {
+				compiled16 = r.SitesPerSec
+			}
+		}
+	}
+	if closure16 > 0 {
+		rep.SpeedupCompiledVsClosure = compiled16 / closure16
+	}
+	if seedNsPerSite > 0 {
+		rep.SpeedupCompiledVsSeed = compiled16 / (1e9 / seedNsPerSite)
+	}
+	return rep, nil
+}
+
+// Sweep runs the sweep-engine throughput experiment and renders it as a
+// text table: exact-Gibbs full sweeps at 256x256 for M in {2,16,64},
+// raster and checkerboard schedules, closure vs compiled
+// (mrf.Model.Compile) evaluation paths.
+func Sweep(w io.Writer) error {
+	return sweepTo(w, 0, "")
+}
+
+// SweepJSON runs the sweep experiment and additionally writes the
+// machine-readable SweepReport to jsonPath (the committed
+// BENCH_sweep.json artifact). seedNsPerSite, when positive, records the
+// measured seed-tree baseline for the acceptance configuration.
+func SweepJSON(w io.Writer, jsonPath string, seedNsPerSite float64) error {
+	return sweepTo(w, seedNsPerSite, jsonPath)
+}
+
+func sweepTo(w io.Writer, seedNsPerSite float64, jsonPath string) error {
+	rep, err := runSweep(seedNsPerSite)
+	if err != nil {
+		return err
+	}
+	t := Table{
+		Title: fmt.Sprintf("Sweep engine throughput (exact Gibbs, %s grid, %d worker(s))",
+			rep.Grid, rep.Workers),
+		Header: []string{"Schedule", "M", "Path", "ns/site", "sites/sec"},
+	}
+	for _, r := range rep.Results {
+		t.AddRow(r.Schedule, fmt.Sprintf("%d", r.Labels), r.Path,
+			fmt.Sprintf("%.1f", r.NsPerSite), fmt.Sprintf("%.0f", r.SitesPerSec))
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "checkerboard M=16 compiled vs closure speedup: %.2fx\n",
+		rep.SpeedupCompiledVsClosure)
+	if rep.SpeedupCompiledVsSeed > 0 {
+		fmt.Fprintf(w, "checkerboard M=16 compiled vs seed baseline (%.1f ns/site): %.2fx\n",
+			rep.SeedNsPerSite, rep.SpeedupCompiledVsSeed)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	return nil
+}

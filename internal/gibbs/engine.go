@@ -1,0 +1,128 @@
+package gibbs
+
+import (
+	"sync"
+
+	"repro/internal/img"
+	"repro/internal/mrf"
+	"repro/internal/rng"
+)
+
+// engine is the high-throughput sweep machinery behind Run: a persistent
+// worker pool plus color-strided site iteration for checkerboard sweeps.
+//
+// Three properties distinguish it from a naive per-iteration fan-out:
+//
+//   - Workers are goroutines created once per Run and fed row-span work
+//     items over per-worker channels, instead of spawning
+//     Colors()×Iterations×Workers goroutines over a chain's lifetime.
+//     Each worker owns one Sampler (scratch buffers are per-worker).
+//   - RNG streams are attached to *rows*, not workers: row y always
+//     draws from rowSrc[y] regardless of which worker sweeps it, so a
+//     seeded checkerboard chain produces byte-identical label maps for
+//     any worker count (samplers hold only scratch state; the work
+//     partition is deterministic either way).
+//   - Within a row, the sites of the active color are visited by a
+//     strided x += 2 loop derived from mrf.Neighborhood.RowStride
+//     instead of testing ColorOf on all W pixels and skipping half.
+//
+// Writing site (x, y) during color c's pass never races with the reads
+// of other sites of color c: every clique neighbor of a site has a
+// different color, and only color-c sites are written during the pass.
+type engine struct {
+	m        *mrf.Model
+	lm       *img.LabelMap
+	samplers []Sampler
+	rowSrc   []*rng.Source // len m.H; rowSrc[y] drives row y
+
+	work []chan span    // one channel per worker; nil until start
+	wg   sync.WaitGroup // open spans in the current color pass
+}
+
+// span is one work item: sweep rows [y0, y1) for the given color.
+type span struct {
+	color, y0, y1 int
+}
+
+// newEngine wires an engine over chain state lm. len(samplers) sets the
+// worker count; rowSrc must have one entry per row (entries may repeat
+// a single source when len(samplers) == 1, e.g. to drive all rows from
+// one sequential stream in tests).
+func newEngine(m *mrf.Model, lm *img.LabelMap, samplers []Sampler, rowSrc []*rng.Source) *engine {
+	return &engine{m: m, lm: lm, samplers: samplers, rowSrc: rowSrc}
+}
+
+// start launches the persistent worker pool. It is a no-op for a single
+// worker (sweeps then run on the calling goroutine).
+func (e *engine) start() {
+	if len(e.samplers) <= 1 {
+		return
+	}
+	e.work = make([]chan span, len(e.samplers))
+	for w := range e.work {
+		ch := make(chan span, 1)
+		e.work[w] = ch
+		go func(w int, ch <-chan span) {
+			for sp := range ch {
+				e.sweepSpan(w, sp)
+				e.wg.Done()
+			}
+		}(w, ch)
+	}
+}
+
+// stop shuts the worker pool down. Safe to call when start spawned no
+// workers; must not be called with a color pass in flight.
+func (e *engine) stop() {
+	for _, ch := range e.work {
+		close(ch)
+	}
+	e.work = nil
+}
+
+// sweep performs one checkerboard iteration: every conditional-
+// independence color class in turn, each class swept in parallel by the
+// pool (or inline for one worker).
+func (e *engine) sweep() {
+	colors := e.m.Hood.Colors()
+	workers := len(e.samplers)
+	if workers <= 1 {
+		for color := 0; color < colors; color++ {
+			e.sweepSpan(0, span{color, 0, e.m.H})
+		}
+		return
+	}
+	rowsPer := (e.m.H + workers - 1) / workers
+	for color := 0; color < colors; color++ {
+		for w := 0; w < workers; w++ {
+			y0 := w * rowsPer
+			y1 := y0 + rowsPer
+			if y1 > e.m.H {
+				y1 = e.m.H
+			}
+			if y0 >= y1 {
+				continue
+			}
+			e.wg.Add(1)
+			e.work[w] <- span{color, y0, y1}
+		}
+		e.wg.Wait()
+	}
+}
+
+// sweepSpan updates every site of sp's color in rows [y0, y1) using
+// worker w's sampler and the rows' own RNG streams.
+func (e *engine) sweepSpan(w int, sp span) {
+	m, lm, s := e.m, e.lm, e.samplers[w]
+	for y := sp.y0; y < sp.y1; y++ {
+		x0, ok := m.Hood.RowStride(sp.color, y)
+		if !ok {
+			continue
+		}
+		src := e.rowSrc[y]
+		base := y * m.W
+		for x := x0; x < m.W; x += 2 {
+			lm.Labels[base+x] = s.SampleSite(m, lm, x, y, src)
+		}
+	}
+}

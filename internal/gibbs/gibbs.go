@@ -12,7 +12,6 @@ package gibbs
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"repro/internal/img"
 	"repro/internal/mrf"
@@ -46,10 +45,12 @@ func NewExactGibbs() Factory { return func() Sampler { return &ExactGibbs{} } }
 // Name implements Sampler.
 func (g *ExactGibbs) Name() string { return "exact-gibbs" }
 
-// SampleSite implements Sampler.
+// SampleSite implements Sampler. Categorical normalizes internally, so
+// the unnormalized Boltzmann rates suffice — one fewer O(M) pass per
+// site than drawing from ConditionalProbs.
 func (g *ExactGibbs) SampleSite(m *mrf.Model, lm *img.LabelMap, x, y int, src *rng.Source) int {
-	g.buf = m.ConditionalProbs(g.buf, lm, x, y)
-	return src.Categorical(g.buf)
+	g.buf = m.ConditionalRates(g.buf, lm, x, y)
+	return src.CategoricalRates(g.buf)
 }
 
 // FirstToFireGibbs performs the Gibbs update by racing M ideal
@@ -67,9 +68,13 @@ func NewFirstToFire() Factory { return func() Sampler { return &FirstToFireGibbs
 // Name implements Sampler.
 func (g *FirstToFireGibbs) Name() string { return "first-to-fire" }
 
-// SampleSite implements Sampler.
+// SampleSite implements Sampler. The winner of an exponential-clock
+// race is invariant under a common scaling of the rates, so the
+// unnormalized Boltzmann rates parameterize the race directly — the
+// divide-by-sum pass of ConditionalProbs is pure overhead here, exactly
+// as it would be for an RSU intensity mapping.
 func (g *FirstToFireGibbs) SampleSite(m *mrf.Model, lm *img.LabelMap, x, y int, src *rng.Source) int {
-	g.buf = m.ConditionalProbs(g.buf, lm, x, y)
+	g.buf = m.ConditionalRates(g.buf, lm, x, y)
 	winner, _ := src.FirstToFire(g.buf)
 	return winner
 }
@@ -132,7 +137,11 @@ type Options struct {
 	Iterations int      // total MCMC iterations (full sweeps)
 	BurnIn     int      // iterations before mode tracking starts
 	Schedule   Schedule // sweep order
-	Workers    int      // concurrent workers for Checkerboard (<=1: sequential)
+	// Workers sets checkerboard parallelism (<=1: sequential). RNG
+	// streams are attached to rows, not workers, so for the built-in
+	// samplers (whose state is pure scratch) a seeded run produces the
+	// same labels for every worker count.
+	Workers int
 	// Anneal, if non-nil, returns the temperature for iteration t
 	// (0-based); otherwise the model temperature is used throughout.
 	Anneal func(t int) float64
@@ -165,7 +174,11 @@ type Result struct {
 }
 
 // Run executes an MCMC chain on model m starting from init (which is not
-// modified). The run is deterministic given (factory, opt, seed).
+// modified). The run is deterministic given (factory, opt, seed), and
+// checkerboard runs are additionally invariant to Options.Workers (see
+// Options). Compiling the model first (mrf.Model.Compile) switches the
+// inner loop to the precomputed-table fast path without changing any
+// sampled label: table and closure evaluation are bit-identical.
 func Run(m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed uint64) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -193,20 +206,39 @@ func Run(m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed ui
 		counts = make([]uint32, m.W*m.H*m.M)
 	}
 
+	if opt.Schedule != Raster && opt.Schedule != Checkerboard {
+		return nil, fmt.Errorf("gibbs: unknown schedule %v", opt.Schedule)
+	}
+
 	workers := opt.Workers
 	if workers < 1 || opt.Schedule == Raster {
 		workers = 1
 	}
+	if workers > m.H {
+		workers = m.H // a worker owns at least one row
+	}
 
-	// Per-worker state: sampler + decorrelated RNG stream.
+	// Per-worker samplers (scratch state), a sequential chain stream for
+	// raster sweeps, and — for checkerboard sweeps — one decorrelated
+	// stream per row so results are independent of the worker count.
 	root := rng.New(seed)
-	srcs := make([]*rng.Source, workers)
+	chain := root.Split()
 	samplers := make([]Sampler, workers)
-	for i := range srcs {
-		srcs[i] = root.Split()
+	for i := range samplers {
 		samplers[i] = factory()
 	}
 	res.SamplerName = samplers[0].Name()
+
+	var eng *engine
+	if opt.Schedule == Checkerboard {
+		rowSrc := make([]*rng.Source, m.H)
+		for y := range rowSrc {
+			rowSrc[y] = root.Split()
+		}
+		eng = newEngine(m, lm, samplers, rowSrc)
+		eng.start()
+		defer eng.stop()
+	}
 
 	baseT := m.T
 	defer func() { m.T = baseT }()
@@ -218,14 +250,12 @@ func Run(m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed ui
 				return nil, fmt.Errorf("gibbs: Anneal(%d) returned non-positive temperature %v", it, t)
 			}
 			m.T = t
+			m.RetuneRateLUT() // keep the compiled rate LUT on the new temperature
 		}
-		switch opt.Schedule {
-		case Raster:
-			sweepRaster(m, lm, samplers[0], srcs[0])
-		case Checkerboard:
-			sweepCheckerboard(m, lm, samplers, srcs)
-		default:
-			return nil, fmt.Errorf("gibbs: unknown schedule %v", opt.Schedule)
+		if opt.Schedule == Raster {
+			sweepRaster(m, lm, samplers[0], chain)
+		} else {
+			eng.sweep()
 		}
 		if opt.TrackMode && it >= opt.BurnIn {
 			for i, l := range lm.Labels {
@@ -261,49 +291,6 @@ func Run(m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed ui
 func sweepRaster(m *mrf.Model, lm *img.LabelMap, s Sampler, src *rng.Source) {
 	for y := 0; y < m.H; y++ {
 		for x := 0; x < m.W; x++ {
-			lm.Set(x, y, s.SampleSite(m, lm, x, y, src))
-		}
-	}
-}
-
-// sweepCheckerboard updates the model's conditional-independence color
-// classes in turn: 2 checkerboard colors for first-order models, 4
-// block colors for second-order models (see mrf.Neighborhood). Sites
-// within a color may be updated concurrently.
-func sweepCheckerboard(m *mrf.Model, lm *img.LabelMap, samplers []Sampler, srcs []*rng.Source) {
-	workers := len(samplers)
-	for color := 0; color < m.Hood.Colors(); color++ {
-		if workers == 1 {
-			sweepColorRows(m, lm, samplers[0], srcs[0], color, 0, m.H)
-			continue
-		}
-		var wg sync.WaitGroup
-		rowsPer := (m.H + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			y0 := w * rowsPer
-			y1 := y0 + rowsPer
-			if y1 > m.H {
-				y1 = m.H
-			}
-			if y0 >= y1 {
-				continue
-			}
-			wg.Add(1)
-			go func(w, y0, y1 int) {
-				defer wg.Done()
-				sweepColorRows(m, lm, samplers[w], srcs[w], color, y0, y1)
-			}(w, y0, y1)
-		}
-		wg.Wait()
-	}
-}
-
-func sweepColorRows(m *mrf.Model, lm *img.LabelMap, s Sampler, src *rng.Source, color, y0, y1 int) {
-	for y := y0; y < y1; y++ {
-		for x := 0; x < m.W; x++ {
-			if m.Hood.ColorOf(x, y) != color {
-				continue
-			}
 			lm.Set(x, y, s.SampleSite(m, lm, x, y, src))
 		}
 	}

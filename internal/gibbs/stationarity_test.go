@@ -77,13 +77,15 @@ func stationarityCheck(t *testing.T, factory Factory, schedule Schedule, iters i
 	sampler := factory()
 	src := rng.New(12345)
 	counts := make([]int, len(want))
+	// Single-worker engine with every row on one sequential stream.
+	eng := newEngine(m, lm, []Sampler{sampler}, []*rng.Source{src, src})
 	const burn = 200
 	for it := 0; it < iters; it++ {
 		switch schedule {
 		case Raster:
 			sweepRaster(m, lm, sampler, src)
 		default:
-			sweepCheckerboard(m, lm, []Sampler{sampler}, []*rng.Source{src})
+			eng.sweep()
 		}
 		if it >= burn {
 			counts[encodeState(lm, m.M)]++
@@ -127,9 +129,10 @@ func TestSecondOrderStationarity(t *testing.T) {
 	sampler := NewExactGibbs()()
 	src := rng.New(777)
 	counts := make([]int, len(want))
+	eng := newEngine(m, lm, []Sampler{sampler}, []*rng.Source{src, src})
 	const iters, burn = 150000, 200
 	for it := 0; it < iters; it++ {
-		sweepCheckerboard(m, lm, []Sampler{sampler}, []*rng.Source{src})
+		eng.sweep()
 		if it >= burn {
 			counts[encodeState(lm, m.M)]++
 		}

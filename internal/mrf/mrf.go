@@ -48,6 +48,11 @@ type Model struct {
 
 	Singleton func(x, y, label int) float64
 	Doubleton func(a, b int) float64
+
+	// tables, when non-nil, holds the compiled fast path (see Compile):
+	// precomputed unary and doubleton energy tables that replace the
+	// closure calls above with slice arithmetic.
+	tables *tables
 }
 
 // Validate checks the model's structural invariants. It is cheap and
@@ -81,6 +86,9 @@ var NeighborOffsets = [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}}
 // the four doubleton terms of Eq. 1. Border sites use replicate padding
 // consistent with img.LabelMap.At.
 func (m *Model) SiteEnergy(lm *img.LabelMap, x, y, label int) float64 {
+	if m.tables != nil {
+		return m.fastSiteEnergy(lm, x, y, label)
+	}
 	e := m.LambdaS * m.Singleton(x, y, label)
 	for _, off := range NeighborOffsets {
 		nx, ny := x+off[0], y+off[1]
@@ -108,6 +116,10 @@ func (m *Model) ConditionalEnergies(buf []float64, lm *img.LabelMap, x, y int) [
 		buf = make([]float64, m.M)
 	}
 	buf = buf[:m.M]
+	if m.tables != nil {
+		m.fastConditionalEnergies(buf, lm, x, y)
+		return buf
+	}
 	sx := m.LambdaS
 	for l := 0; l < m.M; l++ {
 		buf[l] = sx * m.Singleton(x, y, l)
@@ -137,11 +149,13 @@ func (m *Model) ConditionalEnergies(buf []float64, lm *img.LabelMap, x, y int) [
 	return buf
 }
 
-// ConditionalProbs converts site energies into the normalized full
-// conditional distribution p(l) ∝ exp(-E(l)/T), subtracting the minimum
-// energy first for numerical stability. buf is reused as in
-// ConditionalEnergies; the returned slice holds probabilities.
-func (m *Model) ConditionalProbs(buf []float64, lm *img.LabelMap, x, y int) []float64 {
+// ConditionalRates converts site energies into *unnormalized* Boltzmann
+// rates r(l) = exp(-(E(l)-minE)/T), subtracting the minimum energy first
+// for numerical stability. The minimum-energy label always has rate 1,
+// so at least one rate is positive. This is all a first-to-fire race or
+// a self-normalizing categorical draw needs — callers that can work
+// with relative weights skip ConditionalProbs' O(M) divide pass.
+func (m *Model) ConditionalRates(buf []float64, lm *img.LabelMap, x, y int) []float64 {
 	buf = m.ConditionalEnergies(buf, lm, x, y)
 	minE := buf[0]
 	for _, e := range buf[1:] {
@@ -149,11 +163,31 @@ func (m *Model) ConditionalProbs(buf []float64, lm *img.LabelMap, x, y int) []fl
 			minE = e
 		}
 	}
-	sum := 0.0
+	if t := m.tables; t != nil && t.expLUT != nil && t.expT == m.T {
+		// Integer-energy fast path: every gap e-minE is an exact integer
+		// float, and expLUT[k] was computed by math.Exp on the same
+		// operands — a table load, bit-identical to the direct call.
+		for i, e := range buf {
+			buf[i] = t.expLUT[int(e-minE)]
+		}
+		return buf
+	}
+	t := m.T
 	for i, e := range buf {
-		p := math.Exp(-(e - minE) / m.T)
-		buf[i] = p
-		sum += p
+		buf[i] = math.Exp(-(e - minE) / t)
+	}
+	return buf
+}
+
+// ConditionalProbs converts site energies into the normalized full
+// conditional distribution p(l) ∝ exp(-E(l)/T), subtracting the minimum
+// energy first for numerical stability. buf is reused as in
+// ConditionalEnergies; the returned slice holds probabilities.
+func (m *Model) ConditionalProbs(buf []float64, lm *img.LabelMap, x, y int) []float64 {
+	buf = m.ConditionalRates(buf, lm, x, y)
+	sum := 0.0
+	for _, r := range buf {
+		sum += r
 	}
 	for i := range buf {
 		buf[i] /= sum
@@ -165,6 +199,9 @@ func (m *Model) ConditionalProbs(buf []float64, lm *img.LabelMap, x, y int) []fl
 // singleton potentials plus each doubleton clique counted once
 // (right and down neighbors only).
 func (m *Model) TotalEnergy(lm *img.LabelMap) float64 {
+	if m.tables != nil {
+		return m.fastTotalEnergy(lm)
+	}
 	e := 0.0
 	for y := 0; y < m.H; y++ {
 		for x := 0; x < m.W; x++ {

@@ -62,3 +62,19 @@ func (n Neighborhood) ColorOf(x, y int) int {
 	}
 	return (x + y) & 1
 }
+
+// RowStride returns the x coordinate of the first site of the given
+// color in row y, or ok=false when the row contains no site of that
+// color. Same-color sites within a row are always 2 apart (both the
+// checkerboard 2-coloring and the 2×2-block 4-coloring alternate along
+// x), so a sweep visits exactly the color's sites with x0, x0+2, x0+4…
+// instead of testing ColorOf on every pixel.
+func (n Neighborhood) RowStride(color, y int) (x0 int, ok bool) {
+	if n == SecondOrder {
+		if (y & 1) != color>>1 {
+			return 0, false
+		}
+		return color & 1, true
+	}
+	return (color + y) & 1, true
+}

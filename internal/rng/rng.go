@@ -245,6 +245,32 @@ func (r *Source) Categorical(weights []float64) int {
 	return len(weights) - 1
 }
 
+// CategoricalRates is Categorical without the defensive validation
+// pass, for callers that guarantee non-negative weights with a positive
+// sum (e.g. Boltzmann rates, whose minimum-energy entry is exactly 1).
+// It draws from the identical cumulative scan, so for valid weights it
+// returns the same index as Categorical from the same generator state.
+func (r *Source) CategoricalRates(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
 // GumbelArgmax draws an index distributed ∝ exp(logits[i]) using the
 // Gumbel-max trick. It is the log-domain analogue of Categorical and the
 // direct mathematical cousin of the first-to-fire race: adding Gumbel

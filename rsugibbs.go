@@ -24,6 +24,7 @@
 //	app, _ := rsugibbs.NewSegmentation(scene.Image, scene.Means, 2, 12)
 //	solver, _ := rsugibbs.NewSolver(app, rsugibbs.Config{
 //		Backend: rsugibbs.RSU, Iterations: 100, BurnIn: 30,
+//		Compile: true, // precomputed-table sweep engine, bit-identical
 //	})
 //	res, _ := solver.Solve()
 //	fmt.Println(res.MAP.MislabelRate(scene.Truth))
