@@ -1,26 +1,35 @@
 # Tier-1 flow for the RSU-G reproduction.
 #
 #   make build   compile everything
+#   make vet     go vet over the module
+#   make lint    rsulint static-analysis suite (determinism, bit-width,
+#                RNG-ownership invariants) — must exit clean
 #   make test    full test suite
-#   make race    race-detector pass over the concurrent packages
+#   make race    race-detector pass over the whole module
 #   make bench   sweep-engine micro-benchmarks + throughput report
 
 GO ?= go
 
-.PHONY: build test race bench sweep-report all
+.PHONY: build vet lint test race bench sweep-report all
 
-all: build test race
+all: build vet lint test race
 
 build:
 	$(GO) build ./...
 
+vet:
+	$(GO) vet ./...
+
+# Project-specific analyzers (cmd/rsulint): detrand, rngshare, bitwidth,
+# floateq, deadassign. Exit 1 on any finding — the tree stays lint-clean.
+lint:
+	$(GO) run ./cmd/rsulint ./...
+
 test:
 	$(GO) test ./...
 
-# The sweep engine is the only concurrency in the repo; gibbs exercises
-# the worker pool and rng the per-row stream splitting.
 race:
-	$(GO) test -race ./internal/gibbs/... ./internal/rng/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run xxx -bench BenchmarkSweep -benchtime 1s ./internal/gibbs/

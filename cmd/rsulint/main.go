@@ -1,0 +1,144 @@
+// Command rsulint runs the project's static-analysis suite over the
+// module: five analyzers (detrand, rngshare, bitwidth, floateq,
+// deadassign) that mechanically enforce the reproduction's determinism,
+// datapath bit-width and RNG-ownership invariants. It is stdlib-only:
+// packages are parsed and type-checked from source, so it needs no
+// pre-built export data and no external dependencies.
+//
+// Usage:
+//
+//	rsulint [-json] [-allow list] [packages]
+//
+// Packages default to ./... relative to the enclosing module. The
+// allowlist exempts packages from analyzers; each comma-separated entry
+// is "prefix" (skip every analyzer) or "prefix:name+name" (skip the
+// named analyzers). The default exempts CLI entry points (repro/cmd,
+// repro/examples) from detrand only — they may legitimately read the
+// wall clock to print timings, but every other invariant still applies
+// to them.
+//
+// Individual findings can be silenced in source with a trailing or
+// immediately preceding comment:
+//
+//	//lint:ignore rsulint/<analyzer> reason
+//
+// Exit status: 0 clean, 1 findings reported, 2 load or usage failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/bitwidth"
+	"repro/internal/analysis/deadassign"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/rngshare"
+)
+
+var analyzers = []*analysis.Analyzer{
+	bitwidth.Analyzer,
+	deadassign.Analyzer,
+	detrand.Analyzer,
+	floateq.Analyzer,
+	rngshare.Analyzer,
+}
+
+const defaultAllow = "repro/cmd:detrand,repro/examples:detrand"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("rsulint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	allowFlag := fs.String("allow", defaultAllow, "package allowlist: comma-separated prefix[:analyzer+analyzer] entries")
+	list := fs.Bool("analyzers", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: rsulint [-json] [-allow list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	allow, err := analysis.ParseAllowList(*allowFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	var pkgs []*analysis.Package
+	loadFailed := false
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			loadFailed = true
+			continue
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if loadFailed {
+		return 2
+	}
+
+	findings := analysis.RunAll(pkgs, analyzers, allow)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "rsulint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		}
+		return 1
+	}
+	return 0
+}

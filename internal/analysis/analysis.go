@@ -1,0 +1,104 @@
+// Package analysis is the stdlib-only static-analysis framework behind
+// cmd/rsulint. It loads every package in the module with go/parser +
+// go/types (no external dependencies) and runs project-specific
+// analyzers that mechanically enforce the reproduction's non-negotiable
+// invariants: determinism (every random draw flows through
+// repro/internal/rng, no wall-clock seeds, no map-iteration-order
+// dependence), datapath bit-widths (6-bit labels, 8-bit energies, 4-bit
+// intensity codes constructed only through repro/internal/fixed's
+// validating constructors), and the per-goroutine RNG ownership
+// discipline of the sweep engine.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer owns a Run function over a Pass — but is deliberately
+// minimal so the module stays dependency-free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, allowlist entries and
+	// lint:ignore targets (e.g. "detrand").
+	Name string
+	// Doc is a one-paragraph description: the invariant guarded, what is
+	// flagged, and which patterns are deliberately permitted.
+	Doc string
+	// Run inspects the pass's package and reports diagnostics.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// RunAnalyzer applies a to pkg and returns its diagnostics in source
+// order.
+func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	a.Run(pass)
+	sort.SliceStable(pass.diags, func(i, j int) bool { return pass.diags[i].Pos < pass.diags[j].Pos })
+	return pass.diags
+}
+
+// IsNamed reports whether t is (a pointer to) the named type path.name.
+func IsNamed(t types.Type, path, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// PkgFunc reports whether call invokes the package-level function
+// pkgPath.fn (e.g. time.Now), resolving the receiver identifier through
+// the type checker so aliased imports are still caught.
+func PkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, fn string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fn {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}

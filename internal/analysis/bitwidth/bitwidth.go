@@ -1,0 +1,132 @@
+// Package bitwidth enforces the RSU-G datapath widths of paper §4.4:
+// 6-bit labels, 8-bit energies and 4-bit intensity codes, as encoded by
+// repro/internal/fixed. The fixed constructors (NewLabel, ClampLabel,
+// NewIntensity, ClampIntensity, SatAddEnergy, QuantizeEnergy, ...) are
+// the validation points; a raw conversion such as fixed.Label(v)
+// silently truncates to the underlying uint8 and can smuggle a 7-bit
+// value onto the 6-bit datapath.
+//
+// Flagged: conversions to fixed.Label / fixed.Energy / fixed.Intensity
+// with a non-constant operand, and constants of those types outside the
+// datapath range (e.g. fixed.Label(200), var l fixed.Label = 77 — both
+// legal Go, since the underlying type is uint8).
+//
+// Deliberately permitted: in-range constants (fixed.Label(63)),
+// conversions whose operand is masked into range with a constant
+// (fixed.Label(v & fixed.MaxLabel)) — the hardware idiom for slicing a
+// packed register — and everything inside package fixed itself, which
+// is where the validation lives.
+package bitwidth
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the bitwidth check.
+var Analyzer = &analysis.Analyzer{
+	Name: "bitwidth",
+	Doc: "flag raw conversions and out-of-range constants for fixed.Label/Energy/Intensity; " +
+		"construct datapath values via the fixed constructors or constant masks",
+	Run: run,
+}
+
+const fixedPath = "repro/internal/fixed"
+
+// spec is the range of one guarded datapath type.
+type spec struct {
+	max  int64
+	bits int
+}
+
+// guarded maps the datapath type name to its max value and bit width.
+var guarded = map[string]spec{
+	"Label":     {63, 6},
+	"Energy":    {255, 8},
+	"Intensity": {15, 4},
+}
+
+func run(pass *analysis.Pass) {
+	if pass.Pkg.Path() == fixedPath {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[expr]
+			if !ok {
+				return true
+			}
+			name, sp, isGuarded := guardedType(tv.Type)
+			if !isGuarded {
+				return true
+			}
+			if tv.Value != nil {
+				if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); !exact || v < 0 || v > sp.max {
+					pass.Reportf(expr.Pos(),
+						"constant %s overflows the %d-bit fixed.%s range [0,%d]",
+						tv.Value.ExactString(), sp.bits, name, sp.max)
+				}
+				return false // constants need no further descent
+			}
+			call, isCall := expr.(*ast.CallExpr)
+			if !isCall || len(call.Args) != 1 {
+				return true
+			}
+			if ftv, ok := pass.Info.Types[call.Fun]; !ok || !ftv.IsType() {
+				return true // a constructor call, not a conversion
+			}
+			if maskedInRange(pass, call.Args[0], sp.max) {
+				return true
+			}
+			pass.Reportf(expr.Pos(),
+				"raw conversion to fixed.%s bypasses the %d-bit validation: use fixed.New%s/fixed.Clamp%s "+
+					"(or mask the operand with fixed.Max%s)", name, sp.bits, name, name, name)
+			return true
+		})
+	}
+}
+
+func guardedType(t types.Type) (string, spec, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", spec{}, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != fixedPath {
+		return "", spec{}, false
+	}
+	s, ok := guarded[obj.Name()]
+	return obj.Name(), s, ok
+}
+
+// maskedInRange reports whether arg is an &-mask whose constant side is
+// within [0, max], which bounds the conversion result by construction.
+func maskedInRange(pass *analysis.Pass, arg ast.Expr, max int64) bool {
+	for {
+		p, ok := arg.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		arg = p.X
+	}
+	be, ok := arg.(*ast.BinaryExpr)
+	if !ok || be.Op != token.AND {
+		return false
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if tv, ok := pass.Info.Types[side]; ok && tv.Value != nil {
+			if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact && v >= 0 && v <= max {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package bitwidth_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/bitwidth"
+)
+
+func TestBitwidth(t *testing.T) {
+	analyzertest.Run(t, bitwidth.Analyzer, "testdata/bitwidth")
+}

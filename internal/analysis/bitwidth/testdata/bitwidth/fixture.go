@@ -1,0 +1,37 @@
+// Package fixture seeds bitwidth violations and allowed patterns.
+package fixture
+
+import "repro/internal/fixed"
+
+// RawConversions bypass the constructors: nothing stops a 7-bit value
+// from reaching the 6-bit datapath.
+func RawConversions(v int, packed uint64) (fixed.Label, fixed.Energy, fixed.Intensity) {
+	l := fixed.Label(v)          // want "raw conversion to fixed.Label"
+	e := fixed.Energy(v)         // want "raw conversion to fixed.Energy"
+	c := fixed.Intensity(packed) // want "raw conversion to fixed.Intensity"
+	return l, e, c
+}
+
+// OverflowingConstants are legal Go (they fit uint8) but violate the
+// datapath widths.
+const tooBig = 200
+
+func OverflowingConstants() fixed.Label {
+	var l fixed.Label = tooBig // want "overflows the 6-bit fixed.Label range"
+	c := fixed.Intensity(99)   // want "overflows the 4-bit fixed.Intensity range"
+	_ = c
+	return l
+}
+
+// Constructors is the sanctioned pattern. Must not be flagged.
+func Constructors(v int, packed uint64) (fixed.Label, fixed.Energy, fixed.Intensity) {
+	l := fixed.NewLabel(v)
+	m := fixed.Label(packed & fixed.MaxLabel) // masked into range by construction
+	e := fixed.QuantizeEnergy(float64(v), 1)
+	e = fixed.SatAddEnergy(e, 3) // in-range constant
+	c := fixed.ClampIntensity(v)
+	var top fixed.Label = fixed.MaxLabel // in-range constant
+	_ = m
+	_ = top
+	return l, e, c
+}

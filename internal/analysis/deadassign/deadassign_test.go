@@ -1,0 +1,12 @@
+package deadassign_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/deadassign"
+)
+
+func TestDeadassign(t *testing.T) {
+	analyzertest.Run(t, deadassign.Analyzer, "testdata/deadassign")
+}

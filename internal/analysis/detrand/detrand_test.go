@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analyzertest.Run(t, detrand.Analyzer, "testdata/detrand")
+}

@@ -1,0 +1,65 @@
+// Package floateq flags == and != between floating-point operands.
+// Probabilities, energies and rates accumulate rounding error, so exact
+// equality silently becomes order- and optimization-dependent — the
+// MCMC quality-metric corruption class called out in the uncertainty-
+// quantification follow-up work. Compare against a tolerance (diff <=
+// eps) or restructure around integers instead.
+//
+// Deliberately permitted: comparisons where either operand is a
+// compile-time constant (sentinel checks such as rate == 0 or p == 1
+// are exact: the value was assigned, not computed), and the x != x NaN
+// idiom.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the floateq check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= between non-constant floating-point operands; " +
+		"compare with a tolerance instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pass.Info.Types[be.X]
+			yt, yok := pass.Info.Types[be.Y]
+			if !xok || !yok || !isFloat(xt.Type) || !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil || yt.Value != nil {
+				return true // exact sentinel comparison
+			}
+			if sameVar(pass, be.X, be.Y) {
+				return true // x != x: the NaN check idiom
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison: rounding makes exact equality order-dependent; "+
+					"compare with a tolerance (math.Abs(a-b) <= eps) or use integer-domain values", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func sameVar(pass *analysis.Pass, a, b ast.Expr) bool {
+	ai, aok := a.(*ast.Ident)
+	bi, bok := b.(*ast.Ident)
+	return aok && bok && pass.Info.Uses[ai] != nil && pass.Info.Uses[ai] == pass.Info.Uses[bi]
+}

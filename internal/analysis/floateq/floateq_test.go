@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analyzertest.Run(t, floateq.Analyzer, "testdata/floateq")
+}

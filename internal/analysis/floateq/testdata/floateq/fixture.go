@@ -1,0 +1,47 @@
+// Package fixture seeds floateq violations and allowed patterns.
+package fixture
+
+import "math"
+
+// EnergiesEqual compares computed energies exactly — the result flips
+// with summation order and compiler optimizations.
+func EnergiesEqual(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// RatesDiffer compares computed rates exactly.
+func RatesDiffer(rates []float64) bool {
+	sum := 0.0
+	for _, r := range rates {
+		sum += r
+	}
+	return sum != rates[0] // want "floating-point != comparison"
+}
+
+// MixedWidth compares float32 against float64 (after conversion).
+func MixedWidth(p float32, q float64) bool {
+	return float64(p) == q // want "floating-point == comparison"
+}
+
+// SentinelChecks compare against compile-time constants: the value was
+// assigned, not computed, so the comparison is exact. Must not be
+// flagged.
+func SentinelChecks(rate, p float64) bool {
+	if rate == 0 {
+		return false
+	}
+	if p != 1 {
+		return true
+	}
+	return rate == math.MaxFloat64
+}
+
+// NaNCheck is the x != x idiom. Must not be flagged.
+func NaNCheck(x float64) bool {
+	return x != x
+}
+
+// Tolerance is the sanctioned comparison. Must not be flagged.
+func Tolerance(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}

@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// ImportPath is the module-qualified import path ("repro/internal/rng"),
+	// or the synthetic path given to LoadDir for fixture packages.
+	ImportPath string
+	// Dir is the absolute directory the sources were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads module packages from source. Module-local imports are
+// resolved recursively from the module root; standard-library imports
+// are type-checked from $GOROOT/src via go/importer's source compiler,
+// so no pre-built export data is required. Test files (_test.go) are
+// not loaded: they may legitimately use tolerance-free comparisons,
+// timing, and raw conversions to exercise edge cases.
+type Loader struct {
+	Fset *token.FileSet
+	// Root is the module root directory (the one holding go.mod).
+	Root string
+	// Module is the module path declared in go.mod.
+	Module string
+
+	std  types.ImporterFrom
+	pkgs map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg *Package
+	err error
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysis: no go.mod found in or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// NewLoader builds a loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: read go.mod: %w", err)
+	}
+	m := moduleLineRE.FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	}
+	l := &Loader{
+		Fset:   token.NewFileSet(),
+		Root:   root,
+		Module: string(m[1]),
+		pkgs:   map[string]*loadEntry{},
+	}
+	std, ok := importer.ForCompiler(l.Fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+	}
+	l.std = std
+	return l, nil
+}
+
+// Load type-checks the module package with the given import path,
+// memoized across the loader's lifetime. A package that fails to parse
+// or type-check yields a descriptive error (never a panic); the error
+// is sticky, so dependents fail with a "could not import" chain rather
+// than a silent skip.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if e, ok := l.pkgs[importPath]; ok {
+		return e.pkg, e.err
+	}
+	dir := l.Root
+	if importPath != l.Module {
+		rel := strings.TrimPrefix(importPath, l.Module+"/")
+		if rel == importPath {
+			return nil, fmt.Errorf("analysis: %q is not under module %q", importPath, l.Module)
+		}
+		dir = filepath.Join(l.Root, filepath.FromSlash(rel))
+	}
+	return l.LoadDir(dir, importPath)
+}
+
+// LoadDir type-checks the single package in dir under the given import
+// path. It is the entry point for fixture packages that live outside
+// the module's package tree (e.g. testdata directories).
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if e, ok := l.pkgs[importPath]; ok {
+		return e.pkg, e.err
+	}
+	// Cycle guard: a re-entrant Load of the same path during its own
+	// type-check means an import cycle.
+	l.pkgs[importPath] = &loadEntry{err: fmt.Errorf("analysis: import cycle through %q", importPath)}
+	pkg, err := l.check(dir, importPath)
+	l.pkgs[importPath] = &loadEntry{pkg: pkg, err: err}
+	return pkg, err
+}
+
+func (l *Loader) check(dir, importPath string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: load %s: %w", importPath, err)
+	}
+	var files []*ast.File
+	var parseErrs []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !isSourceFile(name) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			parseErrs = append(parseErrs, err.Error())
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(parseErrs) > 0 {
+		return nil, fmt.Errorf("analysis: load %s failed:\n\t%s", importPath, strings.Join(parseErrs, "\n\t"))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: load %s: no Go files in %s", importPath, dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error: func(err error) {
+			if len(typeErrs) < 20 {
+				typeErrs = append(typeErrs, err.Error())
+			}
+		},
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: load %s failed:\n\t%s", importPath, strings.Join(typeErrs, "\n\t"))
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// loaderImporter adapts Loader to types.ImporterFrom: module-local
+// paths route back into the loader, everything else goes to the
+// source-compiling stdlib importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, li.Root, 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// Expand resolves package patterns into import paths. Supported forms:
+// "./..." (every package in the module), "dir/..." subtree wildcards,
+// and plain directory or import paths. Directories named "testdata" or
+// "vendor" and names starting with "." or "_" are skipped, matching the
+// go tool's convention.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "..." || pat == "all":
+			paths, err := l.walk(l.Root)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := l.dirForPattern(strings.TrimSuffix(pat, "/..."))
+			paths, err := l.walk(base)
+			if err != nil {
+				return nil, err
+			}
+			if len(paths) == 0 {
+				return nil, fmt.Errorf("analysis: no packages match %q", pat)
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		default:
+			dir := l.dirForPattern(pat)
+			if !hasGoFiles(dir) {
+				return nil, fmt.Errorf("analysis: no Go files match %q", pat)
+			}
+			add(l.importPathFor(dir))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (l *Loader) dirForPattern(pat string) string {
+	pat = strings.TrimPrefix(pat, "./")
+	if pat == "" || pat == "." || pat == l.Module {
+		return l.Root
+	}
+	pat = strings.TrimPrefix(pat, l.Module+"/")
+	return filepath.Join(l.Root, filepath.FromSlash(pat))
+}
+
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.Module
+	}
+	return l.Module + "/" + filepath.ToSlash(rel)
+}
+
+func (l *Loader) walk(base string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			out = append(out, l.importPathFor(path))
+		}
+		return nil
+	})
+	return out, err
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() && isSourceFile(ent.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}

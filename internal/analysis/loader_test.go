@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("find module root: %v", err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("new loader: %v", err)
+	}
+	return l
+}
+
+func TestLoadModulePackage(t *testing.T) {
+	l := newTestLoader(t)
+	if l.Module != "repro" {
+		t.Fatalf("module = %q, want repro", l.Module)
+	}
+	pkg, err := l.Load("repro/internal/fixed")
+	if err != nil {
+		t.Fatalf("load repro/internal/fixed: %v", err)
+	}
+	if pkg.Types.Name() != "fixed" {
+		t.Fatalf("package name = %q, want fixed", pkg.Types.Name())
+	}
+	if pkg.Types.Scope().Lookup("NewLabel") == nil {
+		t.Fatal("fixed.NewLabel not found in loaded package scope")
+	}
+	// Memoization: the same *Package must come back.
+	again, err := l.Load("repro/internal/fixed")
+	if err != nil || again != pkg {
+		t.Fatalf("second load not memoized (err=%v)", err)
+	}
+}
+
+// TestLoadTypeErrorFails is the contract for broken code: a fixture
+// package with a type error must produce a clear load failure naming
+// the file — never a panic and never a silently skipped package.
+func TestLoadTypeErrorFails(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.LoadDir("testdata/broken", "fixture/broken")
+	if err == nil {
+		t.Fatal("loading a type-broken package succeeded; want descriptive error")
+	}
+	if pkg != nil {
+		t.Fatalf("broken package returned non-nil *Package alongside error %v", err)
+	}
+	for _, frag := range []string{"fixture/broken", "broken.go"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("load error %q does not mention %q", err, frag)
+		}
+	}
+}
+
+func TestLoadSyntaxErrorFails(t *testing.T) {
+	l := newTestLoader(t)
+	_, err := l.LoadDir("testdata/syntaxerr", "fixture/syntaxerr")
+	if err == nil || !strings.Contains(err.Error(), "syntaxerr.go") {
+		t.Fatalf("load of syntax-broken package: err=%v, want parse failure naming the file", err)
+	}
+}
+
+func TestExpandAll(t *testing.T) {
+	l := newTestLoader(t)
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatalf("expand ./...: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		if seen[p] {
+			t.Fatalf("duplicate path %q", p)
+		}
+		seen[p] = true
+		if strings.Contains(p, "testdata") {
+			t.Fatalf("testdata package %q leaked into expansion", p)
+		}
+	}
+	for _, must := range []string{"repro", "repro/internal/rng", "repro/internal/gibbs", "repro/cmd/rsulint"} {
+		if !seen[must] {
+			t.Errorf("expansion missing %q (got %d paths)", must, len(paths))
+		}
+	}
+}
+
+func TestExpandSubtreeAndSingle(t *testing.T) {
+	l := newTestLoader(t)
+	paths, err := l.Expand([]string{"./internal/rng/...", "./internal/fixed"})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	want := map[string]bool{"repro/internal/rng": true, "repro/internal/fixed": true}
+	for _, p := range paths {
+		if !want[p] {
+			t.Fatalf("unexpected path %q", p)
+		}
+		delete(want, p)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing paths: %v", want)
+	}
+	if _, err := l.Expand([]string{"./no/such/dir"}); err == nil {
+		t.Fatal("expanding a nonexistent dir succeeded")
+	}
+}

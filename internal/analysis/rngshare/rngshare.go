@@ -1,0 +1,107 @@
+// Package rngshare enforces the per-goroutine RNG ownership discipline
+// of the sweep engine (internal/gibbs/engine.go): an *rng.Source is not
+// safe for concurrent use, so a source handed to a spawned goroutine —
+// captured by a `go func` closure or passed as a `go` call argument —
+// must not also be used anywhere else. The sanctioned pattern is
+// Split(): derive a child source per goroutine and transfer ownership
+// of the child entirely.
+//
+// Deliberately permitted: a child source created with Split() (or any
+// source) that is used only inside the goroutine it was handed to, and
+// sources reached through container structs (the engine's rowSrc slice
+// partitions rows disjointly; aliasing through fields is out of scope
+// for a syntactic check and is covered by `make race`).
+package rngshare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the rngshare check.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngshare",
+	Doc: "flag an *rng.Source handed to a spawned goroutine while also used outside it; " +
+		"Split() a child source per goroutine instead",
+	Run: run,
+}
+
+const rngPath = "repro/internal/rng"
+
+func run(pass *analysis.Pass) {
+	// All use positions of every Source-typed variable in the package.
+	uses := map[*types.Var][]token.Pos{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := pass.Info.Uses[id].(*types.Var); ok && analysis.IsNamed(v.Type(), rngPath, "Source") {
+				uses[v] = append(uses[v], id.Pos())
+			}
+			return true
+		})
+	}
+	if len(uses) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			// The regions owned by the spawned goroutine: the closure body
+			// for `go func(){...}()`, plus the call arguments (a source
+			// passed by argument is owned by the goroutine from spawn on).
+			var regions [][2]token.Pos
+			if fl, isClosure := gs.Call.Fun.(*ast.FuncLit); isClosure {
+				regions = append(regions, [2]token.Pos{fl.Body.Pos(), fl.Body.End()})
+			}
+			if len(gs.Call.Args) > 0 {
+				regions = append(regions, [2]token.Pos{gs.Call.Args[0].Pos(), gs.Call.Args[len(gs.Call.Args)-1].End()})
+			}
+			if len(regions) == 0 {
+				return true
+			}
+			within := func(p token.Pos) bool {
+				for _, r := range regions {
+					if p >= r[0] && p < r[1] {
+						return true
+					}
+				}
+				return false
+			}
+			for v, positions := range uses {
+				var inRegion token.Pos
+				for _, p := range positions {
+					if within(p) {
+						inRegion = p
+						break
+					}
+				}
+				if inRegion == token.NoPos {
+					continue
+				}
+				// Declared inside the goroutine's regions means it owns it.
+				if within(v.Pos()) {
+					continue
+				}
+				for _, p := range positions {
+					if !within(p) {
+						pass.Reportf(inRegion,
+							"rng source %q is handed to this goroutine but also used at %s: an *rng.Source is not "+
+								"concurrency-safe; derive a dedicated child with Split() and transfer ownership",
+							v.Name(), pass.Fset.Position(p))
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}

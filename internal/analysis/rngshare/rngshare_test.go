@@ -1,0 +1,12 @@
+package rngshare_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/rngshare"
+)
+
+func TestRngshare(t *testing.T) {
+	analyzertest.Run(t, rngshare.Analyzer, "testdata/rngshare")
+}

@@ -1,0 +1,64 @@
+// Package fixture seeds rngshare violations and allowed patterns.
+package fixture
+
+import (
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// SharedAcrossGoroutines captures one source in two goroutines: each
+// capture races with the other goroutine's draws.
+func SharedAcrossGoroutines() {
+	src := rng.New(1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_ = src.Uint64() // want "handed to this goroutine but also used"
+	}()
+	go func() {
+		defer wg.Done()
+		_ = src.Float64() // want "handed to this goroutine but also used"
+	}()
+	wg.Wait()
+}
+
+// UsedAfterSpawn hands the source to a goroutine and keeps drawing from
+// it on the spawning goroutine.
+func UsedAfterSpawn() uint64 {
+	src := rng.New(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = src.Uint64() // want "handed to this goroutine but also used"
+	}()
+	v := src.Uint64()
+	<-done
+	return v
+}
+
+// ArgSharing passes the source as a spawn argument while the parent
+// keeps using it — the same race through a different syntax.
+func ArgSharing(consume func(*rng.Source)) float64 {
+	src := rng.New(3)
+	go consume(src) // want "handed to this goroutine but also used"
+	return src.Float64()
+}
+
+// SplitPerGoroutine is the sanctioned engine.go pattern: every
+// goroutine owns a dedicated child stream. Must not be flagged.
+func SplitPerGoroutine(workers int) {
+	parent := rng.New(4)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		child := parent.Split()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = child.Uint64()
+		}()
+	}
+	wg.Wait()
+	_ = parent.Uint64()
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic resolved to a file position, as emitted by
+// cmd/rsulint (and serialized by its -json mode).
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// AllowRule exempts packages from analyzers. Prefix matches an import
+// path exactly or as a path prefix ("repro/cmd" matches
+// "repro/cmd/paperbench"). An empty Analyzers list exempts the package
+// from every analyzer; otherwise only the named ones are skipped.
+type AllowRule struct {
+	Prefix    string
+	Analyzers []string
+}
+
+// ParseAllowList parses a comma-separated allowlist flag. Each entry is
+// "prefix" (skip all analyzers) or "prefix:name+name" (skip the named
+// analyzers only), e.g. "repro/cmd:detrand,repro/tools".
+func ParseAllowList(s string) ([]AllowRule, error) {
+	var rules []AllowRule
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		prefix, names, found := strings.Cut(entry, ":")
+		if prefix == "" {
+			return nil, fmt.Errorf("analysis: empty package prefix in allowlist entry %q", entry)
+		}
+		rule := AllowRule{Prefix: prefix}
+		if found {
+			for _, n := range strings.Split(names, "+") {
+				if n = strings.TrimSpace(n); n != "" {
+					rule.Analyzers = append(rule.Analyzers, n)
+				}
+			}
+			if len(rule.Analyzers) == 0 {
+				return nil, fmt.Errorf("analysis: allowlist entry %q names no analyzers", entry)
+			}
+		}
+		rules = append(rules, rule)
+	}
+	return rules, nil
+}
+
+// Allowed reports whether analyzer name is exempted for pkgPath.
+func Allowed(rules []AllowRule, pkgPath, name string) bool {
+	for _, r := range rules {
+		if pkgPath != r.Prefix && !strings.HasPrefix(pkgPath, r.Prefix+"/") {
+			continue
+		}
+		if len(r.Analyzers) == 0 {
+			return true
+		}
+		for _, a := range r.Analyzers {
+			if a == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunAll applies every analyzer to every package, honoring the
+// allowlist and //lint:ignore suppression comments, and returns the
+// surviving findings sorted by position.
+func RunAll(pkgs []*Package, analyzers []*Analyzer, allow []AllowRule) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup := buildSuppressions(pkg)
+		for _, a := range analyzers {
+			if Allowed(allow, pkg.ImportPath, a.Name) {
+				continue
+			}
+			for _, d := range RunAnalyzer(a, pkg) {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.covers(pos, a.Name) {
+					continue
+				}
+				out = append(out, Finding{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// suppressions records, per file and line, which analyzers are silenced
+// by a "//lint:ignore rsulint/<name> reason" comment. A suppression
+// covers diagnostics on the comment's own line (trailing comment) and
+// on the following line (comment on its own line above the finding).
+// The target "rsulint" with no analyzer name silences all analyzers.
+type suppressions map[string]map[int][]string
+
+func buildSuppressions(pkg *Package) suppressions {
+	sup := suppressions{}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue
+				}
+				target := fields[1]
+				if target != "rsulint" && !strings.HasPrefix(target, "rsulint/") {
+					continue
+				}
+				name := strings.TrimPrefix(target, "rsulint/")
+				if name == "rsulint" {
+					name = "*"
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					sup[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+				lines[pos.Line+1] = append(lines[pos.Line+1], name)
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) covers(pos token.Position, analyzer string) bool {
+	for _, name := range s[pos.Filename][pos.Line] {
+		if name == "*" || name == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// RootIdent returns the identifier at the base of a selector/index
+// chain (x in x.a.b or x[i].c), or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+	"testing"
+)
+
+func TestParseAllowList(t *testing.T) {
+	rules, err := ParseAllowList("repro/cmd:detrand, repro/tools ,repro/examples:detrand+floateq")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := []AllowRule{
+		{Prefix: "repro/cmd", Analyzers: []string{"detrand"}},
+		{Prefix: "repro/tools"},
+		{Prefix: "repro/examples", Analyzers: []string{"detrand", "floateq"}},
+	}
+	if !reflect.DeepEqual(rules, want) {
+		t.Fatalf("rules = %+v, want %+v", rules, want)
+	}
+	for _, bad := range []string{":detrand", "repro/cmd:"} {
+		if _, err := ParseAllowList(bad); err == nil {
+			t.Errorf("ParseAllowList(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestAllowed(t *testing.T) {
+	rules, err := ParseAllowList("repro/cmd:detrand,repro/tools")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cases := []struct {
+		pkg, analyzer string
+		want          bool
+	}{
+		{"repro/cmd/paperbench", "detrand", true},
+		{"repro/cmd", "detrand", true},
+		{"repro/cmd/paperbench", "floateq", false},
+		{"repro/cmdX", "detrand", false}, // prefix must match on path boundary
+		{"repro/tools/gen", "floateq", true},
+		{"repro/internal/rng", "detrand", false},
+	}
+	for _, c := range cases {
+		if got := Allowed(rules, c.pkg, c.analyzer); got != c.want {
+			t.Errorf("Allowed(%q, %q) = %v, want %v", c.pkg, c.analyzer, got, c.want)
+		}
+	}
+}
+
+// countIdents is a trivial analyzer that reports every call to a
+// function named "flagme" — enough to exercise RunAll's suppression
+// plumbing.
+var countIdents = &Analyzer{
+	Name: "countidents",
+	Doc:  "test analyzer",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+					p.Reportf(id.Pos(), "call to flagme")
+				}
+				return true
+			})
+		}
+	},
+}
+
+func TestRunAllSuppressions(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.LoadDir("testdata/suppress", "fixture/suppress")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings := RunAll([]*Package{pkg}, []*Analyzer{countIdents}, nil)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the unsuppressed one", findings)
+	}
+	if findings[0].Line != 7 {
+		t.Errorf("surviving finding at line %d, want 7 (the unsuppressed use)", findings[0].Line)
+	}
+	if findings[0].Analyzer != "countidents" {
+		t.Errorf("finding analyzer = %q", findings[0].Analyzer)
+	}
+
+	// The allowlist removes even the surviving finding.
+	allowed := RunAll([]*Package{pkg}, []*Analyzer{countIdents},
+		[]AllowRule{{Prefix: "fixture/suppress"}})
+	if len(allowed) != 0 {
+		t.Fatalf("allowlisted package still produced findings: %v", allowed)
+	}
+}

@@ -1,0 +1,8 @@
+// Package broken deliberately fails type-checking: the loader must
+// surface a descriptive error, not panic or silently skip the package.
+package broken
+
+func Mismatched() int {
+	var x int = "not an int"
+	return x + true
+}

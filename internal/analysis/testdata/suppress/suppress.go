@@ -1,0 +1,18 @@
+// Package suppress exercises lint:ignore handling. Line numbers matter
+// to run_test.go: the unsuppressed call must sit on line 7.
+package suppress
+
+var suppressedSameLine = flagme() //lint:ignore rsulint/countidents trailing comment form
+
+var unsuppressed = flagme()
+
+//lint:ignore rsulint/countidents preceding comment form
+var suppressedLineAbove = flagme()
+
+//lint:ignore rsulint blanket suppression of every analyzer
+var suppressedBlanket = flagme()
+
+//lint:ignore rsulint/otheranalyzer wrong target does not suppress countidents
+var wrongTarget = flagme() //lint:ignore rsulint/countidents but this one does
+
+func flagme() int { return 0 }

@@ -1,0 +1,4 @@
+// Package syntaxerr deliberately fails parsing.
+package syntaxerr
+
+func Truncated( {

@@ -130,6 +130,19 @@ func neighborCodes(u *rsu.Unit, lm *img.LabelMap, x, y int) [4]fixed.Label {
 	return n
 }
 
+// registerWeight reports whether w is exactly representable in the
+// RSU's 8-bit integer weight register. Doubleton weights travel through
+// the hardware as integers; the software model only accepts weights
+// both paths can carry, so any divergence between the two solvers is a
+// sampling effect, never a rounding one.
+func registerWeight(w float64) bool {
+	if w < 0 || w > 255 {
+		return false
+	}
+	//lint:ignore rsulint/floateq exact round-trip test on a configuration input: the register carries precisely uint8(w), so "is w an integer" must be an exact comparison
+	return w == float64(uint8(w))
+}
+
 // RunSoftware runs the exact software Gibbs chain on an application.
 func RunSoftware(a App, init *img.LabelMap, opt gibbs.Options, seed uint64) (*gibbs.Result, error) {
 	return gibbs.Run(a.Model(), init, gibbs.NewExactGibbs(), opt, seed)

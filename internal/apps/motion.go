@@ -42,7 +42,7 @@ func NewMotionEstimation(f1, f2 *img.Gray, r int, lambdaD, temperature float64) 
 		// Components are offset-encoded into 3 bits: 2r+1 <= 8.
 		return nil, fmt.Errorf("apps: window radius %d outside [1,3]", r)
 	}
-	if lambdaD < 0 || lambdaD != float64(uint8(lambdaD)) || temperature <= 0 {
+	if !registerWeight(lambdaD) || temperature <= 0 {
 		return nil, fmt.Errorf("apps: invalid lambdaD=%v temperature=%v", lambdaD, temperature)
 	}
 	m := &MotionEstimation{
@@ -113,7 +113,7 @@ func (m *MotionEstimation) RSUInput(lm *img.LabelMap, x, y int) rsu.Input {
 		Neighbors:     n,
 		Data1:         m.q1[y*m.Frame1.W+x],
 		Data2PerLabel: targets,
-		Current:       fixed.Label(lm.At(x, y)),
+		Current:       fixed.NewLabel(lm.At(x, y)),
 	}
 }
 

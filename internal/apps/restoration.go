@@ -42,8 +42,7 @@ func NewRestoration(observed *img.Gray, nLevels int, lambdaD, lambdaDiag, temper
 	if nLevels < 2 || nLevels > 8 {
 		return nil, fmt.Errorf("apps: restoration needs 2..8 levels, got %d", nLevels)
 	}
-	if lambdaD < 0 || lambdaD != float64(uint8(lambdaD)) ||
-		lambdaDiag < 0 || lambdaDiag != float64(uint8(lambdaDiag)) {
+	if !registerWeight(lambdaD) || !registerWeight(lambdaDiag) {
 		return nil, fmt.Errorf("apps: weights must be small non-negative integers")
 	}
 	if temperature <= 0 {
@@ -104,18 +103,18 @@ func (r *Restoration) RSUConfig() rsu.Config {
 func (r *Restoration) RSUInput(lm *img.LabelMap, x, y int) rsu.Input {
 	var n [4]fixed.Label
 	for i, off := range mrf.NeighborOffsets {
-		n[i] = fixed.Label(lm.At(x+off[0], y+off[1]))
+		n[i] = fixed.NewLabel(lm.At(x+off[0], y+off[1]))
 	}
 	in := rsu.Input{
 		Neighbors:     n,
 		Data1:         r.quantized[y*r.Observed.W+x],
 		Data2PerLabel: r.Levels6,
-		Current:       fixed.Label(lm.At(x, y)),
+		Current:       fixed.NewLabel(lm.At(x, y)),
 	}
 	if r.Hood == mrf.SecondOrder {
 		diag := [4][2]int{{-1, -1}, {1, -1}, {-1, 1}, {1, 1}}
 		for i, off := range diag {
-			in.NeighborsDiag[i] = fixed.Label(lm.At(x+off[0], y+off[1]))
+			in.NeighborsDiag[i] = fixed.NewLabel(lm.At(x+off[0], y+off[1]))
 		}
 	}
 	return in

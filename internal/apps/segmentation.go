@@ -43,7 +43,7 @@ func NewSegmentation(image *img.Gray, means []uint8, lambdaD, temperature float6
 	if lambdaD < 0 || temperature <= 0 {
 		return nil, fmt.Errorf("apps: invalid lambdaD=%v temperature=%v", lambdaD, temperature)
 	}
-	if lambdaD != float64(uint8(lambdaD)) {
+	if !registerWeight(lambdaD) {
 		// The RSU doubleton weight is an integer register; keeping the
 		// software model identical requires an integer weight.
 		return nil, fmt.Errorf("apps: lambdaD must be a small integer, got %v", lambdaD)
@@ -100,13 +100,13 @@ func (s *Segmentation) RSUConfig() rsu.Config {
 func (s *Segmentation) RSUInput(lm *img.LabelMap, x, y int) rsu.Input {
 	var n [4]fixed.Label
 	for i, off := range mrf.NeighborOffsets {
-		n[i] = fixed.Label(lm.At(x+off[0], y+off[1]))
+		n[i] = fixed.NewLabel(lm.At(x+off[0], y+off[1]))
 	}
 	return rsu.Input{
 		Neighbors:     n,
 		Data1:         s.quantized[y*s.Image.W+x],
 		Data2PerLabel: s.Means6,
-		Current:       fixed.Label(lm.At(x, y)),
+		Current:       fixed.NewLabel(lm.At(x, y)),
 	}
 }
 

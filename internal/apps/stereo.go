@@ -33,7 +33,7 @@ func NewStereoVision(left, right *img.Gray, nDisp int, lambdaD, temperature floa
 	if nDisp < 2 || nDisp > 8 {
 		return nil, fmt.Errorf("apps: stereo needs 2..8 disparities (3-bit scalar labels), got %d", nDisp)
 	}
-	if lambdaD < 0 || lambdaD != float64(uint8(lambdaD)) || temperature <= 0 {
+	if !registerWeight(lambdaD) || temperature <= 0 {
 		return nil, fmt.Errorf("apps: invalid lambdaD=%v temperature=%v", lambdaD, temperature)
 	}
 	s := &StereoVision{
@@ -82,7 +82,7 @@ func (s *StereoVision) RSUConfig() rsu.Config {
 func (s *StereoVision) RSUInput(lm *img.LabelMap, x, y int) rsu.Input {
 	var n [4]fixed.Label
 	for i, off := range mrf.NeighborOffsets {
-		n[i] = fixed.Label(lm.At(x+off[0], y+off[1]))
+		n[i] = fixed.NewLabel(lm.At(x+off[0], y+off[1]))
 	}
 	targets := make([]uint8, s.NDisp)
 	for d := range targets {
@@ -92,7 +92,7 @@ func (s *StereoVision) RSUInput(lm *img.LabelMap, x, y int) rsu.Input {
 		Neighbors:     n,
 		Data1:         s.ql[y*s.Left.W+x],
 		Data2PerLabel: targets,
-		Current:       fixed.Label(lm.At(x, y)),
+		Current:       fixed.NewLabel(lm.At(x, y)),
 	}
 }
 

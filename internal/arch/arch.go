@@ -218,9 +218,11 @@ func Calibrate(g GPU) map[string]KernelModel {
 		// Solve RSUFixed + perStep*steps for the two measured widths.
 		g1 := cpp(RSUG1)
 		g4 := cpp(RSUG4)
-		steps1 := float64(hd.Labels)
-		steps4 := float64((hd.Labels + 3) / 4)
-		if steps1 == steps4 || g1 <= g4 {
+		n1 := hd.Labels
+		n4 := (hd.Labels + 3) / 4
+		steps1 := float64(n1)
+		steps4 := float64(n4)
+		if n1 == n4 || g1 <= g4 {
 			// Degenerate (e.g. equal measured times): attribute all cost
 			// to the fixed component.
 			m.RSUFixedCPP = g1

@@ -9,6 +9,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/apps"
 	"repro/internal/arch"
+	"repro/internal/fixed"
 	"repro/internal/gibbs"
 	"repro/internal/gpusim"
 	"repro/internal/img"
@@ -431,7 +432,7 @@ func Ablation(w io.Writer) error {
 	lut := noDark.Config().Map
 	for e := range lut {
 		if levels[lut[e]] <= 0 {
-			lut[e] = uint8(dimCode)
+			lut[e] = fixed.NewIntensity(dimCode)
 		}
 	}
 	noDark.SetMap(lut)

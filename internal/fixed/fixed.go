@@ -73,6 +73,33 @@ func PackVec(x1, x2 uint8) Label {
 // Energy is an 8-bit clique-potential energy value.
 type Energy uint8
 
+// Intensity is a 4-bit QD-LED intensity code: the index of one of the
+// 16 LED drive levels of the intensity-mapping pipeline stage (§5.2).
+// The zero value is code 0 (conventionally the dimmest/dark rung of a
+// ladder, though ladders choose their own code order).
+type Intensity uint8
+
+// NewIntensity returns v as an Intensity, panicking if v exceeds 4 bits.
+// Like NewLabel, construction is the validation point: downstream
+// datapath code may assume every Intensity is in range.
+func NewIntensity(v int) Intensity {
+	if v < 0 || v > MaxIntensity {
+		panic(fmt.Sprintf("fixed: intensity code %d outside 4-bit range", v))
+	}
+	return Intensity(v)
+}
+
+// ClampIntensity saturates v into the 4-bit intensity range.
+func ClampIntensity(v int) Intensity {
+	if v < 0 {
+		return 0
+	}
+	if v > MaxIntensity {
+		return MaxIntensity
+	}
+	return Intensity(v)
+}
+
 // SatAddEnergy adds energies with saturation at 255, matching the
 // fixed-width adders of the energy-calculation pipeline stage.
 func SatAddEnergy(a, b Energy) Energy {

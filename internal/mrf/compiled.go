@@ -129,6 +129,7 @@ func (t *tables) buildRateLUT(temp float64) {
 func integerSpan(vals []float64) (span int, ok bool) {
 	maxV := 0.0
 	for _, v := range vals {
+		//lint:ignore rsulint/floateq exact integrality gate: the LUT fast path is only sound if v is precisely an integer float, so a tolerance here would be a bug
 		if !(v >= 0) || v != math.Trunc(v) || v > maxRateLUT {
 			return 0, false
 		}
@@ -147,6 +148,7 @@ func integerSpan(vals []float64) (span int, ok bool) {
 // to math.Exp, so forgetting to retune costs speed, never correctness.
 func (m *Model) RetuneRateLUT() {
 	t := m.tables
+	//lint:ignore rsulint/floateq cache-key identity: expT stores the exact T the LUT was built from, so only bit-equality proves the table is current
 	if t == nil || t.expLUT == nil || t.expT == m.T {
 		return
 	}

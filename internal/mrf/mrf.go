@@ -163,6 +163,7 @@ func (m *Model) ConditionalRates(buf []float64, lm *img.LabelMap, x, y int) []fl
 			minE = e
 		}
 	}
+	//lint:ignore rsulint/floateq cache-key identity: the LUT is valid only for the exact T it was built from; a tolerance would serve stale rates
 	if t := m.tables; t != nil && t.expLUT != nil && t.expT == m.T {
 		// Integer-energy fast path: every gap e-minE is an exact integer
 		// float, and expLUT[k] was computed by math.Exp on the same

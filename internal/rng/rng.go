@@ -218,11 +218,10 @@ func (r *Source) Gamma(k, theta float64) float64 {
 // the sampling inefficiency the paper targets.
 func (r *Source) Categorical(weights []float64) int {
 	total := 0.0
-	for i, w := range weights {
+	for _, w := range weights {
 		if w < 0 || math.IsNaN(w) {
 			panic("rng: Categorical weight must be non-negative")
 		}
-		_ = i
 		total += w
 	}
 	if total <= 0 {

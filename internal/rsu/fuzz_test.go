@@ -1,6 +1,10 @@
 package rsu
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/fixed"
+)
 
 // FuzzThresholdMapWords: any pair of 64-bit control words must expand to
 // a well-formed map (all codes 4-bit) without panicking, and expanding
@@ -10,9 +14,9 @@ func FuzzThresholdMapWords(f *testing.F) {
 	f.Add(uint64(0x13120b0403020100), uint64(0x3e3e3e3e2d241c14))
 	f.Add(^uint64(0), ^uint64(0))
 	f.Fuzz(func(t *testing.T, lo, hi uint64) {
-		var codes [16]uint8
+		var codes [16]fixed.Intensity
 		for i := range codes {
-			codes[i] = uint8(15 - i)
+			codes[i] = fixed.NewIntensity(15 - i)
 		}
 		tm := ThresholdMapFromWords(lo, hi, codes)
 		m := tm.Expand()

@@ -3,6 +3,8 @@ package rsu
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/fixed"
 )
 
 // IntensityMap is the 256-entry × 4-bit lookup table of the RSU-G's
@@ -11,7 +13,7 @@ import (
 // best realizes the Boltzmann rate exp(-E/T). The paper sizes it at 128
 // bytes (256 entries × 4 bits) and initializes it per-application
 // through two RSU instructions (§6.1).
-type IntensityMap [256]uint8
+type IntensityMap [256]fixed.Intensity
 
 // BuildIntensityMap constructs the LUT for a given LED intensity ladder
 // and quantized temperature.
@@ -60,7 +62,7 @@ func BuildIntensityMap(levels [16]float64, temperature float64) (IntensityMap, e
 	for e := 0; e < 256; e++ {
 		target := math.Log(maxLevel) - float64(e)/temperature
 		if darkCode >= 0 && target < math.Log(minPositive/2) {
-			m[e] = uint8(darkCode)
+			m[e] = fixed.NewIntensity(darkCode)
 			continue
 		}
 		bestCode, bestErr := -1, math.Inf(1)
@@ -72,7 +74,7 @@ func BuildIntensityMap(levels [16]float64, temperature float64) (IntensityMap, e
 				bestCode, bestErr = c, err
 			}
 		}
-		m[e] = uint8(bestCode)
+		m[e] = fixed.NewIntensity(bestCode)
 	}
 	return m, nil
 }
@@ -94,7 +96,7 @@ func (m IntensityMap) Pack64() [16]uint64 {
 func UnpackIntensityMap(words [16]uint64) IntensityMap {
 	var m IntensityMap
 	for e := range m {
-		m[e] = uint8(words[e/16]>>(4*(e%16))) & 0xF
+		m[e] = fixed.Intensity((words[e/16] >> (4 * (e % 16))) & fixed.MaxIntensity)
 	}
 	return m
 }

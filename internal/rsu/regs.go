@@ -66,7 +66,7 @@ type ThresholdMap struct {
 	Starts [16]uint8
 	// Codes[r] is the LED code of run r (fixed by the ladder design,
 	// sorted from brightest to darkest).
-	Codes [16]uint8
+	Codes [16]fixed.Intensity
 }
 
 // CompressMap converts a full IntensityMap into threshold form.
@@ -123,7 +123,7 @@ func (tm ThresholdMap) Words() (lo, hi uint64) {
 // ThresholdMapFromWords rebuilds the run starts from the two control
 // words; codes must be supplied by the ladder design (they are wired,
 // not loaded).
-func ThresholdMapFromWords(lo, hi uint64, codes [16]uint8) ThresholdMap {
+func ThresholdMapFromWords(lo, hi uint64, codes [16]fixed.Intensity) ThresholdMap {
 	var tm ThresholdMap
 	for r := 0; r < 8; r++ {
 		tm.Starts[r] = uint8(lo >> (8 * r))
@@ -147,7 +147,7 @@ func PackNeighbors(n [4]fixed.Label) uint64 {
 func UnpackNeighbors(v uint64) [4]fixed.Label {
 	var n [4]fixed.Label
 	for i := range n {
-		n[i] = fixed.Label(v>>(6*i)) & fixed.MaxLabel
+		n[i] = fixed.Label((v >> (6 * i)) & fixed.MaxLabel)
 	}
 	return n
 }
@@ -156,7 +156,7 @@ func UnpackNeighbors(v uint64) [4]fixed.Label {
 // instruction interface, counting issued instructions and stall cycles.
 type Driver struct {
 	unit  *Unit
-	codes [16]uint8 // ladder codes sorted brightest-first (wired)
+	codes [16]fixed.Intensity // ladder codes sorted brightest-first (wired)
 
 	in          Input
 	counterInit int
@@ -187,13 +187,13 @@ func NewDriver(u *Unit) *Driver {
 			}
 		}
 		used[best] = true
-		d.codes[r] = uint8(best)
+		d.codes[r] = fixed.NewIntensity(best)
 	}
 	return d
 }
 
 // Codes returns the wired brightest-first code order.
-func (d *Driver) Codes() [16]uint8 { return d.codes }
+func (d *Driver) Codes() [16]fixed.Intensity { return d.codes }
 
 // Write issues one RSU control-register write (one instruction).
 func (d *Driver) Write(op Op, value uint64) error {

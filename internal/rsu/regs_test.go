@@ -23,7 +23,7 @@ func TestCompressExpandRoundTrip(t *testing.T) {
 func TestCompressRejectsHighFrequencyMap(t *testing.T) {
 	var m IntensityMap
 	for e := range m {
-		m[e] = uint8(e % 3) // 256 runs
+		m[e] = fixed.NewIntensity(e % 3) // 256 runs
 	}
 	if _, err := CompressMap(m); err == nil {
 		t.Fatal("map with 256 runs accepted")

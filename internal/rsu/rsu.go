@@ -190,7 +190,7 @@ func (u *Unit) LabelCode(idx int) fixed.Label {
 	if u.cfg.Labels != nil {
 		return u.cfg.Labels[idx]
 	}
-	return fixed.Label(idx)
+	return fixed.NewLabel(idx)
 }
 
 // Energy runs the energy-calculation pipeline stage (§5.2) for the
@@ -291,7 +291,7 @@ func (u *Unit) Sample(in Input, src *rng.Source) (fixed.Label, Timing) {
 		var ttf float64
 		switch u.cfg.Mode {
 		case Physical:
-			ttf = u.cfg.Circuit.SampleTTF(code, window, src)
+			ttf = u.cfg.Circuit.SampleTTF(uint8(code), window, src)
 		default:
 			rate := u.levels[code]
 			if rate <= 0 {
@@ -311,7 +311,7 @@ func (u *Unit) Sample(in Input, src *rng.Source) (fixed.Label, Timing) {
 		// software keeps the current value (see Input.Current).
 		return in.Current, u.EvalTiming()
 	}
-	return fixed.Label(bestIdx), u.EvalTiming()
+	return fixed.NewLabel(bestIdx), u.EvalTiming()
 }
 
 // SampleDistribution estimates by repeated sampling the label

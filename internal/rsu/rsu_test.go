@@ -98,7 +98,7 @@ func TestPack64RoundTrip(t *testing.T) {
 		src := rng.New(seed)
 		var m IntensityMap
 		for i := range m {
-			m[i] = uint8(src.Intn(16))
+			m[i] = fixed.NewIntensity(src.Intn(16))
 		}
 		return UnpackIntensityMap(m.Pack64()) == m
 	}
