@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench sweep-report all
+.PHONY: build vet lint test race bench sweep-report faults-report all
 
 all: build vet lint test race
 
@@ -38,3 +38,8 @@ bench:
 # seed-tree baseline measurement).
 sweep-report:
 	$(GO) run ./cmd/paperbench -experiment sweep -sweepjson BENCH_sweep.json $(if $(SEED_NS),-sweepbaseline $(SEED_NS))
+
+# Regenerates the committed BENCH_faults.json (fully deterministic —
+# the CI faults-smoke job diffs a fresh run against it byte-for-byte).
+faults-report:
+	$(GO) run ./cmd/paperbench -experiment faults -faultsjson BENCH_faults.json

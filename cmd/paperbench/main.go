@@ -10,6 +10,8 @@
 //	paperbench -out DIR         # where Figure 7 PGMs are written
 //	paperbench -experiment sweep -sweepjson BENCH_sweep.json
 //	                            # sweep-engine throughput report
+//	paperbench -experiment faults -faultsjson BENCH_faults.json
+//	                            # fault-injection rate x policy sweep
 package main
 
 import (
@@ -24,11 +26,12 @@ import (
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-4)")
 	figure := flag.Int("figure", 0, "regenerate one figure (7 or 8)")
-	experiment := flag.String("experiment", "", "ratio | accelerator | fidelity | ablation | gpusim | sweep")
+	experiment := flag.String("experiment", "", "ratio | accelerator | fidelity | ablation | gpusim | sweep | faults")
 	outDir := flag.String("out", ".", "directory for Figure 7 PGM output")
 	csvDir := flag.String("csv", "", "also write CSV series (table2, figure8, ratio, size sweep) into this directory")
 	sweepJSON := flag.String("sweepjson", "", "with -experiment sweep: also write the machine-readable report to this file (e.g. BENCH_sweep.json)")
 	sweepBaseline := flag.Float64("sweepbaseline", 0, "with -sweepjson: measured seed-tree ns/site for the acceptance config, recorded in the report")
+	faultsJSON := flag.String("faultsjson", "", "with -experiment faults: also write the machine-readable report to this file (e.g. BENCH_faults.json)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -74,6 +77,14 @@ func main() {
 	}
 	if *experiment == "gpusim" || !selected {
 		run("Bottom-up GPU simulation", bench.GPUSim)
+	}
+	if *experiment == "faults" || !selected {
+		run("Fault injection and degradation", func(w io.Writer) error {
+			if *faultsJSON != "" {
+				return bench.FaultsJSON(w, *faultsJSON)
+			}
+			return bench.Faults(w)
+		})
 	}
 	// Host-speed measurement, not a paper artifact: only on request.
 	if *experiment == "sweep" {

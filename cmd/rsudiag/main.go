@@ -1,19 +1,29 @@
 // Command rsudiag inspects an RSU-G design: the LED intensity ladder,
 // the energy→intensity LUT and its compressed threshold form, the
 // latency table across label counts and widths, the cycle-accurate
-// pipeline simulation, and the wear-out lifetime estimate.
+// pipeline simulation, and the wear-out lifetime estimate. With
+// -faults it instead runs a small segmentation through the fault-
+// injection subsystem and reports the online monitors' findings.
 //
 // Usage:
 //
 //	rsudiag                      # everything, default design
 //	rsudiag -bank binary -t 12   # paper-literal LED sizing, temperature 12
+//	rsudiag -faults "dead:unit=3,sweep=2;hot:rate=1e-3,storm=6" \
+//	        -policy remap -faultlog audit.json
+//	                             # fault diagnosis + structured event log
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/accel"
+	"repro/internal/apps"
+	"repro/internal/fault"
+	"repro/internal/img"
 	"repro/internal/power"
 	"repro/internal/ret"
 	"repro/internal/rng"
@@ -23,7 +33,19 @@ import (
 func main() {
 	bank := flag.String("bank", "ladder", "LED sizing: ladder | binary")
 	temp := flag.Float64("t", 12, "LUT temperature (8-bit energy units per e-fold)")
+	faults := flag.String("faults", "", "fault schedule DSL; runs a 32x32 segmentation diagnosis through the fault subsystem instead of the design report")
+	policy := flag.String("policy", "remap", "with -faults: degradation policy (none | remap | resample | quarantine | fallback)")
+	faultSeed := flag.Uint64("faultseed", 1, "with -faults: schedule expansion seed")
+	faultLog := flag.String("faultlog", "", "with -faults: write the structured fault.Event audit log (injected, events, summary) as JSON to this file (- for stdout)")
 	flag.Parse()
+
+	if *faults != "" {
+		if err := faultDiag(*faults, *policy, *faultSeed, *faultLog); err != nil {
+			fmt.Fprintln(os.Stderr, "rsudiag:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	src := rng.New(1)
 	var circuit *ret.Circuit
@@ -124,6 +146,68 @@ func main() {
 	ops := aging.OperationsUntil(0.9, 15, 4e-9)
 	fmt.Printf("  sampling operations to 10%% rate loss: %.3g\n", ops)
 	fmt.Printf("  at 1 GHz issue: %.3g seconds of continuous operation\n", ops*4e-9)
+}
+
+// faultDiag runs a fixed 32x32 segmentation through accel.RunFaulty
+// with the given schedule and policy, prints the monitors' findings,
+// and optionally sinks the full structured audit as JSON.
+func faultDiag(spec, policyName string, seed uint64, logPath string) error {
+	p, err := fault.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	scene := img.BlobScene(32, 32, 3, 6, rng.New(41))
+	app, err := apps.NewSegmentation(scene.Image, scene.Means, 2, 12)
+	if err != nil {
+		return err
+	}
+	unit, err := apps.BuildUnit(app, nil, 1, rsu.Ideal)
+	if err != nil {
+		return err
+	}
+	cfg := accel.PaperConfig(5, 24, 7)
+	_, mode, stats, fstats, err := accel.RunFaulty(app, unit, cfg, fault.Options{
+		Schedule: spec, Seed: seed, Policy: p,
+	})
+	if err != nil {
+		return err
+	}
+	audit := fstats.Audit
+
+	fmt.Printf("== Fault diagnosis (32x32 segmentation, %d iterations, policy %s) ==\n", cfg.Iterations, p)
+	fmt.Printf("  schedule: %s (seed %d)\n", spec, seed)
+	fmt.Printf("  mislabel rate %.3f | simulated %.3gs\n", mode.MislabelRate(scene.Truth), stats.Seconds)
+	fmt.Printf("  sites: %d RSU, %d fallback, %d skipped\n",
+		fstats.RSUSites, fstats.FallbackSites, fstats.SkippedSites)
+	s := audit.Summary
+	fmt.Printf("  audit: %d injected = %d detected + %d masked + %d late (+%d unaccounted); %d events, %d false alarms\n",
+		s.Injected, s.Detected, s.Masked, s.Late, s.Unaccounted, s.Events, s.FalseAlarms)
+	fmt.Printf("  degradation: %d resamples, %d rejects, %d remaps (%d spares), %d quarantined, %d fallback units, %d timer saturations\n",
+		s.Resamples, s.Rejects, s.Remaps, s.SparesUsed, s.QuarantinedUnits, s.FallbackUnits, s.TimerSaturations)
+	for _, e := range audit.Events {
+		fmt.Printf("  event %3d  sweep %3d  unit %3d  replica %2d  %-9s measure %.3g threshold %.3g  %s\n",
+			e.Seq, e.Sweep, e.Unit, e.Replica, e.Suspect, e.Measure, e.Threshold, e.Action)
+	}
+
+	if logPath == "" {
+		return nil
+	}
+	var w io.Writer = os.Stdout
+	if logPath != "-" {
+		f, err := os.Create(logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := audit.WriteJSON(w); err != nil {
+		return err
+	}
+	if logPath != "-" {
+		fmt.Printf("  wrote %s\n", logPath)
+	}
+	return nil
 }
 
 func stars(n int) string {

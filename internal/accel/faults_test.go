@@ -1,0 +1,127 @@
+package accel
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/img"
+)
+
+// TestRunFaultyHealthyMatchesRun: an empty schedule with untripped
+// monitors must consume the same RNG stream as the plain run —
+// identical labelings and identical array timing.
+func TestRunFaultyHealthyMatchesRun(t *testing.T) {
+	app, _, unit := segSetup(t, 24, 24)
+	cfg := PaperConfig(5, 20, 7)
+	lm, mode, stats, err := Run(app, unit, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flm, fmode, fstats, fs, err := RunFaulty(app, unit, cfg, fault.Options{Policy: fault.PolicyRemap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameLabels(lm, flm) || !sameLabels(mode, fmode) {
+		t.Error("fault-free RunFaulty diverged from Run")
+	}
+	if stats.Cycles != fstats.Cycles {
+		t.Errorf("fault-free timing differs: %v vs %v cycles", stats.Cycles, fstats.Cycles)
+	}
+	if fs.FallbackSites != 0 || fs.SkippedSites != 0 || fs.Audit.Summary.Injected != 0 {
+		t.Errorf("fault-free run degraded something: %+v", fs)
+	}
+}
+
+// TestRunFaultyDeterministic: fixed seeds must give byte-identical
+// audits and labelings across repeat runs.
+func TestRunFaultyDeterministic(t *testing.T) {
+	app, _, unit := segSetup(t, 24, 24)
+	cfg := PaperConfig(5, 20, 7)
+	opt := fault.Options{
+		Schedule: "dead:unit=3,sweep=2;hot:rate=2e-3,storm=6",
+		Seed:     11,
+		Policy:   fault.PolicyRemap,
+	}
+	var ref []byte
+	var refCycles float64
+	for i := 0; i < 2; i++ {
+		lm, _, stats, fs, err := RunFaulty(app, unit, cfg, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fs.Audit.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(labelBytes(lm))
+		if ref == nil {
+			ref, refCycles = buf.Bytes(), stats.Cycles
+			if fs.Audit.Summary.Injected == 0 {
+				t.Fatal("schedule injected nothing")
+			}
+			continue
+		}
+		if !bytes.Equal(ref, buf.Bytes()) || stats.Cycles != refCycles {
+			t.Error("repeat run differs")
+		}
+	}
+}
+
+// TestRunFaultyDegradationTiming: quarantine frees array time while
+// fallback pays control-core time — the accelerator-level timing model
+// of the policy trade-off.
+func TestRunFaultyDegradationTiming(t *testing.T) {
+	app, _, unit := segSetup(t, 24, 24)
+	cfg := PaperConfig(5, 24, 7)
+	const schedule = "dead:unit=3,sweep=2;dead:unit=9,sweep=4"
+
+	run := func(p fault.Policy) (Stats, FaultStats) {
+		t.Helper()
+		_, _, stats, fs, err := RunFaulty(app, unit, cfg, fault.Options{Schedule: schedule, Policy: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs.Audit.Summary.Unaccounted != 0 {
+			t.Fatalf("policy %v: unaccounted injections: %+v", p, fs.Audit.Summary)
+		}
+		return stats, fs
+	}
+
+	none, _ := run(fault.PolicyNone)
+	quar, qfs := run(fault.PolicyQuarantine)
+	fb, ffs := run(fault.PolicyFallback)
+
+	if qfs.SkippedSites == 0 {
+		t.Error("quarantine skipped nothing")
+	}
+	if quar.Cycles >= none.Cycles {
+		t.Errorf("quarantine (%v cycles) should cost less than none (%v)", quar.Cycles, none.Cycles)
+	}
+	if ffs.FallbackSites == 0 || ffs.FallbackCycles <= 0 {
+		t.Error("fallback rerouted nothing")
+	}
+	if fb.Cycles <= none.Cycles {
+		t.Errorf("fallback (%v cycles) should cost more than none (%v)", fb.Cycles, none.Cycles)
+	}
+}
+
+func sameLabels(a, b *img.LabelMap) bool {
+	if a.W != b.W || a.H != b.H {
+		return false
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func labelBytes(lm *img.LabelMap) []byte {
+	out := make([]byte, len(lm.Labels))
+	for i, l := range lm.Labels {
+		out[i] = byte(l)
+	}
+	return out
+}

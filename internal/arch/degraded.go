@@ -1,0 +1,143 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fault"
+)
+
+// This file models graceful degradation at the architecture level: how
+// the §8.2 discrete accelerator's throughput and coverage bend as RET
+// circuits fail at a given rate, under each of the internal/fault
+// degradation policies. It is the analytic companion of the functional
+// accel.RunFaulty simulation — no sampling, just expectation arithmetic
+// over the Poisson fault-arrival model the fault DSL's rate clauses
+// use, so curves extend to device counts and run lengths the simulator
+// cannot reach.
+
+// DegradationModel fixes the redundancy parameters of the degradation
+// analysis.
+type DegradationModel struct {
+	// Accel is the accelerator design point.
+	Accel Accelerator
+	// Replicas is the per-unit RET replica count (rsu.DefaultReplicas);
+	// Spares the spare circuits PolicyRemap can rotate in.
+	Replicas, Spares int
+	// MaxResamples bounds PolicyResample retries per site.
+	MaxResamples int
+}
+
+// DefaultDegradationModel matches the fault subsystem's defaults: 4
+// replicas, 2 spares, 3 resamples.
+func DefaultDegradationModel() DegradationModel {
+	return DegradationModel{Accel: DefaultAccelerator(), Replicas: 4, Spares: 2, MaxResamples: 3}
+}
+
+// DegradedPoint is one point of a policy's degradation curve.
+type DegradedPoint struct {
+	// FaultRate is the per-site-sample fault arrival probability (the
+	// DSL's rate= clause).
+	FaultRate float64 `json:"fault_rate"`
+	// FaultedUnits is the expected fraction of units that suffer at
+	// least one fault during the run; DeadUnits the fraction whose
+	// redundancy (spares under remap) is exhausted.
+	FaultedUnits float64 `json:"faulted_units"`
+	DeadUnits    float64 `json:"dead_units"`
+	// Coverage is the expected fraction of site updates still performed
+	// (quarantine freezes rows; everything else keeps sampling).
+	Coverage float64 `json:"coverage"`
+	// Slowdown is the expected run-time factor against the fault-free
+	// bandwidth-bound run (can dip below 1 for quarantine, which stops
+	// consuming bandwidth).
+	Slowdown float64 `json:"slowdown"`
+	// Seconds is the degraded run time.
+	Seconds float64 `json:"seconds"`
+}
+
+// Curve evaluates the degradation curve of one policy over a sweep of
+// fault rates. Faults arrive per site-sample with probability rate;
+// arrivals are uniform over the run, so a unit degraded mid-run spends
+// on average half the run in its degraded mode.
+func (d DegradationModel) Curve(w Workload, policy fault.Policy, rates []float64) ([]DegradedPoint, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Replicas < 1 || d.Spares < 0 || d.MaxResamples < 0 {
+		return nil, fmt.Errorf("arch: invalid degradation model %+v", d)
+	}
+	units := d.Accel.Units()
+	sitesPerUnit := float64(w.Pixels()) / float64(units)
+	base := d.Accel.Time(w)
+	// Control-core cost of one CMOS site evaluation (accel.RunFaulty's
+	// fallback path): §2.2 parameterization+exponentiation per label
+	// plus the Table 1 categorical draw, on one scalar core.
+	cmosPerSite := (float64(w.Labels)*200 + 588) / d.Accel.ClockHz
+
+	out := make([]DegradedPoint, 0, len(rates))
+	for _, rate := range rates {
+		if rate < 0 {
+			return nil, fmt.Errorf("arch: negative fault rate %g", rate)
+		}
+		// Poisson arrivals per unit over the whole run.
+		mu := rate * sitesPerUnit * float64(w.Iterations)
+		faulted := -math.Expm1(-mu) // P(>=1 fault)
+		p := DegradedPoint{FaultRate: rate, FaultedUnits: faulted, Coverage: 1, Slowdown: 1}
+		switch policy {
+		case fault.PolicyNone:
+			// Corruption stands; no throughput or coverage change.
+		case fault.PolicyResample:
+			// Each faulty sample costs up to MaxResamples redraws, then
+			// stands rejected: a per-sample throughput tax.
+			p.Slowdown = 1 + rate*float64(d.MaxResamples)
+		case fault.PolicyQuarantine:
+			// Faulted units freeze for the remaining half-run on
+			// average: coverage drops, bandwidth demand drops with it.
+			p.Coverage = 1 - faulted/2
+			p.Slowdown = p.Coverage
+			p.DeadUnits = faulted
+		case fault.PolicyRemap:
+			// A unit dies only once its spares are exhausted (arrival
+			// count exceeds Spares); dead units escalate to fallback.
+			dead := poissonTail(mu, d.Spares)
+			p.DeadUnits = dead
+			p.Slowdown = d.fallbackSlowdown(w, dead, cmosPerSite, base)
+		case fault.PolicyFallback:
+			p.DeadUnits = faulted
+			p.Slowdown = d.fallbackSlowdown(w, faulted, cmosPerSite, base)
+		default:
+			return nil, fmt.Errorf("arch: unknown policy %v", policy)
+		}
+		p.Seconds = base * p.Slowdown
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// fallbackSlowdown is the run-time factor when a fraction `dead` of
+// units reroutes (for the average half-run) to the serial control core.
+func (d DegradationModel) fallbackSlowdown(w Workload, dead, cmosPerSite, base float64) float64 {
+	if dead <= 0 {
+		return 1
+	}
+	reroutedSites := dead / 2 * w.PixelIterations()
+	array := 1 - dead/2 // the array's remaining bandwidth-bound share
+	return array + reroutedSites*cmosPerSite/base
+}
+
+// poissonTail returns P(Poisson(mu) > k).
+func poissonTail(mu float64, k int) float64 {
+	if mu <= 0 {
+		return 0
+	}
+	term := math.Exp(-mu)
+	cdf := term
+	for i := 1; i <= k; i++ {
+		term *= mu / float64(i)
+		cdf += term
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return 1 - cdf
+}

@@ -1,0 +1,159 @@
+package arch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+var degRates = []float64{0, 1e-9, 1e-7, 1e-5, 1e-3}
+
+// TestDegradationZeroRateIsIdentity: every policy at rate 0 must report
+// the fault-free accelerator exactly.
+func TestDegradationZeroRateIsIdentity(t *testing.T) {
+	d := DefaultDegradationModel()
+	w := Segmentation(SmallW, SmallH)
+	for _, p := range []fault.Policy{
+		fault.PolicyNone, fault.PolicyRemap, fault.PolicyResample,
+		fault.PolicyQuarantine, fault.PolicyFallback,
+	} {
+		pts, err := d.Curve(w, p, []float64{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := pts[0]
+		if pt.Slowdown != 1 || pt.Coverage != 1 || pt.FaultedUnits != 0 || pt.DeadUnits != 0 {
+			t.Errorf("%v at rate 0: %+v", p, pt)
+		}
+		if pt.Seconds != d.Accel.Time(w) {
+			t.Errorf("%v at rate 0: seconds %v, want fault-free %v", p, pt.Seconds, d.Accel.Time(w))
+		}
+	}
+}
+
+// TestDegradationMonotone: more faults can never speed up fallback-like
+// policies, never raise quarantine's coverage, and FaultedUnits is a
+// probability increasing in the rate.
+func TestDegradationMonotone(t *testing.T) {
+	d := DefaultDegradationModel()
+	w := Segmentation(SmallW, SmallH)
+	for _, p := range []fault.Policy{
+		fault.PolicyNone, fault.PolicyRemap, fault.PolicyResample,
+		fault.PolicyQuarantine, fault.PolicyFallback,
+	} {
+		pts, err := d.Curve(w, p, degRates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pt := range pts {
+			if pt.FaultedUnits < 0 || pt.FaultedUnits > 1 || pt.Coverage < 0 || pt.Coverage > 1 {
+				t.Fatalf("%v: point out of range: %+v", p, pt)
+			}
+			if pt.DeadUnits > pt.FaultedUnits+1e-12 {
+				t.Errorf("%v: dead %v > faulted %v", p, pt.DeadUnits, pt.FaultedUnits)
+			}
+			if i == 0 {
+				continue
+			}
+			if pt.FaultedUnits < pts[i-1].FaultedUnits {
+				t.Errorf("%v: FaultedUnits not monotone at rate %g", p, pt.FaultRate)
+			}
+			if pt.Coverage > pts[i-1].Coverage {
+				t.Errorf("%v: coverage rose at rate %g", p, pt.FaultRate)
+			}
+			switch p {
+			case fault.PolicyQuarantine:
+				if pt.Slowdown > pts[i-1].Slowdown {
+					t.Errorf("quarantine slowed down at rate %g", pt.FaultRate)
+				}
+			default:
+				if pt.Slowdown < pts[i-1].Slowdown {
+					t.Errorf("%v sped up at rate %g", p, pt.FaultRate)
+				}
+			}
+		}
+	}
+}
+
+// TestDegradationSparesHelp: with spares, remap keeps more units alive
+// than raw fallback at every rate — redundancy flattens the curve.
+func TestDegradationSparesHelp(t *testing.T) {
+	d := DefaultDegradationModel()
+	w := Motion(SmallW, SmallH)
+	remap, err := d.Curve(w, fault.PolicyRemap, degRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := d.Curve(w, fault.PolicyFallback, degRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range degRates {
+		if remap[i].DeadUnits > fb[i].DeadUnits {
+			t.Errorf("rate %g: remap loses more units (%v) than fallback (%v)",
+				degRates[i], remap[i].DeadUnits, fb[i].DeadUnits)
+		}
+		if remap[i].Slowdown > fb[i].Slowdown {
+			t.Errorf("rate %g: remap slower (%v) than fallback (%v)",
+				degRates[i], remap[i].Slowdown, fb[i].Slowdown)
+		}
+	}
+	// At some intermediate rate the separation must be real, not
+	// epsilon. (At extreme rates both curves saturate — rate 0 is
+	// fault-free, and far past 1 fault/unit even spares are exhausted —
+	// so the redundancy win lives in the middle of the sweep.)
+	separated := false
+	for i := range degRates {
+		if fb[i].Slowdown >= remap[i].Slowdown*1.01 {
+			separated = true
+		}
+	}
+	if !separated {
+		t.Error("spares buy nothing at any swept rate")
+	}
+}
+
+// TestPoissonTail: the tail helper against direct summation.
+func TestPoissonTail(t *testing.T) {
+	for _, mu := range []float64{0, 0.1, 1, 5} {
+		for k := 0; k <= 4; k++ {
+			var cdf, term float64
+			term = math.Exp(-mu)
+			for i := 0; i <= k; i++ {
+				if i > 0 {
+					term *= mu / float64(i)
+				}
+				cdf += term
+			}
+			want := 1 - cdf
+			if want < 0 {
+				want = 0
+			}
+			got := poissonTail(mu, k)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("poissonTail(%g,%d) = %v, want %v", mu, k, got, want)
+			}
+		}
+	}
+}
+
+// TestDegradationRejectsBadInput: invalid workloads, rates and policies
+// must error.
+func TestDegradationRejectsBadInput(t *testing.T) {
+	d := DefaultDegradationModel()
+	if _, err := d.Curve(Workload{}, fault.PolicyNone, degRates); err == nil {
+		t.Error("invalid workload accepted")
+	}
+	if _, err := d.Curve(Segmentation(SmallW, SmallH), fault.PolicyNone, []float64{-1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := d.Curve(Segmentation(SmallW, SmallH), fault.Policy(99), degRates); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	bad := d
+	bad.Replicas = 0
+	if _, err := bad.Curve(Segmentation(SmallW, SmallH), fault.PolicyNone, degRates); err == nil {
+		t.Error("invalid model accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func reportJSON(t *testing.T) []byte {
+	t.Helper()
+	rep, err := runFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// TestFaultsReportDeterministic: the whole report — labels, cycle
+// counts, audit summaries — is a pure function of the fixed seeds.
+func TestFaultsReportDeterministic(t *testing.T) {
+	a := reportJSON(t)
+	b := reportJSON(t)
+	if !bytes.Equal(a, b) {
+		t.Error("two runFaults invocations produced different reports")
+	}
+}
+
+// TestFaultsAcceptance pins the tentpole acceptance criterion: at the
+// 1e-3 fault/sample point every protective policy holds label accuracy
+// within 5% of the fault-free baseline, the unprotected baseline
+// measurably degrades, and the audit accounts for every injection.
+func TestFaultsAcceptance(t *testing.T) {
+	rep, err := runFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rep.Acceptance
+	if a.Rate != 1e-3 {
+		t.Fatalf("acceptance evaluated at %g, want 1e-3", a.Rate)
+	}
+	if !a.ProtectedWithin5Pct {
+		t.Errorf("worst protective policy loses %.2f%% accuracy, budget is 5%%", a.MaxProtectedLossPct)
+	}
+	if !a.NoneDegrades {
+		t.Errorf("no-policy loses %.2f%% vs worst protected %.2f%% — not measurably degraded",
+			a.NoneLossPct, a.MaxProtectedLossPct)
+	}
+	// Points are rate-major in faultPolicies order; 1e-3 is rate index 1.
+	points := rep.Points[1*len(faultPolicies) : 2*len(faultPolicies)]
+	for _, p := range points {
+		if p.Audit.Unaccounted != 0 {
+			t.Errorf("policy %s at rate %g: %d unaccounted injections (injected %d, detected %d, masked %d, late %d)",
+				p.Policy, p.Rate, p.Audit.Unaccounted, p.Audit.Injected,
+				p.Audit.Detected, p.Audit.Masked, p.Audit.Late)
+		}
+		if p.Audit.Detected+p.Audit.Masked+p.Audit.Late != p.Audit.Injected {
+			t.Errorf("policy %s: buckets do not partition the injections: %+v", p.Policy, p.Audit)
+		}
+	}
+	// Degradation timing sanity at the acceptance rate: quarantine must
+	// be cheaper than leaving faults in place, fallback more expensive.
+	var none, quarantine, fallback FaultPoint
+	for _, p := range points {
+		switch p.Policy {
+		case fault.PolicyNone.String():
+			none = p
+		case fault.PolicyQuarantine.String():
+			quarantine = p
+		case fault.PolicyFallback.String():
+			fallback = p
+		}
+	}
+	if !(quarantine.Seconds < none.Seconds && none.Seconds < fallback.Seconds) {
+		t.Errorf("timing ordering violated: quarantine %.3g, none %.3g, fallback %.3g seconds",
+			quarantine.Seconds, none.Seconds, fallback.Seconds)
+	}
+}
+
+// TestFaultsGolden diffs a freshly generated report against the
+// committed BENCH_faults.json — the determinism gate for the degraded
+// path (the CI faults-smoke job runs the same comparison through
+// paperbench). Regenerate with:
+//
+//	go run ./cmd/paperbench -experiment faults -faultsjson BENCH_faults.json
+func TestFaultsGolden(t *testing.T) {
+	golden, err := os.ReadFile("../../BENCH_faults.json")
+	if err != nil {
+		t.Fatalf("missing committed golden: %v", err)
+	}
+	got := reportJSON(t)
+	if !bytes.Equal(got, golden) {
+		t.Error("report drifted from committed BENCH_faults.json; regenerate with " +
+			"`go run ./cmd/paperbench -experiment faults -faultsjson BENCH_faults.json` " +
+			"and review the diff")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/arch"
+	"repro/internal/fault"
 	"repro/internal/gibbs"
 	"repro/internal/img"
 	"repro/internal/power"
@@ -86,6 +87,13 @@ type Config struct {
 	// iteration, and floors at the model temperature. Sharper MAP
 	// estimates for hard energy landscapes.
 	Anneal *AnnealSpec
+	// Faults optionally arms the fault-injection and degradation
+	// subsystem (internal/fault) on the RSU backend: the schedule is
+	// compiled over the image geometry (fault unit = image row), online
+	// monitors watch every TTF measurement, and the selected policy
+	// degrades around detected faults. Solve's Result then carries the
+	// injected-vs-detected audit. RSU backend only.
+	Faults *fault.Options
 }
 
 // AnnealSpec parameterizes geometric simulated-annealing cooling.
@@ -118,6 +126,14 @@ func NewSolver(app apps.App, cfg Config) (*Solver, error) {
 		return nil, fmt.Errorf("core: invalid anneal spec %+v", *a)
 	}
 	s := &Solver{app: app, cfg: cfg}
+	if cfg.Faults != nil {
+		if cfg.Backend != RSU {
+			return nil, fmt.Errorf("core: fault injection models RSU hardware; backend is %v", cfg.Backend)
+		}
+		if _, err := fault.Parse(cfg.Faults.Schedule); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Backend == Prototype && app.Model().M != 2 {
 		return nil, fmt.Errorf("core: the RSU-G2 prototype supports exactly 2 labels, model has %d", app.Model().M)
 	}
@@ -151,6 +167,9 @@ type Result struct {
 	EnergyTrace []float64
 	// SamplerName identifies the kernel that ran.
 	SamplerName string
+	// FaultAudit reconciles injected against detected faults (nil
+	// unless Config.Faults armed the fault subsystem).
+	FaultAudit *fault.Audit
 }
 
 // Solve runs the chain from the application's data-driven initial
@@ -174,6 +193,7 @@ func (s *Solver) Solve() (*Result, error) {
 		opt.Anneal = gibbs.GeometricAnneal(a.StartT, a.Rate, m.T)
 	}
 	var factory gibbs.Factory
+	var sess *fault.Session
 	switch s.cfg.Backend {
 	case SoftwareGibbs:
 		factory = gibbs.NewExactGibbs()
@@ -182,7 +202,23 @@ func (s *Solver) Solve() (*Result, error) {
 	case Metropolis:
 		factory = gibbs.NewMetropolis()
 	case RSU:
-		factory = apps.NewRSUSampler(s.app, s.unit)
+		if f := s.cfg.Faults; f != nil {
+			sched, err := fault.Parse(f.Schedule)
+			if err != nil {
+				return nil, err
+			}
+			sched.Seed = f.Seed
+			// Fault unit = image row; exposure = W site-samples per
+			// unit per sweep; primaries = the unit's RET replica count.
+			tl, err := sched.Compile(m.H, s.cfg.Iterations, m.W, s.unit.Config().Replicas)
+			if err != nil {
+				return nil, err
+			}
+			sess = fault.NewSession(tl, *f)
+			factory = apps.NewFaultRSUSampler(s.app, s.unit, sess)
+		} else {
+			factory = apps.NewRSUSampler(s.app, s.unit)
+		}
 	case Prototype:
 		factory = prototype.NewSampler(prototype.New())
 	default:
@@ -192,13 +228,18 @@ func (s *Solver) Solve() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	out := &Result{
 		MAP:         res.MAP,
 		Final:       res.Final,
 		Confidence:  res.Confidence,
 		EnergyTrace: res.EnergyTrace,
 		SamplerName: res.SamplerName,
-	}, nil
+	}
+	if sess != nil {
+		out.FaultAudit = sess.Audit()
+		out.FaultAudit.Schedule = s.cfg.Faults.Schedule
+	}
+	return out, nil
 }
 
 // PerformanceReport models the hardware-level cost of a workload on the

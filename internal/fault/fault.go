@@ -1,0 +1,458 @@
+// Package fault is the deterministic fault-injection and recovery
+// subsystem for the RSU-G stack (paper §9 reliability discussion:
+// chromophore wear-out, SPAD dark counts, the 4-cycle quiescence
+// hazard). It has three layers:
+//
+//   - Injection: a Schedule, parsed from a small DSL and replayable
+//     from a seed, arms typed faults (dead/hot SPAD, stuck-at intensity
+//     bits, accelerated wear-out, quiescence-hazard leakage, TTF
+//     shift-register wrap) at chosen sweeps and units or at Poisson
+//     arrival rates. Compile expands the schedule into a Timeline of
+//     concrete fault Instances — all randomness is consumed up front,
+//     so the set of injected faults is a pure function of
+//     (schedule, seed, geometry) and never depends on worker count.
+//   - Detection: per-replica online monitors (Observe) watch every
+//     TTF measurement — stall/zero-run watchdogs, a fire-rate EWMA
+//     against the expected intensity, code-readback and dark-channel
+//     checks — and raise structured Events with unit/sweep provenance.
+//   - Degradation: a Session applies the selected Policy (spare-circuit
+//     remap, bounded resample, quarantine, CMOS-fallback) and keeps an
+//     Audit that reconciles injected against detected faults.
+//
+// Everything in this package is deterministic for a fixed seed and
+// schedule; Session state is sharded per unit so the gibbs engine's
+// row-parallel sweeps stay worker-count-invariant (a unit is an image
+// row, touched by exactly one worker per color pass).
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// Kind is a fault type from the taxonomy (DESIGN.md §9).
+type Kind int
+
+// The fault taxonomy. Per-circuit kinds target one physical RET
+// replica and can be remapped around; unit-wide kinds corrupt shared
+// pipeline state and force escalation past remap.
+const (
+	// Dead is a dead SPAD: the detector never fires, every TTF
+	// saturates (§9 "SPAD dark counts" dual — zero efficiency).
+	Dead Kind = iota
+	// Hot is a dark-count storm: the SPAD fires at Storm × the
+	// circuit's full-on rate regardless of the commanded intensity.
+	Hot
+	// Stuck forces bit Bit of the 4-bit LED intensity code to Val.
+	Stuck
+	// Wearout accelerates chromophore photobleaching: the effective
+	// rate decays by exp(-Accel × sweeps-active).
+	Wearout
+	// Quiesce is a quiescence-hazard violation (§5.3): a replica
+	// reused inside its 4-cycle window carries residual excitation,
+	// adding a spurious Leak × full-on rate to the race. Unit-wide
+	// (the replica scheduler, not one circuit, is at fault).
+	Quiesce
+	// Wrap is TTF shift-register overflow: instead of saturating at
+	// max count, a measurement past the window wraps to a junk phase
+	// of the free-running register. Unit-wide (the register is shared
+	// selection-stage state).
+	Wrap
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{"dead", "hot", "stuck", "wearout", "quiesce", "wrap"}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKind parses a DSL kind name.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if s == name {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown kind %q", s)
+}
+
+// UnitWide reports whether the kind corrupts shared per-unit pipeline
+// state (true) or a single physical RET replica (false). Remap cannot
+// route around a unit-wide fault and escalates to fallback.
+func (k Kind) UnitWide() bool { return k == Quiesce || k == Wrap }
+
+// Clause is one parsed schedule clause: either a targeted fault
+// (Rate == 0, armed at Unit/Sweep) or a Poisson arrival process
+// (Rate > 0, one process per unit).
+type Clause struct {
+	Kind Kind
+	// Unit targets one unit (-1: every unit). Rate clauses ignore it.
+	Unit int
+	// Sweep is the arming sweep for targeted clauses.
+	Sweep int
+	// Dur is the active duration in sweeps (0: permanent). -1 selects
+	// the kind default at Compile time (permanent for dead/stuck/
+	// wearout, transient for hot/quiesce/wrap).
+	Dur int
+	// Rate is the Poisson arrival rate in faults per site-sample
+	// (0: targeted clause).
+	Rate float64
+	// Replica targets one physical replica (-1: chosen by the
+	// compile-time RNG for rate clauses, replica 0 for targeted).
+	Replica int
+	// Bit and Val parameterize Stuck (force intensity bit Bit to Val).
+	Bit, Val uint8
+	// Storm is the Hot dark-count rate as a multiple of full-on.
+	Storm float64
+	// Accel is the Wearout decay constant per active sweep.
+	Accel float64
+	// Leak is the Quiesce residual-excitation rate as a multiple of
+	// full-on.
+	Leak float64
+}
+
+// Schedule is a parsed fault schedule plus the seed that makes its
+// Poisson expansion reproducible.
+type Schedule struct {
+	Seed    uint64
+	Clauses []Clause
+}
+
+// Parse parses the schedule DSL:
+//
+//	schedule := clause (';' clause)*
+//	clause   := kind [':' key '=' val (',' key '=' val)*]
+//	kind     := dead | hot | stuck | wearout | quiesce | wrap
+//	key      := unit | sweep | dur | rate | replica | bit | val |
+//	            storm | accel | leak
+//
+// Examples:
+//
+//	"dead:unit=3,sweep=10"            kill unit 3's replica 0 at sweep 10
+//	"hot:rate=1e-3,storm=4,dur=3"     Poisson dark-count storms
+//	"stuck:unit=0,bit=3,val=0,dur=5"  clear intensity bit 3 for 5 sweeps
+//
+// An empty spec parses to an empty (fault-free) schedule. The seed is
+// left zero; callers set it before Compile.
+func Parse(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c, err := parseClause(part)
+		if err != nil {
+			return nil, err
+		}
+		s.Clauses = append(s.Clauses, c)
+	}
+	return s, nil
+}
+
+func parseClause(part string) (Clause, error) {
+	c := Clause{Unit: -1, Dur: -1, Replica: -1, Bit: 3, Storm: 4, Accel: 0.5, Leak: 2}
+	head, rest, hasArgs := strings.Cut(part, ":")
+	kind, err := ParseKind(strings.TrimSpace(head))
+	if err != nil {
+		return c, err
+	}
+	c.Kind = kind
+	if !hasArgs {
+		return c, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return c, fmt.Errorf("fault: clause %q: want key=value, got %q", part, kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "unit":
+			c.Unit, err = parseInt(key, val, -1, 1<<20)
+		case "sweep":
+			c.Sweep, err = parseInt(key, val, 0, 1<<20)
+		case "dur":
+			c.Dur, err = parseInt(key, val, 0, 1<<20)
+		case "replica":
+			c.Replica, err = parseInt(key, val, -1, 63)
+		case "bit":
+			var b int
+			b, err = parseInt(key, val, 0, 3)
+			c.Bit = uint8(b)
+		case "val":
+			var v int
+			v, err = parseInt(key, val, 0, 1)
+			c.Val = uint8(v)
+		case "rate":
+			c.Rate, err = parseFloat(key, val)
+		case "storm":
+			c.Storm, err = parseFloat(key, val)
+		case "accel":
+			c.Accel, err = parseFloat(key, val)
+		case "leak":
+			c.Leak, err = parseFloat(key, val)
+		default:
+			return c, fmt.Errorf("fault: clause %q: unknown key %q", part, key)
+		}
+		if err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+func parseInt(key, val string, min, max int) (int, error) {
+	v, err := strconv.Atoi(val)
+	if err != nil || v < min || v > max {
+		return 0, fmt.Errorf("fault: %s=%q outside [%d,%d]", key, val, min, max)
+	}
+	return v, nil
+}
+
+func parseFloat(key, val string) (float64, error) {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("fault: %s=%q is not a non-negative number", key, val)
+	}
+	return v, nil
+}
+
+// String renders the schedule back into the DSL (canonical form:
+// every non-default key spelled out, clauses in order).
+func (s *Schedule) String() string {
+	var b strings.Builder
+	for i, c := range s.Clauses {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(c.Kind.String())
+		var kvs []string
+		if c.Rate > 0 {
+			kvs = append(kvs, "rate="+formatFloat(c.Rate))
+		} else {
+			if c.Unit >= 0 {
+				kvs = append(kvs, "unit="+strconv.Itoa(c.Unit))
+			}
+			if c.Sweep != 0 {
+				kvs = append(kvs, "sweep="+strconv.Itoa(c.Sweep))
+			}
+		}
+		if c.Dur >= 0 {
+			kvs = append(kvs, "dur="+strconv.Itoa(c.Dur))
+		}
+		if c.Replica >= 0 {
+			kvs = append(kvs, "replica="+strconv.Itoa(c.Replica))
+		}
+		switch c.Kind {
+		case Stuck:
+			kvs = append(kvs, "bit="+strconv.Itoa(int(c.Bit)), "val="+strconv.Itoa(int(c.Val)))
+		case Hot:
+			kvs = append(kvs, "storm="+formatFloat(c.Storm))
+		case Wearout:
+			kvs = append(kvs, "accel="+formatFloat(c.Accel))
+		case Quiesce:
+			kvs = append(kvs, "leak="+formatFloat(c.Leak))
+		}
+		if len(kvs) > 0 {
+			b.WriteByte(':')
+			b.WriteString(strings.Join(kvs, ","))
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Instance is one concrete injected fault, produced by Compile.
+type Instance struct {
+	// Seq is the injection sequence number (stable audit identity).
+	Seq int `json:"seq"`
+	// Kind is the fault type.
+	Kind Kind `json:"-"`
+	// KindName is Kind's DSL name (for the JSON log).
+	KindName string `json:"kind"`
+	// Unit is the fault domain index (image row for the gibbs chain,
+	// RSU-G array element for the accelerator model).
+	Unit int `json:"unit"`
+	// Replica is the physical RET replica hit (-1: unit-wide).
+	Replica int `json:"replica"`
+	// Start is the first active sweep; Dur the active duration in
+	// sweeps (0: permanent).
+	Start int `json:"start"`
+	Dur   int `json:"dur"`
+	// Bit/Val/Storm/Accel/Leak carry the kind parameters.
+	Bit   uint8   `json:"bit,omitempty"`
+	Val   uint8   `json:"val,omitempty"`
+	Storm float64 `json:"storm,omitempty"`
+	Accel float64 `json:"accel,omitempty"`
+	Leak  float64 `json:"leak,omitempty"`
+}
+
+// ActiveAt reports whether the instance is active during sweep.
+func (i Instance) ActiveAt(sweep int) bool {
+	if sweep < i.Start {
+		return false
+	}
+	return i.Dur == 0 || sweep < i.Start+i.Dur
+}
+
+// End returns the first sweep after the active window (-1: permanent).
+func (i Instance) End() int {
+	if i.Dur == 0 {
+		return -1
+	}
+	return i.Start + i.Dur
+}
+
+// Timeline is a compiled schedule: every fault instance that will be
+// injected over the run, indexed by unit. Immutable after Compile, so
+// concurrent per-unit readers are safe.
+type Timeline struct {
+	Units, Sweeps, Replicas int
+
+	insts   []Instance
+	perUnit [][]int // unit -> indices into insts, sorted by Start
+}
+
+// defaultDur is the compile-time Dur for clauses that left it unset:
+// structural faults persist, noise bursts are transient.
+func defaultDur(k Kind) int {
+	switch k {
+	case Hot, Quiesce, Wrap:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// Compile expands the schedule over a concrete geometry: units fault
+// domains, a run of sweeps sweeps, sitesPerUnit site-samples per unit
+// per sweep (sets the exposure of rate clauses), and replicas primary
+// physical RET circuits per unit (spares are assumed screened at test
+// and fault-free). All Poisson randomness derives from Schedule.Seed
+// via per-(clause,unit) streams, so the expansion is independent of
+// any chain or worker state.
+func (s *Schedule) Compile(units, sweeps, sitesPerUnit, replicas int) (*Timeline, error) {
+	if units < 1 || sweeps < 1 || sitesPerUnit < 1 || replicas < 1 {
+		return nil, fmt.Errorf("fault: invalid geometry units=%d sweeps=%d sites=%d replicas=%d",
+			units, sweeps, sitesPerUnit, replicas)
+	}
+	t := &Timeline{Units: units, Sweeps: sweeps, Replicas: replicas}
+	for ci, c := range s.Clauses {
+		dur := c.Dur
+		if dur < 0 {
+			dur = defaultDur(c.Kind)
+		}
+		if c.Rate > 0 {
+			perSweep := c.Rate * float64(sitesPerUnit)
+			for u := 0; u < units; u++ {
+				src := clauseStream(s.Seed, ci, u)
+				for at := src.Exponential(perSweep); at < float64(sweeps); at += src.Exponential(perSweep) {
+					rep := c.Replica
+					if rep < 0 {
+						rep = src.Intn(replicas)
+					}
+					t.add(c, u, int(at), dur, rep)
+				}
+			}
+			continue
+		}
+		if c.Sweep >= sweeps {
+			continue
+		}
+		rep := c.Replica
+		if rep < 0 {
+			rep = 0
+		}
+		if c.Unit >= 0 {
+			if c.Unit < units {
+				t.add(c, c.Unit, c.Sweep, dur, rep)
+			}
+			continue
+		}
+		for u := 0; u < units; u++ {
+			t.add(c, u, c.Sweep, dur, rep)
+		}
+	}
+	t.index()
+	return t, nil
+}
+
+func (t *Timeline) add(c Clause, unit, start, dur, replica int) {
+	if replica >= t.Replicas {
+		replica = t.Replicas - 1
+	}
+	if c.Kind.UnitWide() {
+		replica = -1
+	}
+	t.insts = append(t.insts, Instance{
+		Kind: c.Kind, KindName: c.Kind.String(),
+		Unit: unit, Replica: replica, Start: start, Dur: dur,
+		Bit: c.Bit, Val: c.Val, Storm: c.Storm, Accel: c.Accel, Leak: c.Leak,
+	})
+}
+
+// index sorts instances into canonical (Start, Unit, clause-order)
+// order, assigns Seq, and builds the per-unit index.
+func (t *Timeline) index() {
+	sort.SliceStable(t.insts, func(a, b int) bool {
+		ia, ib := t.insts[a], t.insts[b]
+		if ia.Start != ib.Start {
+			return ia.Start < ib.Start
+		}
+		return ia.Unit < ib.Unit
+	})
+	t.perUnit = make([][]int, t.Units)
+	for i := range t.insts {
+		t.insts[i].Seq = i
+		u := t.insts[i].Unit
+		t.perUnit[u] = append(t.perUnit[u], i)
+	}
+}
+
+// Injected returns all compiled fault instances in Seq order.
+func (t *Timeline) Injected() []Instance { return t.insts }
+
+// Active appends the instances live on (unit, sweep) to out.
+func (t *Timeline) Active(unit, sweep int, out []Instance) []Instance {
+	if unit < 0 || unit >= t.Units {
+		return out
+	}
+	for _, i := range t.perUnit[unit] {
+		if inst := t.insts[i]; inst.ActiveAt(sweep) {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// clauseStream derives the deterministic RNG stream for (seed, clause,
+// unit) by SplitMix-style avalanche mixing — unrelated (clause, unit)
+// pairs get decorrelated streams without any shared mutable state.
+func clauseStream(seed uint64, clause, unit int) *rng.Source {
+	h := seed ^ 0x6a09e667f3bcc909
+	for _, v := range [...]uint64{uint64(clause) + 1, uint64(unit) + 1} {
+		h ^= v * 0x9e3779b97f4a7c15
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return rng.New(h)
+}

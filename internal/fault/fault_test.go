@@ -1,0 +1,223 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseDefaults(t *testing.T) {
+	s, err := Parse("dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Clause{Kind: Dead, Unit: -1, Dur: -1, Replica: -1, Bit: 3, Storm: 4, Accel: 0.5, Leak: 2}
+	if len(s.Clauses) != 1 || s.Clauses[0] != want {
+		t.Errorf("Parse(\"dead\") = %+v, want %+v", s.Clauses, want)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", ";", " ; "} {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+		} else if len(s.Clauses) != 0 {
+			t.Errorf("Parse(%q) produced clauses %+v", spec, s.Clauses)
+		}
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	s, err := Parse("stuck:unit=3,sweep=10,dur=5,replica=2,bit=1,val=0;hot:rate=1e-3,storm=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Clauses) != 2 {
+		t.Fatalf("got %d clauses", len(s.Clauses))
+	}
+	c := s.Clauses[0]
+	if c.Kind != Stuck || c.Unit != 3 || c.Sweep != 10 || c.Dur != 5 || c.Replica != 2 || c.Bit != 1 || c.Val != 0 {
+		t.Errorf("stuck clause = %+v", c)
+	}
+	h := s.Clauses[1]
+	if h.Kind != Hot || h.Rate != 1e-3 || h.Storm != 8 {
+		t.Errorf("hot clause = %+v", h)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"gamma",                 // unknown kind
+		"dead:when=3",           // unknown key
+		"dead:unit",             // missing value
+		"dead:unit=x",           // non-numeric
+		"stuck:bit=4",           // intensity codes are 4-bit
+		"stuck:val=2",           // stuck-at is binary
+		"hot:rate=-1",           // negative rate
+		"dead:sweep=-1",         // negative sweep
+		"dead:replica=64",       // replica out of range
+		"dead:unit=1;bad:unit",  // error in later clause
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+// TestParseStringRoundTrip: the canonical rendering must parse back to
+// the same clauses.
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"dead:unit=3,sweep=10",
+		"hot:rate=0.001,storm=8",
+		"stuck:unit=0,sweep=2,dur=5,bit=3,val=0",
+		"wearout:unit=7,sweep=1,accel=0.4;wrap:unit=2,sweep=6,dur=4",
+		"quiesce:unit=1,sweep=3,leak=2.5",
+		"dead:unit=1;dead:unit=2;hot:rate=1e-05,storm=4",
+	} {
+		s1, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = Parse(%q): %v", spec, s1.String(), err)
+		}
+		if !reflect.DeepEqual(s1.Clauses, s2.Clauses) {
+			t.Errorf("round trip of %q via %q changed clauses:\n%+v\n%+v",
+				spec, s1.String(), s1.Clauses, s2.Clauses)
+		}
+	}
+}
+
+func TestKindUnitWide(t *testing.T) {
+	wide := map[Kind]bool{Quiesce: true, Wrap: true}
+	for k := Kind(0); k < numKinds; k++ {
+		if k.UnitWide() != wide[k] {
+			t.Errorf("%v.UnitWide() = %v", k, k.UnitWide())
+		}
+	}
+}
+
+func compile(t *testing.T, spec string, seed uint64, units, sweeps, sites, replicas int) *Timeline {
+	t.Helper()
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Seed = seed
+	tl, err := s.Compile(units, sweeps, sites, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+// TestCompileDeterministic: the expansion is a pure function of
+// (schedule, seed, geometry).
+func TestCompileDeterministic(t *testing.T) {
+	const spec = "hot:rate=5e-3,storm=6;dead:rate=1e-3"
+	a := compile(t, spec, 42, 16, 30, 64, 4)
+	b := compile(t, spec, 42, 16, 30, 64, 4)
+	if !reflect.DeepEqual(a.Injected(), b.Injected()) {
+		t.Error("same seed, different timelines")
+	}
+	c := compile(t, spec, 43, 16, 30, 64, 4)
+	if reflect.DeepEqual(a.Injected(), c.Injected()) {
+		t.Error("different seeds, identical timelines")
+	}
+	if len(a.Injected()) == 0 {
+		t.Error("rate clauses injected nothing over 16x30x64 exposure")
+	}
+}
+
+// TestCompileTargeted: targeted clauses land exactly where aimed, out-
+// of-range targets are dropped, unit=-1 fans out, and unit-wide kinds
+// are forced to replica -1.
+func TestCompileTargeted(t *testing.T) {
+	tl := compile(t, "dead:unit=3,sweep=2,replica=1;wrap:unit=1,sweep=4,replica=2;stuck:unit=99,sweep=0;dead:unit=0,sweep=99", 0, 8, 10, 4, 4)
+	insts := tl.Injected()
+	if len(insts) != 2 {
+		t.Fatalf("got %d instances, want 2 (out-of-range dropped): %+v", len(insts), insts)
+	}
+	// Canonical order: sorted by (Start, Unit) with Seq assigned.
+	if insts[0].Kind != Dead || insts[0].Unit != 3 || insts[0].Start != 2 || insts[0].Replica != 1 || insts[0].Seq != 0 {
+		t.Errorf("first instance %+v", insts[0])
+	}
+	if insts[1].Kind != Wrap || insts[1].Unit != 1 || insts[1].Start != 4 || insts[1].Seq != 1 {
+		t.Errorf("second instance %+v", insts[1])
+	}
+	if insts[1].Replica != -1 {
+		t.Errorf("unit-wide wrap kept replica %d", insts[1].Replica)
+	}
+
+	fan := compile(t, "dead:sweep=1", 0, 5, 10, 4, 4)
+	if len(fan.Injected()) != 5 {
+		t.Errorf("unit=-1 fanned to %d units, want 5", len(fan.Injected()))
+	}
+}
+
+// TestCompileDurationDefaults: structural faults persist, noise bursts
+// get the transient default.
+func TestCompileDurationDefaults(t *testing.T) {
+	tl := compile(t, "dead:unit=0,sweep=1;hot:unit=0,sweep=1", 0, 1, 10, 4, 4)
+	for _, inst := range tl.Injected() {
+		switch inst.Kind {
+		case Dead:
+			if inst.Dur != 0 || inst.End() != -1 || !inst.ActiveAt(9) {
+				t.Errorf("dead not permanent: %+v", inst)
+			}
+		case Hot:
+			if inst.Dur != 3 || inst.End() != 4 || inst.ActiveAt(4) || !inst.ActiveAt(3) {
+				t.Errorf("hot not a 3-sweep burst: %+v", inst)
+			}
+		}
+	}
+}
+
+func TestTimelineActive(t *testing.T) {
+	tl := compile(t, "dead:unit=2,sweep=3;hot:unit=2,sweep=5,dur=2", 0, 4, 20, 4, 4)
+	if got := tl.Active(2, 2, nil); len(got) != 0 {
+		t.Errorf("sweep 2: %+v", got)
+	}
+	if got := tl.Active(2, 6, nil); len(got) != 2 {
+		t.Errorf("sweep 6: %+v", got)
+	}
+	if got := tl.Active(2, 7, nil); len(got) != 1 || got[0].Kind != Dead {
+		t.Errorf("sweep 7 (hot expired): %+v", got)
+	}
+	if got := tl.Active(0, 6, nil); len(got) != 0 {
+		t.Errorf("unit 0: %+v", got)
+	}
+	if got := tl.Active(-1, 6, nil); len(got) != 0 {
+		t.Errorf("out-of-range unit: %+v", got)
+	}
+}
+
+func TestCompileRejectsBadGeometry(t *testing.T) {
+	s, err := Parse("dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range [][4]int{{0, 1, 1, 1}, {1, 0, 1, 1}, {1, 1, 0, 1}, {1, 1, 1, 0}} {
+		if _, err := s.Compile(g[0], g[1], g[2], g[3]); err == nil {
+			t.Errorf("geometry %v accepted", g)
+		}
+	}
+}
+
+// TestClauseStreamDecorrelated: distinct (clause, unit) pairs must get
+// distinct streams (the expansion would otherwise correlate arrival
+// times across units).
+func TestClauseStreamDecorrelated(t *testing.T) {
+	seen := map[float64]bool{}
+	for clause := 0; clause < 4; clause++ {
+		for unit := 0; unit < 16; unit++ {
+			v := clauseStream(7, clause, unit).Float64()
+			if seen[v] {
+				t.Fatalf("clause %d unit %d repeats an earlier stream", clause, unit)
+			}
+			seen[v] = true
+		}
+	}
+}

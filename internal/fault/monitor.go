@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/fixed"
+)
+
+// This file holds the online-detection side: per-replica monitor state
+// fed one Obs per TTF measurement by rsu.(*Unit).SampleFaulty. The
+// monitors are hardware-plausible — everything they read is visible at
+// the RSU pipeline's selection stage (commanded vs. applied intensity
+// code, the quantized TTF count, the saturation flag) plus the
+// expected count the map table implies, which the controller can
+// precompute per intensity code.
+
+// Suspect classifies what a monitor believes is wrong. Each suspect
+// class maps onto the fault kind it is designed to catch; the audit
+// uses that mapping to reconcile injected against detected faults.
+type Suspect int
+
+// Monitor suspect classes.
+const (
+	// SuspectStall: the TTF register saturates on channels bright
+	// enough that saturation is (statistically) impossible — a dead
+	// SPAD or a fully bleached circuit.
+	SuspectStall Suspect = iota
+	// SuspectStorm: zero-count fires on channels dim enough that
+	// near-instant arrival is implausible — a dark-count storm.
+	SuspectStorm
+	// SuspectSlow: the fire-rate EWMA drifted far above the expected
+	// count — gradual rate decay (accelerated wear-out).
+	SuspectSlow
+	// SuspectFast: the EWMA drifted far below expectation — a spurious
+	// extra rate in the race (quiescence-hazard leakage).
+	SuspectFast
+	// SuspectReadback: the applied intensity code differs from the
+	// commanded one — a stuck-at bit in the intensity register.
+	SuspectReadback
+	// SuspectDarkFire: a channel with zero commanded rate produced a
+	// non-saturated count. Primary signature of a TTF register wrap
+	// (the free-running register latched at a junk phase), but any
+	// spurious race clock — a dark-count storm or quiescence leakage —
+	// also fires dark channels, so the audit accepts it for those too.
+	SuspectDarkFire
+
+	numSuspects
+)
+
+var suspectNames = [numSuspects]string{
+	"stall", "storm", "ewma-slow", "ewma-fast", "readback", "dark-fire",
+}
+
+// String implements fmt.Stringer.
+func (s Suspect) String() string {
+	if s < 0 || s >= numSuspects {
+		return fmt.Sprintf("Suspect(%d)", int(s))
+	}
+	return suspectNames[s]
+}
+
+// Catches returns the fault kind a suspect class is designed to
+// detect.
+func (s Suspect) Catches() Kind {
+	switch s {
+	case SuspectStall:
+		return Dead
+	case SuspectStorm:
+		return Hot
+	case SuspectSlow:
+		return Wearout
+	case SuspectFast:
+		return Quiesce
+	case SuspectReadback:
+		return Stuck
+	default:
+		return Wrap
+	}
+}
+
+// MonitorConfig sets the detection thresholds (DESIGN.md §9 table).
+type MonitorConfig struct {
+	// EWMAAlpha is the smoothing factor of the per-replica fire-count
+	// ratio EWMA.
+	EWMAAlpha float64
+	// RatioHigh / RatioLow are the EWMA trip thresholds on
+	// observed/expected count (high: firing too slowly; low: too
+	// fast). Hysteresis clears a trip only when the EWMA returns
+	// inside [RatioLow×1.5, RatioHigh/1.5].
+	RatioHigh, RatioLow float64
+	// MinSamples is the EWMA warm-up: no EWMA trip before this many
+	// observations of a replica.
+	MinSamples int
+	// StallWindow is the consecutive-saturation run length on
+	// bright channels that trips SuspectStall.
+	StallWindow int
+	// StormWindow is the consecutive-zero-count run length on dim
+	// channels that trips SuspectStorm.
+	StormWindow int
+	// StallMaxExpTicks gates the stall watchdog: only channels whose
+	// expected count is below this many ticks are considered "bright
+	// enough" that saturation is suspicious.
+	StallMaxExpTicks float64
+	// StormMinExpTicks gates the storm watchdog: only channels whose
+	// expected count is at least this many ticks are "dim enough"
+	// that a zero count is suspicious.
+	StormMinExpTicks float64
+	// CodeReadback enables the commanded-vs-applied intensity check.
+	CodeReadback bool
+	// DarkFire enables the dark-channel-fired register-wrap check.
+	DarkFire bool
+}
+
+// DefaultMonitorConfig returns the thresholds used by the bench
+// harness and documented in DESIGN.md §9.
+func DefaultMonitorConfig() MonitorConfig {
+	return MonitorConfig{
+		EWMAAlpha:        0.02,
+		RatioHigh:        3.0,
+		RatioLow:         1.0 / 3.0,
+		MinSamples:       48,
+		StallWindow:      12,
+		StormWindow:      12,
+		StallMaxExpTicks: 64,
+		StormMinExpTicks: 8,
+		CodeReadback:     true,
+		DarkFire:         true,
+	}
+}
+
+// Obs is one TTF measurement as seen by the selection stage, fed to
+// UnitCtx.Observe by the sampling pipeline.
+type Obs struct {
+	// Replica is the physical RET replica that sampled.
+	Replica int
+	// Commanded is the intensity code the map table produced;
+	// Applied is the code the LED driver actually latched (differs
+	// under a stuck-at fault).
+	Commanded, Applied fixed.Intensity
+	// Dark reports that the commanded code has zero nominal rate, so
+	// the channel must saturate.
+	Dark bool
+	// ExpCount is the expected quantized TTF count of the commanded
+	// code (saturation-aware; see rsu.TTFTimer.ExpectedCount).
+	ExpCount float64
+	// Count is the quantized TTF register readout; Saturated reports
+	// the register hit max count (no fire within the window).
+	Count     uint32
+	Saturated bool
+}
+
+// repMon is the monitor state of one physical RET replica.
+type repMon struct {
+	samples     int
+	ewma        float64
+	ewmaN       int
+	stallRun    int
+	zeroRun     int
+	darkSatRun  int
+	cleanReads  int
+	readbackBad bool
+	saturations uint64
+	// removedAt is the sweep the remap policy retired this replica
+	// (-1: in service).
+	removedAt int
+	tripped   [numSuspects]bool
+}
+
+func newRepMon() repMon {
+	return repMon{removedAt: -1}
+}
+
+// inService reports whether the replica is still mapped into a
+// logical lane slot.
+func (m *repMon) inService() bool { return m.removedAt < 0 }

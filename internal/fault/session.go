@@ -1,0 +1,926 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/fixed"
+)
+
+// Policy selects the degradation response when a monitor is tripped.
+type Policy int
+
+// Degradation policies (DESIGN.md §9 policy matrix).
+const (
+	// PolicyNone detects but never reacts: the corrupted samples
+	// stand (the unprotected baseline).
+	PolicyNone Policy = iota
+	// PolicyRemap retires the suspect physical RET replica and maps a
+	// spare circuit into its lane slot — the paper's replicated-
+	// circuit design used for repair. Unit-wide faults and spare
+	// exhaustion escalate to fallback.
+	PolicyRemap
+	// PolicyResample redraws a suspect sample a bounded number of
+	// times, then rejects it (keeps the current label) — right for
+	// transient faults.
+	PolicyResample
+	// PolicyQuarantine freezes the unit's sites at their current
+	// labels: no further updates, no further corruption.
+	PolicyQuarantine
+	// PolicyFallback routes the unit's sites to the exact CMOS Gibbs
+	// kernel: full quality at software cost.
+	PolicyFallback
+
+	numPolicies
+)
+
+var policyNames = [numPolicies]string{"none", "remap", "resample", "quarantine", "fallback"}
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p < 0 || p >= numPolicies {
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+	return policyNames[p]
+}
+
+// ParsePolicy parses a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	for p, name := range policyNames {
+		if s == name {
+			return Policy(p), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown policy %q (want %s)", s, strings.Join(policyNames[:], "|"))
+}
+
+// Options wires fault injection into a run (core.Config.Faults).
+type Options struct {
+	// Schedule is the fault schedule in the DSL of Parse.
+	Schedule string
+	// Seed drives the schedule's Poisson expansion (independent of
+	// the chain seed).
+	Seed uint64
+	// Policy is the degradation response.
+	Policy Policy
+	// Monitor overrides the detection thresholds (nil: defaults).
+	Monitor *MonitorConfig
+	// Spares is the number of spare RET circuits per unit available
+	// to PolicyRemap (0: default 2; negative: none).
+	Spares int
+	// MaxResamples bounds PolicyResample retries (0: default 3).
+	MaxResamples int
+}
+
+// Directive tells the sampling path how to treat a unit's sites.
+type Directive int
+
+// Unit directives.
+const (
+	// DirectiveSample: sample on the (possibly degraded) RSU.
+	DirectiveSample Directive = iota
+	// DirectiveFallback: use the exact CMOS Gibbs kernel.
+	DirectiveFallback
+	// DirectiveSkip: keep the current label (quarantined unit).
+	DirectiveSkip
+)
+
+// Reaction is the per-sample policy decision.
+type Reaction int
+
+// Per-sample reactions.
+const (
+	// ReactAccept: the sample stands.
+	ReactAccept Reaction = iota
+	// ReactResample: redraw the sample on the same unit.
+	ReactResample
+	// ReactReject: discard the sample, keep the current label (a
+	// rejected Metropolis move; fallback units redraw on the CMOS
+	// kernel instead).
+	ReactReject
+)
+
+// Event is a structured detection record with full provenance.
+type Event struct {
+	// Seq is the global event sequence number (assigned by Audit).
+	Seq int `json:"seq"`
+	// Sweep and Unit locate the detection; Replica is the physical
+	// RET replica flagged (-1: unit-wide).
+	Sweep   int `json:"sweep"`
+	Unit    int `json:"unit"`
+	Replica int `json:"replica"`
+	// Suspect names the monitor class that tripped; Measure is the
+	// monitored statistic at trip time and Threshold the limit it
+	// crossed.
+	Suspect   string  `json:"suspect"`
+	Measure   float64 `json:"measure"`
+	Threshold float64 `json:"threshold"`
+	// Action records the policy reaction ("" when the event tripped
+	// outside a sample, which does not happen in practice).
+	Action string `json:"action,omitempty"`
+
+	suspect Suspect
+}
+
+// clearRec records a monitor trip clearing (hysteresis recovery), used
+// by the audit to reconstruct trip spans.
+type clearRec struct {
+	sweep, replica int
+	suspect        Suspect
+}
+
+// Session owns all fault state of one run: the compiled timeline, one
+// UnitCtx per fault domain, and the selected policy. Unit state is
+// sharded — each unit is touched by exactly one worker per color pass
+// in the gibbs engine (a unit is an image row) — so a Session is safe
+// for the engine's row-parallel sweeps and its results are invariant
+// to the worker count.
+type Session struct {
+	tl           *Timeline
+	policy       Policy
+	mcfg         MonitorConfig
+	spares       int
+	maxResamples int
+	units        []UnitCtx
+	lastSweep    int
+}
+
+// UnitCtx is the per-unit fault state: active fault effects, monitor
+// state per physical replica, and the unit's degradation status.
+type UnitCtx struct {
+	s  *Session
+	id int
+
+	// Logical lane slot -> physical replica (remap rewires this).
+	slot []int
+	// Monitor state, one per physical replica (primaries + spares).
+	mons []repMon
+	// Per-physical-replica fault effects, rebuilt each sweep.
+	rateScale  []float64
+	extraRate  []float64
+	stuckSet   []uint8
+	stuckClear []uint8
+	wrap       []bool
+
+	active        []Instance
+	sweep         int
+	drawSeq       uint64
+	sparesUsed    int
+	quarantinedAt int
+	fallbackAt    int
+
+	unitTripped [numSuspects]bool
+
+	events []Event
+	clears []clearRec
+
+	// Per-sample scratch.
+	sampleSuspect bool
+	unitSuspect   bool
+	suspectReps   []int
+	pendingFrom   int
+
+	resamples, rejects uint64
+	remaps             int
+}
+
+// NewSession compiles nothing itself — callers Compile a Schedule for
+// their geometry and hand the Timeline in, together with the policy
+// options. Monitor defaults and spare/retry counts are resolved here.
+func NewSession(tl *Timeline, opt Options) *Session {
+	s := &Session{
+		tl:           tl,
+		policy:       opt.Policy,
+		mcfg:         DefaultMonitorConfig(),
+		spares:       opt.Spares,
+		maxResamples: opt.MaxResamples,
+		lastSweep:    -1,
+	}
+	if opt.Monitor != nil {
+		s.mcfg = *opt.Monitor
+	}
+	if s.spares == 0 {
+		s.spares = 2
+	} else if s.spares < 0 {
+		s.spares = 0
+	}
+	if s.maxResamples <= 0 {
+		s.maxResamples = 3
+	}
+	phys := tl.Replicas + s.spares
+	s.units = make([]UnitCtx, tl.Units)
+	for u := range s.units {
+		uc := &s.units[u]
+		uc.s = s
+		uc.id = u
+		uc.slot = make([]int, tl.Replicas)
+		for l := range uc.slot {
+			uc.slot[l] = l
+		}
+		uc.mons = make([]repMon, phys)
+		for r := range uc.mons {
+			uc.mons[r] = newRepMon()
+		}
+		uc.rateScale = make([]float64, phys)
+		uc.extraRate = make([]float64, phys)
+		uc.stuckSet = make([]uint8, phys)
+		uc.stuckClear = make([]uint8, phys)
+		uc.wrap = make([]bool, phys)
+		uc.quarantinedAt = -1
+		uc.fallbackAt = -1
+		uc.beginSweep(0)
+	}
+	return s
+}
+
+// Policy returns the session's degradation policy.
+func (s *Session) Policy() Policy { return s.policy }
+
+// Timeline returns the compiled fault timeline.
+func (s *Session) Timeline() *Timeline { return s.tl }
+
+// Unit returns the context of one fault domain.
+func (s *Session) Unit(u int) *UnitCtx { return &s.units[u] }
+
+// BeginSweep advances every unit to `sweep`, rebuilding the active
+// fault effects. Idempotent per sweep (gibbs.Run announces the sweep
+// to every worker's sampler; only the first call acts). Must be called
+// between color passes only — i.e. with no sample in flight.
+func (s *Session) BeginSweep(sweep int) {
+	if sweep == s.lastSweep {
+		return
+	}
+	s.lastSweep = sweep
+	for u := range s.units {
+		s.units[u].beginSweep(sweep)
+	}
+}
+
+// beginSweep rebuilds the per-replica fault effects for one sweep.
+func (uc *UnitCtx) beginSweep(sweep int) {
+	uc.sweep = sweep
+	uc.active = uc.s.tl.Active(uc.id, sweep, uc.active[:0])
+	phys := len(uc.mons)
+	for r := 0; r < phys; r++ {
+		uc.rateScale[r] = 1
+		uc.extraRate[r] = 0
+		uc.stuckSet[r] = 0
+		uc.stuckClear[r] = 0
+		uc.wrap[r] = false
+	}
+	for _, inst := range uc.active {
+		lo, hi := inst.Replica, inst.Replica+1
+		if inst.Replica < 0 {
+			lo, hi = 0, phys
+		}
+		for r := lo; r < hi; r++ {
+			switch inst.Kind {
+			case Dead:
+				uc.rateScale[r] = 0
+			case Hot:
+				uc.extraRate[r] += inst.Storm
+			case Stuck:
+				if inst.Val != 0 {
+					uc.stuckSet[r] |= 1 << inst.Bit
+				} else {
+					uc.stuckClear[r] |= 1 << inst.Bit
+				}
+			case Wearout:
+				age := float64(sweep - inst.Start + 1)
+				uc.rateScale[r] *= math.Exp(-inst.Accel * age)
+			case Quiesce:
+				uc.extraRate[r] += inst.Leak
+			case Wrap:
+				uc.wrap[r] = true
+			}
+		}
+	}
+}
+
+// Directive reports how the sampling path must treat this unit's
+// sites right now.
+func (uc *UnitCtx) Directive() Directive {
+	if uc.fallbackAt >= 0 {
+		return DirectiveFallback
+	}
+	if uc.quarantinedAt >= 0 {
+		return DirectiveSkip
+	}
+	return DirectiveSample
+}
+
+// BeginSample resets the per-sample suspicion scratch. Called by the
+// RSU pipeline at the top of each variable evaluation.
+func (uc *UnitCtx) BeginSample() {
+	uc.sampleSuspect = false
+	uc.unitSuspect = false
+	uc.suspectReps = uc.suspectReps[:0]
+	uc.pendingFrom = len(uc.events)
+}
+
+// NextReplica returns the physical replica the round-robin scheduler
+// (§5.3's two-bit counter) assigns to the next channel draw, after the
+// remap policy's slot rewiring.
+func (uc *UnitCtx) NextReplica() int {
+	l := int(uc.drawSeq % uint64(len(uc.slot)))
+	uc.drawSeq++
+	return uc.slot[l]
+}
+
+// ApplyCode returns the intensity code the LED driver actually latches
+// for a commanded code on a replica — identical unless a stuck-at
+// fault is active.
+func (uc *UnitCtx) ApplyCode(c fixed.Intensity, rep int) fixed.Intensity {
+	set, clr := uc.stuckSet[rep], uc.stuckClear[rep]
+	if set|clr == 0 {
+		return c
+	}
+	return fixed.ClampIntensity(int((uint8(c) | set) &^ clr))
+}
+
+// RateScale returns the multiplicative rate degradation of a replica
+// (1: healthy, 0: dead SPAD, in between: wear-out decay).
+func (uc *UnitCtx) RateScale(rep int) float64 { return uc.rateScale[rep] }
+
+// ExtraRace returns the spurious extra rate racing on a replica, as a
+// multiple of the circuit's full-on rate (dark-count storm and
+// quiescence leakage).
+func (uc *UnitCtx) ExtraRace(rep int) float64 { return uc.extraRate[rep] }
+
+// WrapActive reports whether the TTF register wrap fault is active on
+// a replica's lane.
+func (uc *UnitCtx) WrapActive(rep int) bool { return uc.wrap[rep] }
+
+// Observe feeds one TTF measurement to the unit's monitors, possibly
+// raising Events and marking the in-flight sample suspect.
+func (uc *UnitCtx) Observe(o Obs) {
+	cfg := &uc.s.mcfg
+	m := &uc.mons[o.Replica]
+	m.samples++
+	if o.Saturated {
+		m.saturations++
+	}
+
+	if cfg.CodeReadback {
+		// The trip is sticky: a stuck bit only corrupts codes that
+		// exercise it, so clean readbacks interleave with bad ones.
+		// Clear only after a long uninterrupted clean run.
+		if o.Applied != o.Commanded {
+			m.cleanReads = 0
+			m.readbackBad = true
+			uc.trip(o.Replica, SuspectReadback, float64(o.Applied), float64(o.Commanded))
+		} else if m.readbackBad {
+			m.cleanReads++
+			if m.cleanReads >= 2*cfg.StallWindow {
+				m.readbackBad = false
+				m.cleanReads = 0
+				uc.clear(o.Replica, SuspectReadback)
+			}
+		}
+	}
+
+	if o.Dark {
+		// A dark channel must saturate. A readout below max count is a
+		// wrapped register phase or a spurious race clock winning the
+		// race. Sticky like readback: only a solid run of properly
+		// saturating dark reads clears the trip.
+		if cfg.DarkFire {
+			if !o.Saturated {
+				m.darkSatRun = 0
+				uc.trip(o.Replica, SuspectDarkFire, float64(o.Count), 0)
+			} else if m.tripped[SuspectDarkFire] {
+				m.darkSatRun++
+				if m.darkSatRun >= cfg.StormWindow {
+					m.darkSatRun = 0
+					uc.clear(o.Replica, SuspectDarkFire)
+				}
+			}
+		}
+		uc.noteTrips(o.Replica)
+		return // dark channels carry no rate information
+	}
+
+	if o.ExpCount < cfg.StallMaxExpTicks {
+		if o.Saturated {
+			m.stallRun++
+			if m.stallRun >= cfg.StallWindow {
+				uc.trip(o.Replica, SuspectStall, float64(m.stallRun), float64(cfg.StallWindow))
+			}
+		} else {
+			m.stallRun = 0
+			uc.clear(o.Replica, SuspectStall)
+		}
+	}
+
+	if o.ExpCount >= cfg.StormMinExpTicks {
+		// Storm watchdog: a dim channel firing instantly, repeatedly,
+		// is a dark-count storm — much faster than waiting for the
+		// EWMA to drift below RatioLow.
+		if o.Count == 0 {
+			m.zeroRun++
+			if m.zeroRun >= cfg.StormWindow {
+				uc.trip(o.Replica, SuspectStorm, float64(m.zeroRun), float64(cfg.StormWindow))
+			}
+		} else {
+			m.zeroRun = 0
+		}
+	}
+
+	ratio := (float64(o.Count) + 0.5) / (o.ExpCount + 0.5)
+	if m.ewmaN == 0 {
+		m.ewma = 1
+	}
+	m.ewmaN++
+	m.ewma += cfg.EWMAAlpha * (ratio - m.ewma)
+	if m.ewmaN >= cfg.MinSamples {
+		switch {
+		case m.ewma > cfg.RatioHigh:
+			uc.trip(o.Replica, SuspectSlow, m.ewma, cfg.RatioHigh)
+		case m.ewma < cfg.RatioLow:
+			// A single depressed replica is a hot SPAD; every replica
+			// depressed at once points at shared pipeline state (the
+			// quiescence scheduler), not one circuit.
+			if uc.corroboratedFast(o.Replica) {
+				uc.tripUnit(SuspectFast, m.ewma, cfg.RatioLow)
+			} else {
+				uc.trip(o.Replica, SuspectStorm, m.ewma, cfg.RatioLow)
+			}
+		case m.ewma > cfg.RatioLow*1.5 && m.ewma < cfg.RatioHigh/1.5:
+			uc.clear(o.Replica, SuspectSlow)
+			uc.clear(o.Replica, SuspectStorm)
+			uc.maybeClearFast()
+		}
+	}
+	uc.noteTrips(o.Replica)
+}
+
+// corroboratedFast reports whether every other in-service replica with
+// a warmed-up EWMA is also clearly depressed.
+func (uc *UnitCtx) corroboratedFast(rep int) bool {
+	cfg := &uc.s.mcfg
+	n := 0
+	for r := range uc.mons {
+		m := &uc.mons[r]
+		if r == rep || !m.inService() || m.ewmaN < cfg.MinSamples {
+			continue
+		}
+		n++
+		if m.ewma >= cfg.RatioLow*1.5 {
+			return false
+		}
+	}
+	return n > 0
+}
+
+// noteTrips marks the in-flight sample suspect if the replica or the
+// unit has any active trip.
+func (uc *UnitCtx) noteTrips(rep int) {
+	for s := Suspect(0); s < numSuspects; s++ {
+		if uc.mons[rep].tripped[s] {
+			uc.sampleSuspect = true
+			uc.noteSuspectRep(rep)
+			break
+		}
+	}
+	for s := Suspect(0); s < numSuspects; s++ {
+		if uc.unitTripped[s] {
+			uc.sampleSuspect = true
+			uc.unitSuspect = true
+			break
+		}
+	}
+}
+
+func (uc *UnitCtx) noteSuspectRep(rep int) {
+	for _, r := range uc.suspectReps {
+		if r == rep {
+			return
+		}
+	}
+	uc.suspectReps = append(uc.suspectReps, rep)
+}
+
+// trip raises a per-replica suspect (rising-edge deduplicated).
+func (uc *UnitCtx) trip(rep int, s Suspect, measure, threshold float64) {
+	m := &uc.mons[rep]
+	if m.tripped[s] {
+		return
+	}
+	m.tripped[s] = true
+	uc.raise(rep, s, measure, threshold)
+}
+
+// tripUnit raises a unit-wide suspect.
+func (uc *UnitCtx) tripUnit(s Suspect, measure, threshold float64) {
+	if uc.unitTripped[s] {
+		uc.sampleSuspect = true
+		uc.unitSuspect = true
+		return
+	}
+	uc.unitTripped[s] = true
+	uc.raise(-1, s, measure, threshold)
+}
+
+func (uc *UnitCtx) clear(rep int, s Suspect) {
+	m := &uc.mons[rep]
+	if !m.tripped[s] {
+		return
+	}
+	m.tripped[s] = false
+	uc.clears = append(uc.clears, clearRec{sweep: uc.sweep, replica: rep, suspect: s})
+}
+
+func (uc *UnitCtx) clearUnit(s Suspect) {
+	if !uc.unitTripped[s] {
+		return
+	}
+	uc.unitTripped[s] = false
+	uc.clears = append(uc.clears, clearRec{sweep: uc.sweep, replica: -1, suspect: s})
+}
+
+// maybeClearFast clears the unit-wide fast trip once no warmed-up
+// in-service replica remains depressed.
+func (uc *UnitCtx) maybeClearFast() {
+	if !uc.unitTripped[SuspectFast] {
+		return
+	}
+	cfg := &uc.s.mcfg
+	for r := range uc.mons {
+		m := &uc.mons[r]
+		if !m.inService() || m.ewmaN < cfg.MinSamples {
+			continue
+		}
+		if m.ewma < cfg.RatioLow*1.5 {
+			return
+		}
+	}
+	uc.clearUnit(SuspectFast)
+}
+
+func (uc *UnitCtx) raise(rep int, s Suspect, measure, threshold float64) {
+	uc.sampleSuspect = true
+	if rep < 0 {
+		uc.unitSuspect = true
+	} else {
+		uc.noteSuspectRep(rep)
+	}
+	uc.events = append(uc.events, Event{
+		Sweep: uc.sweep, Unit: uc.id, Replica: rep,
+		Suspect: s.String(), Measure: measure, Threshold: threshold,
+		suspect: s,
+	})
+}
+
+// AfterSample applies the session policy to the just-completed sample.
+// tries is the number of redraws already spent on this site (for
+// PolicyResample's bound).
+func (uc *UnitCtx) AfterSample(tries int) Reaction {
+	if !uc.sampleSuspect {
+		return ReactAccept
+	}
+	s := uc.s
+	switch s.policy {
+	case PolicyResample:
+		if tries < s.maxResamples {
+			uc.resamples++
+			uc.setAction("resample")
+			return ReactResample
+		}
+		uc.rejects++
+		uc.setAction("reject")
+		return ReactReject
+	case PolicyRemap:
+		escalate := uc.unitSuspect
+		for _, rep := range uc.suspectReps {
+			if !uc.remapReplica(rep) {
+				escalate = true
+			}
+		}
+		if escalate {
+			uc.enterFallback()
+			uc.setAction("fallback")
+		} else {
+			uc.setAction("remap")
+		}
+		uc.rejects++
+		return ReactReject
+	case PolicyQuarantine:
+		if uc.quarantinedAt < 0 {
+			uc.quarantinedAt = uc.sweep
+		}
+		uc.rejects++
+		uc.setAction("quarantine")
+		return ReactReject
+	case PolicyFallback:
+		uc.enterFallback()
+		uc.rejects++
+		uc.setAction("fallback")
+		return ReactReject
+	default:
+		uc.setAction("none")
+		return ReactAccept
+	}
+}
+
+// remapReplica rewires every lane slot served by rep to a fresh spare.
+// Returns false when no spare is left (caller escalates).
+func (uc *UnitCtx) remapReplica(rep int) bool {
+	mapped := false
+	for l, phys := range uc.slot {
+		if phys != rep {
+			continue
+		}
+		if uc.sparesUsed >= uc.s.spares {
+			return false
+		}
+		uc.slot[l] = uc.s.tl.Replicas + uc.sparesUsed
+		uc.sparesUsed++
+		uc.remaps++
+		mapped = true
+	}
+	if mapped {
+		uc.mons[rep].removedAt = uc.sweep
+	}
+	return true
+}
+
+func (uc *UnitCtx) enterFallback() {
+	if uc.fallbackAt < 0 {
+		uc.fallbackAt = uc.sweep
+	}
+}
+
+// setAction stamps the policy reaction onto the events raised during
+// the in-flight sample.
+func (uc *UnitCtx) setAction(action string) {
+	for i := uc.pendingFrom; i < len(uc.events); i++ {
+		if uc.events[i].Action == "" {
+			uc.events[i].Action = action
+		}
+	}
+}
+
+// Saturations returns the unit's total TTF register saturation count
+// across all physical replicas (the counter the timer satellite fix
+// exposes; see rsu.TTFTimer).
+func (uc *UnitCtx) Saturations() uint64 {
+	var n uint64
+	for r := range uc.mons {
+		n += uc.mons[r].saturations
+	}
+	return n
+}
+
+// Audit reconciles injected faults against detections. Buckets:
+//
+//   - Detected: a compatible Event fired inside the instance's active
+//     window (plus a small grace for monitor lag).
+//   - Masked: the instance arrived on an already-degraded path — a
+//     quarantined or fallback unit, a remapped-out replica, or an
+//     element already flagged by a compatible active trip — so it
+//     cannot produce a *new* detection (and cannot corrupt output
+//     under the active policy). Degradation raised strictly before
+//     the arrival sweep always masks; degradation raised AT the
+//     arrival sweep masks only when no compatible event claims the
+//     instance first (the unit's own detection-triggered degradation
+//     must not mask the very instance that caused it).
+//   - Late: the instance armed too close to the end of the run for
+//     its monitor's detection-latency budget (see latencyBudget).
+//   - Unaccounted: none of the above — a detection escape. Zero for
+//     deterministic schedules (enforced by tests and the CI smoke).
+type Audit struct {
+	Policy   string     `json:"policy"`
+	Schedule string     `json:"schedule,omitempty"`
+	Injected []Instance `json:"injected"`
+	Events   []Event    `json:"events"`
+	Summary  Summary    `json:"summary"`
+}
+
+// Summary is the audit's scalar roll-up (the CI smoke golden).
+type Summary struct {
+	Injected         int    `json:"injected"`
+	Detected         int    `json:"detected"`
+	Masked           int    `json:"masked"`
+	Late             int    `json:"late"`
+	Unaccounted      int    `json:"unaccounted"`
+	Events           int    `json:"events"`
+	FalseAlarms      int    `json:"false_alarms"`
+	Resamples        uint64 `json:"resamples"`
+	Rejects          uint64 `json:"rejects"`
+	Remaps           int    `json:"remaps"`
+	SparesUsed       int    `json:"spares_used"`
+	QuarantinedUnits int    `json:"quarantined_units"`
+	FallbackUnits    int    `json:"fallback_units"`
+	TimerSaturations uint64 `json:"timer_saturations"`
+}
+
+// auditGrace extends an instance's matching window past its end, in
+// sweeps, to cover monitor lag (EWMA smoothing, watchdog windows).
+const auditGrace = 3
+
+// latencyBudget is the per-kind detection-latency budget in sweeps:
+// instances armed with less than this budget before the run ends are
+// classified Late rather than Unaccounted.
+func latencyBudget(k Kind) int {
+	switch k {
+	case Stuck, Wrap:
+		return 1
+	case Dead:
+		return 2
+	case Hot, Quiesce:
+		return 4
+	default: // Wearout: gradual decay needs sweeps to cross RatioHigh
+		return 8
+	}
+}
+
+// compatible reports whether suspect class s is a plausible detection
+// of fault kind k (the taxonomy mapping plus cross-signatures: a dead
+// SPAD also drifts the EWMA high, a storm also drifts it low, a stuck
+// bit shifts the rate either way).
+func compatible(s Suspect, k Kind) bool {
+	switch s {
+	case SuspectStall:
+		return k == Dead || k == Wearout
+	case SuspectStorm:
+		return k == Hot || k == Quiesce || k == Stuck
+	case SuspectSlow:
+		return k == Wearout || k == Dead || k == Stuck
+	case SuspectFast:
+		return k == Quiesce || k == Hot
+	case SuspectReadback:
+		return k == Stuck
+	default: // SuspectDarkFire: any spurious race clock fires dark channels
+		return k == Wrap || k == Hot || k == Quiesce
+	}
+}
+
+// Audit computes the reconciliation. Call after the run completes (no
+// samples in flight).
+func (s *Session) Audit() *Audit {
+	a := &Audit{Policy: s.policy.String(), Injected: s.tl.Injected()}
+
+	// Collect events in deterministic global order and assign Seq.
+	for u := range s.units {
+		a.Events = append(a.Events, s.units[u].events...)
+	}
+	sort.SliceStable(a.Events, func(i, j int) bool {
+		if a.Events[i].Sweep != a.Events[j].Sweep {
+			return a.Events[i].Sweep < a.Events[j].Sweep
+		}
+		return a.Events[i].Unit < a.Events[j].Unit
+	})
+	for i := range a.Events {
+		a.Events[i].Seq = i
+	}
+
+	matched := make([]bool, len(a.Events))
+	sum := &a.Summary
+	sum.Injected = len(a.Injected)
+	for _, inst := range a.Injected {
+		uc := &s.units[inst.Unit]
+		switch {
+		case uc.maskedArrival(inst, inst.Start-1):
+			sum.Masked++
+		case s.detected(a.Events, matched, inst):
+			sum.Detected++
+		case uc.maskedArrival(inst, inst.Start):
+			sum.Masked++
+		case inst.Start+latencyBudget(inst.Kind) > s.tl.Sweeps:
+			sum.Late++
+		default:
+			sum.Unaccounted++
+		}
+	}
+	for i, e := range a.Events {
+		if !matched[i] && !s.eventExplained(e) {
+			sum.FalseAlarms++
+		}
+	}
+	sum.Events = len(a.Events)
+
+	for u := range s.units {
+		uc := &s.units[u]
+		sum.Resamples += uc.resamples
+		sum.Rejects += uc.rejects
+		sum.Remaps += uc.remaps
+		sum.SparesUsed += uc.sparesUsed
+		if uc.quarantinedAt >= 0 {
+			sum.QuarantinedUnits++
+		}
+		if uc.fallbackAt >= 0 {
+			sum.FallbackUnits++
+		}
+		sum.TimerSaturations += uc.Saturations()
+	}
+	return a
+}
+
+// maskedArrival reports whether the instance's path was degraded or
+// flagged by sweep `by`. The audit calls it twice: with Start-1 (a
+// strictly-prior mask always wins) and, after the detection match
+// fails, with Start (same-sweep degradation by some *other* fault —
+// the instance's own trip was checked first and would have claimed it).
+func (uc *UnitCtx) maskedArrival(inst Instance, by int) bool {
+	if uc.fallbackAt >= 0 && uc.fallbackAt <= by {
+		return true
+	}
+	if uc.quarantinedAt >= 0 && uc.quarantinedAt <= by {
+		return true
+	}
+	if inst.Replica >= 0 {
+		if m := &uc.mons[inst.Replica]; !m.inService() && m.removedAt <= by {
+			return true
+		}
+	}
+	// A compatible trip active by `by`: the monitors already consider
+	// this element faulty, so a redundant fault on it cannot raise a
+	// new rising edge.
+	for sus := Suspect(0); sus < numSuspects; sus++ {
+		if !compatible(sus, inst.Kind) {
+			continue
+		}
+		if inst.Replica >= 0 && uc.tripActiveAt(inst.Replica, sus, by) {
+			return true
+		}
+		if uc.tripActiveAt(-1, sus, by) {
+			return true
+		}
+	}
+	return false
+}
+
+// tripActiveAt reconstructs from the event/clear history whether a
+// trip was active at the given sweep.
+func (uc *UnitCtx) tripActiveAt(replica int, sus Suspect, sweep int) bool {
+	state, known := false, false
+	lastAt := -1
+	for _, e := range uc.events {
+		if e.Replica == replica && e.suspect == sus && e.Sweep <= sweep && e.Sweep >= lastAt {
+			state, known, lastAt = true, true, e.Sweep
+		}
+	}
+	for _, c := range uc.clears {
+		if c.replica == replica && c.suspect == sus && c.sweep <= sweep && c.sweep >= lastAt {
+			state, known, lastAt = false, true, c.sweep
+		}
+	}
+	return known && state
+}
+
+// detected finds a compatible event inside the instance's window and
+// marks it matched.
+func (s *Session) detected(events []Event, matched []bool, inst Instance) bool {
+	found := false
+	for i, e := range events {
+		if e.Unit != inst.Unit || e.Sweep < inst.Start {
+			continue
+		}
+		if end := inst.End(); end >= 0 && e.Sweep >= end+auditGrace {
+			continue
+		}
+		if inst.Replica >= 0 && e.Replica >= 0 && e.Replica != inst.Replica {
+			continue
+		}
+		if !compatible(e.suspect, inst.Kind) {
+			continue
+		}
+		matched[i] = true
+		found = true
+	}
+	return found
+}
+
+// eventExplained reports whether an event lies inside *some* injected
+// instance's window on its unit (it may match an instance another
+// event already matched — rising-edge dedup means one event can cover
+// several overlapping instances).
+func (s *Session) eventExplained(e Event) bool {
+	for _, inst := range s.tl.Injected() {
+		if inst.Unit != e.Unit || e.Sweep < inst.Start {
+			continue
+		}
+		if end := inst.End(); end >= 0 && e.Sweep >= end+auditGrace {
+			continue
+		}
+		if inst.Replica >= 0 && e.Replica >= 0 && e.Replica != inst.Replica {
+			continue
+		}
+		if compatible(e.suspect, inst.Kind) {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteJSON writes the audit as indented JSON (the rsudiag -faultlog
+// sink and the offline injected-vs-detected audit format).
+func (a *Audit) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}

@@ -1,0 +1,433 @@
+package fault
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fixed"
+)
+
+// testSession compiles a schedule over a small geometry and opens a
+// session on it.
+func testSession(t *testing.T, spec string, policy Policy, sweeps int) *Session {
+	t.Helper()
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := s.Compile(4, sweeps, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSession(tl, Options{Policy: policy})
+}
+
+// brightSat is a saturated observation on a bright channel (stall
+// signature); dimZero an instant fire on a dim channel (storm
+// signature).
+func brightSat(rep int) Obs {
+	return Obs{Replica: rep, Commanded: fixed.NewIntensity(15), Applied: fixed.NewIntensity(15),
+		ExpCount: 10, Count: 255, Saturated: true}
+}
+
+func dimZero(rep int) Obs {
+	return Obs{Replica: rep, Commanded: fixed.NewIntensity(2), Applied: fixed.NewIntensity(2),
+		ExpCount: 50, Count: 0}
+}
+
+func healthy(rep int) Obs {
+	return Obs{Replica: rep, Commanded: fixed.NewIntensity(8), Applied: fixed.NewIntensity(8),
+		ExpCount: 20, Count: 18}
+}
+
+// lastEvent returns the most recent event of a unit, or nil.
+func lastEvent(uc *UnitCtx) *Event {
+	if len(uc.events) == 0 {
+		return nil
+	}
+	return &uc.events[len(uc.events)-1]
+}
+
+// TestStallWatchdog: StallWindow consecutive saturations on a bright
+// channel trip SuspectStall; a single fire resets the run.
+func TestStallWatchdog(t *testing.T) {
+	sess := testSession(t, "", PolicyNone, 10)
+	uc := sess.Unit(0)
+	cfg := DefaultMonitorConfig()
+
+	uc.BeginSample()
+	for i := 0; i < cfg.StallWindow-1; i++ {
+		uc.Observe(brightSat(0))
+	}
+	if len(uc.events) != 0 {
+		t.Fatalf("tripped before the window: %+v", uc.events)
+	}
+	uc.Observe(healthy(0)) // reset
+	for i := 0; i < cfg.StallWindow-1; i++ {
+		uc.Observe(brightSat(0))
+	}
+	if len(uc.events) != 0 {
+		t.Fatal("reset did not clear the run")
+	}
+	uc.Observe(brightSat(0))
+	e := lastEvent(uc)
+	if e == nil || e.suspect != SuspectStall || e.Replica != 0 {
+		t.Fatalf("want stall trip on replica 0, got %+v", e)
+	}
+	if uc.AfterSample(0) != ReactAccept {
+		t.Error("PolicyNone must accept")
+	}
+}
+
+// TestStormWatchdog: StormWindow instant fires on dim channels trip
+// SuspectStorm long before the EWMA would drift.
+func TestStormWatchdog(t *testing.T) {
+	sess := testSession(t, "", PolicyNone, 10)
+	uc := sess.Unit(0)
+	cfg := DefaultMonitorConfig()
+
+	uc.BeginSample()
+	for i := 0; i < cfg.StormWindow; i++ {
+		if len(uc.events) != 0 {
+			t.Fatalf("tripped after %d zeros", i)
+		}
+		uc.Observe(dimZero(1))
+	}
+	e := lastEvent(uc)
+	if e == nil || e.suspect != SuspectStorm || e.Replica != 1 {
+		t.Fatalf("want storm trip on replica 1, got %+v", e)
+	}
+}
+
+// TestReadbackSticky: a commanded/applied mismatch trips immediately
+// and interleaved clean readbacks must NOT clear the trip — only a long
+// uninterrupted clean run does (stuck bits corrupt only codes that
+// exercise them).
+func TestReadbackSticky(t *testing.T) {
+	sess := testSession(t, "", PolicyNone, 10)
+	uc := sess.Unit(0)
+	cfg := DefaultMonitorConfig()
+
+	bad := healthy(0)
+	bad.Applied = fixed.NewIntensity(int(bad.Commanded) ^ 8) // bit 3 flipped
+	uc.BeginSample()
+	uc.Observe(bad)
+	if e := lastEvent(uc); e == nil || e.suspect != SuspectReadback {
+		t.Fatalf("mismatch did not trip: %+v", e)
+	}
+	n := len(uc.events)
+
+	// Alternate clean and bad: no new events (trip stays up), no clear.
+	for i := 0; i < 3*cfg.StallWindow; i++ {
+		if i%2 == 0 {
+			uc.Observe(healthy(0))
+		} else {
+			uc.Observe(bad)
+		}
+	}
+	if len(uc.events) != n {
+		t.Errorf("re-tripped while up: %d new events", len(uc.events)-n)
+	}
+	if len(uc.clears) != 0 {
+		t.Error("interleaved clean reads cleared the trip")
+	}
+
+	// A long clean run clears; the next mismatch is a new rising edge.
+	for i := 0; i < 2*cfg.StallWindow; i++ {
+		uc.Observe(healthy(0))
+	}
+	if len(uc.clears) != 1 {
+		t.Fatalf("clean run did not clear: %+v", uc.clears)
+	}
+	uc.Observe(bad)
+	if len(uc.events) != n+1 {
+		t.Error("no rising edge after clear")
+	}
+}
+
+// TestDarkFireSticky: a dark channel firing trips per-replica; only a
+// run of properly saturating dark reads clears.
+func TestDarkFireSticky(t *testing.T) {
+	sess := testSession(t, "", PolicyNone, 10)
+	uc := sess.Unit(0)
+	cfg := DefaultMonitorConfig()
+
+	darkOK := Obs{Replica: 2, Dark: true, ExpCount: 255, Count: 255, Saturated: true}
+	darkFire := Obs{Replica: 2, Dark: true, ExpCount: 255, Count: 17}
+
+	uc.BeginSample()
+	uc.Observe(darkFire)
+	e := lastEvent(uc)
+	if e == nil || e.suspect != SuspectDarkFire || e.Replica != 2 {
+		t.Fatalf("dark fire did not trip per-replica: %+v", e)
+	}
+	for i := 0; i < cfg.StormWindow-1; i++ {
+		uc.Observe(darkOK)
+	}
+	if len(uc.clears) != 0 {
+		t.Error("cleared before the window")
+	}
+	uc.Observe(darkOK)
+	if len(uc.clears) != 1 {
+		t.Error("saturating run did not clear")
+	}
+}
+
+// TestEWMATrips: sustained slow firing trips SuspectSlow per-replica;
+// when every replica is depressed at once the unit-wide SuspectFast
+// fires instead of blaming one circuit.
+func TestEWMATrips(t *testing.T) {
+	cfg := DefaultMonitorConfig()
+
+	t.Run("slow", func(t *testing.T) {
+		sess := testSession(t, "", PolicyNone, 10)
+		uc := sess.Unit(0)
+		slow := healthy(0)
+		slow.Count = 200 // 10x expected
+		uc.BeginSample()
+		for i := 0; i < cfg.MinSamples+1; i++ {
+			uc.Observe(slow)
+		}
+		e := lastEvent(uc)
+		if e == nil || e.suspect != SuspectSlow || e.Replica != 0 {
+			t.Fatalf("want ewma-slow, got %+v", e)
+		}
+	})
+
+	t.Run("corroborated fast", func(t *testing.T) {
+		sess := testSession(t, "", PolicyNone, 10)
+		uc := sess.Unit(0)
+		uc.BeginSample()
+		// The EWMA (alpha 0.02, warm-started at 1) needs ~70 samples
+		// of a depressed ratio to drift below RatioLow; drive every
+		// replica round-robin so they warm up and drift together.
+		for i := 0; i < cfg.MinSamples*2*4; i++ {
+			fast := healthy(i % 4)
+			fast.Count = 1 // far below the expected 20 ticks, no zero-run
+			uc.Observe(fast)
+		}
+		var sawFast bool
+		for _, e := range uc.events {
+			if e.suspect == SuspectFast {
+				sawFast = true
+				if e.Replica != -1 {
+					t.Errorf("fast trip not unit-wide: %+v", e)
+				}
+			}
+		}
+		if !sawFast {
+			t.Fatalf("no unit-wide fast trip: %+v", uc.events)
+		}
+	})
+}
+
+// tripOnce drives one sample that trips the stall watchdog on rep.
+func tripOnce(t *testing.T, uc *UnitCtx, rep int) Reaction {
+	t.Helper()
+	cfg := DefaultMonitorConfig()
+	uc.BeginSample()
+	for i := 0; i < cfg.StallWindow; i++ {
+		uc.Observe(brightSat(rep))
+	}
+	return uc.AfterSample(0)
+}
+
+func TestPolicyResampleBounded(t *testing.T) {
+	sess := testSession(t, "", PolicyResample, 10)
+	uc := sess.Unit(0)
+	cfg := DefaultMonitorConfig()
+	uc.BeginSample()
+	for i := 0; i < cfg.StallWindow; i++ {
+		uc.Observe(brightSat(0))
+	}
+	for tries := 0; tries < 3; tries++ {
+		if r := uc.AfterSample(tries); r != ReactResample {
+			t.Fatalf("try %d: %v, want resample", tries, r)
+		}
+	}
+	if r := uc.AfterSample(3); r != ReactReject {
+		t.Errorf("exhausted tries: %v, want reject", r)
+	}
+	if uc.resamples != 3 || uc.rejects != 1 {
+		t.Errorf("counters: resamples=%d rejects=%d", uc.resamples, uc.rejects)
+	}
+}
+
+// TestPolicyRemapRotatesSpares: the first trip retires the replica and
+// rewires its lane slots to a spare; exhausting the spares escalates to
+// fallback.
+func TestPolicyRemapRotatesSpares(t *testing.T) {
+	sess := testSession(t, "", PolicyRemap, 10)
+	uc := sess.Unit(0)
+
+	if r := tripOnce(t, uc, 0); r != ReactReject {
+		t.Fatalf("remap reaction %v", r)
+	}
+	if uc.sparesUsed != 1 || uc.mons[0].inService() {
+		t.Fatalf("replica 0 not retired: spares=%d", uc.sparesUsed)
+	}
+	for i := 0; i < 8; i++ {
+		if rep := uc.NextReplica(); rep == 0 {
+			t.Fatal("slot still serves the retired replica")
+		}
+	}
+	if uc.Directive() != DirectiveSample {
+		t.Fatal("remap escalated with spares left")
+	}
+
+	if tripOnce(t, uc, 1); uc.sparesUsed != 2 {
+		t.Fatalf("second trip: spares=%d", uc.sparesUsed)
+	}
+	// Third suspect replica: no spare left -> fallback escalation.
+	tripOnce(t, uc, 2)
+	if uc.Directive() != DirectiveFallback {
+		t.Error("spare exhaustion did not escalate to fallback")
+	}
+}
+
+// TestPolicyRemapEscalatesUnitWide: a unit-wide suspect cannot be
+// remapped around — straight to fallback even with spares left.
+func TestPolicyRemapEscalatesUnitWide(t *testing.T) {
+	sess := testSession(t, "", PolicyRemap, 10)
+	uc := sess.Unit(0)
+	cfg := DefaultMonitorConfig()
+	uc.BeginSample()
+	for i := 0; i < cfg.MinSamples*2*4; i++ {
+		fast := healthy(i % 4)
+		fast.Count = 1
+		uc.Observe(fast)
+	}
+	uc.AfterSample(0)
+	if uc.Directive() != DirectiveFallback {
+		t.Error("unit-wide fast suspect did not escalate remap to fallback")
+	}
+}
+
+func TestPolicyQuarantineFreezes(t *testing.T) {
+	sess := testSession(t, "", PolicyQuarantine, 10)
+	uc := sess.Unit(0)
+	if r := tripOnce(t, uc, 0); r != ReactReject {
+		t.Fatalf("reaction %v", r)
+	}
+	if uc.Directive() != DirectiveSkip {
+		t.Error("quarantine did not freeze the unit")
+	}
+}
+
+func TestPolicyFallbackReroutes(t *testing.T) {
+	sess := testSession(t, "", PolicyFallback, 10)
+	uc := sess.Unit(0)
+	if r := tripOnce(t, uc, 0); r != ReactReject {
+		t.Fatalf("reaction %v", r)
+	}
+	if uc.Directive() != DirectiveFallback {
+		t.Error("fallback did not reroute the unit")
+	}
+}
+
+// TestAuditBuckets: synthetic runs land instances in the right audit
+// buckets.
+func TestAuditBuckets(t *testing.T) {
+	t.Run("detected", func(t *testing.T) {
+		sess := testSession(t, "dead:unit=0,sweep=2", PolicyNone, 10)
+		sess.BeginSweep(2)
+		uc := sess.Unit(0)
+		tripOnce(t, uc, 0)
+		sum := sess.Audit().Summary
+		if sum.Detected != 1 || sum.Unaccounted != 0 || sum.FalseAlarms != 0 {
+			t.Errorf("summary %+v", sum)
+		}
+	})
+
+	t.Run("unaccounted", func(t *testing.T) {
+		sess := testSession(t, "dead:unit=0,sweep=2", PolicyNone, 10)
+		sum := sess.Audit().Summary // no observations at all
+		if sum.Unaccounted != 1 || sum.Detected != 0 {
+			t.Errorf("summary %+v", sum)
+		}
+	})
+
+	t.Run("late", func(t *testing.T) {
+		// Dead has a 2-sweep latency budget; arming at the last sweep
+		// of a 10-sweep run cannot be detected in time.
+		sess := testSession(t, "dead:unit=0,sweep=9", PolicyNone, 10)
+		sum := sess.Audit().Summary
+		if sum.Late != 1 || sum.Unaccounted != 0 {
+			t.Errorf("summary %+v", sum)
+		}
+	})
+
+	t.Run("false alarm", func(t *testing.T) {
+		sess := testSession(t, "", PolicyNone, 10)
+		tripOnce(t, sess.Unit(3), 0) // trip with nothing injected
+		sum := sess.Audit().Summary
+		if sum.FalseAlarms != 1 || sum.Events != 1 || sum.Injected != 0 {
+			t.Errorf("summary %+v", sum)
+		}
+	})
+
+	t.Run("masked by prior degradation", func(t *testing.T) {
+		// Quarantine the unit at sweep 0, then a fault arrives at
+		// sweep 5 on the frozen unit: masked, not unaccounted.
+		sess := testSession(t, "dead:unit=0,sweep=5", PolicyQuarantine, 10)
+		tripOnce(t, sess.Unit(0), 0) // false-positive trip freezes unit 0 at sweep 0
+		sess.BeginSweep(5)
+		sum := sess.Audit().Summary
+		if sum.Masked != 1 || sum.Unaccounted != 0 {
+			t.Errorf("summary %+v", sum)
+		}
+	})
+}
+
+// TestAuditJSONStable: WriteJSON output is byte-identical across calls
+// (the CI smoke diffs it against a golden).
+func TestAuditJSONStable(t *testing.T) {
+	sess := testSession(t, "dead:unit=0,sweep=2", PolicyNone, 10)
+	sess.BeginSweep(2)
+	tripOnce(t, sess.Unit(0), 0)
+	var a, b bytes.Buffer
+	if err := sess.Audit().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Audit().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("audit JSON not stable across calls")
+	}
+}
+
+// TestFaultCodeLintIgnoreFree: the fault subsystem must pass rsulint
+// without a single suppression — the determinism and bit-width
+// invariants apply to the fault path exactly as to the healthy path.
+func TestFaultCodeLintIgnoreFree(t *testing.T) {
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	// The needles are assembled at run time so this test's own source
+	// does not match them.
+	needles := []string{"lint:" + "ignore", "no" + "lint"}
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		checked++
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, needle := range needles {
+			if strings.Contains(string(src), needle) {
+				t.Errorf("%s contains a lint suppression", f)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no sources found")
+	}
+}

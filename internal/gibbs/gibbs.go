@@ -32,6 +32,17 @@ type Sampler interface {
 // Factory creates an independent Sampler instance for each worker.
 type Factory func() Sampler
 
+// SweepAware is an optional Sampler extension: Run calls BeginSweep on
+// every worker's sampler at the top of each iteration, strictly between
+// sweeps (no SampleSite call in flight anywhere). Samplers that carry
+// per-sweep state — e.g. the fault-injection session, which rebuilds
+// the active fault set each sweep — implement it; shared state behind
+// several workers' samplers must deduplicate by the iteration index
+// (every worker's sampler receives the call).
+type SweepAware interface {
+	BeginSweep(iteration int)
+}
+
 // ExactGibbs samples directly from the normalized full conditional
 // p(l) ∝ exp(-E(l)/T) — the textbook Gibbs update the software baselines
 // implement (§8.1).
@@ -244,6 +255,11 @@ func Run(m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed ui
 	defer func() { m.T = baseT }()
 
 	for it := 0; it < opt.Iterations; it++ {
+		for _, s := range samplers {
+			if sa, ok := s.(SweepAware); ok {
+				sa.BeginSweep(it)
+			}
+		}
 		if opt.Anneal != nil {
 			t := opt.Anneal(it)
 			if t <= 0 {

@@ -33,9 +33,20 @@ func (w Wearout) Enabled() bool {
 	return w.MeanExcitations > 0 && !math.IsInf(w.MeanExcitations, 1)
 }
 
-// AgingCircuit wraps a Circuit with wear-out tracking. It is not safe
-// for concurrent use (the absorbed-count is shared mutable state, as it
-// is in the physical device).
+// AgingCircuit wraps a Circuit with wear-out tracking. It is NOT safe
+// for concurrent use: the absorbed-count is mutable state, as it is in
+// the physical device.
+//
+// Ownership rule (the rsulint `rngshare` discipline, applied to aging
+// state): every concurrent worker must own its own AgingCircuit — one
+// per physical RET replica, created by the worker (or the per-replica
+// unit) that drives it, and never handed across goroutines. The
+// embedded *Circuit is immutable after construction and MAY be shared;
+// only the AgingCircuit wrapper is single-owner. The sweep engine
+// follows the same pattern as its RNG streams: anything mutated during
+// a sweep is per-worker, so results are independent of the worker
+// count and the race detector stays quiet (see the per-worker test in
+// wearout_race_test.go).
 type AgingCircuit struct {
 	*Circuit
 	Wear Wearout

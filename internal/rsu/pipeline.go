@@ -18,6 +18,14 @@ type PipelineConfig struct {
 	// Depth overrides the pipeline depth (0: the §5 values — 7 for K=1,
 	// plus the selection-tree growth for wider units).
 	Depth int
+	// ViolateQuiescence removes the scheduler's quiescence interlock:
+	// a replica still inside its 4-cycle recovery window is reused
+	// immediately instead of stalling the issue slot. This is the
+	// fault.Quiesce hazard — a correct scheduler *stalls*; a buggy or
+	// fault-injected one reuses the circuit and carries residual
+	// excitation into the next race. Each early reuse is counted in
+	// PipelineStats.HazardViolations.
+	ViolateQuiescence bool
 }
 
 // PipelineStats reports one simulation run.
@@ -31,6 +39,9 @@ type PipelineStats struct {
 	FirstLatency int
 	// StallCycles counts issue slots lost to the quiescence hazard.
 	StallCycles int
+	// HazardViolations counts replica reuses inside the quiescence
+	// window (always 0 unless PipelineConfig.ViolateQuiescence).
+	HazardViolations int
 	// ThroughputCyclesPerVariable is the steady-state cost per variable
 	// (total cycles / variables).
 	ThroughputCyclesPerVariable float64
@@ -76,10 +87,16 @@ func SimulatePipeline(cfg PipelineConfig, variables int) (PipelineStats, error) 
 		for s := 0; s < steps; s++ {
 			// The round-robin scheduler always waits for the *next*
 			// replica in order (it does not search): stalls happen when
-			// that replica is still quiescing.
+			// that replica is still quiescing. With the interlock
+			// removed (ViolateQuiescence) the busy replica is reused
+			// early — the §5.3 hazard — and the reuse is counted.
 			if freeAt[rr] > cycle {
-				stats.StallCycles += freeAt[rr] - cycle
-				cycle = freeAt[rr]
+				if cfg.ViolateQuiescence {
+					stats.HazardViolations++
+				} else {
+					stats.StallCycles += freeAt[rr] - cycle
+					cycle = freeAt[rr]
+				}
 			}
 			if firstIssue < 0 {
 				firstIssue = cycle

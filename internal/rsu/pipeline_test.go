@@ -132,6 +132,80 @@ func TestPipelineProperties(t *testing.T) {
 	}
 }
 
+// TestPipelineQuiescenceWindow is the table-driven quiescence-hazard
+// suite: a correct scheduler must *stall* when the next round-robin
+// replica is still inside its 4-cycle recovery window — never reuse it
+// — and the stall count must exactly match the closed-form interlock
+// cost. The violating scheduler (the fault.Quiesce injection model)
+// must instead reuse the replica and report every early reuse.
+func TestPipelineQuiescenceWindow(t *testing.T) {
+	const vars = 100
+	cases := []struct {
+		name           string
+		replicas       int
+		violate        bool
+		wantStalls     int // exact stall cycles over `vars` variables (M=5, K=1)
+		wantViolations int // exact early reuses
+	}{
+		// All 4 replicated circuits busy back-to-back: the 4-deep
+		// round-robin returns to a replica exactly QuiescenceCycles
+		// after its issue — zero stalls, zero reuses.
+		{"4 replicas: hazard fully hidden", 4, false, 0, 0},
+		// 3 replicas: the scheduler revisits a replica after 3 issue
+		// slots, 1 cycle short of quiescent — steady state is 3 issues
+		// per 4 cycles, one stall cycle ahead of each issue group after
+		// the first: ceil(issues/3) - 1 stalls, zero reuses.
+		{"3 replicas: stall, not reuse", 3, false, (vars*5+2)/3 - 1, 0},
+		// 1 replica: every issue after the first waits the full window.
+		{"1 replica: full serialization", 1, false, (vars*5 - 1) * (QuiescenceCycles - 1), 0},
+		// Interlock removed: the same pressure shows up as hazard
+		// violations (residual-excitation corruption), never stalls.
+		{"3 replicas, violated: reuse counted", 3, true, 0, vars*5 - QuiescenceCycles + 1},
+		{"1 replica, violated: reuse counted", 1, true, 0, vars*5 - 1},
+		// No pressure, no violations even with the interlock removed.
+		{"4 replicas, violated: nothing to violate", 4, true, 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			stats, err := SimulatePipeline(PipelineConfig{
+				M: 5, Width: 1, Replicas: c.replicas, ViolateQuiescence: c.violate,
+			}, vars)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.StallCycles != c.wantStalls {
+				t.Errorf("stalls = %d, want %d", stats.StallCycles, c.wantStalls)
+			}
+			if stats.HazardViolations != c.wantViolations {
+				t.Errorf("violations = %d, want %d", stats.HazardViolations, c.wantViolations)
+			}
+		})
+	}
+}
+
+// TestPipelineViolationKeepsIssueRate: removing the interlock trades
+// correctness for throughput — the violating pipeline must match the
+// fully replicated one cycle-for-cycle (that is exactly why the hazard
+// is tempting to ignore, and why it must be detected downstream).
+func TestPipelineViolationKeepsIssueRate(t *testing.T) {
+	const vars = 200
+	healthy, err := SimulatePipeline(PipelineConfig{M: 5, Width: 1, Replicas: 4}, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated, err := SimulatePipeline(PipelineConfig{M: 5, Width: 1, Replicas: 1, ViolateQuiescence: true}, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.TotalCycles != violated.TotalCycles {
+		t.Errorf("violating pipeline took %d cycles, replicated one %d — should match",
+			violated.TotalCycles, healthy.TotalCycles)
+	}
+	if violated.HazardViolations == 0 {
+		t.Error("violating single-replica pipeline reported no hazard violations")
+	}
+}
+
 func BenchmarkPipelineSimulation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := SimulatePipeline(PipelineConfig{M: 49, Width: 1, Replicas: 4}, 100); err != nil {

@@ -104,9 +104,11 @@ type Config struct {
 
 // Unit is an RSU-G instance.
 type Unit struct {
-	cfg    Config
-	timer  TTFTimer
-	levels [16]float64 // EffectiveRate per LED code
+	cfg      Config
+	timer    TTFTimer
+	levels   [16]float64 // EffectiveRate per LED code
+	expCount [16]float64 // TTFTimer.ExpectedCount per LED code
+	maxLevel float64     // brightest rung (full-on rate), for fault models
 }
 
 // New validates cfg and constructs the unit.
@@ -133,6 +135,10 @@ func New(cfg Config) (*Unit, error) {
 	u := &Unit{cfg: cfg, timer: NewTTFTimer(cfg.ClockHz)}
 	for c := 0; c < 16; c++ {
 		u.levels[c] = cfg.Circuit.EffectiveRate(uint8(c))
+		u.expCount[c] = u.timer.ExpectedCount(u.levels[c])
+		if u.levels[c] > u.maxLevel {
+			u.maxLevel = u.levels[c]
+		}
 	}
 	return u, nil
 }

@@ -36,16 +36,46 @@ func (t TTFTimer) Window() float64 { return float64(t.MaxCount()) * t.Resolution
 
 // Quantize converts a continuous TTF in seconds to a register count,
 // saturating at MaxCount. Infinite TTF (a dark channel) saturates.
+//
+// The saturation compare happens in the float domain *before* any
+// integer conversion: converting a float64 ≥ 2^63 (or NaN) to an
+// unsigned integer is implementation-specific in Go, so the previous
+// `uint64(ttf/res) >= uint64(max)` form silently depended on the
+// platform for extreme TTFs. In the physical register the comparison
+// is a carry-out of the 8-bit counter — it can only ever saturate, not
+// wrap (wrap is modeled as an injectable fault; see internal/fault).
+// Results are bit-identical to the old code for all in-range TTFs.
 func (t TTFTimer) Quantize(ttf float64) uint32 {
 	if ttf < 0 {
 		return 0
 	}
-	if math.IsInf(ttf, 1) {
+	ticks := ttf / t.Resolution()
+	if math.IsNaN(ticks) || ticks >= float64(t.MaxCount()) {
 		return t.MaxCount()
 	}
-	c := uint64(ttf / t.Resolution())
-	if c >= uint64(t.MaxCount()) {
-		return t.MaxCount()
+	return uint32(ticks)
+}
+
+// QuantizeSat is Quantize plus the saturation flag of the selection
+// stage. The flag feeds the fault monitors' saturation counters
+// (fault.Obs.Saturated): silent saturation was previously invisible
+// upstream, which is exactly how a dead SPAD hides.
+func (t TTFTimer) QuantizeSat(ttf float64) (count uint32, saturated bool) {
+	c := t.Quantize(ttf)
+	return c, c >= t.MaxCount()
+}
+
+// ExpectedCount returns the expected quantized TTF count of an
+// exponential channel with the given detected-photon rate, accounting
+// for register saturation: E[min(T, W)]/res = µ·(1 − e^(−max/µ)) ticks
+// with µ the mean TTF in ticks. This is the reference statistic the
+// fault monitors' fire-rate EWMA compares observed counts against; a
+// zero (dark) rate expects exactly the saturation count.
+func (t TTFTimer) ExpectedCount(rate float64) float64 {
+	max := float64(t.MaxCount())
+	if rate <= 0 {
+		return max
 	}
-	return uint32(c)
+	mu := 1 / (rate * t.Resolution())
+	return mu * (1 - math.Exp(-max/mu))
 }

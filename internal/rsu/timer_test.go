@@ -1,0 +1,106 @@
+package rsu
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantizeEightBitBoundary is the regression suite for the silent-
+// saturation fix: every TTF at or beyond the 8-bit register's range
+// must saturate to exactly MaxCount — never wrap, never fall into
+// implementation-specific float→uint conversion — and in-range TTFs
+// must quantize bit-identically to the pre-fix code.
+func TestQuantizeEightBitBoundary(t *testing.T) {
+	timer := NewTTFTimer(1e9)
+	res := timer.Resolution()
+	max := timer.MaxCount()
+	if max != 255 {
+		t.Fatalf("8-bit register max count = %d, want 255", max)
+	}
+	cases := []struct {
+		name string
+		ttf  float64
+		want uint32
+	}{
+		{"zero", 0, 0},
+		{"negative clamps", -1e-9, 0},
+		{"one tick", 1 * res, 1},
+		{"just under max", 254.999 * res, 254},
+		{"last in-range count", 254 * res, 254},
+		// 255·res divides back to 254.999… in float64 — the physical
+		// tie at the window edge is measure-zero, so the regression
+		// pins the first value strictly past it instead.
+		{"just past max ticks", 255.01 * res, 255},
+		{"past window edge", math.Nextafter(timer.Window(), math.Inf(1)) * 1.001, 255},
+		{"one past max", 256 * res, 255},
+		{"wrap temptation 257", 257 * res, 255}, // a wrapping register would read 1
+		{"wrap temptation 511", 511 * res, 255}, // a wrapping register would read 255 by luck; 512 would read 0
+		{"wrap temptation 512", 512 * res, 255},
+		{"huge float", 1e30, 255},
+		{"beyond 2^63 ticks", math.Ldexp(1, 70) * res, 255}, // float→uint64 would be implementation-specific
+		{"+inf (dark channel)", math.Inf(1), 255},
+		{"nan", math.NaN(), 255},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := timer.Quantize(c.ttf); got != c.want {
+				t.Errorf("Quantize(%v) = %d, want %d", c.ttf, got, c.want)
+			}
+			count, sat := timer.QuantizeSat(c.ttf)
+			if count != timer.Quantize(c.ttf) {
+				t.Errorf("QuantizeSat count %d != Quantize %d", count, timer.Quantize(c.ttf))
+			}
+			if wantSat := c.want == max; sat != wantSat {
+				t.Errorf("QuantizeSat(%v) saturated = %v, want %v", c.ttf, sat, wantSat)
+			}
+		})
+	}
+}
+
+// TestQuantizeNeverExceedsMax: no float input, however adversarial, may
+// produce a count above the register width (the wrap is modeled only as
+// an injectable fault, never as timer behavior).
+func TestQuantizeNeverExceedsMax(t *testing.T) {
+	timer := NewTTFTimer(1e9)
+	for _, ttf := range []float64{
+		0, 1e-12, 1e-9, 31.875e-9, 32e-9, 1e-6, 1, 1e30,
+		math.MaxFloat64, math.Inf(1), math.NaN(), -math.Inf(1),
+	} {
+		if got := timer.Quantize(ttf); got > timer.MaxCount() {
+			t.Errorf("Quantize(%v) = %d exceeds register max %d", ttf, got, timer.MaxCount())
+		}
+	}
+}
+
+// TestExpectedCount: the monitors' reference statistic must respect the
+// register physics — dark channels expect exact saturation, expectation
+// is monotone decreasing in rate, always within (0, max], and matches
+// the unsaturated mean µ for channels far from the window edge.
+func TestExpectedCount(t *testing.T) {
+	timer := NewTTFTimer(1e9)
+	max := float64(timer.MaxCount())
+	if got := timer.ExpectedCount(0); got != max {
+		t.Errorf("dark channel ExpectedCount = %v, want %v", got, max)
+	}
+	if got := timer.ExpectedCount(-1); got != max {
+		t.Errorf("negative rate ExpectedCount = %v, want %v", got, max)
+	}
+	prev := max
+	for _, rate := range []float64{1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11} {
+		got := timer.ExpectedCount(rate)
+		if got <= 0 || got > max {
+			t.Errorf("ExpectedCount(%g) = %v outside (0, %v]", rate, got, max)
+		}
+		if got > prev {
+			t.Errorf("ExpectedCount not monotone: rate %g gives %v > %v", rate, got, prev)
+		}
+		prev = got
+	}
+	// A bright channel (µ ≪ max ticks) is unaffected by saturation:
+	// E[min(T,W)] ≈ E[T] = µ.
+	bright := 1e10 // µ = 0.8 ticks at 8 GHz tick rate
+	mu := 1 / (bright * timer.Resolution())
+	if got := timer.ExpectedCount(bright); math.Abs(got-mu) > 1e-9*mu {
+		t.Errorf("bright ExpectedCount = %v, want ≈ µ = %v", got, mu)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/gibbs"
 	"repro/internal/img"
 	"repro/internal/mrf"
@@ -154,6 +155,53 @@ const (
 
 // NewSolver builds a solver for an application.
 var NewSolver = core.NewSolver
+
+// Fault injection and graceful degradation (internal/fault, DESIGN.md
+// §9): arm Config.Faults with a schedule and a policy, and the solver
+// threads deterministic fault injection, online detection and the
+// selected degradation response through the RSU sampling path.
+type (
+	// FaultOptions arms the fault subsystem on a Solver (Config.Faults)
+	// or an accelerator run.
+	FaultOptions = fault.Options
+	// FaultPolicy selects the degradation response to a detection.
+	FaultPolicy = fault.Policy
+	// FaultSchedule is a parsed fault-injection schedule (ParseFaults).
+	FaultSchedule = fault.Schedule
+	// FaultAudit reconciles injected against detected faults; Result
+	// carries one when faults were armed.
+	FaultAudit = fault.Audit
+	// FaultEvent is one structured online-detection record.
+	FaultEvent = fault.Event
+)
+
+// Degradation policies.
+const (
+	// FaultPolicyNone detects but never reacts (the unprotected
+	// baseline).
+	FaultPolicyNone = fault.PolicyNone
+	// FaultPolicyRemap rotates a spare RET circuit into the suspect's
+	// lane slot.
+	FaultPolicyRemap = fault.PolicyRemap
+	// FaultPolicyResample redraws suspect samples a bounded number of
+	// times.
+	FaultPolicyResample = fault.PolicyResample
+	// FaultPolicyQuarantine freezes the faulty unit's sites.
+	FaultPolicyQuarantine = fault.PolicyQuarantine
+	// FaultPolicyFallback reroutes the faulty unit to the exact CMOS
+	// kernel.
+	FaultPolicyFallback = fault.PolicyFallback
+)
+
+// Fault DSL helpers.
+var (
+	// ParseFaults parses the fault-schedule DSL (e.g.
+	// "dead:unit=3,sweep=10;hot:rate=1e-3,storm=6").
+	ParseFaults = fault.Parse
+	// ParseFaultPolicy parses a policy name (none | remap | resample |
+	// quarantine | fallback).
+	ParseFaultPolicy = fault.ParsePolicy
+)
 
 // The RSU-G functional unit (paper §4–§6).
 type (
