@@ -7,10 +7,11 @@
 #   make test    full test suite
 #   make race    race-detector pass over the whole module
 #   make bench   sweep-engine micro-benchmarks + throughput report
+#   make chaos   kill-and-recover harness (subprocess SIGKILL + resume)
 
 GO ?= go
 
-.PHONY: build vet lint test race bench sweep-report faults-report all
+.PHONY: build vet lint test race bench chaos sweep-report faults-report all
 
 all: build vet lint test race
 
@@ -33,6 +34,12 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench BenchmarkSweep -benchtime 1s ./internal/gibbs/
+
+# Kill-and-recover chaos harness: SIGKILLs checkpointing subprocesses at
+# randomized sweep boundaries, resumes each from the last durable
+# snapshot, and requires byte-equality with the uninterrupted run.
+chaos:
+	$(GO) test -count=3 -run 'TestKillAndRecover' ./internal/checkpoint/chaostest/
 
 # Regenerates the committed BENCH_sweep.json (pass SEED_NS to record a
 # seed-tree baseline measurement).

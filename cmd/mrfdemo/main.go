@@ -13,10 +13,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -37,15 +42,39 @@ func main() {
 	outDir := flag.String("out", ".", "output directory")
 	seed := flag.Uint64("seed", 1, "random seed")
 	order := flag.Int("order", 1, "restoration neighborhood order (1 or 2)")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file (enables periodic snapshots; empty disables)")
+	ckptEvery := flag.Int("ckpt-every", 10, "checkpoint every N sweeps (with -checkpoint)")
+	ckptInterval := flag.Duration("ckpt-interval", 0, "also checkpoint every D wall time (with -checkpoint)")
+	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
 	flag.Parse()
 
-	if err := run(*appName, *backend, *width, *iters, *burn, *inPath, *labels, *size, *outDir, *seed, *order); err != nil {
+	// SIGINT/SIGTERM cancel the run context: the chain stops at the next
+	// sweep boundary, a final checkpoint is written (when -checkpoint is
+	// set), and partial outputs are flushed instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var ckpt *core.CheckpointSpec
+	if *ckptPath != "" {
+		ckpt = &core.CheckpointSpec{
+			Path:        *ckptPath,
+			EverySweeps: *ckptEvery,
+			Every:       *ckptInterval,
+			Now:         time.Now,
+			Resume:      *resume,
+		}
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "mrfdemo: -resume needs -checkpoint")
+		os.Exit(2)
+	}
+
+	if err := run(ctx, *appName, *backend, *width, *iters, *burn, *inPath, *labels, *size, *outDir, *seed, *order, ckpt); err != nil {
 		fmt.Fprintf(os.Stderr, "mrfdemo: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(appName, backendName string, width, iters, burn int, inPath string, labels, size int, outDir string, seed uint64, order int) error {
+func run(ctx context.Context, appName, backendName string, width, iters, burn int, inPath string, labels, size int, outDir string, seed uint64, order int, ckpt *core.CheckpointSpec) error {
 	var backend core.Backend
 	switch backendName {
 	case "software":
@@ -62,6 +91,7 @@ func run(appName, backendName string, width, iters, burn int, inPath string, lab
 	cfg := core.Config{
 		Backend: backend, RSUWidth: width,
 		Iterations: iters, BurnIn: burn, Seed: seed,
+		Checkpoint: ckpt,
 	}
 	src := rng.New(seed)
 
@@ -87,7 +117,7 @@ func run(appName, backendName string, width, iters, burn int, inPath string, lab
 		if err != nil {
 			return err
 		}
-		res, err := solve(app, cfg)
+		res, err := solve(ctx, app, cfg)
 		if err != nil {
 			return err
 		}
@@ -106,7 +136,7 @@ func run(appName, backendName string, width, iters, burn int, inPath string, lab
 		if truth != nil {
 			fmt.Printf("  mislabel rate vs ground truth: %.4f\n", res.MAP.MislabelRate(truth))
 		}
-		fmt.Printf("  final energy: %.0f\n", res.EnergyTrace[len(res.EnergyTrace)-1])
+		fmt.Printf("  final energy: %s\n", finalEnergy(res.EnergyTrace))
 		return nil
 
 	case "motion":
@@ -115,7 +145,7 @@ func run(appName, backendName string, width, iters, burn int, inPath string, lab
 		if err != nil {
 			return err
 		}
-		res, err := solve(app, cfg)
+		res, err := solve(ctx, app, cfg)
 		if err != nil {
 			return err
 		}
@@ -135,7 +165,7 @@ func run(appName, backendName string, width, iters, burn int, inPath string, lab
 		if err != nil {
 			return err
 		}
-		res, err := solve(app, cfg)
+		res, err := solve(ctx, app, cfg)
 		if err != nil {
 			return err
 		}
@@ -170,7 +200,7 @@ func run(appName, backendName string, width, iters, burn int, inPath string, lab
 		if err != nil {
 			return err
 		}
-		res, err := solve(app, cfg)
+		res, err := solve(ctx, app, cfg)
 		if err != nil {
 			return err
 		}
@@ -180,16 +210,36 @@ func run(appName, backendName string, width, iters, burn int, inPath string, lab
 		}
 		fmt.Printf("restoration: %dx%d, %v prior, backend=%s -> %s\n",
 			observed.W, observed.H, hood, backendName, out)
-		fmt.Printf("  final energy: %.0f\n", res.EnergyTrace[len(res.EnergyTrace)-1])
+		fmt.Printf("  final energy: %s\n", finalEnergy(res.EnergyTrace))
 		return nil
 	}
 	return fmt.Errorf("unknown app %q", appName)
 }
 
-func solve(app apps.App, cfg core.Config) (*core.Result, error) {
+func solve(ctx context.Context, app apps.App, cfg core.Config) (*core.Result, error) {
 	s, err := core.NewSolver(app, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return s.Solve()
+	res, err := s.SolveCtx(ctx)
+	if err != nil {
+		if res != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// Graceful interruption: the final checkpoint (if armed) is
+			// already durable; flush what the chain produced so far.
+			fmt.Printf("  interrupted after %d/%d sweeps; flushing partial output\n",
+				res.Iterations, cfg.Iterations)
+			return res, nil
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// finalEnergy formats the last energy-trace entry ("n/a" when the run
+// was interrupted before the first sweep completed).
+func finalEnergy(trace []float64) string {
+	if len(trace) == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f", trace[len(trace)-1])
 }

@@ -15,10 +15,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/bench"
 )
@@ -26,7 +30,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-4)")
 	figure := flag.Int("figure", 0, "regenerate one figure (7 or 8)")
-	experiment := flag.String("experiment", "", "ratio | accelerator | fidelity | ablation | gpusim | sweep | faults")
+	experiment := flag.String("experiment", "", "ratio | accelerator | fidelity | ablation | gpusim | sweep | faults | checkpoint")
 	outDir := flag.String("out", ".", "directory for Figure 7 PGM output")
 	csvDir := flag.String("csv", "", "also write CSV series (table2, figure8, ratio, size sweep) into this directory")
 	sweepJSON := flag.String("sweepjson", "", "with -experiment sweep: also write the machine-readable report to this file (e.g. BENCH_sweep.json)")
@@ -34,10 +38,24 @@ func main() {
 	faultsJSON := flag.String("faultsjson", "", "with -experiment faults: also write the machine-readable report to this file (e.g. BENCH_faults.json)")
 	flag.Parse()
 
+	// SIGINT/SIGTERM stop the report at the next section boundary (and
+	// cancel in-flight context-aware experiments) so partially written
+	// artifacts are flushed rather than torn.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	w := os.Stdout
 	run := func(name string, f func(io.Writer) error) {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(w, "\ninterrupted; skipping remaining sections\n")
+			os.Exit(130)
+		}
 		fmt.Fprintf(w, "\n==== %s ====\n", name)
 		if err := f(w); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(w, "\ninterrupted; skipping remaining sections\n")
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -86,7 +104,12 @@ func main() {
 			return bench.Faults(w)
 		})
 	}
-	// Host-speed measurement, not a paper artifact: only on request.
+	// Host-speed measurements, not paper artifacts: only on request.
+	if *experiment == "checkpoint" {
+		run("Checkpoint overhead", func(w io.Writer) error {
+			return bench.CheckpointCtx(ctx, w)
+		})
+	}
 	if *experiment == "sweep" {
 		run("Sweep engine throughput", func(w io.Writer) error {
 			if *sweepJSON != "" {

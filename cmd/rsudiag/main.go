@@ -15,10 +15,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/accel"
 	"repro/internal/apps"
@@ -40,7 +44,12 @@ func main() {
 	flag.Parse()
 
 	if *faults != "" {
-		if err := faultDiag(*faults, *policy, *faultSeed, *faultLog); err != nil {
+		// SIGINT/SIGTERM cancel the diagnosis at the next sweep boundary;
+		// the findings gathered so far are still printed and the JSON
+		// audit log still flushed (no mid-write death).
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := faultDiag(ctx, *faults, *policy, *faultSeed, *faultLog); err != nil {
 			fmt.Fprintln(os.Stderr, "rsudiag:", err)
 			os.Exit(1)
 		}
@@ -151,7 +160,7 @@ func main() {
 // faultDiag runs a fixed 32x32 segmentation through accel.RunFaulty
 // with the given schedule and policy, prints the monitors' findings,
 // and optionally sinks the full structured audit as JSON.
-func faultDiag(spec, policyName string, seed uint64, logPath string) error {
+func faultDiag(ctx context.Context, spec, policyName string, seed uint64, logPath string) error {
 	p, err := fault.ParsePolicy(policyName)
 	if err != nil {
 		return err
@@ -166,11 +175,14 @@ func faultDiag(spec, policyName string, seed uint64, logPath string) error {
 		return err
 	}
 	cfg := accel.PaperConfig(5, 24, 7)
-	_, mode, stats, fstats, err := accel.RunFaulty(app, unit, cfg, fault.Options{
+	_, mode, stats, fstats, err := accel.RunFaultyCtx(ctx, app, unit, cfg, fault.Options{
 		Schedule: spec, Seed: seed, Policy: p,
 	})
 	if err != nil {
-		return err
+		if fstats.Audit == nil || !(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return err
+		}
+		fmt.Println("interrupted; reporting the sweeps that completed")
 	}
 	audit := fstats.Audit
 

@@ -15,6 +15,7 @@
 package accel
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
@@ -68,6 +69,14 @@ type Stats struct {
 // per-site mode over the second half of the run (a marginal-MAP
 // estimate), and the timing statistics.
 func Run(a apps.App, unit *rsu.Unit, cfg Config) (*img.LabelMap, *img.LabelMap, Stats, error) {
+	return RunCtx(context.Background(), a, unit, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation, checked between sweeps.
+// On cancellation it returns the state simulated so far (final labels,
+// mode over completed post-half sweeps, accumulated cycle stats)
+// together with an error wrapping ctx.Err().
+func RunCtx(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config) (*img.LabelMap, *img.LabelMap, Stats, error) {
 	var stats Stats
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, stats, err
@@ -93,7 +102,12 @@ func Run(a apps.App, unit *rsu.Unit, cfg Config) (*img.LabelMap, *img.LabelMap, 
 	half := cfg.Iterations / 2
 
 	bytesPerSecond := cfg.MemBW
+	var stopErr error
 	for it := 0; it < cfg.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			stopErr = fmt.Errorf("accel: run stopped before sweep %d/%d: %w", it, cfg.Iterations, err)
+			break
+		}
 		for color := 0; color < m.Hood.Colors(); color++ {
 			sites := 0
 			for y := 0; y < m.H; y++ {
@@ -137,7 +151,7 @@ func Run(a apps.App, unit *rsu.Unit, cfg Config) (*img.LabelMap, *img.LabelMap, 
 		}
 		mode.Labels[i] = best
 	}
-	return lm, mode, stats, nil
+	return lm, mode, stats, stopErr
 }
 
 // PaperConfig returns the §8.2 design point for a workload: 336 units,

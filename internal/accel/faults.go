@@ -1,6 +1,9 @@
 package accel
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/apps"
 	"repro/internal/fault"
 	"repro/internal/img"
@@ -39,6 +42,14 @@ type FaultStats struct {
 // scalar control core at software cost, serial with the array — the
 // timing model of graceful degradation.
 func RunFaulty(a apps.App, unit *rsu.Unit, cfg Config, fopt fault.Options) (*img.LabelMap, *img.LabelMap, Stats, FaultStats, error) {
+	return RunFaultyCtx(context.Background(), a, unit, cfg, fopt)
+}
+
+// RunFaultyCtx is RunFaulty with cooperative cancellation, checked
+// between sweeps. On cancellation it returns the state simulated so far
+// — including the audit of the sweeps that did run — together with an
+// error wrapping ctx.Err().
+func RunFaultyCtx(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config, fopt fault.Options) (*img.LabelMap, *img.LabelMap, Stats, FaultStats, error) {
 	var stats Stats
 	var fstats FaultStats
 	if err := cfg.Validate(); err != nil {
@@ -74,7 +85,12 @@ func RunFaulty(a apps.App, unit *rsu.Unit, cfg Config, fopt fault.Options) (*img
 	half := cfg.Iterations / 2
 	var rateBuf []float64
 
+	var stopErr error
 	for it := 0; it < cfg.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			stopErr = fmt.Errorf("accel: faulty run stopped before sweep %d/%d: %w", it, cfg.Iterations, err)
+			break
+		}
 		sess.BeginSweep(it)
 		for color := 0; color < m.Hood.Colors(); color++ {
 			rsuSites, fbSites := 0, 0
@@ -156,5 +172,5 @@ func RunFaulty(a apps.App, unit *rsu.Unit, cfg Config, fopt fault.Options) (*img
 	}
 	fstats.Audit = sess.Audit()
 	fstats.Audit.Schedule = fopt.Schedule
-	return lm, mode, stats, fstats, nil
+	return lm, mode, stats, fstats, stopErr
 }

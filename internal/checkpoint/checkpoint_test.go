@@ -1,0 +1,295 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testSnapshot builds a fully populated snapshot: every field class
+// (fingerprint, geometry, labels, chain, rows, counts, energy,
+// sections) is exercised by the round-trip tests below.
+func testSnapshot() *Snapshot {
+	s := &Snapshot{
+		Fingerprint: Fingerprint{
+			App:          "segmentation",
+			Backend:      "rsu",
+			Seed:         7,
+			Iterations:   24,
+			BurnIn:       5,
+			Compile:      true,
+			AnnealStartT: 2.5,
+			AnnealRate:   0.97,
+			Tag:          "rsu:w=2,mode=first-to-fire,replicas=4",
+		},
+		Sweep: 12,
+		W:     4, H: 3, M: 5,
+		Labels: []int{0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1},
+		Chain:  [4]uint64{1, 2, 3, 4},
+		Rows: [][4]uint64{
+			{11, 12, 13, 14},
+			{21, 22, 23, 24},
+			{31, 32, 33, 34},
+		},
+		Counts: make([]uint32, 4*3*5),
+		Energy: []float64{-10.5, -11.25, -12},
+	}
+	for i := range s.Counts {
+		s.Counts[i] = uint32(i * 3)
+	}
+	s.SetSection(SectionFault, []byte(`{"version":1}`))
+	s.SetSection(SectionAging, []byte{1, 2, 3})
+	return s
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := testSnapshot()
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != s.Fingerprint {
+		t.Fatalf("fingerprint changed: %+v != %+v", got.Fingerprint, s.Fingerprint)
+	}
+	if got.Sweep != s.Sweep || got.W != s.W || got.H != s.H || got.M != s.M {
+		t.Fatalf("position/geometry changed: %+v", got)
+	}
+	for i := range s.Labels {
+		if got.Labels[i] != s.Labels[i] {
+			t.Fatalf("label %d: %d != %d", i, got.Labels[i], s.Labels[i])
+		}
+	}
+	if got.Chain != s.Chain {
+		t.Fatalf("chain stream changed")
+	}
+	for i := range s.Rows {
+		if got.Rows[i] != s.Rows[i] {
+			t.Fatalf("row stream %d changed", i)
+		}
+	}
+	for i := range s.Counts {
+		if got.Counts[i] != s.Counts[i] {
+			t.Fatalf("count %d changed", i)
+		}
+	}
+	for i := range s.Energy {
+		if got.Energy[i] != s.Energy[i] {
+			t.Fatalf("energy %d changed", i)
+		}
+	}
+	for _, name := range []string{SectionFault, SectionAging} {
+		want, _ := s.Section(name)
+		blob, ok := got.Section(name)
+		if !ok || !bytes.Equal(blob, want) {
+			t.Fatalf("section %q changed: %q vs %q", name, blob, want)
+		}
+	}
+}
+
+// TestEncodeDeterministic: the same state always encodes to the same
+// bytes (sections are map-ordered in memory but sorted on the wire).
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := Encode(testSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		b, err := Encode(testSnapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("encode %d produced different bytes", i)
+		}
+	}
+}
+
+// TestDecodeRejectsTruncation: a prefix of any length — the residue a
+// torn write would leave if writes were not atomic — is rejected, never
+// misparsed.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	data, err := Encode(testSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(data[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+// TestDecodeRejectsBitFlips: single-bit damage anywhere in the file
+// fails the checksum (or structural validation) — sampled across the
+// file to keep the test fast.
+func TestDecodeRejectsBitFlips(t *testing.T) {
+	data, err := Encode(testSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(data)/64 + 1
+	for off := 0; off < len(data); off += step {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x10
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", off)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	data, err := Encode(testSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(append([]byte(nil), data...), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestDecodeVersionSkew: an envelope from another format version is
+// rejected with ErrVersion — but only after its checksum proves it is
+// not just damage. The checksum must be recomputed for the spliced
+// version or the error would be ErrCorrupt.
+func TestDecodeVersionSkew(t *testing.T) {
+	data, err := Encode(testSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(future[len(magic):], Version+1)
+	body := future[:len(future)-trailerLen]
+	binary.LittleEndian.PutUint64(future[len(future)-trailerLen:], crcChecksum(body))
+	if _, err := Decode(future); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version skew: got %v, want ErrVersion", err)
+	}
+	// Version spliced WITHOUT fixing the checksum is damage, not skew.
+	damaged := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(damaged[len(magic):], Version+1)
+	if _, err := Decode(damaged); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unsigned version splice: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Snapshot)
+	}{
+		{"zero width", func(s *Snapshot) { s.W = 0 }},
+		{"label count 1", func(s *Snapshot) { s.M = 1 }},
+		{"negative sweep", func(s *Snapshot) { s.Sweep = -1 }},
+		{"short labels", func(s *Snapshot) { s.Labels = s.Labels[:5] }},
+		{"label out of range", func(s *Snapshot) { s.Labels[0] = s.M }},
+		{"row count mismatch", func(s *Snapshot) { s.Rows = s.Rows[:1] }},
+		{"counter mismatch", func(s *Snapshot) { s.Counts = s.Counts[:7] }},
+	}
+	for _, tc := range cases {
+		s := testSnapshot()
+		tc.mutate(s)
+		if err := s.Validate(); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", tc.name, err)
+		}
+		if _, err := Encode(s); err == nil {
+			t.Errorf("%s: Encode accepted invalid snapshot", tc.name)
+		}
+	}
+}
+
+func TestFingerprintCheck(t *testing.T) {
+	base := testSnapshot().Fingerprint
+	if err := base.Check(base); err != nil {
+		t.Fatalf("identical fingerprints rejected: %v", err)
+	}
+	cases := []struct {
+		field  string
+		mutate func(*Fingerprint)
+	}{
+		{"app", func(f *Fingerprint) { f.App = "stereo" }},
+		{"backend", func(f *Fingerprint) { f.Backend = "metropolis" }},
+		{"seed", func(f *Fingerprint) { f.Seed++ }},
+		{"iterations", func(f *Fingerprint) { f.Iterations++ }},
+		{"burn-in", func(f *Fingerprint) { f.BurnIn++ }},
+		{"compile", func(f *Fingerprint) { f.Compile = !f.Compile }},
+		{"anneal", func(f *Fingerprint) { f.AnnealRate = 0.5 }},
+		{"tag", func(f *Fingerprint) { f.Tag = "other" }},
+	}
+	for _, tc := range cases {
+		other := base
+		tc.mutate(&other)
+		err := base.Check(other)
+		if !errors.Is(err, ErrMismatch) {
+			t.Errorf("%s difference: got %v, want ErrMismatch", tc.field, err)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := testSnapshot()
+	c := s.Clone()
+	c.Labels[0] = 1
+	c.Rows[0][0] = 99
+	c.Counts[0] = 99
+	c.Energy[0] = 99
+	blob, _ := c.Section(SectionFault)
+	blob[0] = 'X'
+	if s.Labels[0] == 1 || s.Rows[0][0] == 99 || s.Counts[0] == 99 || s.Energy[0] == 99 {
+		t.Fatal("Clone shares label/row/count/energy storage")
+	}
+	if orig, _ := s.Section(SectionFault); orig[0] == 'X' {
+		t.Fatal("Clone shares section storage")
+	}
+}
+
+// TestSaveLoadReplace: Save atomically replaces a previous snapshot and
+// leaves no temp residue; Load distinguishes missing from damaged.
+func TestSaveLoadReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chain.ckpt")
+
+	if _, err := Load(path); !os.IsNotExist(err) {
+		t.Fatalf("missing file: got %v, want IsNotExist", err)
+	}
+
+	first := testSnapshot()
+	if err := Save(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := testSnapshot()
+	second.Sweep = 20
+	second.Labels[3] = 0
+	if err := Save(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sweep != 20 || got.Labels[3] != 0 {
+		t.Fatalf("Load returned stale snapshot: sweep %d", got.Sweep)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+
+	// A damaged file is corrupt, not missing.
+	if err := os.WriteFile(path, []byte("RSUGCKPTgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("damaged file: got %v, want ErrCorrupt", err)
+	}
+}
+
+// crcChecksum re-signs a body for the version-skew test.
+func crcChecksum(body []byte) uint64 {
+	return crc64.Checksum(body, crcTable)
+}

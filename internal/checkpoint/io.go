@@ -1,0 +1,67 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Save writes the snapshot to path atomically: encode to a temp file in
+// the same directory, fsync it, then rename over the target and fsync
+// the directory. A crash — including SIGKILL — at any instant leaves
+// either the previous complete snapshot or the new complete snapshot
+// at path, never a torn mixture; the worst residue is a stale .tmp
+// sibling, which a later Save truncates and replaces.
+func Save(path string, s *Snapshot) error {
+	data, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Persist the rename itself. Directory fsync is best-effort: some
+	// filesystems refuse it, and the rename is already atomic with
+	// respect to readers either way.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads and fully validates a snapshot written by Save. The error
+// distinguishes a missing file (os.IsNotExist), a damaged one
+// (ErrCorrupt), and a format-version skew (ErrVersion).
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

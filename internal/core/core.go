@@ -7,10 +7,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"os"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/arch"
+	"repro/internal/checkpoint"
 	"repro/internal/fault"
 	"repro/internal/gibbs"
 	"repro/internal/img"
@@ -94,6 +99,86 @@ type Config struct {
 	// degrades around detected faults. Solve's Result then carries the
 	// injected-vs-detected audit. RSU backend only.
 	Faults *fault.Options
+	// Checkpoint optionally arms durable snapshots and crash recovery
+	// (internal/checkpoint). Nil disables checkpointing.
+	Checkpoint *CheckpointSpec
+}
+
+// CheckpointSpec wires the checkpoint subsystem into a solve: periodic
+// durable snapshots at sweep boundaries, and resume from the last one.
+type CheckpointSpec struct {
+	// Path is the snapshot file. Each checkpoint atomically replaces it
+	// (temp file + rename), so a crash at any instant leaves either the
+	// previous or the new complete snapshot, never a torn one.
+	Path string
+	// EverySweeps checkpoints after every Nth completed sweep
+	// (0 disables count-based checkpointing).
+	EverySweeps int
+	// Every checkpoints when this much wall time has elapsed, evaluated
+	// at sweep boundaries. Requires Now (CLI entry points pass
+	// time.Now; library code must not read the wall clock itself).
+	Every time.Duration
+	// Now supplies the wall clock for Every.
+	Now func() time.Time
+	// Resume loads Path before the run (if it exists) and continues
+	// from the captured sweep. The snapshot's fingerprint must match
+	// the configuration; a missing file starts from scratch.
+	Resume bool
+}
+
+// ErrInvalidConfig is wrapped by every configuration-validation error
+// NewSolver and Config.Validate return; callers branch on it with
+// errors.Is.
+var ErrInvalidConfig = errors.New("core: invalid config")
+
+// Validate checks every user-facing Config field, returning an error
+// wrapping ErrInvalidConfig that names the offending field. App-
+// dependent checks (label-space compatibility, RSU unit construction)
+// happen in NewSolver, which calls Validate first.
+func (cfg Config) Validate() error {
+	switch cfg.Backend {
+	case SoftwareGibbs, SoftwareFirstToFire, Metropolis, RSU, Prototype:
+	default:
+		return fmt.Errorf("%w: unknown backend %v", ErrInvalidConfig, cfg.Backend)
+	}
+	if cfg.Iterations <= 0 {
+		return fmt.Errorf("%w: iterations must be positive, got %d", ErrInvalidConfig, cfg.Iterations)
+	}
+	if cfg.BurnIn < 0 || cfg.BurnIn >= cfg.Iterations {
+		return fmt.Errorf("%w: burn-in %d outside [0,%d)", ErrInvalidConfig, cfg.BurnIn, cfg.Iterations)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("%w: workers %d < 0", ErrInvalidConfig, cfg.Workers)
+	}
+	if cfg.RSUWidth < 0 {
+		return fmt.Errorf("%w: RSU width %d < 0", ErrInvalidConfig, cfg.RSUWidth)
+	}
+	if a := cfg.Anneal; a != nil && (a.StartT <= 0 || a.Rate <= 0 || a.Rate >= 1) {
+		return fmt.Errorf("%w: anneal spec %+v (want StartT > 0 and Rate in (0,1))", ErrInvalidConfig, *a)
+	}
+	if f := cfg.Faults; f != nil {
+		if cfg.Backend != RSU {
+			return fmt.Errorf("%w: fault injection models RSU hardware; backend is %v", ErrInvalidConfig, cfg.Backend)
+		}
+		if _, err := fault.Parse(f.Schedule); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+	}
+	if ck := cfg.Checkpoint; ck != nil {
+		if ck.Path == "" {
+			return fmt.Errorf("%w: checkpoint spec needs a Path", ErrInvalidConfig)
+		}
+		if ck.EverySweeps < 0 {
+			return fmt.Errorf("%w: checkpoint EverySweeps %d < 0", ErrInvalidConfig, ck.EverySweeps)
+		}
+		if ck.Every < 0 {
+			return fmt.Errorf("%w: checkpoint Every %v < 0", ErrInvalidConfig, ck.Every)
+		}
+		if ck.Every > 0 && ck.Now == nil {
+			return fmt.Errorf("%w: checkpoint Every needs a Now clock", ErrInvalidConfig)
+		}
+	}
+	return nil
 }
 
 // AnnealSpec parameterizes geometric simulated-annealing cooling.
@@ -114,28 +199,15 @@ type Solver struct {
 // NewSolver validates the configuration and prepares the backend.
 func NewSolver(app apps.App, cfg Config) (*Solver, error) {
 	if app == nil {
-		return nil, fmt.Errorf("core: nil application")
+		return nil, fmt.Errorf("%w: nil application", ErrInvalidConfig)
 	}
-	if cfg.Iterations <= 0 {
-		return nil, fmt.Errorf("core: iterations must be positive, got %d", cfg.Iterations)
-	}
-	if cfg.BurnIn < 0 || cfg.BurnIn >= cfg.Iterations {
-		return nil, fmt.Errorf("core: burn-in %d outside [0,%d)", cfg.BurnIn, cfg.Iterations)
-	}
-	if a := cfg.Anneal; a != nil && (a.StartT <= 0 || a.Rate <= 0 || a.Rate >= 1) {
-		return nil, fmt.Errorf("core: invalid anneal spec %+v", *a)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	s := &Solver{app: app, cfg: cfg}
-	if cfg.Faults != nil {
-		if cfg.Backend != RSU {
-			return nil, fmt.Errorf("core: fault injection models RSU hardware; backend is %v", cfg.Backend)
-		}
-		if _, err := fault.Parse(cfg.Faults.Schedule); err != nil {
-			return nil, err
-		}
-	}
 	if cfg.Backend == Prototype && app.Model().M != 2 {
-		return nil, fmt.Errorf("core: the RSU-G2 prototype supports exactly 2 labels, model has %d", app.Model().M)
+		return nil, fmt.Errorf("%w: the RSU-G2 prototype supports exactly 2 labels, model has %d",
+			ErrInvalidConfig, app.Model().M)
 	}
 	if cfg.Backend == RSU {
 		width := cfg.RSUWidth
@@ -167,6 +239,10 @@ type Result struct {
 	EnergyTrace []float64
 	// SamplerName identifies the kernel that ran.
 	SamplerName string
+	// Iterations is the number of sweeps actually performed — equal to
+	// Config.Iterations for a completed run, fewer when cancellation
+	// stopped the chain early.
+	Iterations int
 	// FaultAudit reconciles injected against detected faults (nil
 	// unless Config.Faults armed the fault subsystem).
 	FaultAudit *fault.Audit
@@ -175,6 +251,47 @@ type Result struct {
 // Solve runs the chain from the application's data-driven initial
 // labeling.
 func (s *Solver) Solve() (*Result, error) {
+	return s.SolveCtx(context.Background())
+}
+
+// Fingerprint returns the configuration identity stamped into this
+// solver's checkpoints: two runs whose fingerprints match draw the
+// exact same chain, so resuming one from the other's snapshot is
+// sound. Workers is deliberately absent — RNG streams are attached to
+// rows, so a snapshot taken at W=8 resumes bit-identically at W=1.
+func (s *Solver) Fingerprint() checkpoint.Fingerprint {
+	f := checkpoint.Fingerprint{
+		App:        s.app.Name(),
+		Backend:    s.cfg.Backend.String(),
+		Seed:       s.cfg.Seed,
+		Iterations: s.cfg.Iterations,
+		BurnIn:     s.cfg.BurnIn,
+		Compile:    s.cfg.Compile,
+	}
+	if a := s.cfg.Anneal; a != nil {
+		f.AnnealStartT = a.StartT
+		f.AnnealRate = a.Rate
+	}
+	if s.cfg.Backend == RSU {
+		c := s.unit.Config()
+		f.Tag = fmt.Sprintf("rsu:w=%d,mode=%v,replicas=%d", c.Width, c.Mode, c.Replicas)
+		if fo := s.cfg.Faults; fo != nil {
+			f.Tag += fmt.Sprintf(";faults=%q,seed=%d,policy=%v,spares=%d,maxresamples=%d",
+				fo.Schedule, fo.Seed, fo.Policy, fo.Spares, fo.MaxResamples)
+			if fo.Monitor != nil {
+				f.Tag += fmt.Sprintf(",mon=%+v", *fo.Monitor)
+			}
+		}
+	}
+	return f
+}
+
+// SolveCtx is Solve with cooperative cancellation and (when
+// Config.Checkpoint is set) durable snapshots and resume. Cancellation
+// is honored at sweep boundaries: on ctx cancel or deadline, a final
+// checkpoint is written (if armed), and SolveCtx returns the *partial*
+// Result computed so far together with an error wrapping ctx.Err().
+func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 	m := s.app.Model()
 	if s.cfg.Compile {
 		if err := m.Compile(); err != nil {
@@ -224,8 +341,56 @@ func (s *Solver) Solve() (*Result, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown backend %v", s.cfg.Backend)
 	}
-	res, err := gibbs.Run(m, s.app.InitLabels(), factory, opt, s.cfg.Seed)
-	if err != nil {
+
+	if ck := s.cfg.Checkpoint; ck != nil {
+		fp := s.Fingerprint()
+		if ck.Resume {
+			snap, err := checkpoint.Load(ck.Path)
+			switch {
+			case err == nil:
+				if ferr := fp.Check(snap.Fingerprint); ferr != nil {
+					return nil, fmt.Errorf("core: resume from %s: %w", ck.Path, ferr)
+				}
+				if sess != nil {
+					blob, ok := snap.Section(checkpoint.SectionFault)
+					if !ok && snap.Sweep > 0 {
+						return nil, fmt.Errorf("core: resume from %s: %w: fault session armed but snapshot has no fault section",
+							ck.Path, checkpoint.ErrMismatch)
+					}
+					if ok {
+						if serr := sess.UnmarshalBinary(blob); serr != nil {
+							return nil, fmt.Errorf("core: resume from %s: %w", ck.Path, serr)
+						}
+					}
+				}
+				opt.Resume = snap
+			case os.IsNotExist(err):
+				// No snapshot yet: a fresh run that will create one.
+			default:
+				return nil, err
+			}
+		}
+		opt.Checkpoint = &gibbs.CheckpointPolicy{
+			EverySweeps: ck.EverySweeps,
+			Every:       ck.Every,
+			Now:         ck.Now,
+			Fingerprint: fp,
+			Sink:        func(snap *checkpoint.Snapshot) error { return checkpoint.Save(ck.Path, snap) },
+		}
+		if sess != nil {
+			opt.Checkpoint.Extra = func(snap *checkpoint.Snapshot) error {
+				blob, err := sess.MarshalBinary()
+				if err != nil {
+					return err
+				}
+				snap.SetSection(checkpoint.SectionFault, blob)
+				return nil
+			}
+		}
+	}
+
+	res, err := gibbs.RunCtx(ctx, m, s.app.InitLabels(), factory, opt, s.cfg.Seed)
+	if res == nil {
 		return nil, err
 	}
 	out := &Result{
@@ -234,12 +399,15 @@ func (s *Solver) Solve() (*Result, error) {
 		Confidence:  res.Confidence,
 		EnergyTrace: res.EnergyTrace,
 		SamplerName: res.SamplerName,
+		Iterations:  res.Iterations,
 	}
 	if sess != nil {
 		out.FaultAudit = sess.Audit()
 		out.FaultAudit.Schedule = s.cfg.Faults.Schedule
 	}
-	return out, nil
+	// err is nil for a completed run, or wraps ctx.Err() for a
+	// cancellation that still produced the partial result above.
+	return out, err
 }
 
 // PerformanceReport models the hardware-level cost of a workload on the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/apps"
@@ -132,12 +133,12 @@ func TestBackendString(t *testing.T) {
 
 func TestSolveUnknownBackend(t *testing.T) {
 	app, _ := segApp(t)
-	s, err := NewSolver(app, Config{Backend: Backend(9), Iterations: 2})
-	if err != nil {
-		t.Fatal(err)
+	_, err := NewSolver(app, Config{Backend: Backend(9), Iterations: 2})
+	if err == nil {
+		t.Fatal("unknown backend accepted")
 	}
-	if _, err := s.Solve(); err == nil {
-		t.Fatal("unknown backend solved")
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("error %v does not wrap ErrInvalidConfig", err)
 	}
 }
 

@@ -1,0 +1,257 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Checkpoint serialization of a Session. Only the *mutable* run state is
+// captured: everything rebuilt deterministically each sweep (the active
+// fault effects, rate scales, stuck masks) is NOT serialized — a resumed
+// session recompiles its Timeline from the schedule and seed, then
+// BeginSweep rebuilds the per-sweep arrays before any sample is drawn.
+// Per-sample scratch (sampleSuspect, suspectReps, ...) is reset by
+// BeginSample and never live at a sweep boundary, where checkpoints are
+// taken.
+//
+// The blob is JSON inside the snapshot's checksummed section payload.
+// Floats are stored as IEEE-754 bit patterns so the round-trip is
+// word-exact rather than decimal-exact, matching the rng serializers.
+
+// sessionStateVersion guards the section blob layout (the snapshot
+// format version above it guards the container).
+const sessionStateVersion = 1
+
+type repMonState struct {
+	Samples     int    `json:"samples"`
+	EwmaBits    uint64 `json:"ewma_bits"`
+	EwmaN       int    `json:"ewma_n"`
+	StallRun    int    `json:"stall_run"`
+	ZeroRun     int    `json:"zero_run"`
+	DarkSatRun  int    `json:"dark_sat_run"`
+	CleanReads  int    `json:"clean_reads"`
+	ReadbackBad bool   `json:"readback_bad"`
+	Saturations uint64 `json:"saturations"`
+	RemovedAt   int    `json:"removed_at"`
+	Tripped     []bool `json:"tripped"`
+}
+
+type eventState struct {
+	Sweep     int     `json:"sweep"`
+	Replica   int     `json:"replica"`
+	SuspectID Suspect `json:"suspect_id"`
+	Measure   uint64  `json:"measure_bits"`
+	Threshold uint64  `json:"threshold_bits"`
+	Action    string  `json:"action,omitempty"`
+}
+
+type clearState struct {
+	Sweep     int     `json:"sweep"`
+	Replica   int     `json:"replica"`
+	SuspectID Suspect `json:"suspect_id"`
+}
+
+type unitState struct {
+	Slot          []int         `json:"slot"`
+	Mons          []repMonState `json:"mons"`
+	DrawSeq       uint64        `json:"draw_seq"`
+	SparesUsed    int           `json:"spares_used"`
+	QuarantinedAt int           `json:"quarantined_at"`
+	FallbackAt    int           `json:"fallback_at"`
+	UnitTripped   []bool        `json:"unit_tripped"`
+	Events        []eventState  `json:"events"`
+	Clears        []clearState  `json:"clears"`
+	Resamples     uint64        `json:"resamples"`
+	Rejects       uint64        `json:"rejects"`
+	Remaps        int           `json:"remaps"`
+}
+
+type sessionState struct {
+	Version   int         `json:"version"`
+	Units     int         `json:"units"`
+	Replicas  int         `json:"replicas"`
+	Phys      int         `json:"phys"`
+	LastSweep int         `json:"last_sweep"`
+	UnitState []unitState `json:"unit_state"`
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: the session's
+// mutable state, suitable for a checkpoint.Snapshot section. Must be
+// called at a sweep boundary (no sample in flight).
+func (s *Session) MarshalBinary() ([]byte, error) {
+	st := sessionState{
+		Version:   sessionStateVersion,
+		Units:     s.tl.Units,
+		Replicas:  s.tl.Replicas,
+		Phys:      s.tl.Replicas + s.spares,
+		LastSweep: s.lastSweep,
+		UnitState: make([]unitState, len(s.units)),
+	}
+	for u := range s.units {
+		uc := &s.units[u]
+		us := &st.UnitState[u]
+		us.Slot = append([]int(nil), uc.slot...)
+		us.Mons = make([]repMonState, len(uc.mons))
+		for r := range uc.mons {
+			m := &uc.mons[r]
+			us.Mons[r] = repMonState{
+				Samples:     m.samples,
+				EwmaBits:    math.Float64bits(m.ewma),
+				EwmaN:       m.ewmaN,
+				StallRun:    m.stallRun,
+				ZeroRun:     m.zeroRun,
+				DarkSatRun:  m.darkSatRun,
+				CleanReads:  m.cleanReads,
+				ReadbackBad: m.readbackBad,
+				Saturations: m.saturations,
+				RemovedAt:   m.removedAt,
+				Tripped:     append([]bool(nil), m.tripped[:]...),
+			}
+		}
+		us.DrawSeq = uc.drawSeq
+		us.SparesUsed = uc.sparesUsed
+		us.QuarantinedAt = uc.quarantinedAt
+		us.FallbackAt = uc.fallbackAt
+		us.UnitTripped = append([]bool(nil), uc.unitTripped[:]...)
+		us.Events = make([]eventState, len(uc.events))
+		for i, e := range uc.events {
+			us.Events[i] = eventState{
+				Sweep:     e.Sweep,
+				Replica:   e.Replica,
+				SuspectID: e.suspect,
+				Measure:   math.Float64bits(e.Measure),
+				Threshold: math.Float64bits(e.Threshold),
+				Action:    e.Action,
+			}
+		}
+		us.Clears = make([]clearState, len(uc.clears))
+		for i, c := range uc.clears {
+			us.Clears[i] = clearState{Sweep: c.sweep, Replica: c.replica, SuspectID: c.suspect}
+		}
+		us.Resamples = uc.resamples
+		us.Rejects = uc.rejects
+		us.Remaps = uc.remaps
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler onto a session
+// freshly built by NewSession with the same schedule, seed, geometry,
+// and policy options (the checkpoint fingerprint enforces that identity
+// one layer up; the shape checks here catch what it cannot). After the
+// restore the session behaves as if it had run every sweep up to
+// LastSweep itself; the next BeginSweep call rebuilds the per-sweep
+// fault effects.
+func (s *Session) UnmarshalBinary(data []byte) error {
+	var st sessionState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("fault: session state: %w", err)
+	}
+	if st.Version != sessionStateVersion {
+		return fmt.Errorf("fault: session state version %d, want %d", st.Version, sessionStateVersion)
+	}
+	phys := s.tl.Replicas + s.spares
+	switch {
+	case st.Units != s.tl.Units || st.Replicas != s.tl.Replicas:
+		return fmt.Errorf("fault: session state is %d units x %d replicas, session has %d x %d",
+			st.Units, st.Replicas, s.tl.Units, s.tl.Replicas)
+	case st.Phys != phys:
+		return fmt.Errorf("fault: session state has %d physical replicas, session has %d", st.Phys, phys)
+	case len(st.UnitState) != len(s.units):
+		return fmt.Errorf("fault: session state carries %d units, session has %d", len(st.UnitState), len(s.units))
+	}
+	for u := range st.UnitState {
+		us := &st.UnitState[u]
+		if len(us.Slot) != s.tl.Replicas {
+			return fmt.Errorf("fault: unit %d state has %d lane slots, want %d", u, len(us.Slot), s.tl.Replicas)
+		}
+		for l, p := range us.Slot {
+			if p < 0 || p >= phys {
+				return fmt.Errorf("fault: unit %d slot %d maps to replica %d outside [0,%d)", u, l, p, phys)
+			}
+		}
+		if len(us.Mons) != phys {
+			return fmt.Errorf("fault: unit %d state has %d monitors, want %d", u, len(us.Mons), phys)
+		}
+		for r := range us.Mons {
+			if len(us.Mons[r].Tripped) != int(numSuspects) {
+				return fmt.Errorf("fault: unit %d monitor %d has %d trip flags, want %d",
+					u, r, len(us.Mons[r].Tripped), numSuspects)
+			}
+		}
+		if len(us.UnitTripped) != int(numSuspects) {
+			return fmt.Errorf("fault: unit %d has %d unit trip flags, want %d", u, len(us.UnitTripped), numSuspects)
+		}
+		for i, e := range us.Events {
+			if e.SuspectID < 0 || e.SuspectID >= numSuspects {
+				return fmt.Errorf("fault: unit %d event %d has suspect id %d outside [0,%d)", u, i, e.SuspectID, numSuspects)
+			}
+		}
+		for i, c := range us.Clears {
+			if c.SuspectID < 0 || c.SuspectID >= numSuspects {
+				return fmt.Errorf("fault: unit %d clear %d has suspect id %d outside [0,%d)", u, i, c.SuspectID, numSuspects)
+			}
+		}
+		if us.SparesUsed < 0 || us.SparesUsed > s.spares {
+			return fmt.Errorf("fault: unit %d used %d spares, session has %d", u, us.SparesUsed, s.spares)
+		}
+	}
+
+	// Shape verified; commit.
+	s.lastSweep = st.LastSweep
+	for u := range s.units {
+		uc := &s.units[u]
+		us := &st.UnitState[u]
+		copy(uc.slot, us.Slot)
+		for r := range uc.mons {
+			ms := &us.Mons[r]
+			m := &uc.mons[r]
+			m.samples = ms.Samples
+			m.ewma = math.Float64frombits(ms.EwmaBits)
+			m.ewmaN = ms.EwmaN
+			m.stallRun = ms.StallRun
+			m.zeroRun = ms.ZeroRun
+			m.darkSatRun = ms.DarkSatRun
+			m.cleanReads = ms.CleanReads
+			m.readbackBad = ms.ReadbackBad
+			m.saturations = ms.Saturations
+			m.removedAt = ms.RemovedAt
+			copy(m.tripped[:], ms.Tripped)
+		}
+		uc.drawSeq = us.DrawSeq
+		uc.sparesUsed = us.SparesUsed
+		uc.quarantinedAt = us.QuarantinedAt
+		uc.fallbackAt = us.FallbackAt
+		copy(uc.unitTripped[:], us.UnitTripped)
+		uc.events = make([]Event, len(us.Events))
+		for i, e := range us.Events {
+			uc.events[i] = Event{
+				Sweep: e.Sweep, Unit: u, Replica: e.Replica,
+				Suspect:   e.SuspectID.String(),
+				Measure:   math.Float64frombits(e.Measure),
+				Threshold: math.Float64frombits(e.Threshold),
+				Action:    e.Action,
+				suspect:   e.SuspectID,
+			}
+		}
+		uc.clears = make([]clearRec, len(us.Clears))
+		for i, c := range us.Clears {
+			uc.clears[i] = clearRec{sweep: c.Sweep, replica: c.Replica, suspect: c.SuspectID}
+		}
+		uc.resamples = us.Resamples
+		uc.rejects = us.Rejects
+		uc.remaps = us.Remaps
+		// Rebuild the per-sweep fault effects for the restored sweep so
+		// the unit is coherent even before the next BeginSweep.
+		uc.beginSweep(maxInt(st.LastSweep, 0))
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// driveSweeps pushes the session through sweeps [from, to) with a
+// deterministic observation pattern that exercises trips, degradation
+// reactions, and counter growth.
+func driveSweeps(t *testing.T, sess *Session, from, to int) {
+	t.Helper()
+	cfg := DefaultMonitorConfig()
+	for sweep := from; sweep < to; sweep++ {
+		sess.BeginSweep(sweep)
+		for u := 0; u < sess.tl.Units; u++ {
+			uc := sess.Unit(u)
+			if uc.Directive() == DirectiveSkip {
+				continue
+			}
+			uc.BeginSample()
+			rep := uc.NextReplica()
+			// Units 0/1 see a stall burst on even sweeps, clean reads
+			// otherwise; the rest stay healthy.
+			if u < 2 && sweep%2 == 0 {
+				for i := 0; i < cfg.StallWindow; i++ {
+					uc.Observe(brightSat(rep))
+				}
+			} else {
+				uc.Observe(healthy(rep))
+			}
+			uc.AfterSample(0)
+		}
+	}
+}
+
+// newStateSession builds the fixed session geometry the round-trip
+// tests share (the fingerprint one layer up guarantees this identity
+// in production).
+func newStateSession(t *testing.T, policy Policy) *Session {
+	t.Helper()
+	return testSession(t, "hot:rate=2e-2;dead:unit=1,sweep=3", policy, 16)
+}
+
+// auditJSON renders the session audit to canonical bytes.
+func auditJSON(t *testing.T, sess *Session) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sess.Audit().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSessionStateRoundTrip: a session restored mid-run from its
+// serialized state and then driven to the end produces a byte-identical
+// audit to one that ran uninterrupted — the fault-subsystem half of the
+// resume-equivalence guarantee.
+func TestSessionStateRoundTrip(t *testing.T) {
+	for _, policy := range []Policy{PolicyNone, PolicyRemap, PolicyResample, PolicyQuarantine, PolicyFallback} {
+		t.Run(policy.String(), func(t *testing.T) {
+			golden := newStateSession(t, policy)
+			driveSweeps(t, golden, 0, 12)
+
+			// Interrupted twin: run to the sweep-6 boundary, serialize,
+			// restore into a fresh session, finish.
+			first := newStateSession(t, policy)
+			driveSweeps(t, first, 0, 6)
+			blob, err := first.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			resumed := newStateSession(t, policy)
+			if err := resumed.UnmarshalBinary(blob); err != nil {
+				t.Fatal(err)
+			}
+			// The restore is byte-stable: re-marshal reproduces the blob.
+			blob2, err := resumed.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blob, blob2) {
+				t.Fatal("marshal/unmarshal/marshal is not byte-stable")
+			}
+
+			driveSweeps(t, resumed, 6, 12)
+			if g, r := auditJSON(t, golden), auditJSON(t, resumed); !bytes.Equal(g, r) {
+				t.Fatalf("resumed audit diverged from golden:\n--- golden ---\n%s\n--- resumed ---\n%s", g, r)
+			}
+		})
+	}
+}
+
+// mutateState unmarshals the blob into a generic tree, applies the
+// mutation, and re-marshals — corrupt-input construction for the
+// rejection tests.
+func mutateState(t *testing.T, blob []byte, mutate func(map[string]any)) []byte {
+	t.Helper()
+	var tree map[string]any
+	if err := json.Unmarshal(blob, &tree); err != nil {
+		t.Fatal(err)
+	}
+	mutate(tree)
+	out, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func firstUnit(tree map[string]any) map[string]any {
+	return tree["unit_state"].([]any)[0].(map[string]any)
+}
+
+// TestSessionStateRejectsCorrupt: every shape violation is rejected
+// before any field is committed — a failed restore leaves the target
+// session untouched.
+func TestSessionStateRejectsCorrupt(t *testing.T) {
+	src := newStateSession(t, PolicyRemap)
+	driveSweeps(t, src, 0, 6)
+	blob, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(map[string]any)
+		want   string
+	}{
+		{"version skew", func(m map[string]any) { m["version"] = 99.0 }, "version"},
+		{"unit count", func(m map[string]any) { m["units"] = 3.0 }, "units"},
+		{"replica count", func(m map[string]any) { m["replicas"] = 2.0 }, "replicas"},
+		{"phys count", func(m map[string]any) { m["phys"] = 1.0 }, "physical"},
+		{"slot out of range", func(m map[string]any) {
+			firstUnit(m)["slot"].([]any)[0] = 99.0
+		}, "slot"},
+		{"monitor count", func(m map[string]any) {
+			u := firstUnit(m)
+			u["mons"] = u["mons"].([]any)[:2]
+		}, "monitors"},
+		{"trip flag count", func(m map[string]any) {
+			mon := firstUnit(m)["mons"].([]any)[0].(map[string]any)
+			mon["tripped"] = []any{true}
+		}, "trip flags"},
+		{"suspect id", func(m map[string]any) {
+			u := firstUnit(m)
+			u["events"] = []any{map[string]any{"sweep": 1.0, "replica": 0.0, "suspect_id": 99.0}}
+		}, "suspect id"},
+		{"spares overflow", func(m map[string]any) {
+			firstUnit(m)["spares_used"] = 99.0
+		}, "spares"},
+	}
+	for _, tc := range cases {
+		bad := mutateState(t, blob, tc.mutate)
+		target := newStateSession(t, PolicyRemap)
+		err := target.UnmarshalBinary(bad)
+		if err == nil {
+			t.Errorf("%s: corrupt state accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		// The failed restore must not have perturbed the target: it
+		// still round-trips as a fresh session.
+		fresh := newStateSession(t, PolicyRemap)
+		want, err := fresh.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := target.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s: failed restore mutated the session", tc.name)
+		}
+	}
+
+	if err := newStateSession(t, PolicyRemap).UnmarshalBinary([]byte("{garbage")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+// TestSessionStateGeometryMismatch: a blob from one geometry cannot be
+// restored into a session with another.
+func TestSessionStateGeometryMismatch(t *testing.T) {
+	src := newStateSession(t, PolicyNone)
+	blob, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse("hot:rate=2e-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := s.Compile(2, 16, 32, 4) // 2 units instead of 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := NewSession(tl, Options{Policy: PolicyNone})
+	if err := other.UnmarshalBinary(blob); err == nil {
+		t.Fatal("cross-geometry restore accepted")
+	}
+}

@@ -10,9 +10,11 @@
 package gibbs
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/checkpoint"
 	"repro/internal/img"
 	"repro/internal/mrf"
 	"repro/internal/rng"
@@ -162,6 +164,17 @@ type Options struct {
 	// RecordEnergyEvery records the total energy every k iterations into
 	// Result.EnergyTrace (0 disables; 1 records every iteration).
 	RecordEnergyEvery int
+	// Resume, if non-nil, rewinds the chain to this snapshot before the
+	// first sweep: labels, RNG streams, mode counters, and energy trace
+	// are restored and the run continues from Snapshot.Sweep. The
+	// snapshot must match the model geometry and the sweep schedule;
+	// fingerprint identity is checked by the layer that owns the
+	// configuration (core), not here.
+	Resume *checkpoint.Snapshot
+	// Checkpoint, if non-nil, captures durable snapshots at sweep
+	// boundaries per the policy. On cancellation a final snapshot is
+	// always written before returning.
+	Checkpoint *CheckpointPolicy
 }
 
 // Result is the outcome of a chain run.
@@ -191,6 +204,20 @@ type Result struct {
 // inner loop to the precomputed-table fast path without changing any
 // sampled label: table and closure evaluation are bit-identical.
 func Run(m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed uint64) (*Result, error) {
+	return RunCtx(context.Background(), m, init, factory, opt, seed)
+}
+
+// RunCtx is Run with cooperative cancellation. The context is checked at
+// sweep boundaries only — a sweep in progress always completes, so
+// cancellation can never leave a color pass half-applied or a snapshot
+// capturing mid-sweep state. On cancellation (or deadline) RunCtx writes
+// a final checkpoint if Options.Checkpoint is set, then returns a
+// non-nil *partial* Result (final labels, MAP/confidence over the sweeps
+// that did run) alongside an error wrapping ctx.Err(); callers that want
+// the partial output check errors.Is(err, context.Canceled) /
+// context.DeadlineExceeded. The deferred worker-pool shutdown runs on
+// every return path, so no goroutines outlive the call.
+func RunCtx(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed uint64) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -207,6 +234,11 @@ func Run(m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed ui
 	}
 	if opt.BurnIn < 0 || opt.BurnIn >= opt.Iterations {
 		return nil, fmt.Errorf("gibbs: BurnIn %d outside [0,%d)", opt.BurnIn, opt.Iterations)
+	}
+	if opt.Checkpoint != nil {
+		if err := opt.Checkpoint.validate(); err != nil {
+			return nil, err
+		}
 	}
 
 	lm := init.Clone()
@@ -241,20 +273,66 @@ func Run(m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed ui
 	res.SamplerName = samplers[0].Name()
 
 	var eng *engine
+	cs := &chainState{m: m, lm: lm, chain: chain, counts: counts}
 	if opt.Schedule == Checkerboard {
 		rowSrc := make([]*rng.Source, m.H)
 		for y := range rowSrc {
 			rowSrc[y] = root.Split()
 		}
+		cs.rowSrc = rowSrc
 		eng = newEngine(m, lm, samplers, rowSrc)
 		eng.start()
 		defer eng.stop()
 	}
 
+	start := 0
+	if opt.Resume != nil {
+		var err error
+		if start, err = cs.restore(opt.Resume, opt); err != nil {
+			return nil, err
+		}
+	}
+
+	pol := opt.Checkpoint
+	// durationDue reports (statefully) whether pol.Every wall time has
+	// elapsed since the run started or the last duration checkpoint.
+	var durationDue func() bool
+	if pol != nil && pol.Every > 0 {
+		t0 := pol.Now()
+		durationDue = func() bool {
+			now := pol.Now()
+			if now.Sub(t0) >= pol.Every {
+				t0 = now
+				return true
+			}
+			return false
+		}
+	}
+	save := func(next int) error {
+		snap, err := cs.capture(pol, next)
+		if err != nil {
+			return err
+		}
+		if err := pol.Sink(snap); err != nil {
+			return fmt.Errorf("gibbs: checkpoint sink at sweep %d: %w", next, err)
+		}
+		return nil
+	}
+
 	baseT := m.T
 	defer func() { m.T = baseT }()
 
-	for it := 0; it < opt.Iterations; it++ {
+	completed := start
+	for it := start; it < opt.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			if pol != nil {
+				if serr := save(completed); serr != nil {
+					return nil, serr
+				}
+			}
+			finish(res, cs, opt, completed)
+			return res, fmt.Errorf("gibbs: run stopped before sweep %d/%d: %w", it, opt.Iterations, err)
+		}
 		for _, s := range samplers {
 			if sa, ok := s.(SweepAware); ok {
 				sa.BeginSweep(it)
@@ -279,29 +357,55 @@ func Run(m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed ui
 			}
 		}
 		if opt.RecordEnergyEvery > 0 && it%opt.RecordEnergyEvery == 0 {
-			res.EnergyTrace = append(res.EnergyTrace, m.TotalEnergy(lm))
+			cs.energy = append(cs.energy, m.TotalEnergy(lm))
+		}
+		completed = it + 1
+		if pol != nil && completed < opt.Iterations {
+			due := pol.EverySweeps > 0 && completed%pol.EverySweeps == 0
+			if !due && durationDue != nil {
+				due = durationDue()
+			}
+			if due {
+				if err := save(completed); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 
-	res.Final = lm
-	if opt.TrackMode {
-		res.MAP = img.NewLabelMap(m.W, m.H)
-		res.Confidence = img.NewGray(m.W, m.H)
-		samples := uint32(opt.Iterations - opt.BurnIn)
-		for i := 0; i < m.W*m.H; i++ {
-			best, bestC := 0, uint32(0)
-			for l := 0; l < m.M; l++ {
-				if c := counts[i*m.M+l]; c > bestC {
-					best, bestC = l, c
-				}
-			}
-			res.MAP.Labels[i] = best
-			if samples > 0 {
-				res.Confidence.Pix[i] = uint8(bestC * 255 / samples)
+	finish(res, cs, opt, completed)
+	return res, nil
+}
+
+// finish derives the result fields from the chain state after
+// `completed` total sweeps (which is opt.Iterations for a full run, less
+// when cancellation stopped the chain early).
+func finish(res *Result, cs *chainState, opt Options, completed int) {
+	res.Final = cs.lm
+	res.Iterations = completed
+	res.EnergyTrace = cs.energy
+	if !opt.TrackMode {
+		return
+	}
+	m := cs.m
+	res.MAP = img.NewLabelMap(m.W, m.H)
+	res.Confidence = img.NewGray(m.W, m.H)
+	samples := uint32(0)
+	if completed > opt.BurnIn {
+		samples = uint32(completed - opt.BurnIn)
+	}
+	for i := 0; i < m.W*m.H; i++ {
+		best, bestC := 0, uint32(0)
+		for l := 0; l < m.M; l++ {
+			if c := cs.counts[i*m.M+l]; c > bestC {
+				best, bestC = l, c
 			}
 		}
+		res.MAP.Labels[i] = best
+		if samples > 0 {
+			res.Confidence.Pix[i] = uint8(bestC * 255 / samples)
+		}
 	}
-	return res, nil
 }
 
 func sweepRaster(m *mrf.Model, lm *img.LabelMap, s Sampler, src *rng.Source) {

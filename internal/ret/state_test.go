@@ -1,0 +1,79 @@
+package ret
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestAgingStateRoundTrip: the absorbed excitation count restores
+// word-exactly onto a same-configuration circuit, so the aged rates —
+// and therefore every post-resume sample — match the uninterrupted run.
+func TestAgingStateRoundTrip(t *testing.T) {
+	src := rng.New(7)
+	a, err := NewAgingCircuit(DefaultLadderCircuit(src), Wearout{MeanExcitations: 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		a.Charge(uint8(i%16), 4e-9)
+	}
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) != 8 {
+		t.Fatalf("aging state is %d bytes, want 8", len(blob))
+	}
+
+	b, err := NewAgingCircuit(DefaultLadderCircuit(rng.New(7)), Wearout{MeanExcitations: 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(b.Absorbed()) != math.Float64bits(a.Absorbed()) {
+		t.Fatalf("absorbed count: restored %v != original %v", b.Absorbed(), a.Absorbed())
+	}
+	for code := uint8(0); code < 16; code++ {
+		if math.Float64bits(a.EffectiveRate(code)) != math.Float64bits(b.EffectiveRate(code)) {
+			t.Fatalf("aged rate for code %d diverged after restore", code)
+		}
+	}
+	// Charging both further keeps them in lockstep.
+	a.Charge(15, 4e-9)
+	b.Charge(15, 4e-9)
+	if math.Float64bits(a.Absorbed()) != math.Float64bits(b.Absorbed()) {
+		t.Fatal("post-restore charge diverged")
+	}
+}
+
+func TestAgingStateRejectsCorrupt(t *testing.T) {
+	a, err := NewAgingCircuit(DefaultLadderCircuit(rng.New(1)), Wearout{MeanExcitations: 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UnmarshalBinary(make([]byte, 7)); err == nil {
+		t.Fatal("truncated aging state accepted")
+	}
+	if err := a.UnmarshalBinary(make([]byte, 9)); err == nil {
+		t.Fatal("oversized aging state accepted")
+	}
+	neg := make([]byte, 8)
+	binary.LittleEndian.PutUint64(neg, math.Float64bits(-1))
+	if err := a.UnmarshalBinary(neg); err == nil {
+		t.Fatal("negative absorbed count accepted")
+	}
+	nan := make([]byte, 8)
+	binary.LittleEndian.PutUint64(nan, math.Float64bits(math.NaN()))
+	if err := a.UnmarshalBinary(nan); err == nil {
+		t.Fatal("NaN absorbed count accepted")
+	}
+	// A failed restore leaves the age untouched.
+	if a.Absorbed() != 0 {
+		t.Fatalf("failed restores mutated the age: %v", a.Absorbed())
+	}
+}

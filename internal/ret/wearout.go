@@ -1,6 +1,7 @@
 package ret
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 )
@@ -77,6 +78,35 @@ func (a *AgingCircuit) SurvivingFraction() float64 {
 
 // Absorbed returns the total excitation count charged so far.
 func (a *AgingCircuit) Absorbed() float64 { return a.absorbed }
+
+// agingBinaryLen is the MarshalBinary output size: the absorbed-count
+// IEEE-754 bit pattern.
+const agingBinaryLen = 8
+
+// MarshalBinary implements encoding.BinaryMarshaler for a checkpoint
+// section: the absorbed excitation count, word-exact. The Circuit and
+// Wearout parameters are construction-time configuration covered by the
+// checkpoint fingerprint, not mutable state, so only the age itself is
+// serialized.
+func (a *AgingCircuit) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, agingBinaryLen)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(a.absorbed))
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, restoring the
+// absorbed count onto a circuit built with the same configuration.
+func (a *AgingCircuit) UnmarshalBinary(data []byte) error {
+	if len(data) != agingBinaryLen {
+		return fmt.Errorf("ret: aging state is %d bytes, want %d", len(data), agingBinaryLen)
+	}
+	absorbed := math.Float64frombits(binary.LittleEndian.Uint64(data))
+	if !(absorbed >= 0) { // NaN fails the comparison
+		return fmt.Errorf("ret: negative or NaN absorbed count %v", absorbed)
+	}
+	a.absorbed = absorbed
+	return nil
+}
 
 // EffectiveRate returns the aged detected-photon rate for a code.
 func (a *AgingCircuit) EffectiveRate(code uint8) float64 {

@@ -1,0 +1,142 @@
+package rng
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Word-exact generator-state serialization, the substrate of the
+// checkpoint/resume subsystem (internal/checkpoint): a chain snapshot
+// must capture every live PRNG stream so a resumed run draws the exact
+// bit sequence an uninterrupted run would have drawn. All encodings are
+// fixed-width little-endian so a snapshot is byte-identical across
+// hosts and worker counts.
+
+// StateWords is the xoshiro256** state size in 64-bit words.
+const StateWords = 4
+
+// State returns the generator's internal xoshiro256** state words. The
+// pair State/SetState round-trips exactly: a restored Source continues
+// the parent's stream with no drawn value lost or repeated.
+func (r *Source) State() [StateWords]uint64 { return r.s }
+
+// SetState overwrites the generator state with previously captured
+// words. The all-zero state is the one fixed point xoshiro cannot leave
+// and cannot occur in a captured state, so it is rejected.
+func (r *Source) SetState(s [StateWords]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return fmt.Errorf("rng: refusing all-zero xoshiro state")
+	}
+	r.s = s
+	return nil
+}
+
+// sourceBinaryLen is the MarshalBinary output size of a Source.
+const sourceBinaryLen = StateWords * 8
+
+// MarshalBinary implements encoding.BinaryMarshaler: the four state
+// words, little-endian.
+func (r *Source) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, sourceBinaryLen)
+	for i, w := range r.s {
+		binary.LittleEndian.PutUint64(buf[i*8:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (r *Source) UnmarshalBinary(data []byte) error {
+	if len(data) != sourceBinaryLen {
+		return fmt.Errorf("rng: Source state is %d bytes, want %d", len(data), sourceBinaryLen)
+	}
+	var s [StateWords]uint64
+	for i := range s {
+		s[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return r.SetState(s)
+}
+
+// mtBinaryLen is the MarshalBinary output size of an MT19937: 624 state
+// words plus the output index.
+const mtBinaryLen = (624 + 1) * 4
+
+// MarshalBinary implements encoding.BinaryMarshaler: the 624 untempered
+// state words followed by the output index, all little-endian uint32.
+// The index is part of the state — it locates the next output word
+// within the current generation batch — so the round-trip is word-exact
+// mid-batch, not just at regeneration boundaries.
+func (m *MT19937) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, mtBinaryLen)
+	for i, w := range m.state {
+		binary.LittleEndian.PutUint32(buf[i*4:], w)
+	}
+	binary.LittleEndian.PutUint32(buf[624*4:], uint32(m.index))
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The index must
+// lie in [0, 624]: 624 means "regenerate before the next draw", exactly
+// the freshly-seeded position.
+func (m *MT19937) UnmarshalBinary(data []byte) error {
+	if len(data) != mtBinaryLen {
+		return fmt.Errorf("rng: MT19937 state is %d bytes, want %d", len(data), mtBinaryLen)
+	}
+	idx := binary.LittleEndian.Uint32(data[624*4:])
+	if idx > 624 {
+		return fmt.Errorf("rng: MT19937 index %d outside [0,624]", idx)
+	}
+	for i := range m.state {
+		m.state[i] = binary.LittleEndian.Uint32(data[i*4:])
+	}
+	m.index = int(idx)
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for an alias table:
+// the category count followed by each column's probability (IEEE-754
+// bits) and alias index. Alias tables are immutable after construction,
+// but serializing them lets a checkpoint carry a prepared table instead
+// of re-deriving it from weights that may no longer be available.
+func (a *Alias) MarshalBinary() ([]byte, error) {
+	n := len(a.prob)
+	buf := make([]byte, 8+n*16)
+	binary.LittleEndian.PutUint64(buf, uint64(n))
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[8+i*16:], math.Float64bits(a.prob[i]))
+		binary.LittleEndian.PutUint64(buf[8+i*16+8:], uint64(a.alias[i]))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, validating
+// that every probability is in [0,1] and every alias index in range.
+func (a *Alias) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("rng: Alias state truncated (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint64(data)
+	if n == 0 {
+		return fmt.Errorf("rng: Alias state has zero categories")
+	}
+	if uint64(len(data)-8) != n*16 {
+		return fmt.Errorf("rng: Alias state is %d bytes, want %d for %d categories", len(data), 8+n*16, n)
+	}
+	prob := make([]float64, n)
+	alias := make([]int, n)
+	for i := uint64(0); i < n; i++ {
+		p := math.Float64frombits(binary.LittleEndian.Uint64(data[8+i*16:]))
+		if !(p >= 0 && p <= 1) { // NaN fails both comparisons
+			return fmt.Errorf("rng: Alias probability %v outside [0,1]", p)
+		}
+		idx := binary.LittleEndian.Uint64(data[8+i*16+8:])
+		if idx >= n {
+			return fmt.Errorf("rng: Alias index %d outside [0,%d)", idx, n)
+		}
+		prob[i] = p
+		alias[i] = int(idx)
+	}
+	a.prob = prob
+	a.alias = alias
+	return nil
+}

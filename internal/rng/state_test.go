@@ -1,0 +1,199 @@
+package rng
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// TestSourceStateRoundTrip: a restored Source continues the exact
+// stream — every draw after SetState matches the original, across the
+// full distribution surface (raw words, floats, categorical draws).
+func TestSourceStateRoundTrip(t *testing.T) {
+	src := New(42)
+	for i := 0; i < 1000; i++ {
+		src.Uint64() // advance to an arbitrary mid-stream position
+	}
+	st := src.State()
+
+	want := make([]uint64, 64)
+	for i := range want {
+		want[i] = src.Uint64()
+	}
+	wantF := src.Float64()
+	wantC := src.CategoricalRates([]float64{1, 2, 3, 4})
+
+	var restored Source
+	if err := restored.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if got := restored.Uint64(); got != w {
+			t.Fatalf("draw %d: restored %#x != original %#x", i, got, w)
+		}
+	}
+	if got := restored.Float64(); got != wantF {
+		t.Fatalf("Float64: restored %v != original %v", got, wantF)
+	}
+	if got := restored.CategoricalRates([]float64{1, 2, 3, 4}); got != wantC {
+		t.Fatalf("CategoricalRates: restored %d != original %d", got, wantC)
+	}
+}
+
+// TestSourceBinaryGolden pins the wire format: 32 little-endian bytes,
+// word i at offset 8i.
+func TestSourceBinaryGolden(t *testing.T) {
+	var src Source
+	st := [4]uint64{0x0102030405060708, 0x1112131415161718, 0x2122232425262728, 0x3132333435363738}
+	if err := src.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	data, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 32 {
+		t.Fatalf("Source binary is %d bytes, want 32", len(data))
+	}
+	for i, w := range st {
+		if got := binary.LittleEndian.Uint64(data[i*8:]); got != w {
+			t.Fatalf("word %d encodes as %#x, want %#x", i, got, w)
+		}
+	}
+	var back Source
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.State() != st {
+		t.Fatalf("round-trip state %#x != %#x", back.State(), st)
+	}
+}
+
+func TestSourceStateRejectsZeroAndBadLength(t *testing.T) {
+	var src Source
+	if err := src.SetState([4]uint64{}); err == nil {
+		t.Fatal("all-zero state accepted")
+	}
+	if err := src.UnmarshalBinary(make([]byte, 31)); err == nil {
+		t.Fatal("truncated Source state accepted")
+	}
+	if err := src.UnmarshalBinary(make([]byte, 32)); err == nil {
+		t.Fatal("all-zero Source binary accepted")
+	}
+}
+
+// TestMT19937RoundTripMidBatch: the index is serialized too, so a
+// restore mid-generation-batch (index not at a 624 boundary) continues
+// word-exactly.
+func TestMT19937RoundTripMidBatch(t *testing.T) {
+	m := NewMT19937(5489)
+	for i := 0; i < 624+17; i++ { // 17 words into the second batch
+		m.Uint32()
+	}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint32, 2000) // crosses the next regeneration boundary
+	for i := range want {
+		want[i] = m.Uint32()
+	}
+
+	var back MT19937
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if got := back.Uint32(); got != w {
+			t.Fatalf("draw %d: restored %#x != original %#x", i, got, w)
+		}
+	}
+
+	// The restore must also be byte-stable: marshal(unmarshal(x)) == x.
+	var back2 MT19937
+	if err := back2.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := back2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("MT19937 marshal/unmarshal/marshal is not byte-stable")
+	}
+}
+
+func TestMT19937RejectsCorrupt(t *testing.T) {
+	m := NewMT19937(1)
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MT19937
+	if err := back.UnmarshalBinary(data[:len(data)-1]); err == nil {
+		t.Fatal("truncated MT19937 state accepted")
+	}
+	bad := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(bad[624*4:], 625) // index out of range
+	if err := back.UnmarshalBinary(bad); err == nil {
+		t.Fatal("out-of-range MT19937 index accepted")
+	}
+}
+
+// TestAliasRoundTrip: the serialized table reproduces the internal
+// prob/alias columns exactly, so a restored table draws the same
+// samples from the same stream.
+func TestAliasRoundTrip(t *testing.T) {
+	a := NewAlias([]float64{0.5, 1.5, 3, 0.25, 7})
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Alias
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != a.Len() {
+		t.Fatalf("restored Len %d != %d", back.Len(), a.Len())
+	}
+	for i := range a.prob {
+		if math.Float64bits(back.prob[i]) != math.Float64bits(a.prob[i]) {
+			t.Fatalf("prob[%d]: restored %v != %v", i, back.prob[i], a.prob[i])
+		}
+		if back.alias[i] != a.alias[i] {
+			t.Fatalf("alias[%d]: restored %d != %d", i, back.alias[i], a.alias[i])
+		}
+	}
+	s1, s2 := New(9), New(9)
+	for i := 0; i < 500; i++ {
+		if x, y := a.Sample(s1), back.Sample(s2); x != y {
+			t.Fatalf("draw %d: original %d != restored %d", i, x, y)
+		}
+	}
+}
+
+func TestAliasRejectsCorrupt(t *testing.T) {
+	a := NewAlias([]float64{1, 2, 3})
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Alias
+	if err := back.UnmarshalBinary(data[:7]); err == nil {
+		t.Fatal("truncated Alias header accepted")
+	}
+	if err := back.UnmarshalBinary(data[:len(data)-1]); err == nil {
+		t.Fatal("truncated Alias body accepted")
+	}
+	badProb := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(badProb[8:], math.Float64bits(1.5)) // prob > 1
+	if err := back.UnmarshalBinary(badProb); err == nil {
+		t.Fatal("out-of-range Alias probability accepted")
+	}
+	badIdx := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(badIdx[8+8:], 3) // alias index >= n
+	if err := back.UnmarshalBinary(badIdx); err == nil {
+		t.Fatal("out-of-range Alias index accepted")
+	}
+}

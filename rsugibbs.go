@@ -34,6 +34,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/apps"
 	"repro/internal/arch"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gibbs"
@@ -155,6 +156,42 @@ const (
 
 // NewSolver builds a solver for an application.
 var NewSolver = core.NewSolver
+
+// ErrInvalidConfig is wrapped by every configuration-validation error
+// from NewSolver and Config.Validate.
+var ErrInvalidConfig = core.ErrInvalidConfig
+
+// Crash-safe runtime (internal/checkpoint): durable snapshots,
+// cancellation, and bit-exact resume. Arm Config.Checkpoint and call
+// Solver.SolveCtx with a cancellable context; a run killed at any sweep
+// and resumed from its last checkpoint produces output byte-identical
+// to an uninterrupted one.
+type (
+	// CheckpointSpec arms periodic durable snapshots and resume on a
+	// Solver (Config.Checkpoint).
+	CheckpointSpec = core.CheckpointSpec
+	// Snapshot is one versioned, checksummed chain snapshot.
+	Snapshot = checkpoint.Snapshot
+	// SnapshotFingerprint identifies the run configuration a snapshot
+	// belongs to.
+	SnapshotFingerprint = checkpoint.Fingerprint
+	// ChainCheckpointPolicy configures snapshots at the gibbs layer.
+	ChainCheckpointPolicy = gibbs.CheckpointPolicy
+)
+
+// Checkpoint I/O and errors.
+var (
+	// SaveSnapshot writes a snapshot atomically (temp file + rename).
+	SaveSnapshot = checkpoint.Save
+	// LoadSnapshot reads and fully validates a snapshot.
+	LoadSnapshot = checkpoint.Load
+	// ErrSnapshotCorrupt marks a truncated or checksum-failed snapshot.
+	ErrSnapshotCorrupt = checkpoint.ErrCorrupt
+	// ErrSnapshotVersion marks a format-version skew.
+	ErrSnapshotVersion = checkpoint.ErrVersion
+	// ErrSnapshotMismatch marks a snapshot/configuration mismatch.
+	ErrSnapshotMismatch = checkpoint.ErrMismatch
+)
 
 // Fault injection and graceful degradation (internal/fault, DESIGN.md
 // §9): arm Config.Faults with a schedule and a policy, and the solver
