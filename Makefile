@@ -8,10 +8,11 @@
 #   make race    race-detector pass over the whole module
 #   make bench   sweep-engine micro-benchmarks + throughput report
 #   make chaos   kill-and-recover harness (subprocess SIGKILL + resume)
+#   make obs-smoke  recorder determinism + metrics-snapshot schema gate
 
 GO ?= go
 
-.PHONY: build vet lint test race bench chaos sweep-report faults-report all
+.PHONY: build vet lint test race bench chaos sweep-report faults-report obs-smoke all
 
 all: build vet lint test race
 
@@ -50,3 +51,10 @@ sweep-report:
 # the CI faults-smoke job diffs a fresh run against it byte-for-byte).
 faults-report:
 	$(GO) run ./cmd/paperbench -experiment faults -faultsjson BENCH_faults.json
+
+# Observability gate: run the recorder-overhead + determinism
+# experiment (fails if an observed run diverges from an unobserved
+# one), write a metrics snapshot, and schema-validate it.
+obs-smoke:
+	$(GO) run ./cmd/paperbench -experiment observed -metrics /tmp/obs-smoke.json
+	$(GO) run ./cmd/obsvalidate /tmp/obs-smoke.json

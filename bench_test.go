@@ -8,6 +8,7 @@
 package rsugibbs
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -80,7 +81,7 @@ func BenchmarkTable2SegmentationSmall(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := solver.Solve(); err != nil {
+		if _, err := solver.Solve(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -101,7 +102,7 @@ func BenchmarkTable2SegmentationHD(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := solver.Solve(); err != nil {
+		if _, err := solver.Solve(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -121,7 +122,7 @@ func BenchmarkTable2MotionSmall(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := solver.Solve(); err != nil {
+		if _, err := solver.Solve(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -141,7 +142,7 @@ func BenchmarkTable2MotionHD(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := solver.Solve(); err != nil {
+		if _, err := solver.Solve(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -315,7 +316,7 @@ func BenchmarkAcceleratorFunctional(b *testing.B) {
 	var stats AccelStats
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, _, s, err := RunAccelerator(app, unit, PaperAccelConfig(5, 5, uint64(i)))
+		_, _, s, err := RunAccelerator(context.Background(), app, unit, PaperAccelConfig(5, 5, uint64(i)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -377,7 +378,7 @@ func BenchmarkSweepEngine(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := solver.Solve(); err != nil {
+				if _, err := solver.Solve(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/img"
 	"repro/internal/mrf"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -46,6 +47,8 @@ func main() {
 	ckptEvery := flag.Int("ckpt-every", 10, "checkpoint every N sweeps (with -checkpoint)")
 	ckptInterval := flag.Duration("ckpt-interval", 0, "also checkpoint every D wall time (with -checkpoint)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
+	metricsOut := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file after the run")
+	httpAddr := flag.String("http", "", "serve live /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the run context: the chain stops at the next
@@ -68,13 +71,34 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(ctx, *appName, *backend, *width, *iters, *burn, *inPath, *labels, *size, *outDir, *seed, *order, ckpt); err != nil {
+	var rec *obs.Registry
+	if *metricsOut != "" || *httpAddr != "" {
+		rec = obs.New()
+	}
+	if *httpAddr != "" {
+		addr, shutdown, err := obs.Serve(*httpAddr, rec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrfdemo: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Printf("observability endpoint on http://%s\n", addr)
+	}
+
+	if err := run(ctx, *appName, *backend, *width, *iters, *burn, *inPath, *labels, *size, *outDir, *seed, *order, ckpt, rec); err != nil {
 		fmt.Fprintf(os.Stderr, "mrfdemo: %v\n", err)
 		os.Exit(1)
 	}
+	if *metricsOut != "" {
+		if err := rec.Snapshot().WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "mrfdemo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics snapshot -> %s\n", *metricsOut)
+	}
 }
 
-func run(ctx context.Context, appName, backendName string, width, iters, burn int, inPath string, labels, size int, outDir string, seed uint64, order int, ckpt *core.CheckpointSpec) error {
+func run(ctx context.Context, appName, backendName string, width, iters, burn int, inPath string, labels, size int, outDir string, seed uint64, order int, ckpt *core.CheckpointSpec, rec *obs.Registry) error {
 	var backend core.Backend
 	switch backendName {
 	case "software":
@@ -92,6 +116,11 @@ func run(ctx context.Context, appName, backendName string, width, iters, burn in
 		Backend: backend, RSUWidth: width,
 		Iterations: iters, BurnIn: burn, Seed: seed,
 		Checkpoint: ckpt,
+	}
+	if rec != nil {
+		// Assigned only when non-nil: a nil *obs.Registry inside the
+		// interface would dodge the recorder's nil fast path.
+		cfg.Recorder = rec
 	}
 	src := rng.New(seed)
 
@@ -221,7 +250,7 @@ func solve(ctx context.Context, app apps.App, cfg core.Config) (*core.Result, er
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.SolveCtx(ctx)
+	res, err := s.Solve(ctx)
 	if err != nil {
 		if res != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			// Graceful interruption: the final checkpoint (if armed) is

@@ -1,0 +1,36 @@
+// Command obsvalidate schema-validates metrics snapshots written by
+// the -metrics flag of the other commands (internal/obs.Snapshot
+// JSON). It exits nonzero on the first invalid file — the CI obs-smoke
+// job runs it over freshly produced snapshots so the exported schema
+// cannot drift silently.
+//
+// Usage:
+//
+//	obsvalidate obs.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: obsvalidate <snapshot.json> [...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obsvalidate: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.ValidateSnapshotJSON(data); err != nil {
+			fmt.Fprintf(os.Stderr, "obsvalidate: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (schema v%d)\n", path, obs.SchemaVersion)
+	}
+}

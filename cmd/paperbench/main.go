@@ -6,7 +6,7 @@
 //	paperbench                  # everything
 //	paperbench -table 2         # one table (1-4)
 //	paperbench -figure 8        # one figure (7 or 8)
-//	paperbench -experiment xyz  # ratio | accelerator | fidelity | ablation
+//	paperbench -experiment xyz  # ratio | accelerator | fidelity | ablation | observed
 //	paperbench -out DIR         # where Figure 7 PGMs are written
 //	paperbench -experiment sweep -sweepjson BENCH_sweep.json
 //	                            # sweep-engine throughput report
@@ -25,17 +25,20 @@ import (
 	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-4)")
 	figure := flag.Int("figure", 0, "regenerate one figure (7 or 8)")
-	experiment := flag.String("experiment", "", "ratio | accelerator | fidelity | ablation | gpusim | sweep | faults | checkpoint")
+	experiment := flag.String("experiment", "", "ratio | accelerator | fidelity | ablation | gpusim | sweep | faults | checkpoint | observed")
 	outDir := flag.String("out", ".", "directory for Figure 7 PGM output")
 	csvDir := flag.String("csv", "", "also write CSV series (table2, figure8, ratio, size sweep) into this directory")
 	sweepJSON := flag.String("sweepjson", "", "with -experiment sweep: also write the machine-readable report to this file (e.g. BENCH_sweep.json)")
 	sweepBaseline := flag.Float64("sweepbaseline", 0, "with -sweepjson: measured seed-tree ns/site for the acceptance config, recorded in the report")
 	faultsJSON := flag.String("faultsjson", "", "with -experiment faults: also write the machine-readable report to this file (e.g. BENCH_faults.json)")
+	metricsOut := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file after the run")
+	httpAddr := flag.String("http", "", "serve live /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
 
 	// SIGINT/SIGTERM stop the report at the next section boundary (and
@@ -44,6 +47,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var reg *obs.Registry
+	if *metricsOut != "" || *httpAddr != "" {
+		reg = obs.New()
+	}
+	if *httpAddr != "" {
+		addr, shutdown, err := obs.Serve(*httpAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Printf("observability endpoint on http://%s\n", addr)
+	}
+
 	w := os.Stdout
 	run := func(name string, f func(io.Writer) error) {
 		if err := ctx.Err(); err != nil {
@@ -51,6 +68,13 @@ func main() {
 			os.Exit(130)
 		}
 		fmt.Fprintf(w, "\n==== %s ====\n", name)
+		endSection := func() {}
+		if reg != nil {
+			endSection = reg.Span("paperbench.section")
+			reg.Add("paperbench.sections", 1)
+			reg.Emit(obs.Event{Kind: "paperbench.section", Fields: map[string]any{"name": name}})
+		}
+		defer endSection()
 		if err := f(w); err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				fmt.Fprintf(w, "\ninterrupted; skipping remaining sections\n")
@@ -118,11 +142,23 @@ func main() {
 			return bench.Sweep(w)
 		})
 	}
+	if *experiment == "observed" {
+		run("Recorder overhead and determinism", func(w io.Writer) error {
+			return bench.Observed(ctx, w, reg)
+		})
+	}
 	if *csvDir != "" {
 		if err := bench.WriteCSVSeries(*csvDir); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: csv: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "\nwrote CSV series to %s\n", *csvDir)
+	}
+	if *metricsOut != "" {
+		if err := reg.Snapshot().WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\nmetrics snapshot -> %s\n", *metricsOut)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/ret"
 	"repro/internal/rng"
 )
@@ -25,6 +26,7 @@ func main() {
 	bank := flag.String("bank", "ladder", "LED sizing: ladder | binary")
 	bins := flag.Int("bins", 24, "histogram bins")
 	seed := flag.Uint64("seed", 1, "random seed")
+	metricsOut := flag.String("metrics", "", "write a metrics snapshot (TTF histogram, JSON) to this file")
 	flag.Parse()
 
 	if *code < 0 || *code > 15 {
@@ -55,6 +57,16 @@ func main() {
 		return
 	}
 
+	// rec is the interface view of reg: assigned only when non-nil so
+	// the obs nil-guard helpers keep their fast path (a typed-nil
+	// *obs.Registry inside the interface would dodge it).
+	var reg *obs.Registry
+	var rec obs.Recorder
+	if *metricsOut != "" {
+		reg = obs.New()
+		rec = reg
+	}
+
 	window := 5 / rate // cover ~5 mean lifetimes
 	xs := make([]float64, 0, *n)
 	saturated := 0
@@ -62,9 +74,14 @@ func main() {
 		t := circuit.SampleTTF(uint8(*code), window, src)
 		if math.IsInf(t, 1) || t > window {
 			saturated++
+			obs.Add(rec, "retsim.saturated", 1)
 			continue
 		}
 		xs = append(xs, t)
+		// TTF in integer nanoseconds lands in the registry's power-of-4
+		// bucket ladder, a coarse machine-readable mirror of the text
+		// histogram printed below.
+		obs.Observe(rec, "retsim.ttf_ns", t*1e9)
 	}
 	counts := rng.Histogram(xs, 0, window, *bins)
 	maxC := 0
@@ -94,4 +111,14 @@ func main() {
 	s := rng.Summarize(xs)
 	fmt.Printf("  sample mean %.3g ns (ideal %.3g ns), KS vs Exp: %.4f\n",
 		s.Mean*1e9, 1e9/rate, rng.KSExponential(xs, rate))
+
+	if reg != nil {
+		obs.Add(rec, "retsim.samples", int64(len(xs)))
+		obs.Gauge(rec, "retsim.mean_ttf_ns", s.Mean*1e9)
+		if err := reg.Snapshot().WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "retsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  metrics snapshot -> %s\n", *metricsOut)
+	}
 }

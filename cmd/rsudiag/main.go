@@ -10,8 +10,8 @@
 //	rsudiag                      # everything, default design
 //	rsudiag -bank binary -t 12   # paper-literal LED sizing, temperature 12
 //	rsudiag -faults "dead:unit=3,sweep=2;hot:rate=1e-3,storm=6" \
-//	        -policy remap -faultlog audit.json
-//	                             # fault diagnosis + structured event log
+//	        -policy remap -faultlog audit.ndjson -metrics obs.json
+//	                             # fault diagnosis + streamed event log
 package main
 
 import (
@@ -28,6 +28,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/fault"
 	"repro/internal/img"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/ret"
 	"repro/internal/rng"
@@ -40,20 +41,25 @@ func main() {
 	faults := flag.String("faults", "", "fault schedule DSL; runs a 32x32 segmentation diagnosis through the fault subsystem instead of the design report")
 	policy := flag.String("policy", "remap", "with -faults: degradation policy (none | remap | resample | quarantine | fallback)")
 	faultSeed := flag.Uint64("faultseed", 1, "with -faults: schedule expansion seed")
-	faultLog := flag.String("faultlog", "", "with -faults: write the structured fault.Event audit log (injected, events, summary) as JSON to this file (- for stdout)")
+	faultLog := flag.String("faultlog", "", "with -faults: stream detection events and the final audit as NDJSON to this file (- for stdout)")
+	metricsOut := flag.String("metrics", "", "with -faults: write a metrics snapshot (JSON) to this file after the diagnosis")
 	flag.Parse()
 
 	if *faults != "" {
 		// SIGINT/SIGTERM cancel the diagnosis at the next sweep boundary;
-		// the findings gathered so far are still printed and the JSON
-		// audit log still flushed (no mid-write death).
+		// the findings gathered so far are still printed and the event
+		// log still flushed (no mid-write death).
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		if err := faultDiag(ctx, *faults, *policy, *faultSeed, *faultLog); err != nil {
+		if err := faultDiag(ctx, *faults, *policy, *faultSeed, *faultLog, *metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, "rsudiag:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *metricsOut != "" {
+		fmt.Fprintln(os.Stderr, "rsudiag: -metrics needs -faults")
+		os.Exit(2)
 	}
 
 	src := rng.New(1)
@@ -158,9 +164,13 @@ func main() {
 }
 
 // faultDiag runs a fixed 32x32 segmentation through accel.RunFaulty
-// with the given schedule and policy, prints the monitors' findings,
-// and optionally sinks the full structured audit as JSON.
-func faultDiag(ctx context.Context, spec, policyName string, seed uint64, logPath string) error {
+// with the given schedule and policy and prints the monitors' findings.
+// With logPath set, detection events stream as NDJSON lines while the
+// run executes — serialized by the event sink's encoder lock, so W=N
+// runs can no longer interleave partial lines — followed by a final
+// fault.audit summary line. With metricsPath set, the recorder snapshot
+// is written after the run.
+func faultDiag(ctx context.Context, spec, policyName string, seed uint64, logPath, metricsPath string) error {
 	p, err := fault.ParsePolicy(policyName)
 	if err != nil {
 		return err
@@ -175,7 +185,30 @@ func faultDiag(ctx context.Context, spec, policyName string, seed uint64, logPat
 		return err
 	}
 	cfg := accel.PaperConfig(5, 24, 7)
-	_, mode, stats, fstats, err := accel.RunFaultyCtx(ctx, app, unit, cfg, fault.Options{
+
+	var reg *obs.Registry
+	var sink *obs.EventSink
+	if logPath != "" || metricsPath != "" {
+		reg = obs.New()
+		// Assigned only when non-nil: a nil *obs.Registry inside the
+		// interface would dodge the recorder's nil fast path.
+		cfg.Recorder = reg
+	}
+	if logPath != "" {
+		var lw io.Writer = os.Stdout
+		if logPath != "-" {
+			f, err := os.Create(logPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			lw = f
+		}
+		sink = obs.NewEventSink(lw)
+		reg.StreamTo(sink)
+	}
+
+	_, mode, stats, fstats, err := accel.RunFaulty(ctx, app, unit, cfg, fault.Options{
 		Schedule: spec, Seed: seed, Policy: p,
 	})
 	if err != nil {
@@ -201,23 +234,31 @@ func faultDiag(ctx context.Context, spec, policyName string, seed uint64, logPat
 			e.Seq, e.Sweep, e.Unit, e.Replica, e.Suspect, e.Measure, e.Threshold, e.Action)
 	}
 
-	if logPath == "" {
-		return nil
+	if sink != nil {
+		// Close the stream with one summary line so the log is
+		// self-contained: detection events first, verdict last.
+		reg.Emit(obs.Event{Kind: "fault.audit", Fields: map[string]any{
+			"injected": s.Injected, "detected": s.Detected, "masked": s.Masked,
+			"late": s.Late, "unaccounted": s.Unaccounted,
+			"events": s.Events, "false_alarms": s.FalseAlarms,
+			"resamples": s.Resamples, "rejects": s.Rejects,
+			"remaps": s.Remaps, "spares_used": s.SparesUsed,
+			"quarantined_units": s.QuarantinedUnits, "fallback_units": s.FallbackUnits,
+			"timer_saturations": s.TimerSaturations,
+			"policy":            p.String(), "schedule": spec, "seed": seed,
+		}})
+		if err := sink.Err(); err != nil {
+			return fmt.Errorf("fault log: %w", err)
+		}
+		if logPath != "-" {
+			fmt.Printf("  streamed %d event lines -> %s\n", sink.Count(), logPath)
+		}
 	}
-	var w io.Writer = os.Stdout
-	if logPath != "-" {
-		f, err := os.Create(logPath)
-		if err != nil {
+	if metricsPath != "" {
+		if err := reg.Snapshot().WriteFile(metricsPath); err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := audit.WriteJSON(w); err != nil {
-		return err
-	}
-	if logPath != "-" {
-		fmt.Printf("  wrote %s\n", logPath)
+		fmt.Printf("  metrics snapshot -> %s\n", metricsPath)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package rsugibbs_test
 
 import (
+	"context"
 	"fmt"
 
 	rsugibbs "repro"
@@ -20,7 +21,7 @@ func ExampleNewSolver() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := solver.Solve()
+	res, err := solver.Solve(context.Background())
 	if err != nil {
 		panic(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := solver.Solve()
+	res, err := solver.Solve(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := solver.Solve()
+		res, err := solver.Solve(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := solver.Solve()
+		res, err := solver.Solve(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package rsugibbs
 
 import (
+	"context"
 	"repro/internal/gibbs"
 	"repro/internal/img"
 	"repro/internal/mrf"
@@ -16,5 +17,5 @@ func prototypeFactory() gibbs.Factory {
 // runChain is a thin wrapper so benchmarks can drive the gibbs layer
 // directly without re-exporting it.
 func runChain(m *mrf.Model, init *img.LabelMap, f gibbs.Factory, iters int, seed uint64) (*gibbs.Result, error) {
-	return gibbs.Run(m, init, f, gibbs.Options{Iterations: iters, Schedule: gibbs.Raster}, seed)
+	return gibbs.Run(context.Background(), m, init, f, gibbs.Options{Iterations: iters, Schedule: gibbs.Raster}, seed)
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/img"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/rsu"
 )
@@ -40,6 +41,11 @@ type Config struct {
 	Iterations int
 	// Seed drives the (deterministic) sampling.
 	Seed uint64
+	// Recorder optionally receives pipeline instrumentation: color-phase
+	// spans, site/sweep counters, compute- vs memory-bound phase counts
+	// and the unit's pipeline timing gauges. Nil records nothing; the
+	// field never influences sampling and is excluded from Validate.
+	Recorder obs.Recorder
 }
 
 // Validate checks the configuration.
@@ -67,16 +73,11 @@ type Stats struct {
 // Run performs `cfg.Iterations` checkerboard sweeps of the application
 // on the simulated accelerator and returns the final labeling, the
 // per-site mode over the second half of the run (a marginal-MAP
-// estimate), and the timing statistics.
-func Run(a apps.App, unit *rsu.Unit, cfg Config) (*img.LabelMap, *img.LabelMap, Stats, error) {
-	return RunCtx(context.Background(), a, unit, cfg)
-}
-
-// RunCtx is Run with cooperative cancellation, checked between sweeps.
-// On cancellation it returns the state simulated so far (final labels,
-// mode over completed post-half sweeps, accumulated cycle stats)
-// together with an error wrapping ctx.Err().
-func RunCtx(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config) (*img.LabelMap, *img.LabelMap, Stats, error) {
+// estimate), and the timing statistics. Cancellation is cooperative and
+// checked between sweeps; on ctx cancel Run returns the state simulated
+// so far (final labels, mode over completed post-half sweeps,
+// accumulated cycle stats) together with an error wrapping ctx.Err().
+func Run(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config) (*img.LabelMap, *img.LabelMap, Stats, error) {
 	var stats Stats
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, stats, err
@@ -98,6 +99,12 @@ func RunCtx(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config) (*img.L
 	}
 	drain := float64(timing.Cycles) - perVarCycles + 1
 
+	rec := cfg.Recorder
+	obs.Gauge(rec, "accel.pipeline.eval_cycles", float64(timing.Cycles))
+	obs.Gauge(rec, "accel.pipeline.eval_steps", float64(timing.Steps))
+	obs.Gauge(rec, "accel.pipeline.per_var_cycles", perVarCycles)
+	obs.Gauge(rec, "accel.pipeline.drain_cycles", drain)
+
 	counts := make([]uint32, m.W*m.H*m.M)
 	half := cfg.Iterations / 2
 
@@ -109,6 +116,7 @@ func RunCtx(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config) (*img.L
 			break
 		}
 		for color := 0; color < m.Hood.Colors(); color++ {
+			endPhase := obs.Span(rec, "accel.color_phase")
 			sites := 0
 			for y := 0; y < m.H; y++ {
 				for x := 0; x < m.W; x++ {
@@ -127,11 +135,16 @@ func RunCtx(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config) (*img.L
 			if computeCycles >= memoryCycles {
 				stats.ComputeBoundPhases++
 				stats.Cycles += computeCycles
+				obs.Add(rec, "accel.phases.compute_bound", 1)
 			} else {
 				stats.MemoryBoundPhases++
 				stats.Cycles += memoryCycles
+				obs.Add(rec, "accel.phases.memory_bound", 1)
 			}
+			obs.Add(rec, "accel.sites", int64(sites))
+			endPhase()
 		}
+		obs.Add(rec, "accel.sweeps", 1)
 		if it >= half {
 			for i, l := range lm.Labels {
 				counts[i*m.M+l]++
@@ -152,6 +165,14 @@ func RunCtx(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config) (*img.L
 		mode.Labels[i] = best
 	}
 	return lm, mode, stats, stopErr
+}
+
+// RunCtx simulates the accelerator with explicit cancellation.
+//
+// Deprecated: Run now takes the context as its first argument; RunCtx
+// is an alias kept for one release so existing callers keep compiling.
+func RunCtx(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config) (*img.LabelMap, *img.LabelMap, Stats, error) {
+	return Run(ctx, a, unit, cfg)
 }
 
 // PaperConfig returns the §8.2 design point for a workload: 336 units,

@@ -1,6 +1,7 @@
 package accel
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestConfigValidate(t *testing.T) {
 // actually solve the inference problem.
 func TestAcceleratorProducesGoodLabeling(t *testing.T) {
 	app, scene, unit := segSetup(t, 40, 40)
-	_, mode, stats, err := Run(app, unit, PaperConfig(5, 50, 2))
+	_, mode, stats, err := Run(context.Background(), app, unit, PaperConfig(5, 50, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestMemoryBoundConvergesToAnalyticBound(t *testing.T) {
 	// Make memory clearly the bottleneck: slow DRAM relative to the
 	// array's compute throughput.
 	cfg.MemBW = 1e9
-	_, _, stats, err := Run(app, unit, cfg)
+	_, _, stats, err := Run(context.Background(), app, unit, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestComputeBoundWhenStarvedOfUnits(t *testing.T) {
 	app, _, unit := segSetup(t, 48, 48)
 	cfg := PaperConfig(5, 5, 4)
 	cfg.Units = 1
-	_, _, stats, err := Run(app, unit, cfg)
+	_, _, stats, err := Run(context.Background(), app, unit, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestUnitsScalingReducesTime(t *testing.T) {
 	for _, units := range []int{1, 4, 16, 64} {
 		cfg := PaperConfig(5, 5, 5)
 		cfg.Units = units
-		_, _, stats, err := Run(app, unit, cfg)
+		_, _, stats, err := Run(context.Background(), app, unit, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,11 +128,11 @@ func TestUnitsScalingReducesTime(t *testing.T) {
 // driver).
 func TestAcceleratorMatchesGibbsRSURun(t *testing.T) {
 	app, scene, unit := segSetup(t, 32, 32)
-	_, mode, _, err := Run(app, unit, PaperConfig(5, 60, 6))
+	_, mode, _, err := Run(context.Background(), app, unit, PaperConfig(5, 60, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
-	hw, err := apps.RunRSU(app, unit, app.InitLabels(), gibbs.Options{
+	hw, err := apps.RunRSU(context.Background(), app, unit, app.InitLabels(), gibbs.Options{
 		Iterations: 60, BurnIn: 30, Schedule: gibbs.Checkerboard, TrackMode: true,
 	}, 7)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/fault"
 	"repro/internal/img"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/rsu"
 )
@@ -40,16 +41,11 @@ type FaultStats struct {
 // selected policy degrades around detections. Quarantined rows stop
 // consuming array or memory time; fallback rows are evaluated by the
 // scalar control core at software cost, serial with the array — the
-// timing model of graceful degradation.
-func RunFaulty(a apps.App, unit *rsu.Unit, cfg Config, fopt fault.Options) (*img.LabelMap, *img.LabelMap, Stats, FaultStats, error) {
-	return RunFaultyCtx(context.Background(), a, unit, cfg, fopt)
-}
-
-// RunFaultyCtx is RunFaulty with cooperative cancellation, checked
-// between sweeps. On cancellation it returns the state simulated so far
-// — including the audit of the sweeps that did run — together with an
-// error wrapping ctx.Err().
-func RunFaultyCtx(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config, fopt fault.Options) (*img.LabelMap, *img.LabelMap, Stats, FaultStats, error) {
+// timing model of graceful degradation. Cancellation is cooperative and
+// checked between sweeps; on ctx cancel RunFaulty returns the state
+// simulated so far — including the audit of the sweeps that did run —
+// together with an error wrapping ctx.Err().
+func RunFaulty(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config, fopt fault.Options) (*img.LabelMap, *img.LabelMap, Stats, FaultStats, error) {
 	var stats Stats
 	var fstats FaultStats
 	if err := cfg.Validate(); err != nil {
@@ -67,6 +63,10 @@ func RunFaultyCtx(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config, f
 	tl, err := sched.Compile(m.H, cfg.Iterations, m.W, unit.Config().Replicas)
 	if err != nil {
 		return nil, nil, stats, fstats, err
+	}
+	rec := cfg.Recorder
+	if fopt.Recorder == nil {
+		fopt.Recorder = rec
 	}
 	sess := fault.NewSession(tl, fopt)
 
@@ -93,6 +93,7 @@ func RunFaultyCtx(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config, f
 		}
 		sess.BeginSweep(it)
 		for color := 0; color < m.Hood.Colors(); color++ {
+			endPhase := obs.Span(rec, "accel.color_phase")
 			rsuSites, fbSites := 0, 0
 			for y := 0; y < m.H; y++ {
 				uc := sess.Unit(y)
@@ -143,14 +144,20 @@ func RunFaultyCtx(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config, f
 			if computeCycles >= memoryCycles {
 				stats.ComputeBoundPhases++
 				stats.Cycles += computeCycles
+				obs.Add(rec, "accel.phases.compute_bound", 1)
 			} else {
 				stats.MemoryBoundPhases++
 				stats.Cycles += memoryCycles
+				obs.Add(rec, "accel.phases.memory_bound", 1)
 			}
 			fb := float64(fbSites) * perFallbackCycles
 			stats.Cycles += fb
 			fstats.FallbackCycles += fb
+			obs.Add(rec, "accel.sites", int64(rsuSites))
+			obs.Add(rec, "accel.fallback_sites", int64(fbSites))
+			endPhase()
 		}
+		obs.Add(rec, "accel.sweeps", 1)
 		if it >= half {
 			for i, l := range lm.Labels {
 				counts[i*m.M+l]++
@@ -173,4 +180,14 @@ func RunFaultyCtx(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config, f
 	fstats.Audit = sess.Audit()
 	fstats.Audit.Schedule = fopt.Schedule
 	return lm, mode, stats, fstats, stopErr
+}
+
+// RunFaultyCtx simulates the degraded accelerator with explicit
+// cancellation.
+//
+// Deprecated: RunFaulty now takes the context as its first argument;
+// RunFaultyCtx is an alias kept for one release so existing callers
+// keep compiling.
+func RunFaultyCtx(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config, fopt fault.Options) (*img.LabelMap, *img.LabelMap, Stats, FaultStats, error) {
+	return RunFaulty(ctx, a, unit, cfg, fopt)
 }

@@ -2,6 +2,7 @@ package accel
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/fault"
@@ -14,11 +15,11 @@ import (
 func TestRunFaultyHealthyMatchesRun(t *testing.T) {
 	app, _, unit := segSetup(t, 24, 24)
 	cfg := PaperConfig(5, 20, 7)
-	lm, mode, stats, err := Run(app, unit, cfg)
+	lm, mode, stats, err := Run(context.Background(), app, unit, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	flm, fmode, fstats, fs, err := RunFaulty(app, unit, cfg, fault.Options{Policy: fault.PolicyRemap})
+	flm, fmode, fstats, fs, err := RunFaulty(context.Background(), app, unit, cfg, fault.Options{Policy: fault.PolicyRemap})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestRunFaultyDeterministic(t *testing.T) {
 	var ref []byte
 	var refCycles float64
 	for i := 0; i < 2; i++ {
-		lm, _, stats, fs, err := RunFaulty(app, unit, cfg, opt)
+		lm, _, stats, fs, err := RunFaulty(context.Background(), app, unit, cfg, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func TestRunFaultyDegradationTiming(t *testing.T) {
 
 	run := func(p fault.Policy) (Stats, FaultStats) {
 		t.Helper()
-		_, _, stats, fs, err := RunFaulty(app, unit, cfg, fault.Options{Schedule: schedule, Policy: p})
+		_, _, stats, fs, err := RunFaulty(context.Background(), app, unit, cfg, fault.Options{Schedule: schedule, Policy: p})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -20,6 +20,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Analyzer is one named check.
@@ -101,4 +102,23 @@ func PkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, fn string) bool {
 	}
 	pn, ok := info.Uses[id].(*types.PkgName)
 	return ok && pn.Imported().Path() == pkgPath
+}
+
+// IsDeprecated reports whether the function declaration carries a
+// standard "Deprecated:" marker in its doc comment. Analyzers that
+// police live code (deadassign, detrand) skip such bodies: deprecated
+// compatibility shims exist only to keep old call sites compiling and
+// routinely contain idioms — parameter-silencing blank assignments,
+// inherited clock plumbing — that would be defects anywhere else.
+func IsDeprecated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, "Deprecated:") {
+			return true
+		}
+	}
+	return false
 }

@@ -15,6 +15,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fixed"
@@ -144,13 +145,13 @@ func registerWeight(w float64) bool {
 }
 
 // RunSoftware runs the exact software Gibbs chain on an application.
-func RunSoftware(a App, init *img.LabelMap, opt gibbs.Options, seed uint64) (*gibbs.Result, error) {
-	return gibbs.Run(a.Model(), init, gibbs.NewExactGibbs(), opt, seed)
+func RunSoftware(ctx context.Context, a App, init *img.LabelMap, opt gibbs.Options, seed uint64) (*gibbs.Result, error) {
+	return gibbs.Run(ctx, a.Model(), init, gibbs.NewExactGibbs(), opt, seed)
 }
 
 // RunRSU runs the same chain with the RSU-G emulated sampler.
-func RunRSU(a App, u *rsu.Unit, init *img.LabelMap, opt gibbs.Options, seed uint64) (*gibbs.Result, error) {
-	return gibbs.Run(a.Model(), init, NewRSUSampler(a, u), opt, seed)
+func RunRSU(ctx context.Context, a App, u *rsu.Unit, init *img.LabelMap, opt gibbs.Options, seed uint64) (*gibbs.Result, error) {
+	return gibbs.Run(ctx, a.Model(), init, NewRSUSampler(a, u), opt, seed)
 }
 
 // PrecomputeSingleton returns a copy of m whose singleton potential is

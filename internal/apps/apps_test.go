@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -64,7 +65,7 @@ func TestSegmentationMeansSortedAndQuantized(t *testing.T) {
 func TestSegmentationSoftwareRecoversScene(t *testing.T) {
 	app, scene := segApp(t, 32, 32, 6, 1)
 	init := img.NewLabelMap(32, 32)
-	res, err := RunSoftware(app, init, gibbs.Options{
+	res, err := RunSoftware(context.Background(), app, init, gibbs.Options{
 		Iterations: 60, BurnIn: 20, Schedule: gibbs.Checkerboard, TrackMode: true,
 	}, 2)
 	if err != nil {
@@ -86,11 +87,11 @@ func TestSegmentationRSUMatchesSoftware(t *testing.T) {
 	}
 	init := app.InitLabels()
 	opt := gibbs.Options{Iterations: 60, BurnIn: 20, Schedule: gibbs.Checkerboard, TrackMode: true}
-	sw, err := RunSoftware(app, init, opt, 5)
+	sw, err := RunSoftware(context.Background(), app, init, opt, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hw, err := RunRSU(app, unit, init, opt, 6)
+	hw, err := RunRSU(context.Background(), app, unit, init, opt, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestMotionSoftwareRecoversField(t *testing.T) {
 	for i := range init.Labels {
 		init.Labels[i] = app.ZeroLabel()
 	}
-	res, err := RunSoftware(app, init, gibbs.Options{
+	res, err := RunSoftware(context.Background(), app, init, gibbs.Options{
 		Iterations: 50, BurnIn: 20, Schedule: gibbs.Checkerboard, TrackMode: true,
 	}, 9)
 	if err != nil {
@@ -203,7 +204,7 @@ func TestMotionRSUMatchesSoftware(t *testing.T) {
 	init := app.InitLabels()
 	// Workers > 1 exercises the shared-unit concurrent sampling path.
 	opt := gibbs.Options{Iterations: 40, BurnIn: 15, Schedule: gibbs.Checkerboard, Workers: 4, TrackMode: true}
-	hw, err := RunRSU(app, unit, init, opt, 12)
+	hw, err := RunRSU(context.Background(), app, unit, init, opt, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestStereoSoftwareRecoversDisparity(t *testing.T) {
 		t.Fatal(err)
 	}
 	init := img.NewLabelMap(32, 24)
-	res, err := RunSoftware(app, init, gibbs.Options{
+	res, err := RunSoftware(context.Background(), app, init, gibbs.Options{
 		Iterations: 50, BurnIn: 20, Schedule: gibbs.Checkerboard, TrackMode: true,
 	}, 14)
 	if err != nil {
@@ -263,11 +264,11 @@ func TestStereoRSUMatchesSoftware(t *testing.T) {
 	}
 	init := app.InitLabels()
 	opt := gibbs.Options{Iterations: 50, BurnIn: 20, Schedule: gibbs.Checkerboard, TrackMode: true}
-	sw, err := RunSoftware(app, init, opt, 17)
+	sw, err := RunSoftware(context.Background(), app, init, opt, 17)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hw, err := RunRSU(app, unit, init, opt, 18)
+	hw, err := RunRSU(context.Background(), app, unit, init, opt, 18)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func BenchmarkSegmentationSoftwareIteration32(b *testing.B) {
 	init := img.NewLabelMap(32, 32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunSoftware(app, init, gibbs.Options{Iterations: 1}, uint64(i)); err != nil {
+		if _, err := RunSoftware(context.Background(), app, init, gibbs.Options{Iterations: 1}, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -309,7 +310,7 @@ func BenchmarkSegmentationRSUIteration32(b *testing.B) {
 	init := img.NewLabelMap(32, 32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunRSU(app, unit, init, gibbs.Options{Iterations: 1}, uint64(i)); err != nil {
+		if _, err := RunRSU(context.Background(), app, unit, init, gibbs.Options{Iterations: 1}, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

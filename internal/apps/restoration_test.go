@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fixed"
@@ -100,7 +101,7 @@ func TestRestorationDenoises(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunSoftware(app, app.InitLabels(), gibbs.Options{
+	res, err := RunSoftware(context.Background(), app, app.InitLabels(), gibbs.Options{
 		Iterations: 60, BurnIn: 20, Schedule: gibbs.Checkerboard, TrackMode: true,
 	}, 6)
 	if err != nil {
@@ -136,11 +137,11 @@ func TestRestorationSecondOrderRSU(t *testing.T) {
 		t.Fatalf("RSU-G8 latency %d, want 11", got)
 	}
 	opt := gibbs.Options{Iterations: 60, BurnIn: 20, Schedule: gibbs.Checkerboard, TrackMode: true}
-	sw, err := RunSoftware(app, app.InitLabels(), opt, 8)
+	sw, err := RunSoftware(context.Background(), app, app.InitLabels(), opt, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hw, err := RunRSU(app, unit, app.InitLabels(), opt, 9)
+	hw, err := RunRSU(context.Background(), app, unit, app.InitLabels(), opt, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestRestorationSecondOrderSmoother(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := RunSoftware(app, app.InitLabels(), gibbs.Options{
+		res, err := RunSoftware(context.Background(), app, app.InitLabels(), gibbs.Options{
 			Iterations: 50, BurnIn: 20, Schedule: gibbs.Checkerboard, TrackMode: true,
 		}, 12)
 		if err != nil {

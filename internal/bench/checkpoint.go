@@ -51,7 +51,7 @@ func measureCheckpointed(everySweeps int, path string) (CheckpointMeasurement, e
 	var runErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := gibbs.Run(model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
+			if _, err := gibbs.Run(context.Background(), model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
 				runErr = err
 				b.FailNow()
 			}

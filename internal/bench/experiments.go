@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -133,7 +134,7 @@ func Figure7(w io.Writer, outDir string) error {
 		return err
 	}
 	init := img.NewLabelMap(50, 67)
-	res, err := gibbs.Run(app.Model(), init, prototype.NewSampler(prototype.New()), gibbs.Options{
+	res, err := gibbs.Run(context.Background(), app.Model(), init, prototype.NewSampler(prototype.New()), gibbs.Options{
 		Iterations: 10, Schedule: gibbs.Raster,
 	}, 8)
 	if err != nil {
@@ -234,7 +235,7 @@ func Accelerator(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	_, mode, stats, err := accel.Run(segApp, unit, accel.PaperConfig(5, 50, 31))
+	_, mode, stats, err := accel.Run(context.Background(), segApp, unit, accel.PaperConfig(5, 50, 31))
 	if err != nil {
 		return err
 	}
@@ -297,11 +298,11 @@ func Fidelity(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	swSeg, err := apps.RunSoftware(segApp, segApp.InitLabels(), opt, 11)
+	swSeg, err := apps.RunSoftware(context.Background(), segApp, segApp.InitLabels(), opt, 11)
 	if err != nil {
 		return err
 	}
-	hwSeg, err := apps.RunRSU(segApp, segUnit, segApp.InitLabels(), opt, 12)
+	hwSeg, err := apps.RunRSU(context.Background(), segApp, segUnit, segApp.InitLabels(), opt, 12)
 	if err != nil {
 		return err
 	}
@@ -320,11 +321,11 @@ func Fidelity(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	swMot, err := apps.RunSoftware(motApp, motApp.InitLabels(), opt, 14)
+	swMot, err := apps.RunSoftware(context.Background(), motApp, motApp.InitLabels(), opt, 14)
 	if err != nil {
 		return err
 	}
-	hwMot, err := apps.RunRSU(motApp, motUnit, motApp.InitLabels(), opt, 15)
+	hwMot, err := apps.RunRSU(context.Background(), motApp, motUnit, motApp.InitLabels(), opt, 15)
 	if err != nil {
 		return err
 	}
@@ -343,11 +344,11 @@ func Fidelity(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	swSt, err := apps.RunSoftware(stApp, stApp.InitLabels(), opt, 17)
+	swSt, err := apps.RunSoftware(context.Background(), stApp, stApp.InitLabels(), opt, 17)
 	if err != nil {
 		return err
 	}
-	hwSt, err := apps.RunRSU(stApp, stUnit, stApp.InitLabels(), opt, 18)
+	hwSt, err := apps.RunRSU(context.Background(), stApp, stUnit, stApp.InitLabels(), opt, 18)
 	if err != nil {
 		return err
 	}
@@ -389,7 +390,7 @@ func Ablation(w io.Writer) error {
 	}
 
 	runVariant := func(name string, unit *rsu.Unit, seed uint64) error {
-		res, err := apps.RunRSU(app, unit, app.InitLabels(), opt, seed)
+		res, err := apps.RunRSU(context.Background(), app, unit, app.InitLabels(), opt, seed)
 		if err != nil {
 			return err
 		}

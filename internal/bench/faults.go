@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -140,7 +141,7 @@ func runFaults() (*FaultReport, error) {
 	}
 	cfg := accel.PaperConfig(5, faultIterations, faultChainSeed)
 
-	_, baseMode, baseStats, err := accel.Run(app, unit, cfg)
+	_, baseMode, baseStats, err := accel.Run(context.Background(), app, unit, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +168,7 @@ func runFaults() (*FaultReport, error) {
 				return nil, err
 			}
 			fopt := fault.Options{Schedule: spec, Seed: faultScheduleSeed, Policy: policy}
-			_, mode, stats, fstats, err := accel.RunFaulty(app, unit, cfg, fopt)
+			_, mode, stats, fstats, err := accel.RunFaulty(context.Background(), app, unit, cfg, fopt)
 			if err != nil {
 				return nil, err
 			}

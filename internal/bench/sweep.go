@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -94,7 +95,7 @@ func measureSweep(schedule gibbs.Schedule, m int, compiled bool, workers int) (S
 	var runErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := gibbs.Run(model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
+			if _, err := gibbs.Run(context.Background(), model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
 				runErr = err
 				b.FailNow()
 			}

@@ -2,6 +2,7 @@ package chaostest
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -66,7 +67,7 @@ func runWorker() int {
 		fmt.Fprintln(os.Stderr, "chaos worker:", err)
 		return 1
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos worker:", err)
 		return 1
@@ -155,7 +156,7 @@ func TestKillAndRecover(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			gres, err := gs.Solve()
+			gres, err := gs.Solve(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -218,7 +219,7 @@ func TestWorkerCountInvariantGolden(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := s.Solve()
+		res, err := s.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

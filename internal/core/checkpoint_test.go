@@ -47,7 +47,7 @@ func solve(t *testing.T, cfg Config) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestSolveResumeRejectsForeignSnapshot(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Solve(); !errors.Is(err, checkpoint.ErrMismatch) {
+		if _, err := s.Solve(context.Background()); !errors.Is(err, checkpoint.ErrMismatch) {
 			t.Errorf("%s change: got %v, want checkpoint.ErrMismatch", name, err)
 		}
 	}
@@ -189,7 +189,7 @@ func TestSolveResumeRejectsMissingFaultSection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Solve(); !errors.Is(err, checkpoint.ErrMismatch) {
+	if _, err := s.Solve(context.Background()); !errors.Is(err, checkpoint.ErrMismatch) {
 		t.Fatalf("got %v, want checkpoint.ErrMismatch", err)
 	}
 }
@@ -211,7 +211,7 @@ func TestSolveCtxCancelled(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res, err := s.SolveCtx(ctx)
+	res, err := s.Solve(ctx)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestCompileEquivalenceAllBackends(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					res, err := solver.Solve()
+					res, err := solver.Solve(context.Background())
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -97,7 +98,7 @@ func TestCompileWithAnnealEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := solver.Solve()
+		res, err := solver.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/gibbs"
 	"repro/internal/img"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/prototype"
 	"repro/internal/ret"
@@ -102,6 +103,13 @@ type Config struct {
 	// Checkpoint optionally arms durable snapshots and crash recovery
 	// (internal/checkpoint). Nil disables checkpointing.
 	Checkpoint *CheckpointSpec
+	// Recorder optionally injects the observability layer (internal/obs):
+	// sweep and color-phase timings, checkpoint and fault events, backend
+	// counters. Nil (the default) records nothing and costs nothing.
+	// Recording never touches the RNG streams, so an observed run
+	// produces byte-identical labels to an unobserved one; the field is
+	// likewise excluded from checkpoint fingerprints.
+	Recorder obs.Recorder
 }
 
 // CheckpointSpec wires the checkpoint subsystem into a solve: periodic
@@ -246,12 +254,10 @@ type Result struct {
 	// FaultAudit reconciles injected against detected faults (nil
 	// unless Config.Faults armed the fault subsystem).
 	FaultAudit *fault.Audit
-}
-
-// Solve runs the chain from the application's data-driven initial
-// labeling.
-func (s *Solver) Solve() (*Result, error) {
-	return s.SolveCtx(context.Background())
+	// Metrics is a point-in-time snapshot of the injected recorder taken
+	// as the solve returns (nil unless Config.Recorder implements
+	// obs.Snapshotter — obs.Registry does).
+	Metrics *obs.Snapshot
 }
 
 // Fingerprint returns the configuration identity stamped into this
@@ -286,18 +292,27 @@ func (s *Solver) Fingerprint() checkpoint.Fingerprint {
 	return f
 }
 
-// SolveCtx is Solve with cooperative cancellation and (when
-// Config.Checkpoint is set) durable snapshots and resume. Cancellation
-// is honored at sweep boundaries: on ctx cancel or deadline, a final
-// checkpoint is written (if armed), and SolveCtx returns the *partial*
-// Result computed so far together with an error wrapping ctx.Err().
-func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
+// Solve runs the chain from the application's data-driven initial
+// labeling, with cooperative cancellation and (when Config.Checkpoint
+// is set) durable snapshots and resume. Cancellation is honored at
+// sweep boundaries: on ctx cancel or deadline, a final checkpoint is
+// written (if armed), and Solve returns the *partial* Result computed
+// so far together with an error wrapping ctx.Err().
+func (s *Solver) Solve(ctx context.Context) (*Result, error) {
 	m := s.app.Model()
 	if s.cfg.Compile {
 		if err := m.Compile(); err != nil {
 			return nil, err
 		}
 	}
+	// endSolve is invoked on the success/partial-result path only;
+	// config-error returns never start the chain and record no span.
+	rec := s.cfg.Recorder
+	endSolve := obs.Span(rec, "core.solve")
+	obs.Emit(rec, "solve.start", map[string]any{
+		"app": s.app.Name(), "backend": s.cfg.Backend.String(),
+		"iterations": s.cfg.Iterations, "workers": s.cfg.Workers,
+	})
 	opt := gibbs.Options{
 		Iterations:        s.cfg.Iterations,
 		BurnIn:            s.cfg.BurnIn,
@@ -305,6 +320,7 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 		Workers:           s.cfg.Workers,
 		TrackMode:         true,
 		RecordEnergyEvery: 1,
+		Recorder:          rec,
 	}
 	if a := s.cfg.Anneal; a != nil {
 		opt.Anneal = gibbs.GeometricAnneal(a.StartT, a.Rate, m.T)
@@ -331,7 +347,11 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			sess = fault.NewSession(tl, *f)
+			fo := *f
+			if fo.Recorder == nil {
+				fo.Recorder = rec
+			}
+			sess = fault.NewSession(tl, fo)
 			factory = apps.NewFaultRSUSampler(s.app, s.unit, sess)
 		} else {
 			factory = apps.NewRSUSampler(s.app, s.unit)
@@ -389,7 +409,7 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 		}
 	}
 
-	res, err := gibbs.RunCtx(ctx, m, s.app.InitLabels(), factory, opt, s.cfg.Seed)
+	res, err := gibbs.Run(ctx, m, s.app.InitLabels(), factory, opt, s.cfg.Seed)
 	if res == nil {
 		return nil, err
 	}
@@ -405,9 +425,22 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
 		out.FaultAudit = sess.Audit()
 		out.FaultAudit.Schedule = s.cfg.Faults.Schedule
 	}
+	endSolve()
+	if snap, ok := rec.(obs.Snapshotter); ok {
+		out.Metrics = snap.Snapshot()
+	}
 	// err is nil for a completed run, or wraps ctx.Err() for a
 	// cancellation that still produced the partial result above.
 	return out, err
+}
+
+// SolveCtx runs the chain with explicit cancellation.
+//
+// Deprecated: Solve now takes the context as its first argument;
+// SolveCtx is an alias kept for one release so existing callers keep
+// compiling.
+func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
+	return s.Solve(ctx)
 }
 
 // PerformanceReport models the hardware-level cost of a workload on the

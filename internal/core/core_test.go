@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestSolverBackends(t *testing.T) {
 		if (s.Unit() != nil) != (backend == RSU) {
 			t.Errorf("%v: unexpected unit presence", backend)
 		}
-		res, err := s.Solve()
+		res, err := s.Solve(context.Background())
 		if err != nil {
 			t.Fatalf("%v: %v", backend, err)
 		}
@@ -77,7 +78,7 @@ func TestSolverRSUWidth(t *testing.T) {
 	if got := s.Unit().Config().Width; got != 4 {
 		t.Fatalf("unit width %d", got)
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestSolverAnnealing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestSolverPhysicalMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestPrototypeBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/apps"
@@ -47,7 +48,7 @@ func TestFaultPathHealthyMatchesPlain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pRes, err := plain.Solve()
+	pRes, err := plain.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestFaultPathHealthyMatchesPlain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fRes, err := faulty.Solve()
+	fRes, err := faulty.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestFaultDeterminism(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := solver.Solve()
+				res, err := solver.Solve(context.Background())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -137,7 +138,7 @@ func TestFaultAuditAccountsEveryInjection(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := solver.Solve()
+			res, err := solver.Solve(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -171,7 +172,7 @@ func TestFaultPolicyEffects(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := solver.Solve()
+		res, err := solver.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

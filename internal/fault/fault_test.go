@@ -47,16 +47,16 @@ func TestParseFull(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	for _, spec := range []string{
-		"gamma",                 // unknown kind
-		"dead:when=3",           // unknown key
-		"dead:unit",             // missing value
-		"dead:unit=x",           // non-numeric
-		"stuck:bit=4",           // intensity codes are 4-bit
-		"stuck:val=2",           // stuck-at is binary
-		"hot:rate=-1",           // negative rate
-		"dead:sweep=-1",         // negative sweep
-		"dead:replica=64",       // replica out of range
-		"dead:unit=1;bad:unit",  // error in later clause
+		"gamma",                // unknown kind
+		"dead:when=3",          // unknown key
+		"dead:unit",            // missing value
+		"dead:unit=x",          // non-numeric
+		"stuck:bit=4",          // intensity codes are 4-bit
+		"stuck:val=2",          // stuck-at is binary
+		"hot:rate=-1",          // negative rate
+		"dead:sweep=-1",        // negative sweep
+		"dead:replica=64",      // replica out of range
+		"dead:unit=1;bad:unit", // error in later clause
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) accepted", spec)

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/fixed"
+	"repro/internal/obs"
 )
 
 // Policy selects the degradation response when a monitor is tripped.
@@ -74,6 +75,11 @@ type Options struct {
 	Spares int
 	// MaxResamples bounds PolicyResample retries (0: default 3).
 	MaxResamples int
+	// Recorder optionally streams detection events and counters into
+	// the observability layer (internal/obs). It is excluded from
+	// checkpoint fingerprints and never read on the sampling hot path —
+	// only when a monitor trips.
+	Recorder obs.Recorder
 }
 
 // Directive tells the sampling path how to treat a unit's sites.
@@ -147,6 +153,7 @@ type Session struct {
 	maxResamples int
 	units        []UnitCtx
 	lastSweep    int
+	rec          obs.Recorder
 }
 
 // UnitCtx is the per-unit fault state: active fault effects, monitor
@@ -199,6 +206,7 @@ func NewSession(tl *Timeline, opt Options) *Session {
 		spares:       opt.Spares,
 		maxResamples: opt.MaxResamples,
 		lastSweep:    -1,
+		rec:          opt.Recorder,
 	}
 	if opt.Monitor != nil {
 		s.mcfg = *opt.Monitor
@@ -572,6 +580,13 @@ func (uc *UnitCtx) raise(rep int, s Suspect, measure, threshold float64) {
 		Sweep: uc.sweep, Unit: uc.id, Replica: rep,
 		Suspect: s.String(), Measure: measure, Threshold: threshold,
 		suspect: s,
+	})
+	// The obs recorder is mutex-guarded, so emitting from the engine's
+	// worker goroutines (which own disjoint unit shards) is safe.
+	obs.Add(uc.s.rec, "fault.detections", 1)
+	obs.Emit(uc.s.rec, "fault.detect", map[string]any{
+		"sweep": uc.sweep, "unit": uc.id, "replica": rep,
+		"suspect": s.String(), "measure": measure, "threshold": threshold,
 	})
 }
 

@@ -28,7 +28,7 @@ func captureAt(t *testing.T, m *mrf.Model, init *img.LabelMap, factory Factory, 
 			return nil
 		},
 	}
-	if _, err := Run(m, init, factory, opt, seed); err != nil {
+	if _, err := Run(context.Background(), m, init, factory, opt, seed); err != nil {
 		t.Fatal(err)
 	}
 	if snap == nil {
@@ -97,13 +97,13 @@ func TestResumeMatchesUninterrupted(t *testing.T) {
 				Schedule: tc.sched, Workers: tc.workers,
 				TrackMode: true, RecordEnergyEvery: 1,
 			}
-			golden, err := Run(m, init, tc.factory, opt, 42)
+			golden, err := Run(context.Background(), m, init, tc.factory, opt, 42)
 			if err != nil {
 				t.Fatal(err)
 			}
 			snap := captureAt(t, twoLabelModel(8, 6), init, tc.factory, opt, 42, 7)
 			opt.Resume = snap
-			resumed, err := Run(twoLabelModel(8, 6), init, tc.factory, opt, 42)
+			resumed, err := Run(context.Background(), twoLabelModel(8, 6), init, tc.factory, opt, 42)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -119,7 +119,7 @@ func TestResumeWorkerCountInvariant(t *testing.T) {
 	opt := Options{Iterations: 10, BurnIn: 2, Schedule: Checkerboard, TrackMode: true, RecordEnergyEvery: 2}
 
 	opt.Workers = 4
-	golden, err := Run(twoLabelModel(8, 8), init, NewExactGibbs(), opt, 9)
+	golden, err := Run(context.Background(), twoLabelModel(8, 8), init, NewExactGibbs(), opt, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestResumeWorkerCountInvariant(t *testing.T) {
 		snap := captureAt(t, twoLabelModel(8, 8), init, NewExactGibbs(), opt, 9, 5)
 		opt.Workers = cross.resumeW
 		opt.Resume = snap
-		resumed, err := Run(twoLabelModel(8, 8), init, NewExactGibbs(), opt, 9)
+		resumed, err := Run(context.Background(), twoLabelModel(8, 8), init, NewExactGibbs(), opt, 9)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,13 +190,13 @@ func TestCancelReturnsPartialResultAndFinalCheckpoint(t *testing.T) {
 	}
 	// The final snapshot is a live resume point: finishing from it must
 	// match the uninterrupted run.
-	golden, err := Run(twoLabelModel(8, 6), init, NewExactGibbs(), Options{
+	golden, err := Run(context.Background(), twoLabelModel(8, 6), init, NewExactGibbs(), Options{
 		Iterations: 100, Schedule: Checkerboard, Workers: 2, TrackMode: true,
 	}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resumed, err := Run(twoLabelModel(8, 6), init, NewExactGibbs(), Options{
+	resumed, err := Run(context.Background(), twoLabelModel(8, 6), init, NewExactGibbs(), Options{
 		Iterations: 100, Schedule: Checkerboard, Workers: 2, TrackMode: true,
 		Resume: final,
 	}, 3)
@@ -277,7 +277,7 @@ func TestCancelLeaksNoGoroutinesAndPoolRestarts(t *testing.T) {
 
 	// The pool machinery is per-run; a full run after cancelled runs
 	// must still work.
-	if _, err := Run(m, init, NewExactGibbs(),
+	if _, err := Run(context.Background(), m, init, NewExactGibbs(),
 		Options{Iterations: 5, Schedule: Checkerboard, Workers: 8}, 1); err != nil {
 		t.Fatalf("run after cancelled runs failed: %v", err)
 	}
@@ -308,7 +308,7 @@ func TestResumeRejectsMismatchedSnapshots(t *testing.T) {
 	for _, tc := range cases {
 		opt := tc.opt
 		opt.Resume = tc.snap
-		if _, err := Run(tc.m, tc.init, NewExactGibbs(), opt, 42); !errors.Is(err, checkpoint.ErrMismatch) {
+		if _, err := Run(context.Background(), tc.m, tc.init, NewExactGibbs(), opt, 42); !errors.Is(err, checkpoint.ErrMismatch) {
 			t.Errorf("%s: got %v, want checkpoint.ErrMismatch", tc.name, err)
 		}
 	}
@@ -330,7 +330,7 @@ func TestCheckpointPolicyValidate(t *testing.T) {
 		{"duration without clock", &CheckpointPolicy{Every: time.Second, Sink: sink}},
 	}
 	for _, tc := range cases {
-		if _, err := Run(m, init, NewExactGibbs(), Options{Iterations: 2, Checkpoint: tc.pol}, 1); err == nil {
+		if _, err := Run(context.Background(), m, init, NewExactGibbs(), Options{Iterations: 2, Checkpoint: tc.pol}, 1); err == nil {
 			t.Errorf("%s: invalid policy accepted", tc.name)
 		}
 	}
@@ -347,7 +347,7 @@ func TestSinkErrorAbortsRun(t *testing.T) {
 			Sink:        func(*checkpoint.Snapshot) error { return sinkErr },
 		},
 	}
-	if _, err := Run(twoLabelModel(4, 4), img.NewLabelMap(4, 4), NewExactGibbs(), opt, 1); !errors.Is(err, sinkErr) {
+	if _, err := Run(context.Background(), twoLabelModel(4, 4), img.NewLabelMap(4, 4), NewExactGibbs(), opt, 1); !errors.Is(err, sinkErr) {
 		t.Fatalf("got %v, want the sink error", err)
 	}
 }
@@ -369,7 +369,7 @@ func TestDurationPolicyUsesInjectedClock(t *testing.T) {
 			Sink: func(s *checkpoint.Snapshot) error { snaps = append(snaps, s.Sweep); return nil },
 		},
 	}
-	if _, err := Run(twoLabelModel(4, 4), img.NewLabelMap(4, 4), NewExactGibbs(), opt, 1); err != nil {
+	if _, err := Run(context.Background(), twoLabelModel(4, 4), img.NewLabelMap(4, 4), NewExactGibbs(), opt, 1); err != nil {
 		t.Fatal(err)
 	}
 	if len(snaps) == 0 {

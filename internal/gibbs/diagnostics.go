@@ -1,6 +1,7 @@
 package gibbs
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -135,7 +136,7 @@ type MultiChainResult struct {
 // RunChains runs `chains` independent chains with decorrelated seeds
 // and reports the Gelman–Rubin diagnostic over their energy traces.
 // Options.RecordEnergyEvery is forced to 1.
-func RunChains(m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed uint64, chains int) (*MultiChainResult, error) {
+func RunChains(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed uint64, chains int) (*MultiChainResult, error) {
 	if chains < 2 {
 		return nil, fmt.Errorf("gibbs: RunChains needs >= 2 chains, got %d", chains)
 	}
@@ -143,7 +144,7 @@ func RunChains(m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, s
 	out := &MultiChainResult{Chains: make([]*Result, chains)}
 	traces := make([][]float64, chains)
 	for i := 0; i < chains; i++ {
-		res, err := Run(m, init, factory, opt, seed+uint64(i)*0x9e3779b97f4a7c15)
+		res, err := Run(ctx, m, init, factory, opt, seed+uint64(i)*0x9e3779b97f4a7c15)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package gibbs
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -133,7 +134,7 @@ func TestGelmanRubinConstantChains(t *testing.T) {
 func TestRunChainsConverged(t *testing.T) {
 	m := twoLabelModel(12, 12)
 	init := img.NewLabelMap(12, 12)
-	res, err := RunChains(m, init, NewExactGibbs(), Options{
+	res, err := RunChains(context.Background(), m, init, NewExactGibbs(), Options{
 		Iterations: 120, BurnIn: 40, Schedule: Checkerboard,
 	}, 75, 4)
 	if err != nil {
@@ -150,7 +151,7 @@ func TestRunChainsConverged(t *testing.T) {
 func TestRunChainsValidation(t *testing.T) {
 	m := twoLabelModel(8, 8)
 	init := img.NewLabelMap(8, 8)
-	if _, err := RunChains(m, init, NewExactGibbs(), Options{Iterations: 5}, 1, 1); err == nil {
+	if _, err := RunChains(context.Background(), m, init, NewExactGibbs(), Options{Iterations: 5}, 1, 1); err == nil {
 		t.Fatal("single chain accepted")
 	}
 }
@@ -162,7 +163,7 @@ func TestSecondOrderCheckerboardChain(t *testing.T) {
 	m.Hood = mrf.SecondOrder
 	m.LambdaDiag = 0.35
 	init := img.NewLabelMap(16, 16)
-	res, err := Run(m, init, NewExactGibbs(), Options{
+	res, err := Run(context.Background(), m, init, NewExactGibbs(), Options{
 		Iterations: 60, BurnIn: 20, Schedule: Checkerboard, Workers: 3, TrackMode: true,
 	}, 76)
 	if err != nil {

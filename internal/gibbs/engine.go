@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/img"
 	"repro/internal/mrf"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -37,6 +38,11 @@ type engine struct {
 
 	work []chan span    // one channel per worker; nil until start
 	wg   sync.WaitGroup // open spans in the current color pass
+
+	// rec receives color-phase timings; recorded only on the
+	// coordinating goroutine (never inside sweepSpan) so workers stay
+	// free of instrumentation on the per-site hot path.
+	rec obs.Recorder
 }
 
 // span is one work item: sweep rows [y0, y1) for the given color.
@@ -88,12 +94,15 @@ func (e *engine) sweep() {
 	workers := len(e.samplers)
 	if workers <= 1 {
 		for color := 0; color < colors; color++ {
+			endPhase := obs.Span(e.rec, "gibbs.color_phase")
 			e.sweepSpan(0, span{color, 0, e.m.H})
+			endPhase()
 		}
 		return
 	}
 	rowsPer := (e.m.H + workers - 1) / workers
 	for color := 0; color < colors; color++ {
+		endPhase := obs.Span(e.rec, "gibbs.color_phase")
 		for w := 0; w < workers; w++ {
 			y0 := w * rowsPer
 			y1 := y0 + rowsPer
@@ -107,6 +116,7 @@ func (e *engine) sweep() {
 			e.work[w] <- span{color, y0, y1}
 		}
 		e.wg.Wait()
+		endPhase()
 	}
 }
 

@@ -1,6 +1,7 @@
 package gibbs
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -34,7 +35,7 @@ func engineModel(w, h, m int, hood mrf.Neighborhood) *mrf.Model {
 func mustRun(t *testing.T, m *mrf.Model, factory Factory, opt Options, seed uint64) *Result {
 	t.Helper()
 	init := img.NewLabelMap(m.W, m.H)
-	res, err := Run(m, init, factory, opt, seed)
+	res, err := Run(context.Background(), m, init, factory, opt, seed)
 	if err != nil {
 		t.Fatal(err)
 	}

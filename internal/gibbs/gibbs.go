@@ -17,6 +17,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/img"
 	"repro/internal/mrf"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -175,6 +176,13 @@ type Options struct {
 	// boundaries per the policy. On cancellation a final snapshot is
 	// always written before returning.
 	Checkpoint *CheckpointPolicy
+	// Recorder, if non-nil, receives chain metrics: sweep and
+	// color-phase span timings, sweep/site counters, the energy gauge,
+	// and checkpoint-write spans and events. Recording happens only at
+	// sweep and color-pass boundaries — never per site — and never
+	// touches the RNG streams, so an observed run samples the exact
+	// same labels as an unobserved one (nil is the zero-cost default).
+	Recorder obs.Recorder
 }
 
 // Result is the outcome of a chain run.
@@ -203,21 +211,18 @@ type Result struct {
 // Options). Compiling the model first (mrf.Model.Compile) switches the
 // inner loop to the precomputed-table fast path without changing any
 // sampled label: table and closure evaluation are bit-identical.
-func Run(m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed uint64) (*Result, error) {
-	return RunCtx(context.Background(), m, init, factory, opt, seed)
-}
-
-// RunCtx is Run with cooperative cancellation. The context is checked at
-// sweep boundaries only — a sweep in progress always completes, so
+//
+// The context provides cooperative cancellation and is checked at sweep
+// boundaries only — a sweep in progress always completes, so
 // cancellation can never leave a color pass half-applied or a snapshot
-// capturing mid-sweep state. On cancellation (or deadline) RunCtx writes
-// a final checkpoint if Options.Checkpoint is set, then returns a
-// non-nil *partial* Result (final labels, MAP/confidence over the sweeps
-// that did run) alongside an error wrapping ctx.Err(); callers that want
-// the partial output check errors.Is(err, context.Canceled) /
+// capturing mid-sweep state. On cancellation (or deadline) Run writes a
+// final checkpoint if Options.Checkpoint is set, then returns a non-nil
+// *partial* Result (final labels, MAP/confidence over the sweeps that
+// did run) alongside an error wrapping ctx.Err(); callers that want the
+// partial output check errors.Is(err, context.Canceled) /
 // context.DeadlineExceeded. The deferred worker-pool shutdown runs on
 // every return path, so no goroutines outlive the call.
-func RunCtx(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed uint64) (*Result, error) {
+func Run(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed uint64) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -240,6 +245,10 @@ func RunCtx(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Facto
 			return nil, err
 		}
 	}
+
+	rec := opt.Recorder
+	endRun := obs.Span(rec, "gibbs.run")
+	defer endRun()
 
 	lm := init.Clone()
 	res := &Result{Iterations: opt.Iterations}
@@ -281,6 +290,7 @@ func RunCtx(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Facto
 		}
 		cs.rowSrc = rowSrc
 		eng = newEngine(m, lm, samplers, rowSrc)
+		eng.rec = rec
 		eng.start()
 		defer eng.stop()
 	}
@@ -291,6 +301,7 @@ func RunCtx(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Facto
 		if start, err = cs.restore(opt.Resume, opt); err != nil {
 			return nil, err
 		}
+		obs.Emit(rec, "checkpoint.resume", map[string]any{"sweep": start})
 	}
 
 	pol := opt.Checkpoint
@@ -309,6 +320,8 @@ func RunCtx(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Facto
 		}
 	}
 	save := func(next int) error {
+		endSave := obs.Span(rec, "checkpoint.save")
+		defer endSave()
 		snap, err := cs.capture(pol, next)
 		if err != nil {
 			return err
@@ -316,6 +329,8 @@ func RunCtx(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Facto
 		if err := pol.Sink(snap); err != nil {
 			return fmt.Errorf("gibbs: checkpoint sink at sweep %d: %w", next, err)
 		}
+		obs.Add(rec, "checkpoint.saves", 1)
+		obs.Emit(rec, "checkpoint.save", map[string]any{"sweep": next})
 		return nil
 	}
 
@@ -331,6 +346,7 @@ func RunCtx(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Facto
 				}
 			}
 			finish(res, cs, opt, completed)
+			obs.Emit(rec, "gibbs.cancel", map[string]any{"sweep": completed})
 			return res, fmt.Errorf("gibbs: run stopped before sweep %d/%d: %w", it, opt.Iterations, err)
 		}
 		for _, s := range samplers {
@@ -346,11 +362,15 @@ func RunCtx(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Facto
 			m.T = t
 			m.RetuneRateLUT() // keep the compiled rate LUT on the new temperature
 		}
+		endSweep := obs.Span(rec, "gibbs.sweep")
 		if opt.Schedule == Raster {
 			sweepRaster(m, lm, samplers[0], chain)
 		} else {
 			eng.sweep()
 		}
+		endSweep()
+		obs.Add(rec, "gibbs.sweeps", 1)
+		obs.Add(rec, "gibbs.sites", int64(m.W*m.H))
 		if opt.TrackMode && it >= opt.BurnIn {
 			for i, l := range lm.Labels {
 				counts[i*m.M+l]++
@@ -358,6 +378,7 @@ func RunCtx(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Facto
 		}
 		if opt.RecordEnergyEvery > 0 && it%opt.RecordEnergyEvery == 0 {
 			cs.energy = append(cs.energy, m.TotalEnergy(lm))
+			obs.Gauge(rec, "gibbs.energy", cs.energy[len(cs.energy)-1])
 		}
 		completed = it + 1
 		if pol != nil && completed < opt.Iterations {
@@ -375,6 +396,14 @@ func RunCtx(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Facto
 
 	finish(res, cs, opt, completed)
 	return res, nil
+}
+
+// RunCtx runs an MCMC chain with explicit cancellation.
+//
+// Deprecated: Run now takes the context as its first argument; RunCtx is
+// an alias kept for one release so existing callers keep compiling.
+func RunCtx(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Factory, opt Options, seed uint64) (*Result, error) {
+	return Run(ctx, m, init, factory, opt, seed)
 }
 
 // finish derives the result fields from the chain state after

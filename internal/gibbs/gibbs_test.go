@@ -1,6 +1,7 @@
 package gibbs
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -41,13 +42,13 @@ func TestRunValidatesInputs(t *testing.T) {
 		{"size mismatch", img.NewLabelMap(3, 3), Options{Iterations: 5}},
 	}
 	for _, c := range cases {
-		if _, err := Run(m, c.init, NewExactGibbs(), c.opt, 1); err == nil {
+		if _, err := Run(context.Background(), m, c.init, NewExactGibbs(), c.opt, 1); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}
 	bad := img.NewLabelMap(4, 4)
 	bad.Labels[0] = 5
-	if _, err := Run(m, bad, NewExactGibbs(), Options{Iterations: 1}, 1); err == nil {
+	if _, err := Run(context.Background(), m, bad, NewExactGibbs(), Options{Iterations: 1}, 1); err == nil {
 		t.Error("out-of-range init label accepted")
 	}
 }
@@ -56,11 +57,11 @@ func TestRunDeterministic(t *testing.T) {
 	m := twoLabelModel(8, 8)
 	init := img.NewLabelMap(8, 8)
 	opt := Options{Iterations: 10, Schedule: Checkerboard, Workers: 4}
-	a, err := Run(m, init, NewExactGibbs(), opt, 42)
+	a, err := Run(context.Background(), m, init, NewExactGibbs(), opt, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(m, init, NewExactGibbs(), opt, 42)
+	b, err := Run(context.Background(), m, init, NewExactGibbs(), opt, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestRunDoesNotModifyInit(t *testing.T) {
 	init := img.NewLabelMap(6, 6)
 	init.Labels[7] = 1
 	snapshot := init.Clone()
-	if _, err := Run(m, init, NewExactGibbs(), Options{Iterations: 3}, 1); err != nil {
+	if _, err := Run(context.Background(), m, init, NewExactGibbs(), Options{Iterations: 3}, 1); err != nil {
 		t.Fatal(err)
 	}
 	for i := range init.Labels {
@@ -91,7 +92,7 @@ func TestRunDoesNotModifyInit(t *testing.T) {
 func TestChainRecoversStructure(t *testing.T) {
 	m := twoLabelModel(16, 16)
 	init := img.NewLabelMap(16, 16)
-	res, err := Run(m, init, NewExactGibbs(), Options{
+	res, err := Run(context.Background(), m, init, NewExactGibbs(), Options{
 		Iterations: 60, BurnIn: 20, Schedule: Checkerboard, TrackMode: true,
 	}, 7)
 	if err != nil {
@@ -115,11 +116,11 @@ func TestSamplersAgreeOnMarginals(t *testing.T) {
 	m := twoLabelModel(8, 8)
 	init := img.NewLabelMap(8, 8)
 	opt := Options{Iterations: 400, BurnIn: 50, Schedule: Checkerboard, TrackMode: true}
-	a, err := Run(m, init, NewExactGibbs(), opt, 11)
+	a, err := Run(context.Background(), m, init, NewExactGibbs(), opt, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(m, init, NewFirstToFire(), opt, 12)
+	b, err := Run(context.Background(), m, init, NewFirstToFire(), opt, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,11 +134,11 @@ func TestSamplersAgreeOnMarginals(t *testing.T) {
 func TestMetropolisConverges(t *testing.T) {
 	m := twoLabelModel(12, 12)
 	init := img.NewLabelMap(12, 12)
-	g, err := Run(m, init, NewExactGibbs(), Options{Iterations: 100, RecordEnergyEvery: 1}, 3)
+	g, err := Run(context.Background(), m, init, NewExactGibbs(), Options{Iterations: 100, RecordEnergyEvery: 1}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mh, err := Run(m, init, NewMetropolis(), Options{Iterations: 400, RecordEnergyEvery: 1}, 3)
+	mh, err := Run(context.Background(), m, init, NewMetropolis(), Options{Iterations: 400, RecordEnergyEvery: 1}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestEnergyDecreasesFromRandomInit(t *testing.T) {
 		init.Labels[i] = src.Intn(2)
 	}
 	before := m.TotalEnergy(init)
-	res, err := Run(m, init, NewExactGibbs(), Options{Iterations: 50}, 5)
+	res, err := Run(context.Background(), m, init, NewExactGibbs(), Options{Iterations: 50}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,13 +176,13 @@ func TestCheckerboardMatchesRasterStatistically(t *testing.T) {
 	m := twoLabelModel(10, 10)
 	init := img.NewLabelMap(10, 10)
 	opt := Options{Iterations: 200, BurnIn: 50, TrackMode: true}
-	r1, err := Run(m, init, NewExactGibbs(), opt, 21)
+	r1, err := Run(context.Background(), m, init, NewExactGibbs(), opt, 21)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt.Schedule = Checkerboard
 	opt.Workers = 3
-	r2, err := Run(m, init, NewExactGibbs(), opt, 22)
+	r2, err := Run(context.Background(), m, init, NewExactGibbs(), opt, 22)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestAnnealScheduleApplied(t *testing.T) {
 	m := twoLabelModel(6, 6)
 	init := img.NewLabelMap(6, 6)
 	var temps []float64
-	_, err := Run(m, init, NewExactGibbs(), Options{
+	_, err := Run(context.Background(), m, init, NewExactGibbs(), Options{
 		Iterations: 5,
 		Anneal: func(t int) float64 {
 			temp := GeometricAnneal(4, 0.5, 0.1)(t)
@@ -219,7 +220,7 @@ func TestAnnealScheduleApplied(t *testing.T) {
 func TestAnnealRejectsNonPositive(t *testing.T) {
 	m := twoLabelModel(4, 4)
 	init := img.NewLabelMap(4, 4)
-	_, err := Run(m, init, NewExactGibbs(), Options{
+	_, err := Run(context.Background(), m, init, NewExactGibbs(), Options{
 		Iterations: 2,
 		Anneal:     func(int) float64 { return 0 },
 	}, 1)
@@ -238,7 +239,7 @@ func TestGeometricAnnealFloor(t *testing.T) {
 func TestEnergyTraceRecording(t *testing.T) {
 	m := twoLabelModel(6, 6)
 	init := img.NewLabelMap(6, 6)
-	res, err := Run(m, init, NewExactGibbs(), Options{Iterations: 10, RecordEnergyEvery: 3}, 1)
+	res, err := Run(context.Background(), m, init, NewExactGibbs(), Options{Iterations: 10, RecordEnergyEvery: 3}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func BenchmarkExactGibbsSweep32(b *testing.B) {
 	init := img.NewLabelMap(32, 32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(m, init, NewExactGibbs(), Options{Iterations: 1}, uint64(i)); err != nil {
+		if _, err := Run(context.Background(), m, init, NewExactGibbs(), Options{Iterations: 1}, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -302,7 +303,7 @@ func BenchmarkCheckerboardParallelSweep64(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		opt := Options{Iterations: 1, Schedule: Checkerboard, Workers: 8}
-		if _, err := Run(m, init, NewExactGibbs(), opt, uint64(i)); err != nil {
+		if _, err := Run(context.Background(), m, init, NewExactGibbs(), opt, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -313,7 +314,7 @@ func BenchmarkCheckerboardParallelSweep64(b *testing.B) {
 func TestConfidenceMap(t *testing.T) {
 	m := twoLabelModel(12, 12)
 	init := img.NewLabelMap(12, 12)
-	res, err := Run(m, init, NewExactGibbs(), Options{
+	res, err := Run(context.Background(), m, init, NewExactGibbs(), Options{
 		Iterations: 80, BurnIn: 30, Schedule: Checkerboard, TrackMode: true,
 	}, 42)
 	if err != nil {
@@ -333,7 +334,7 @@ func TestConfidenceMap(t *testing.T) {
 		t.Fatalf("boundary confidence %v exceeds interior %v", boundary, interior)
 	}
 	// No tracking, no confidence.
-	res2, err := Run(m, init, NewExactGibbs(), Options{Iterations: 5}, 1)
+	res2, err := Run(context.Background(), m, init, NewExactGibbs(), Options{Iterations: 5}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

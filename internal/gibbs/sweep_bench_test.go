@@ -1,6 +1,7 @@
 package gibbs
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -60,7 +61,7 @@ func BenchmarkSweep(b *testing.B) {
 					init := img.NewLabelMap(w, h)
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
-						if _, err := Run(model, init, NewExactGibbs(), opt, uint64(i)); err != nil {
+						if _, err := Run(context.Background(), model, init, NewExactGibbs(), opt, uint64(i)); err != nil {
 							b.Fatal(err)
 						}
 					}

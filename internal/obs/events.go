@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// EventSink streams structured events as newline-delimited JSON, one
+// complete object per line, through a mutex-guarded encoder. It exists
+// because the pre-obs ad-hoc logging (rsudiag -faultlog prints,
+// checkpoint progress lines) wrote to the same stream from several
+// goroutines under W=N and interleaved partial lines; every writer now
+// funnels through one lock that holds for a whole line.
+//
+// The sink assigns its own stream-order Seq to each event — concurrent
+// emitters get unique, gap-free sequence numbers in exactly the order
+// their lines appear in the output.
+type EventSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	seq int64
+	err error
+}
+
+// NewEventSink returns a sink writing NDJSON events to w.
+func NewEventSink(w io.Writer) *EventSink {
+	return &EventSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event line. Safe for concurrent use; the first write
+// error is sticky and reported by Err (subsequent emits are dropped so
+// a dead log file cannot wedge the run).
+func (s *EventSink) Emit(e Event) {
+	_ = s.write(e)
+}
+
+// write assigns the stream Seq and encodes the event under the lock.
+func (s *EventSink) write(e Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	e.Seq = s.seq
+	s.seq++
+	if err := s.enc.Encode(e); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}
+
+// Err returns the first write error, if any.
+func (s *EventSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Count returns the number of events written so far.
+func (s *EventSink) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// Handler serves a live Registry over HTTP:
+//
+//	/metrics        Prometheus text exposition (counters, gauges,
+//	                histograms with cumulative le buckets, span timers
+//	                as *_seconds summaries)
+//	/debug/vars     the full Snapshot as JSON (expvar-style endpoint)
+//	/debug/pprof/   the standard net/http/pprof profile index
+//
+// The handler snapshots the registry per request; it never blocks the
+// inference hot path beyond the registry mutex.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, r.Snapshot())
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "rsu-g observability endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":8080" or
+// "127.0.0.1:0") in a background goroutine. It returns the bound
+// address and a shutdown func; CLIs call it when -http is set and let
+// process exit tear it down.
+func Serve(addr string, r *Registry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// writePrometheus renders the snapshot in the Prometheus text format.
+func writePrometheus(w http.ResponseWriter, s *Snapshot) {
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		cum := uint64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", b), cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.Sum, name, cum)
+	}
+	for _, sp := range s.Spans {
+		name := promName(sp.Name) + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s summary\n", name)
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, float64(sp.TotalNs)/1e9, name, sp.Count)
+	}
+}
+
+// promName sanitizes a metric name into the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+// Package obs is the reproduction's zero-dependency observability
+// layer: counters, gauges, fixed-bucket histograms, span-style phase
+// timers and a structured event sink, behind one small Recorder
+// interface that the solver stack (core → gibbs → accel → fault)
+// accepts by injection.
+//
+// Two invariants shape the design:
+//
+//   - A nil Recorder is the fast path. Every instrumentation point in
+//     the inference stack guards on nil (via the package-level helpers
+//     below), records only at sweep/phase granularity — never per
+//     site — and costs nothing when observability is off.
+//   - Metrics never touch the RNG streams. The recorder reads clocks
+//     and counters only; an observed run draws the exact same random
+//     sequence as an unobserved one, so seeded label maps are
+//     byte-identical with the recorder on or off (tests enforce this
+//     across every backend and worker count).
+//
+// The concrete implementation is Registry (mutex-guarded, safe for the
+// engine's worker goroutines); its Snapshot serializes to a
+// deterministic, schema-validatable JSON document (sorted names), and
+// Handler exposes the live registry over HTTP as Prometheus text,
+// expvar-style JSON and net/http/pprof.
+package obs
+
+import "time"
+
+// Recorder is the instrumentation surface injected into the inference
+// stack. Implementations must be safe for concurrent use: the fault
+// monitors emit events from the sweep engine's worker goroutines.
+//
+// Callers inside the solver stack should prefer the package-level
+// nil-guard helpers (Add, Gauge, Observe, Span, Emit) so a nil
+// recorder stays a no-op without call-site branching.
+type Recorder interface {
+	// Add increments the named counter by delta.
+	Add(name string, delta int64)
+	// Gauge sets the named gauge to v.
+	Gauge(name string, v float64)
+	// Observe records v into the named fixed-bucket histogram.
+	Observe(name string, v float64)
+	// Span starts a phase timer; invoking the returned func ends the
+	// span, folding its duration into the span's aggregate stats and
+	// the "<name>_ns" histogram.
+	Span(name string) func()
+	// Emit appends a structured event to the recorder's event buffer
+	// and, when a streaming sink is attached, writes it through the
+	// sink's mutex-guarded encoder.
+	Emit(e Event)
+}
+
+// Event is one structured observability record: checkpoint writes,
+// fault detections, run lifecycle marks. Fields is encoded with sorted
+// keys (encoding/json's map ordering), so event streams from a seeded
+// run are deterministic up to wall-clock-free fields.
+type Event struct {
+	// Seq is the global sequence number, assigned at emission by the
+	// Registry (buffer order) or the EventSink (stream order).
+	Seq int64 `json:"seq"`
+	// Kind names the event class, dotted lowercase ("checkpoint.save",
+	// "fault.detect", "fault.audit").
+	Kind string `json:"kind"`
+	// Fields carries the event payload.
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// noop is the shared no-op span terminator returned for nil recorders.
+var noop = func() {}
+
+// Add increments a counter on r, or does nothing when r is nil.
+func Add(r Recorder, name string, delta int64) {
+	if r != nil {
+		r.Add(name, delta)
+	}
+}
+
+// Gauge sets a gauge on r, or does nothing when r is nil.
+func Gauge(r Recorder, name string, v float64) {
+	if r != nil {
+		r.Gauge(name, v)
+	}
+}
+
+// Observe records a histogram sample on r, or does nothing when r is
+// nil.
+func Observe(r Recorder, name string, v float64) {
+	if r != nil {
+		r.Observe(name, v)
+	}
+}
+
+// Span starts a phase timer on r; the returned func ends it. For a nil
+// recorder both ends are free.
+func Span(r Recorder, name string) func() {
+	if r == nil {
+		return noop
+	}
+	return r.Span(name)
+}
+
+// Emit sends an event to r, or does nothing when r is nil.
+func Emit(r Recorder, kind string, fields map[string]any) {
+	if r != nil {
+		r.Emit(Event{Kind: kind, Fields: fields})
+	}
+}
+
+// Snapshotter is implemented by recorders that can export a
+// point-in-time Snapshot; core.Solve uses it to attach Result.Metrics
+// when the injected recorder is (or wraps) a Registry.
+type Snapshotter interface {
+	Snapshot() *Snapshot
+}
+
+// clock is the wall-time source of a Registry. It is a stored func
+// value — never a direct time.Now() call inside library code — so
+// tests inject a deterministic clock and the detrand invariant (no
+// wall-clock reads feeding simulation state) stays auditable: span
+// durations are observability output only and never flow back into
+// the chain.
+type clock func() time.Time

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock yields a strictly advancing deterministic time sequence.
+func fakeClock(stepNs int64) func() time.Time {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(time.Duration(stepNs))
+		return t
+	}
+}
+
+func TestNilRecorderHelpersAreNoOps(t *testing.T) {
+	// Must not panic; Span must return a callable terminator.
+	Add(nil, "x", 1)
+	Gauge(nil, "x", 1)
+	Observe(nil, "x", 1)
+	Span(nil, "x")()
+	Emit(nil, "x", nil)
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := New()
+	r.Add("a.count", 2)
+	r.Add("a.count", 3)
+	r.Gauge("g", 1.5)
+	r.Gauge("g", 2.5)
+	for _, v := range []float64{0.5, 1, 3, 5, 1e30} {
+		r.Observe("h", v)
+	}
+	s := r.Snapshot()
+	if got := s.Counter("a.count"); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != 2.5 {
+		t.Errorf("gauges = %+v, want one entry g=2.5", s.Gauges)
+	}
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", s.Histograms)
+	}
+	h := s.Histograms[0]
+	if h.Total() != 5 {
+		t.Errorf("histogram total = %d, want 5", h.Total())
+	}
+	// 0.5 and 1 land in the first bucket (<=1); 3 in <=4; 5 in <=16;
+	// 1e30 overflows.
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[len(h.Counts)-1] != 1 {
+		t.Errorf("bucket counts = %v", h.Counts)
+	}
+}
+
+func TestRegistrySpans(t *testing.T) {
+	r := NewWithClock(fakeClock(int64(time.Millisecond)))
+	for i := 0; i < 3; i++ {
+		end := r.Span("phase")
+		end()
+	}
+	s := r.Snapshot()
+	sp, ok := s.Span("phase")
+	if !ok {
+		t.Fatal("span not recorded")
+	}
+	if sp.Count != 3 {
+		t.Errorf("count = %d, want 3", sp.Count)
+	}
+	// The fake clock advances 1ms per read, so each span is exactly 1ms.
+	if sp.MinNs != int64(time.Millisecond) || sp.MaxNs != int64(time.Millisecond) {
+		t.Errorf("min/max = %d/%d, want 1ms/1ms", sp.MinNs, sp.MaxNs)
+	}
+	if sp.TotalNs != 3*int64(time.Millisecond) {
+		t.Errorf("total = %d", sp.TotalNs)
+	}
+	// Span durations also land in the <name>_ns histogram.
+	found := false
+	for _, h := range s.Histograms {
+		if h.Name == "phase_ns" && h.Total() == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("phase_ns histogram missing: %+v", s.Histograms)
+	}
+}
+
+func TestSnapshotDeterministicAndValid(t *testing.T) {
+	build := func() *Snapshot {
+		r := NewWithClock(fakeClock(1))
+		// Insert in scrambled order; snapshot must sort.
+		for _, n := range []string{"z", "a", "m"} {
+			r.Add(n, 1)
+			r.Gauge(n+".g", 2)
+			r.Observe(n+".h", 3)
+		}
+		r.Emit(Event{Kind: "k", Fields: map[string]any{"b": 1, "a": "x"}})
+		return r.Snapshot()
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Errorf("snapshot encoding not deterministic:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	if err := ValidateSnapshotJSON(b1.Bytes()); err != nil {
+		t.Errorf("valid snapshot rejected: %v", err)
+	}
+}
+
+func TestValidateSnapshotJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":  `{"schema_version":1,"counters":[],"gauges":[],"histograms":[],"spans":[],"bogus":1}`,
+		"wrong version":  `{"schema_version":99,"counters":[],"gauges":[],"histograms":[],"spans":[]}`,
+		"unsorted":       `{"schema_version":1,"counters":[{"name":"b","value":1},{"name":"a","value":1}],"gauges":[],"histograms":[],"spans":[]}`,
+		"duplicate":      `{"schema_version":1,"counters":[{"name":"a","value":1},{"name":"a","value":1}],"gauges":[],"histograms":[],"spans":[]}`,
+		"bucket shape":   `{"schema_version":1,"counters":[],"gauges":[],"histograms":[{"name":"h","bounds":[1,2],"counts":[1,2],"sum":3}],"spans":[]}`,
+		"span zero":      `{"schema_version":1,"counters":[],"gauges":[],"histograms":[],"spans":[{"name":"s","count":0,"total_ns":0,"min_ns":0,"max_ns":0}]}`,
+		"trailing bytes": `{"schema_version":1,"counters":[],"gauges":[],"histograms":[],"spans":[]}{}`,
+	}
+	for name, doc := range cases {
+		if err := ValidateSnapshotJSON([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted invalid document", name)
+		}
+	}
+}
+
+// TestEventSinkNoInterleaving is the regression test for the W=N
+// interleaved-log-lines bug: many goroutines emitting concurrently
+// must produce a stream where every line is one complete JSON object
+// and the stream Seqs are exactly 0..N-1 in line order.
+func TestEventSinkNoInterleaving(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewEventSink(&buf)
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sink.Emit(Event{Kind: "fault.detect", Fields: map[string]any{
+					"worker": w, "i": i, "pad": strings.Repeat("x", 64),
+				}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != workers*perWorker {
+		t.Fatalf("got %d lines, want %d", len(lines), workers*perWorker)
+	}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d is not a complete JSON object: %v\n%s", i, err, line)
+		}
+		if e.Seq != int64(i) {
+			t.Fatalf("line %d carries seq %d: stream order and seq assignment diverge", i, e.Seq)
+		}
+	}
+}
+
+func TestRegistryStreamsToSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewEventSink(&buf)
+	r := New()
+	r.StreamTo(sink)
+	r.Emit(Event{Kind: "checkpoint.save", Fields: map[string]any{"sweep": 10}})
+	if sink.Count() != 1 {
+		t.Fatalf("sink saw %d events", sink.Count())
+	}
+	var e Event
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != "checkpoint.save" {
+		t.Errorf("kind = %q", e.Kind)
+	}
+	s := r.Snapshot()
+	if len(s.Events) != 1 {
+		t.Errorf("buffered events = %d", len(s.Events))
+	}
+}
+
+func TestEventBufferBounded(t *testing.T) {
+	r := New()
+	for i := 0; i < maxBufferedEvents+10; i++ {
+		r.Emit(Event{Kind: "k"})
+	}
+	s := r.Snapshot()
+	if len(s.Events) != maxBufferedEvents {
+		t.Errorf("buffer length %d, want %d", len(s.Events), maxBufferedEvents)
+	}
+	if s.DroppedEvents != 10 {
+		t.Errorf("dropped = %d, want 10", s.DroppedEvents)
+	}
+	// The oldest were dropped; the last event keeps its emission seq.
+	if got := s.Events[len(s.Events)-1].Seq; got != int64(maxBufferedEvents+9) {
+		t.Errorf("last seq = %d", got)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewWithClock(fakeClock(1000))
+	r.Add("gibbs.sweeps", 7)
+	r.Gauge("gibbs.energy", -12.5)
+	r.Span("gibbs.sweep")()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		if _, err := b.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics -> %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE gibbs_sweeps counter", "gibbs_sweeps 7",
+		"# TYPE gibbs_energy gauge", "gibbs_energy -12.5",
+		"gibbs_sweep_seconds_count 1",
+		"gibbs_sweep_ns_bucket{le=\"+Inf\"} 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars -> %d", code)
+	}
+	if err := ValidateSnapshotJSON([]byte(body)); err != nil {
+		t.Errorf("/debug/vars body fails schema validation: %v", err)
+	}
+
+	code, _ = get("/debug/pprof/")
+	if code != 200 {
+		t.Errorf("/debug/pprof/ -> %d", code)
+	}
+	code, _ = get("/nope")
+	if code != 404 {
+		t.Errorf("/nope -> %d, want 404", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := New()
+	addr, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	if addr == "" {
+		t.Fatal("empty bound address")
+	}
+	resp, err := httptest.NewServer(nil).Client().Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/metrics over Serve -> %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultBuckets are the fixed histogram bucket upper bounds: powers
+// of four from 1, a unit-free geometric ladder wide enough to cover
+// nanosecond phase timings (4^20 ns ≈ 18 minutes) and cycle counts
+// alike. Values above the last bound land in the +Inf overflow bucket.
+var DefaultBuckets = func() []float64 {
+	b := make([]float64, 21)
+	v := 1.0
+	for i := range b {
+		b[i] = v
+		v *= 4
+	}
+	return b
+}()
+
+// maxBufferedEvents bounds the Registry's in-memory event buffer; once
+// full, older events are dropped (DroppedEvents counts them) so a
+// long-running observed chain cannot grow without bound. Streams
+// attached via StreamTo see every event regardless.
+const maxBufferedEvents = 4096
+
+// histogram is one fixed-bucket histogram: counts[i] is the number of
+// samples <= bounds[i]; counts[len(bounds)] is the overflow bucket.
+type histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+}
+
+func (h *histogram) observe(v float64) {
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// spanStats aggregates completed spans of one name.
+type spanStats struct {
+	count        uint64
+	totalNs      int64
+	minNs, maxNs int64
+}
+
+// Registry is the concrete Recorder: mutex-guarded, safe for the sweep
+// engine's worker goroutines, and exportable as a deterministic
+// Snapshot at any instant.
+type Registry struct {
+	mu       sync.Mutex
+	now      clock
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+	spans    map[string]*spanStats
+	events   []Event
+	dropped  int64
+	seq      int64
+	sink     *EventSink
+}
+
+// New returns an empty Registry using the wall clock for span timing.
+func New() *Registry {
+	return newRegistry(time.Now)
+}
+
+// NewWithClock returns a Registry driven by an injected clock — used
+// by tests that need deterministic span durations.
+func NewWithClock(now func() time.Time) *Registry {
+	if now == nil {
+		return New()
+	}
+	return newRegistry(now)
+}
+
+func newRegistry(now clock) *Registry {
+	return &Registry{
+		now:      now,
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*histogram{},
+		spans:    map[string]*spanStats{},
+	}
+}
+
+// StreamTo attaches a streaming event sink: every subsequent Emit is
+// also written through the sink's mutex-guarded encoder, one JSON
+// object per line. A nil sink detaches.
+func (r *Registry) StreamTo(s *EventSink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = s
+}
+
+// Add implements Recorder.
+func (r *Registry) Add(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Gauge implements Recorder.
+func (r *Registry) Gauge(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe implements Recorder.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	r.observeLocked(name, v)
+	r.mu.Unlock()
+}
+
+func (r *Registry) observeLocked(name string, v float64) {
+	h := r.hists[name]
+	if h == nil {
+		h = &histogram{
+			bounds: DefaultBuckets,
+			counts: make([]uint64, len(DefaultBuckets)+1),
+		}
+		r.hists[name] = h
+	}
+	h.observe(v)
+}
+
+// Span implements Recorder: it reads the clock once at start and once
+// at end, then folds the duration into the span aggregate and the
+// "<name>_ns" histogram.
+func (r *Registry) Span(name string) func() {
+	start := r.now()
+	return func() {
+		ns := r.now().Sub(start).Nanoseconds()
+		if ns < 0 {
+			ns = 0
+		}
+		r.mu.Lock()
+		s := r.spans[name]
+		if s == nil {
+			s = &spanStats{minNs: ns, maxNs: ns}
+			r.spans[name] = s
+		}
+		s.count++
+		s.totalNs += ns
+		if ns < s.minNs {
+			s.minNs = ns
+		}
+		if ns > s.maxNs {
+			s.maxNs = ns
+		}
+		r.observeLocked(name+"_ns", float64(ns))
+		r.mu.Unlock()
+	}
+}
+
+// Emit implements Recorder. Events receive their buffer-order Seq
+// under the registry lock; when a stream sink is attached the event is
+// forwarded through it (the sink assigns its own stream-order Seq and
+// serializes whole lines, so concurrent emitters never interleave).
+func (r *Registry) Emit(e Event) {
+	r.mu.Lock()
+	e.Seq = r.seq
+	r.seq++
+	if len(r.events) >= maxBufferedEvents {
+		drop := len(r.events) - maxBufferedEvents + 1
+		r.events = r.events[:copy(r.events, r.events[drop:])]
+		r.dropped += int64(drop)
+	}
+	r.events = append(r.events, e)
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		// Outside the registry lock: the sink owns its own mutex, and a
+		// slow writer must not stall counter updates.
+		_ = sink.write(e)
+	}
+}
+
+// Snapshot exports a deterministic point-in-time copy: every section
+// sorted by name, buffered events in emission order.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{SchemaVersion: SchemaVersion}
+	for name, v := range r.counters {
+		s.Counters = append(s.Counters, Counter{Name: name, Value: v})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for name, v := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: v})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	for name, h := range r.hists {
+		hist := Histogram{
+			Name:   name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			Sum:    h.sum,
+		}
+		s.Histograms = append(s.Histograms, hist)
+	}
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	for name, sp := range r.spans {
+		s.Spans = append(s.Spans, SpanStats{
+			Name: name, Count: sp.count,
+			TotalNs: sp.totalNs, MinNs: sp.minNs, MaxNs: sp.maxNs,
+		})
+	}
+	sort.Slice(s.Spans, func(i, j int) bool { return s.Spans[i].Name < s.Spans[j].Name })
+	s.Events = append([]Event(nil), r.events...)
+	s.DroppedEvents = r.dropped
+	return s
+}
+
+var _ Recorder = (*Registry)(nil)
+var _ Snapshotter = (*Registry)(nil)
+var _ fmt.Stringer = (*Registry)(nil)
+
+// String summarizes the registry for debug prints.
+func (r *Registry) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return fmt.Sprintf("obs.Registry{%d counters, %d gauges, %d histograms, %d spans, %d events}",
+		len(r.counters), len(r.gauges), len(r.hists), len(r.spans), len(r.events))
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// SchemaVersion identifies the Snapshot JSON schema. Bump on any
+// incompatible change; ValidateSnapshotJSON rejects mismatches so the
+// obs-smoke CI gate catches drift between producer and consumers.
+const SchemaVersion = 1
+
+// Counter is one named monotonic counter in a Snapshot.
+type Counter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one named gauge in a Snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Histogram is one fixed-bucket histogram in a Snapshot: Counts[i] is
+// the number of samples <= Bounds[i]; the final entry of Counts is the
+// overflow bucket, so len(Counts) == len(Bounds)+1.
+type Histogram struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+}
+
+// Total returns the histogram's sample count.
+func (h Histogram) Total() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// SpanStats aggregates the completed spans of one phase-timer name.
+type SpanStats struct {
+	Name    string `json:"name"`
+	Count   uint64 `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+	MinNs   int64  `json:"min_ns"`
+	MaxNs   int64  `json:"max_ns"`
+}
+
+// Snapshot is a point-in-time export of a Registry: the Result.Metrics
+// payload, the -metrics JSON document, and the /debug/vars body. All
+// sections are sorted by name; encoding is deterministic given the
+// recorded values.
+type Snapshot struct {
+	SchemaVersion int          `json:"schema_version"`
+	Counters      []Counter    `json:"counters"`
+	Gauges        []GaugeValue `json:"gauges"`
+	Histograms    []Histogram  `json:"histograms"`
+	Spans         []SpanStats  `json:"spans"`
+	Events        []Event      `json:"events,omitempty"`
+	DroppedEvents int64        `json:"dropped_events,omitempty"`
+}
+
+// Counter returns the value of a named counter (0 when absent).
+func (s *Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Span returns the aggregate stats of a named span timer.
+func (s *Snapshot) Span(name string) (SpanStats, bool) {
+	for _, sp := range s.Spans {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return SpanStats{}, false
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteFile writes the snapshot to path, validating the encoded bytes
+// against the schema first so a CLI can never flush a document its own
+// tooling would reject.
+func (s *Snapshot) WriteFile(path string) error {
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		return err
+	}
+	if err := ValidateSnapshotJSON(buf.Bytes()); err != nil {
+		return fmt.Errorf("obs: refusing to write %s: %w", path, err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// ValidateSnapshotJSON checks that data is a well-formed Snapshot
+// document: strict field set, current schema version, sorted unique
+// names per section, histogram bucket-shape invariants, and span
+// min/max/total consistency. This is the schema gate behind
+// `make obs-smoke`.
+func ValidateSnapshotJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Snapshot
+	if err := dec.Decode(&s); err != nil {
+		return fmt.Errorf("obs: snapshot JSON: %w", err)
+	}
+	if err := checkTrailing(dec); err != nil {
+		return err
+	}
+	if s.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("obs: snapshot schema version %d, tool understands %d", s.SchemaVersion, SchemaVersion)
+	}
+	names := make([]string, 0, len(s.Counters))
+	for _, c := range s.Counters {
+		names = append(names, c.Name)
+	}
+	if err := checkNames("counters", names); err != nil {
+		return err
+	}
+	names = names[:0]
+	for _, g := range s.Gauges {
+		names = append(names, g.Name)
+	}
+	if err := checkNames("gauges", names); err != nil {
+		return err
+	}
+	names = names[:0]
+	for _, h := range s.Histograms {
+		names = append(names, h.Name)
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return fmt.Errorf("obs: histogram %q has %d counts for %d bounds (want bounds+1)",
+				h.Name, len(h.Counts), len(h.Bounds))
+		}
+		if !sort.Float64sAreSorted(h.Bounds) {
+			return fmt.Errorf("obs: histogram %q bounds are not ascending", h.Name)
+		}
+		if math.IsNaN(h.Sum) || math.IsInf(h.Sum, 0) {
+			return fmt.Errorf("obs: histogram %q sum is not finite", h.Name)
+		}
+	}
+	if err := checkNames("histograms", names); err != nil {
+		return err
+	}
+	names = names[:0]
+	for _, sp := range s.Spans {
+		names = append(names, sp.Name)
+		if sp.Count == 0 {
+			return fmt.Errorf("obs: span %q recorded with zero count", sp.Name)
+		}
+		if sp.MinNs < 0 || sp.MaxNs < sp.MinNs {
+			return fmt.Errorf("obs: span %q has inconsistent min/max %d/%d ns", sp.Name, sp.MinNs, sp.MaxNs)
+		}
+		if sp.TotalNs < sp.MaxNs {
+			return fmt.Errorf("obs: span %q total %d ns below max %d ns", sp.Name, sp.TotalNs, sp.MaxNs)
+		}
+	}
+	if err := checkNames("spans", names); err != nil {
+		return err
+	}
+	for i, e := range s.Events {
+		if e.Kind == "" {
+			return fmt.Errorf("obs: event %d has empty kind", i)
+		}
+	}
+	if s.DroppedEvents < 0 {
+		return fmt.Errorf("obs: negative dropped_events %d", s.DroppedEvents)
+	}
+	return nil
+}
+
+// checkTrailing rejects bytes after the first JSON document.
+func checkTrailing(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("obs: trailing data after snapshot document")
+	}
+	return nil
+}
+
+// checkNames enforces sorted, unique, non-empty names in one section.
+func checkNames(section string, names []string) error {
+	for i, n := range names {
+		if n == "" {
+			return fmt.Errorf("obs: %s entry %d has empty name", section, i)
+		}
+		if i > 0 {
+			switch {
+			case names[i-1] == n:
+				return fmt.Errorf("obs: %s has duplicate name %q", section, n)
+			case names[i-1] > n:
+				return fmt.Errorf("obs: %s not sorted at %q", section, n)
+			}
+		}
+	}
+	return nil
+}

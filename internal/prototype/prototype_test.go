@@ -1,6 +1,7 @@
 package prototype
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -103,7 +104,7 @@ func TestFigure7Segmentation(t *testing.T) {
 		t.Fatal(err)
 	}
 	init := img.NewLabelMap(50, 67)
-	res, err := gibbs.Run(app.Model(), init, NewSampler(New()), gibbs.Options{
+	res, err := gibbs.Run(context.Background(), app.Model(), init, NewSampler(New()), gibbs.Options{
 		Iterations: 10, Schedule: gibbs.Raster,
 	}, 5)
 	if err != nil {

@@ -26,8 +26,19 @@
 //		Backend: rsugibbs.RSU, Iterations: 100, BurnIn: 30,
 //		Compile: true, // precomputed-table sweep engine, bit-identical
 //	})
-//	res, _ := solver.Solve()
+//	res, _ := solver.Solve(context.Background())
 //	fmt.Println(res.MAP.MislabelRate(scene.Truth))
+//
+// Or, with functional options and metrics:
+//
+//	reg := rsugibbs.NewMetrics()
+//	solver, _ := rsugibbs.NewSolverOpts(app,
+//		rsugibbs.WithBackend(rsugibbs.RSU),
+//		rsugibbs.WithIterations(100), rsugibbs.WithBurnIn(30),
+//		rsugibbs.WithCompile(true), rsugibbs.WithRecorder(reg),
+//	)
+//	res, _ := solver.Solve(ctx)
+//	fmt.Println(res.Metrics.Counter("gibbs.sweeps"))
 package rsugibbs
 
 import (
@@ -163,7 +174,7 @@ var ErrInvalidConfig = core.ErrInvalidConfig
 
 // Crash-safe runtime (internal/checkpoint): durable snapshots,
 // cancellation, and bit-exact resume. Arm Config.Checkpoint and call
-// Solver.SolveCtx with a cancellable context; a run killed at any sweep
+// Solver.Solve with a cancellable context; a run killed at any sweep
 // and resumed from its last checkpoint produces output byte-identical
 // to an uninterrupted one.
 type (

@@ -1,6 +1,9 @@
 package rsugibbs
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestQuickstart exercises the doc-comment quickstart end to end
 // through the public façade only.
@@ -17,7 +20,7 @@ func TestQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := solver.Solve()
+	res, err := solver.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
