@@ -12,7 +12,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench chaos sweep-report faults-report obs-smoke all
+.PHONY: build vet lint test race bench chaos sweep-report faults-report obs-smoke kernel-report bench-smoke all
 
 all: build vet lint test race
 
@@ -51,6 +51,18 @@ sweep-report:
 # the CI faults-smoke job diffs a fresh run against it byte-for-byte).
 faults-report:
 	$(GO) run ./cmd/paperbench -experiment faults -faultsjson BENCH_faults.json
+
+# Regenerates the committed BENCH_kernel.json (pass BASELINE_NS to
+# record a pre-kernel same-machine reference ns/site).
+kernel-report:
+	$(GO) run ./cmd/rsubench -json BENCH_kernel.json $(if $(BASELINE_NS),-baseline $(BASELINE_NS))
+
+# Kernel perf-regression gate: re-run the acceptance configuration and
+# check the machine-portable invariants of the committed report
+# (compiled-vs-closure speedup ratio within 5%, steady-state sweeps
+# allocation-free).
+bench-smoke:
+	$(GO) run ./cmd/rsubench -quick -compare BENCH_kernel.json -threshold 5
 
 # Observability gate: run the recorder-overhead + determinism
 # experiment (fails if an observed run diverges from an unobserved

@@ -19,6 +19,7 @@ import (
 // --- Table 1: cycles to sample from different distributions ---------
 
 func BenchmarkTable1Exponential(b *testing.B) {
+	b.ReportAllocs()
 	src := NewRand(1)
 	var sink float64
 	for i := 0; i < b.N; i++ {
@@ -29,6 +30,7 @@ func BenchmarkTable1Exponential(b *testing.B) {
 }
 
 func BenchmarkTable1Normal(b *testing.B) {
+	b.ReportAllocs()
 	src := NewRand(1)
 	var sink float64
 	for i := 0; i < b.N; i++ {
@@ -39,6 +41,7 @@ func BenchmarkTable1Normal(b *testing.B) {
 }
 
 func BenchmarkTable1Gamma(b *testing.B) {
+	b.ReportAllocs()
 	src := NewRand(1)
 	var sink float64
 	for i := 0; i < b.N; i++ {
@@ -70,6 +73,7 @@ func benchTable2(b *testing.B, app string, size string) {
 }
 
 func BenchmarkTable2SegmentationSmall(b *testing.B) {
+	b.ReportAllocs()
 	scene := BlobScene(64, 64, 5, 6, NewRand(1))
 	app, err := NewSegmentation(scene.Image, scene.Means, 2, 12)
 	if err != nil {
@@ -90,6 +94,7 @@ func BenchmarkTable2SegmentationSmall(b *testing.B) {
 }
 
 func BenchmarkTable2SegmentationHD(b *testing.B) {
+	b.ReportAllocs()
 	// Functional kernel at reduced size; modeled metrics at HD.
 	scene := BlobScene(64, 64, 5, 6, NewRand(1))
 	app, err := NewSegmentation(scene.Image, scene.Means, 2, 12)
@@ -111,6 +116,7 @@ func BenchmarkTable2SegmentationHD(b *testing.B) {
 }
 
 func BenchmarkTable2MotionSmall(b *testing.B) {
+	b.ReportAllocs()
 	scene := MotionPair(48, 48, 2, -1, 3, 2, NewRand(3))
 	app, err := NewMotion(scene.Frame1, scene.Frame2, 3, 1, 8)
 	if err != nil {
@@ -131,6 +137,7 @@ func BenchmarkTable2MotionSmall(b *testing.B) {
 }
 
 func BenchmarkTable2MotionHD(b *testing.B) {
+	b.ReportAllocs()
 	scene := MotionPair(48, 48, 2, -1, 3, 2, NewRand(3))
 	app, err := NewMotion(scene.Frame1, scene.Frame2, 3, 1, 8)
 	if err != nil {
@@ -153,6 +160,7 @@ func BenchmarkTable2MotionHD(b *testing.B) {
 // --- Tables 3 and 4: power and area ----------------------------------
 
 func BenchmarkTable3Power(b *testing.B) {
+	b.ReportAllocs()
 	var total float64
 	for i := 0; i < b.N; i++ {
 		total = power.RSUG1Budget(power.N15).TotalPowerMW()
@@ -163,6 +171,7 @@ func BenchmarkTable3Power(b *testing.B) {
 }
 
 func BenchmarkTable4Area(b *testing.B) {
+	b.ReportAllocs()
 	var total float64
 	for i := 0; i < b.N; i++ {
 		total = power.RSUG1Budget(power.N15).TotalAreaUM2()
@@ -173,6 +182,7 @@ func BenchmarkTable4Area(b *testing.B) {
 // --- Figure 7: prototype segmentation --------------------------------
 
 func BenchmarkFigure7PrototypeIteration(b *testing.B) {
+	b.ReportAllocs()
 	scene := TwoRegionScene(50, 67, 10, NewRand(7))
 	app, err := NewSegmentation(scene.Image, scene.Means, 2, 40)
 	if err != nil {
@@ -194,6 +204,7 @@ func BenchmarkFigure7PrototypeIteration(b *testing.B) {
 // --- Figure 8: RSU speedups over GPU ---------------------------------
 
 func BenchmarkFigure8Speedups(b *testing.B) {
+	b.ReportAllocs()
 	g := arch.TitanX()
 	var rows []arch.SpeedupRow
 	for i := 0; i < b.N; i++ {
@@ -211,6 +222,7 @@ func BenchmarkFigure8Speedups(b *testing.B) {
 // --- §8.2: discrete accelerator bound --------------------------------
 
 func BenchmarkAcceleratorBound(b *testing.B) {
+	b.ReportAllocs()
 	g := arch.TitanX()
 	a := arch.DefaultAccelerator()
 	var rows []arch.AccelRow
@@ -229,10 +241,12 @@ func BenchmarkAcceleratorBound(b *testing.B) {
 // --- Ablations --------------------------------------------------------
 
 func BenchmarkAblationRSUSampleWidth1(b *testing.B) {
+	b.ReportAllocs()
 	benchRSUSample(b, 1)
 }
 
 func BenchmarkAblationRSUSampleWidth4(b *testing.B) {
+	b.ReportAllocs()
 	benchRSUSample(b, 4)
 }
 
@@ -258,6 +272,7 @@ func benchRSUSample(b *testing.B, width int) {
 }
 
 func BenchmarkAblationLUTBuild(b *testing.B) {
+	b.ReportAllocs()
 	circuit := DefaultLadderCircuit(NewRand(11))
 	cfg := UnitConfig{M: 5, Width: 1, ClockHz: 1e9, Circuit: circuit}
 	unit, err := NewUnit(cfg)
@@ -272,6 +287,7 @@ func BenchmarkAblationLUTBuild(b *testing.B) {
 }
 
 func BenchmarkAblationPhysicalSampling(b *testing.B) {
+	b.ReportAllocs()
 	scene := BlobScene(32, 32, 5, 6, NewRand(12))
 	app, err := NewSegmentation(scene.Image, scene.Means, 2, 12)
 	if err != nil {
@@ -291,6 +307,7 @@ func BenchmarkAblationPhysicalSampling(b *testing.B) {
 }
 
 func BenchmarkRSUUnitLatencyModel(b *testing.B) {
+	b.ReportAllocs()
 	circuit := DefaultLadderCircuit(NewRand(14))
 	var cycles int
 	for i := 0; i < b.N; i++ {
@@ -304,6 +321,7 @@ func BenchmarkRSUUnitLatencyModel(b *testing.B) {
 }
 
 func BenchmarkAcceleratorFunctional(b *testing.B) {
+	b.ReportAllocs()
 	scene := BlobScene(48, 48, 5, 6, NewRand(15))
 	app, err := NewSegmentation(scene.Image, scene.Means, 2, 12)
 	if err != nil {
@@ -327,6 +345,7 @@ func BenchmarkAcceleratorFunctional(b *testing.B) {
 }
 
 func BenchmarkStagedAcceleratorBound(b *testing.B) {
+	b.ReportAllocs()
 	s := DefaultStagedAccelerator()
 	w := SegmentationWorkload(320, 320)
 	var t float64
@@ -338,6 +357,7 @@ func BenchmarkStagedAcceleratorBound(b *testing.B) {
 }
 
 func BenchmarkPipelineThroughputM49(b *testing.B) {
+	b.ReportAllocs()
 	var stats PipelineStats
 	for i := 0; i < b.N; i++ {
 		s, err := SimulatePipeline(PipelineConfig{M: 49, Width: 1, Replicas: 4}, 1000)
@@ -358,12 +378,14 @@ func BenchmarkPipelineThroughputM49(b *testing.B) {
 // this benchmark shows the same speedup end to end, label maps
 // bit-identical between the two sub-benchmarks.
 func BenchmarkSweepEngine(b *testing.B) {
+	b.ReportAllocs()
 	for _, compiled := range []bool{false, true} {
 		name := "closure"
 		if compiled {
 			name = "compiled"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			scene := BlobScene(96, 96, 5, 6, NewRand(1))
 			app, err := NewSegmentation(scene.Image, scene.Means, 2, 12)
 			if err != nil {

@@ -1,0 +1,101 @@
+// Command rsubench runs the fixed kernel-benchmark suite (exact-Gibbs
+// sweep throughput across grid sizes, label counts and evaluation
+// backends) and manages the committed BENCH_kernel.json artifact.
+//
+// Usage:
+//
+//	rsubench                                 # full suite, table on stdout
+//	rsubench -json BENCH_kernel.json         # also write the JSON artifact
+//	rsubench -baseline 127.8 -json ...       # record a pre-kernel same-machine reference
+//	rsubench -quick                          # acceptance configuration only
+//	rsubench -compare old.json new.json      # file vs file: fail on >threshold% ns/site regression
+//	rsubench -quick -compare BENCH_kernel.json
+//	                                         # CI gate: re-run the quick suite and check the
+//	                                         # machine-portable invariants of the committed report
+//	rsubench -threshold 5                    # regression tolerance in percent (default 5)
+//
+// The file-vs-file mode assumes both reports were measured on the same
+// machine (absolute ns/site comparison, benchstat style). The CI gate
+// mode deliberately checks only ratios and allocation counts, which
+// transfer across machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	jsonPath := flag.String("json", "", "write the machine-readable report to this file (e.g. BENCH_kernel.json)")
+	quick := flag.Bool("quick", false, "run only the acceptance configuration (256x256, M=16)")
+	compare := flag.Bool("compare", false, "compare mode: two file args = file vs file; one file arg = gate the current tree against it")
+	threshold := flag.Float64("threshold", 5, "regression threshold in percent")
+	baseline := flag.Float64("baseline", 0, "pre-kernel ns/site on the acceptance config (same machine), recorded in the report")
+	flag.Parse()
+
+	// The flag package stops at the first positional argument; accept
+	// `rsubench -compare old.json new.json -threshold 5` by re-parsing
+	// trailing flags interleaved with the report files.
+	var files []string
+	rest := flag.Args()
+	for len(rest) > 0 {
+		if strings.HasPrefix(rest[0], "-") {
+			if err := flag.CommandLine.Parse(rest); err != nil {
+				os.Exit(2)
+			}
+			rest = flag.Args()
+			continue
+		}
+		files = append(files, rest[0])
+		rest = rest[1:]
+	}
+
+	if err := run(*jsonPath, *quick, *compare, *threshold, *baseline, files); err != nil {
+		fmt.Fprintf(os.Stderr, "rsubench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(jsonPath string, quick, compare bool, threshold, baseline float64, args []string) error {
+	if !compare {
+		if len(args) != 0 {
+			return fmt.Errorf("unexpected arguments %v (did you mean -compare?)", args)
+		}
+		rep, err := bench.RunKernelSuite(quick, baseline)
+		if err != nil {
+			return err
+		}
+		return bench.WriteKernelReport(os.Stdout, rep, jsonPath)
+	}
+	switch len(args) {
+	case 2:
+		ref, err := bench.LoadKernelReport(args[0])
+		if err != nil {
+			return err
+		}
+		cur, err := bench.LoadKernelReport(args[1])
+		if err != nil {
+			return err
+		}
+		if bad := bench.CompareKernelReports(ref, cur, threshold); len(bad) > 0 {
+			for _, b := range bad {
+				fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", b)
+			}
+			return fmt.Errorf("%d regression(s) beyond %.1f%%", len(bad), threshold)
+		}
+		fmt.Printf("no regressions beyond %.1f%% (%s vs %s)\n", threshold, args[0], args[1])
+		return nil
+	case 1:
+		ref, err := bench.LoadKernelReport(args[0])
+		if err != nil {
+			return err
+		}
+		return bench.GateKernelReport(os.Stdout, ref, threshold)
+	default:
+		return fmt.Errorf("-compare needs one (gate) or two (diff) report files, got %d args", len(args))
+	}
+}

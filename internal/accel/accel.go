@@ -147,7 +147,7 @@ func Run(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config) (*img.Labe
 		obs.Add(rec, "accel.sweeps", 1)
 		if it >= half {
 			for i, l := range lm.Labels {
-				counts[i*m.M+l]++
+				counts[i*m.M+int(l)]++
 			}
 		}
 	}
@@ -162,7 +162,7 @@ func Run(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config) (*img.Labe
 				best, bestC = l, c
 			}
 		}
-		mode.Labels[i] = best
+		mode.Labels[i] = uint8(best)
 	}
 	return lm, mode, stats, stopErr
 }

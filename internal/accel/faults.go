@@ -160,7 +160,7 @@ func RunFaulty(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config, fopt
 		obs.Add(rec, "accel.sweeps", 1)
 		if it >= half {
 			for i, l := range lm.Labels {
-				counts[i*m.M+l]++
+				counts[i*m.M+int(l)]++
 			}
 		}
 	}
@@ -175,7 +175,7 @@ func RunFaulty(ctx context.Context, a apps.App, unit *rsu.Unit, cfg Config, fopt
 				best, bestC = l, c
 			}
 		}
-		mode.Labels[i] = best
+		mode.Labels[i] = uint8(best)
 	}
 	fstats.Audit = sess.Audit()
 	fstats.Audit.Schedule = fopt.Schedule

@@ -176,7 +176,7 @@ func TestMotionSoftwareRecoversField(t *testing.T) {
 	}
 	init := img.NewLabelMap(32, 32)
 	for i := range init.Labels {
-		init.Labels[i] = app.ZeroLabel()
+		init.Labels[i] = uint8(app.ZeroLabel())
 	}
 	res, err := RunSoftware(context.Background(), app, init, gibbs.Options{
 		Iterations: 50, BurnIn: 20, Schedule: gibbs.Checkerboard, TrackMode: true,

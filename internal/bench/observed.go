@@ -107,8 +107,10 @@ func Observed(ctx context.Context, w io.Writer, reg *obs.Registry) error {
 	return nil
 }
 
-// labelDigest hashes a label slice into a stable hex string.
-func labelDigest(labels []int) string {
+// labelDigest hashes a label slice into a stable hex string. Labels
+// are hashed as 8-byte words so the digest is unchanged from the
+// pre-packed (word-typed) label representation.
+func labelDigest(labels []uint8) string {
 	h := sha256.New()
 	var word [8]byte
 	for _, l := range labels {

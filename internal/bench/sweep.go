@@ -77,7 +77,7 @@ func sweepModel(w, h, m int) (*mrf.Model, *img.LabelMap) {
 	}
 	init := img.NewLabelMap(w, h)
 	for i := range init.Labels {
-		init.Labels[i] = obs[i] % m
+		init.Labels[i] = uint8(obs[i] % m)
 	}
 	return model, init
 }

@@ -105,10 +105,10 @@ func Digest(res *core.Result) string {
 	}
 	writeInt(res.Iterations)
 	for _, l := range res.Final.Labels {
-		writeInt(l)
+		writeInt(int(l))
 	}
 	for _, l := range res.MAP.Labels {
-		writeInt(l)
+		writeInt(int(l))
 	}
 	h.Write(res.Confidence.Pix)
 	writeInt(len(res.EnergyTrace))

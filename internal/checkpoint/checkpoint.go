@@ -35,7 +35,11 @@ const (
 	// Version is the current snapshot format version. Decoders accept
 	// exactly this version; the versioning rule (DESIGN.md §10) is that
 	// any change to the payload layout bumps it.
-	Version = 1
+	//
+	// v2: the label field is one byte per site (labels are bit-packed
+	// uint8 throughout the runtime; M <= 256), halving snapshot size
+	// versus the v1 uint16 encoding.
+	Version = 2
 
 	magic      = "RSUGCKPT"
 	headerLen  = len(magic) + 4 + 8
@@ -132,8 +136,10 @@ type Snapshot struct {
 	Sweep int
 	// W, H, M are the model geometry and label-space size.
 	W, H, M int
-	// Labels is the row-major label field (len W*H, each in [0, M)).
-	Labels []int
+	// Labels is the row-major bit-packed label field (len W*H, each in
+	// [0, M)), sharing img.LabelMap's byte-per-site representation so
+	// capture and restore are straight copies.
+	Labels []uint8
 	// Chain is the sequential (raster-schedule) stream state.
 	Chain [4]uint64
 	// Rows holds one stream state per image row (len H for
@@ -168,7 +174,7 @@ func (s *Snapshot) Validate() error {
 	switch {
 	case s.W <= 0 || s.H <= 0:
 		return fmt.Errorf("%w: geometry %dx%d", ErrCorrupt, s.W, s.H)
-	case s.M < 2 || s.M > 1<<16:
+	case s.M < 2 || s.M > 256:
 		return fmt.Errorf("%w: label count %d", ErrCorrupt, s.M)
 	case s.Sweep < 0:
 		return fmt.Errorf("%w: negative sweep %d", ErrCorrupt, s.Sweep)
@@ -180,7 +186,7 @@ func (s *Snapshot) Validate() error {
 		return fmt.Errorf("%w: %d mode counters, want %d", ErrCorrupt, len(s.Counts), s.W*s.H*s.M)
 	}
 	for i, l := range s.Labels {
-		if l < 0 || l >= s.M {
+		if int(l) >= s.M {
 			return fmt.Errorf("%w: label %d at site %d outside [0,%d)", ErrCorrupt, l, i, s.M)
 		}
 	}
@@ -190,7 +196,7 @@ func (s *Snapshot) Validate() error {
 // Clone returns a deep copy (sections included).
 func (s *Snapshot) Clone() *Snapshot {
 	c := *s
-	c.Labels = append([]int(nil), s.Labels...)
+	c.Labels = append([]uint8(nil), s.Labels...)
 	if s.Rows != nil {
 		c.Rows = append([][4]uint64(nil), s.Rows...)
 	}
@@ -328,10 +334,8 @@ func Encode(s *Snapshot) ([]byte, error) {
 	e.u64(uint64(s.W))
 	e.u64(uint64(s.H))
 	e.u64(uint64(s.M))
-	// Label field: M <= 65536, so uint16 per site.
-	for _, l := range s.Labels {
-		e.u16(uint16(l))
-	}
+	// Label field: bit-packed, one byte per site (M <= 256).
+	e.buf = append(e.buf, s.Labels...)
 	// RNG streams.
 	for _, w := range s.Chain {
 		e.u64(w)
@@ -417,10 +421,7 @@ func Decode(data []byte) (*Snapshot, error) {
 	if d.bad || s.W <= 0 || s.H <= 0 || s.W*s.H > maxPayload/2 {
 		return nil, fmt.Errorf("%w: implausible geometry", ErrCorrupt)
 	}
-	s.Labels = make([]int, s.W*s.H)
-	for i := range s.Labels {
-		s.Labels[i] = int(d.u16())
-	}
+	s.Labels = append([]uint8(nil), d.take(s.W*s.H)...)
 	for i := range s.Chain {
 		s.Chain[i] = d.u64()
 	}

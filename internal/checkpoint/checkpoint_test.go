@@ -28,7 +28,7 @@ func testSnapshot() *Snapshot {
 		},
 		Sweep: 12,
 		W:     4, H: 3, M: 5,
-		Labels: []int{0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1},
+		Labels: []uint8{0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1},
 		Chain:  [4]uint64{1, 2, 3, 4},
 		Rows: [][4]uint64{
 			{11, 12, 13, 14},
@@ -188,7 +188,7 @@ func TestValidateRejections(t *testing.T) {
 		{"label count 1", func(s *Snapshot) { s.M = 1 }},
 		{"negative sweep", func(s *Snapshot) { s.Sweep = -1 }},
 		{"short labels", func(s *Snapshot) { s.Labels = s.Labels[:5] }},
-		{"label out of range", func(s *Snapshot) { s.Labels[0] = s.M }},
+		{"label out of range", func(s *Snapshot) { s.Labels[0] = uint8(s.M) }},
 		{"row count mismatch", func(s *Snapshot) { s.Rows = s.Rows[:1] }},
 		{"counter mismatch", func(s *Snapshot) { s.Counts = s.Counts[:7] }},
 	}

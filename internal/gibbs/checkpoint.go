@@ -78,7 +78,7 @@ func (cs *chainState) capture(pol *CheckpointPolicy, next int) (*checkpoint.Snap
 		W:      cs.m.W,
 		H:      cs.m.H,
 		M:      cs.m.M,
-		Labels: append([]int(nil), cs.lm.Labels...),
+		Labels: append([]uint8(nil), cs.lm.Labels...),
 		Chain:  cs.chain.State(),
 	}
 	if pol != nil {

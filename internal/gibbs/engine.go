@@ -39,6 +39,24 @@ type engine struct {
 	work []chan span    // one channel per worker; nil until start
 	wg   sync.WaitGroup // open spans in the current color pass
 
+	// kernel, when non-nil, is the fused packed-label fast path for
+	// exact-Gibbs sweeps over a compiled integer-energy model. Checked
+	// per span via Ready() so an annealing step whose LUT has not been
+	// retuned falls back to the per-site path instead of serving stale
+	// rates. Bit-identical to the per-site path by construction (see
+	// mrf.Kernel), so engaging it changes no sampled label.
+	kernel *mrf.Kernel
+
+	// tileRows is the height of one work tile: enough rows that the
+	// unary-table slice a tile touches stays inside an L2-sized budget,
+	// so a worker's color pass streams each table row once instead of
+	// thrashing. Tiles are whole-row bands — the tiling never splits a
+	// row, so the row↔RNG-stream attachment (and with it worker-count
+	// invariance) is untouched, and two workers never write label cache
+	// lines of the same row. Tile i always goes to worker i%workers,
+	// a partition that depends only on the grid, never on scheduling.
+	tileRows int
+
 	// rec receives color-phase timings; recorded only on the
 	// coordinating goroutine (never inside sweepSpan) so workers stay
 	// free of instrumentation on the per-site hot path.
@@ -55,7 +73,38 @@ type span struct {
 // a single source when len(samplers) == 1, e.g. to drive all rows from
 // one sequential stream in tests).
 func newEngine(m *mrf.Model, lm *img.LabelMap, samplers []Sampler, rowSrc []*rng.Source) *engine {
-	return &engine{m: m, lm: lm, samplers: samplers, rowSrc: rowSrc}
+	e := &engine{m: m, lm: lm, samplers: samplers, rowSrc: rowSrc}
+	// The fused kernel implements exactly the ExactGibbs update; any
+	// other sampler (first-to-fire, Metropolis, fault-injection
+	// wrappers) keeps the per-site dispatch path.
+	if _, ok := samplers[0].(*ExactGibbs); ok {
+		e.kernel = m.Kernel()
+	}
+	e.tileRows = tileRowsFor(m)
+	return e
+}
+
+// tileL2Budget is the per-tile working-set budget. 256 KiB keeps the
+// dominant stream — the unary energy table, M entries per site — plus
+// three label rows and the doubleton tables resident in a typical
+// 0.5–1 MiB L2 slice with room for the other streams.
+const tileL2Budget = 256 << 10
+
+// tileRowsFor sizes a row-band tile for the model: the largest row
+// count whose unary-table footprint fits the L2 budget, clamped to
+// [1, H]. Unary entries are 4 bytes on the packed int32 path and 8 on
+// the float64 path; sizing for the wider one keeps a single tiling
+// valid for both.
+func tileRowsFor(m *mrf.Model) int {
+	rowBytes := m.W * m.M * 8
+	rows := tileL2Budget / rowBytes
+	if rows < 1 {
+		return 1
+	}
+	if rows > m.H {
+		return m.H
+	}
+	return rows
 }
 
 // start launches the persistent worker pool. It is a no-op for a single
@@ -65,8 +114,12 @@ func (e *engine) start() {
 		return
 	}
 	e.work = make([]chan span, len(e.samplers))
+	// Buffer a full color pass worth of tiles per worker so the
+	// coordinator never blocks feeding a busy worker while others idle.
+	tiles := (e.m.H + e.tileRows - 1) / e.tileRows
+	capPer := (tiles + len(e.samplers) - 1) / len(e.samplers)
 	for w := range e.work {
-		ch := make(chan span, 1)
+		ch := make(chan span, capPer)
 		e.work[w] = ch
 		go func(w int, ch <-chan span) {
 			for sp := range ch {
@@ -87,35 +140,36 @@ func (e *engine) stop() {
 }
 
 // sweep performs one checkerboard iteration: every conditional-
-// independence color class in turn, each class swept in parallel by the
-// pool (or inline for one worker).
+// independence color class in turn, each class swept tile by tile in
+// parallel by the pool (or inline for one worker).
+//
+// The color barrier (wg.Wait) is global, never per tile: a tile-local
+// color0+color1 pass would read neighbor labels a W=1 chain has not
+// produced yet and break worker-count invariance. Within a color the
+// tile partition is a pure function of the grid — tile i covers rows
+// [i*tileRows, ...) and runs on worker i%workers — so the labels are
+// identical for every worker count (RNG streams belong to rows), and
+// workers write disjoint whole-row bands.
 func (e *engine) sweep() {
 	colors := e.m.Hood.Colors()
 	workers := len(e.samplers)
-	if workers <= 1 {
-		for color := 0; color < colors; color++ {
-			endPhase := obs.Span(e.rec, "gibbs.color_phase")
-			e.sweepSpan(0, span{color, 0, e.m.H})
-			endPhase()
-		}
-		return
-	}
-	rowsPer := (e.m.H + workers - 1) / workers
+	H := e.m.H
+	tile := e.tileRows
 	for color := 0; color < colors; color++ {
 		endPhase := obs.Span(e.rec, "gibbs.color_phase")
-		for w := 0; w < workers; w++ {
-			y0 := w * rowsPer
-			y1 := y0 + rowsPer
-			if y1 > e.m.H {
-				y1 = e.m.H
+		if workers <= 1 {
+			for y0 := 0; y0 < H; y0 += tile {
+				e.sweepSpan(0, span{color, y0, min(y0+tile, H)})
 			}
-			if y0 >= y1 {
-				continue
+		} else {
+			t := 0
+			for y0 := 0; y0 < H; y0 += tile {
+				e.wg.Add(1)
+				e.work[t%workers] <- span{color, y0, min(y0+tile, H)}
+				t++
 			}
-			e.wg.Add(1)
-			e.work[w] <- span{color, y0, y1}
+			e.wg.Wait()
 		}
-		e.wg.Wait()
 		endPhase()
 	}
 }
@@ -123,7 +177,18 @@ func (e *engine) sweep() {
 // sweepSpan updates every site of sp's color in rows [y0, y1) using
 // worker w's sampler and the rows' own RNG streams.
 func (e *engine) sweepSpan(w int, sp span) {
-	m, lm, s := e.m, e.lm, e.samplers[w]
+	m, lm := e.m, e.lm
+	if k := e.kernel; k != nil && k.Ready() {
+		sc := mrf.GetScratch(m.M)
+		for y := sp.y0; y < sp.y1; y++ {
+			if x0, ok := m.Hood.RowStride(sp.color, y); ok {
+				k.SweepRow(lm, y, x0, 2, e.rowSrc[y], sc)
+			}
+		}
+		mrf.PutScratch(sc)
+		return
+	}
+	s := e.samplers[w]
 	for y := sp.y0; y < sp.y1; y++ {
 		x0, ok := m.Hood.RowStride(sp.color, y)
 		if !ok {
@@ -132,7 +197,7 @@ func (e *engine) sweepSpan(w int, sp span) {
 		src := e.rowSrc[y]
 		base := y * m.W
 		for x := x0; x < m.W; x += 2 {
-			lm.Labels[base+x] = s.SampleSite(m, lm, x, y, src)
+			lm.Labels[base+x] = uint8(s.SampleSite(m, lm, x, y, src))
 		}
 	}
 }

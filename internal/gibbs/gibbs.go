@@ -61,10 +61,13 @@ func (g *ExactGibbs) Name() string { return "exact-gibbs" }
 
 // SampleSite implements Sampler. Categorical normalizes internally, so
 // the unnormalized Boltzmann rates suffice — one fewer O(M) pass per
-// site than drawing from ConditionalProbs.
+// site than drawing from ConditionalProbs. The branch-free draw
+// returns the same index as CategoricalRates from the same generator
+// state, so this path and the fused kernel (mrf.Kernel) stay
+// byte-identical.
 func (g *ExactGibbs) SampleSite(m *mrf.Model, lm *img.LabelMap, x, y int, src *rng.Source) int {
 	g.buf = m.ConditionalRates(g.buf, lm, x, y)
-	return src.CategoricalRates(g.buf)
+	return src.CategoricalRatesBranchfree(g.buf)
 }
 
 // FirstToFireGibbs performs the Gibbs update by racing M ideal
@@ -230,7 +233,7 @@ func Run(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Factory,
 		return nil, fmt.Errorf("gibbs: init labeling is %dx%d, model is %dx%d", init.W, init.H, m.W, m.H)
 	}
 	for i, l := range init.Labels {
-		if l < 0 || l >= m.M {
+		if int(l) >= m.M {
 			return nil, fmt.Errorf("gibbs: init label %d at site %d outside [0,%d)", l, i, m.M)
 		}
 	}
@@ -373,7 +376,7 @@ func Run(ctx context.Context, m *mrf.Model, init *img.LabelMap, factory Factory,
 		obs.Add(rec, "gibbs.sites", int64(m.W*m.H))
 		if opt.TrackMode && it >= opt.BurnIn {
 			for i, l := range lm.Labels {
-				counts[i*m.M+l]++
+				counts[i*m.M+int(l)]++
 			}
 		}
 		if opt.RecordEnergyEvery > 0 && it%opt.RecordEnergyEvery == 0 {
@@ -430,7 +433,7 @@ func finish(res *Result, cs *chainState, opt Options, completed int) {
 				best, bestC = l, c
 			}
 		}
-		res.MAP.Labels[i] = best
+		res.MAP.Labels[i] = uint8(best)
 		if samples > 0 {
 			res.Confidence.Pix[i] = uint8(bestC * 255 / samples)
 		}
@@ -438,6 +441,16 @@ func finish(res *Result, cs *chainState, opt Options, completed int) {
 }
 
 func sweepRaster(m *mrf.Model, lm *img.LabelMap, s Sampler, src *rng.Source) {
+	if _, ok := s.(*ExactGibbs); ok {
+		if k := m.Kernel(); k != nil && k.Ready() {
+			sc := mrf.GetScratch(m.M)
+			for y := 0; y < m.H; y++ {
+				k.SweepRow(lm, y, 0, 1, src, sc)
+			}
+			mrf.PutScratch(sc)
+			return
+		}
+	}
 	for y := 0; y < m.H; y++ {
 		for x := 0; x < m.W; x++ {
 			lm.Set(x, y, s.SampleSite(m, lm, x, y, src))

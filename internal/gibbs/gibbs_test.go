@@ -156,7 +156,7 @@ func TestEnergyDecreasesFromRandomInit(t *testing.T) {
 	src := rng.New(5)
 	init := img.NewLabelMap(16, 16)
 	for i := range init.Labels {
-		init.Labels[i] = src.Intn(2)
+		init.Labels[i] = uint8(src.Intn(2))
 	}
 	before := m.TotalEnergy(init)
 	res, err := Run(context.Background(), m, init, NewExactGibbs(), Options{Iterations: 50}, 5)

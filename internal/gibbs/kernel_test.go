@@ -29,7 +29,7 @@ func siteKernel(m *mrf.Model, x, y int) [][]float64 {
 		probs := m.ConditionalProbs(nil, lm, x, y)
 		for l, pl := range probs {
 			old := lm.Labels[site]
-			lm.Labels[site] = l
+			lm.Labels[site] = uint8(l)
 			p[s][encodeState(lm, m.M)] += pl
 			lm.Labels[site] = old
 		}
@@ -39,7 +39,7 @@ func siteKernel(m *mrf.Model, x, y int) [][]float64 {
 
 func decodeState(s, m int, lm *img.LabelMap) {
 	for i := range lm.Labels {
-		lm.Labels[i] = s % m
+		lm.Labels[i] = uint8(s % m)
 		s /= m
 	}
 }

@@ -42,7 +42,7 @@ func exactBoltzmann(m *mrf.Model) []float64 {
 	for s := 0; s < states; s++ {
 		v := s
 		for i := 0; i < n; i++ {
-			lm.Labels[i] = v % m.M
+			lm.Labels[i] = uint8(v % m.M)
 			v /= m.M
 		}
 		p := math.Exp(-m.TotalEnergy(lm) / m.T)
@@ -58,7 +58,7 @@ func exactBoltzmann(m *mrf.Model) []float64 {
 func encodeState(lm *img.LabelMap, m int) int {
 	s, mul := 0, 1
 	for _, l := range lm.Labels {
-		s += l * mul
+		s += int(l) * mul
 		mul *= m
 	}
 	return s

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/img"
 	"repro/internal/mrf"
+	"repro/internal/rng"
 )
 
 // benchSweepModel is a segmentation-shaped workload (squared-difference
@@ -48,6 +49,7 @@ func BenchmarkSweep(b *testing.B) {
 				}
 				name := fmt.Sprintf("%s/M=%d/%s", schedName(sched), m, path)
 				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
 					model := benchSweepModel(w, h, m)
 					if compiled {
 						if err := model.Compile(); err != nil {
@@ -74,6 +76,60 @@ func BenchmarkSweep(b *testing.B) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// BenchmarkSweepSteadyState builds the chain once and measures repeated
+// checkerboard sweeps, isolating the per-sweep cost from run setup.
+// With -benchmem this is the kernel's zero-allocation proof: the
+// compiled sub-benchmarks report 0 allocs/op at any worker count
+// (kernel scratch is pooled, the worker channels are sized for a full
+// color pass up front).
+func BenchmarkSweepSteadyState(b *testing.B) {
+	const w, h, m = 256, 256, 16
+	for _, compiled := range []bool{false, true} {
+		path := "closure"
+		if compiled {
+			path = "compiled"
+		}
+		counts := []int{1}
+		if n := runtime.GOMAXPROCS(0); n > 1 {
+			counts = append(counts, n)
+		}
+		for _, workers := range counts {
+			b.Run(fmt.Sprintf("%s/W=%d", path, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				model := benchSweepModel(w, h, m)
+				if compiled {
+					if err := model.Compile(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				lm := img.NewLabelMap(w, h)
+				root := rng.New(7)
+				samplers := make([]Sampler, workers)
+				for i := range samplers {
+					samplers[i] = NewExactGibbs()()
+				}
+				rowSrc := make([]*rng.Source, h)
+				for y := range rowSrc {
+					rowSrc[y] = root.Split()
+				}
+				eng := newEngine(model, lm, samplers, rowSrc)
+				eng.start()
+				defer eng.stop()
+				eng.sweep() // warm sampler scratch and the kernel pool
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.sweep()
+				}
+				b.StopTimer()
+				sites := float64(w*h) * float64(b.N)
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(secs*1e9/sites, "ns/site")
+				}
+			})
 		}
 	}
 }

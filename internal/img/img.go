@@ -78,11 +78,22 @@ func (g *Gray) Fill(v uint8) {
 	}
 }
 
-// LabelMap is a per-pixel integer label field (the latent random
-// variables X of the MRF), same layout as Gray.
+// MaxLabels is the size of the label alphabet a LabelMap can store.
+// Labels are bit-packed into one byte per site (the RSU-G datapath
+// carries 6-bit labels, fixed.LabelBits; a byte is the smallest
+// addressable unit that holds one), so label values must fit uint8.
+const MaxLabels = 256
+
+// LabelMap is a per-pixel label field (the latent random variables X of
+// the MRF), same layout as Gray. Labels are stored bit-packed as one
+// byte per site — an 8x smaller working set than a word-typed slab,
+// which keeps the sweep kernel's label traffic L1/L2 resident (the
+// paper's RSU-G carries labels as 6-bit values for the same reason,
+// §4.4). The accessor surface still speaks int; the packed
+// representation is visible only to code that indexes Labels directly.
 type LabelMap struct {
 	W, H   int
-	Labels []int
+	Labels []uint8
 }
 
 // NewLabelMap allocates a zeroed label map.
@@ -90,7 +101,7 @@ func NewLabelMap(w, h int) *LabelMap {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("img: invalid dimensions %dx%d", w, h))
 	}
-	return &LabelMap{W: w, H: h, Labels: make([]int, w*h)}
+	return &LabelMap{W: w, H: h, Labels: make([]uint8, w*h)}
 }
 
 // At returns the label at (x, y) with replicate padding.
@@ -107,15 +118,19 @@ func (m *LabelMap) At(x, y int) int {
 	if y >= m.H {
 		y = m.H - 1
 	}
-	return m.Labels[y*m.W+x]
+	return int(m.Labels[y*m.W+x])
 }
 
 // Set writes the label at (x, y); out-of-range coordinates are ignored.
+// It panics if v does not fit the packed byte representation.
 func (m *LabelMap) Set(x, y int, v int) {
 	if x < 0 || x >= m.W || y < 0 || y >= m.H {
 		return
 	}
-	m.Labels[y*m.W+x] = v
+	if v < 0 || v >= MaxLabels {
+		panic(fmt.Sprintf("img: label %d outside packed range [0,%d)", v, MaxLabels))
+	}
+	m.Labels[y*m.W+x] = uint8(v)
 }
 
 // Clone returns a deep copy.
@@ -130,7 +145,7 @@ func (m *LabelMap) Clone() *LabelMap {
 func (m *LabelMap) Render(palette []uint8) *Gray {
 	g := NewGray(m.W, m.H)
 	for i, l := range m.Labels {
-		if l >= 0 && l < len(palette) {
+		if int(l) < len(palette) {
 			g.Pix[i] = palette[l]
 		}
 	}

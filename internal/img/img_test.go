@@ -204,10 +204,10 @@ func TestBlobSceneProperties(t *testing.T) {
 	}
 	seen := map[int]bool{}
 	for _, l := range s.Truth.Labels {
-		if l < 0 || l >= 5 {
+		if l >= 5 {
 			t.Fatalf("label %d out of range", l)
 		}
-		seen[l] = true
+		seen[int(l)] = true
 	}
 	if !seen[0] {
 		t.Fatal("background label absent")

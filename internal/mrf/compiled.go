@@ -41,6 +41,26 @@ type tables struct {
 	// maxRateLUT.
 	expLUT []float64
 	expT   float64
+
+	// ui/di/diDiag mirror u/d/dDiag quantized to int32 — the packed
+	// energy domain of the fused sweep kernel (see kernel.go). They are
+	// built only when the integer gate that enables expLUT passes, so
+	// every entry is an exact small integer and int32 accumulation
+	// produces the same energies (and therefore, through the shared
+	// LUT, bit-identical rates) as the float64 path. Halving the entry
+	// width halves the unary table's memory traffic, which dominates
+	// the sweep's bandwidth cost.
+	ui     []int32
+	di     []int32
+	diDiag []int32
+
+	// diPair folds two doubleton lookups into one:
+	// diPair[(a*M+b)*M + l] = di[a*M+l] + di[b*M+l]. An interior
+	// first-order site then gathers u + pair(left,right) + pair(up,down)
+	// — three table streams instead of five, two adds instead of four.
+	// Integer addition is exact, so the folded sums equal the unfolded
+	// ones. Size M^3 int32 (16 KiB at M=16, 1 MiB at the M=64 cap).
+	diPair []int32
 }
 
 // maxRateLUT bounds the rate LUT to 2 MiB (entries are float64). The
@@ -87,8 +107,38 @@ func (m *Model) Compile() error {
 		}
 	}
 	t.buildRateLUT(m.T)
+	if t.expLUT != nil {
+		// The integer gate passed: every table entry is a non-negative
+		// integer <= maxRateLUT, so int32 holds it exactly.
+		t.ui = quantizeInt32(t.u)
+		t.di = quantizeInt32(t.d)
+		if t.dDiag != nil {
+			t.diDiag = quantizeInt32(t.dDiag)
+		}
+		t.diPair = make([]int32, m.M*m.M*m.M)
+		for a := 0; a < m.M; a++ {
+			for b := 0; b < m.M; b++ {
+				row := t.diPair[(a*m.M+b)*m.M:]
+				ra := t.di[a*m.M : (a+1)*m.M]
+				rb := t.di[b*m.M : (b+1)*m.M]
+				for l := 0; l < m.M; l++ {
+					row[l] = ra[l] + rb[l]
+				}
+			}
+		}
+	}
 	m.tables = t
 	return nil
+}
+
+// quantizeInt32 copies integer-valued float64 energies into the packed
+// int32 domain. Callers must have passed vals through integerSpan.
+func quantizeInt32(vals []float64) []int32 {
+	out := make([]int32, len(vals))
+	for i, v := range vals {
+		out[i] = int32(v)
+	}
+	return out
 }
 
 // buildRateLUT materializes exp(-k/T) for every reachable integer
@@ -178,7 +228,8 @@ func (m *Model) fastConditionalEnergies(buf []float64, lm *img.LabelMap, x, y in
 		if nx < 0 || nx >= m.W || ny < 0 || ny >= m.H {
 			continue
 		}
-		row := t.d[lm.Labels[ny*m.W+nx]*mm : (lm.Labels[ny*m.W+nx]+1)*mm]
+		nl := int(lm.Labels[ny*m.W+nx])
+		row := t.d[nl*mm : (nl+1)*mm]
 		for l, dv := range row {
 			buf[l] += dv
 		}
@@ -189,7 +240,8 @@ func (m *Model) fastConditionalEnergies(buf []float64, lm *img.LabelMap, x, y in
 			if nx < 0 || nx >= m.W || ny < 0 || ny >= m.H {
 				continue
 			}
-			row := t.dDiag[lm.Labels[ny*m.W+nx]*mm : (lm.Labels[ny*m.W+nx]+1)*mm]
+			nl := int(lm.Labels[ny*m.W+nx])
+			row := t.dDiag[nl*mm : (nl+1)*mm]
 			for l, dv := range row {
 				buf[l] += dv
 			}
@@ -209,7 +261,7 @@ func (m *Model) fastSiteEnergy(lm *img.LabelMap, x, y, label int) float64 {
 		if nx < 0 || nx >= m.W || ny < 0 || ny >= m.H {
 			continue
 		}
-		e += t.d[lm.Labels[ny*m.W+nx]*mm+label]
+		e += t.d[int(lm.Labels[ny*m.W+nx])*mm+label]
 	}
 	if m.Hood == SecondOrder {
 		for _, off := range diagonalOffsets {
@@ -217,7 +269,7 @@ func (m *Model) fastSiteEnergy(lm *img.LabelMap, x, y, label int) float64 {
 			if nx < 0 || nx >= m.W || ny < 0 || ny >= m.H {
 				continue
 			}
-			e += t.dDiag[lm.Labels[ny*m.W+nx]*mm+label]
+			e += t.dDiag[int(lm.Labels[ny*m.W+nx])*mm+label]
 		}
 	}
 	return e
@@ -231,20 +283,20 @@ func (m *Model) fastTotalEnergy(lm *img.LabelMap) float64 {
 	e := 0.0
 	for y := 0; y < m.H; y++ {
 		for x := 0; x < m.W; x++ {
-			l := lm.Labels[y*m.W+x]
+			l := int(lm.Labels[y*m.W+x])
 			e += t.u[(y*m.W+x)*mm+l]
 			if x+1 < m.W {
-				e += t.d[lm.Labels[y*m.W+x+1]*mm+l]
+				e += t.d[int(lm.Labels[y*m.W+x+1])*mm+l]
 			}
 			if y+1 < m.H {
-				e += t.d[lm.Labels[(y+1)*m.W+x]*mm+l]
+				e += t.d[int(lm.Labels[(y+1)*m.W+x])*mm+l]
 			}
 			if m.Hood == SecondOrder && y+1 < m.H {
 				if x+1 < m.W {
-					e += t.dDiag[lm.Labels[(y+1)*m.W+x+1]*mm+l]
+					e += t.dDiag[int(lm.Labels[(y+1)*m.W+x+1])*mm+l]
 				}
 				if x-1 >= 0 {
-					e += t.dDiag[lm.Labels[(y+1)*m.W+x-1]*mm+l]
+					e += t.dDiag[int(lm.Labels[(y+1)*m.W+x-1])*mm+l]
 				}
 			}
 		}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fixed"
 	"repro/internal/img"
 )
 
@@ -63,6 +64,12 @@ func (m *Model) Validate() error {
 		return fmt.Errorf("mrf: invalid grid %dx%d", m.W, m.H)
 	case m.M < 2:
 		return fmt.Errorf("mrf: need at least 2 labels, got %d", m.M)
+	case m.M > fixed.MaxLabels:
+		// The RSU-G datapath carries 6-bit labels (fixed.LabelBits), so
+		// every application's label space fits 64 values; the packed
+		// label representation and the int32 energy kernel both rely on
+		// this bound.
+		return fmt.Errorf("mrf: %d labels exceed the %d-label (6-bit) RSU-G alphabet", m.M, fixed.MaxLabels)
 	case m.T <= 0:
 		return fmt.Errorf("mrf: temperature must be positive, got %v", m.T)
 	case m.Singleton == nil:

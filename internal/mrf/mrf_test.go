@@ -86,7 +86,7 @@ func TestConditionalEnergiesMatchSiteEnergy(t *testing.T) {
 	m := testModel(5, 4, 3)
 	lm := img.NewLabelMap(5, 4)
 	for i := range lm.Labels {
-		lm.Labels[i] = i % 3
+		lm.Labels[i] = uint8(i % 3)
 	}
 	var buf []float64
 	for y := 0; y < m.H; y++ {
@@ -149,7 +149,7 @@ func TestTotalEnergyDeltaConsistency(t *testing.T) {
 	m := testModel(5, 5, 4)
 	lm := img.NewLabelMap(5, 5)
 	for i := range lm.Labels {
-		lm.Labels[i] = (i * 7) % 4
+		lm.Labels[i] = uint8((i * 7) % 4)
 	}
 	for _, site := range [][2]int{{0, 0}, {2, 2}, {4, 4}, {0, 3}, {4, 0}} {
 		x, y := site[0], site[1]

@@ -105,7 +105,7 @@ func TestSecondOrderConditionalMatchesSiteEnergy(t *testing.T) {
 	m := secondOrderModel(5, 4, 3)
 	lm := img.NewLabelMap(5, 4)
 	for i := range lm.Labels {
-		lm.Labels[i] = (i * 5) % 3
+		lm.Labels[i] = uint8((i * 5) % 3)
 	}
 	var buf []float64
 	for y := 0; y < m.H; y++ {
@@ -126,7 +126,7 @@ func TestSecondOrderTotalEnergyDelta(t *testing.T) {
 	m := secondOrderModel(5, 5, 4)
 	lm := img.NewLabelMap(5, 5)
 	for i := range lm.Labels {
-		lm.Labels[i] = (i * 3) % 4
+		lm.Labels[i] = uint8((i * 3) % 4)
 	}
 	for _, site := range [][2]int{{0, 0}, {2, 2}, {4, 4}, {1, 3}, {4, 0}, {0, 4}} {
 		x, y := site[0], site[1]
@@ -154,7 +154,7 @@ func TestSecondOrderDegeneratesToFirstOrder(t *testing.T) {
 		m2.LambdaDiag = 0
 		lm := img.NewLabelMap(4, 4)
 		for i := range lm.Labels {
-			lm.Labels[i] = (int(seed) + i*7) % 3
+			lm.Labels[i] = uint8((int(seed) + i*7) % 3)
 		}
 		if m1.TotalEnergy(lm) != m2.TotalEnergy(lm) {
 			return false

@@ -11,12 +11,30 @@ import "math"
 type Alias struct {
 	prob  []float64
 	alias []int
+
+	// Partition scratch retained across Rebuild calls so rebuilding a
+	// table of the same (or smaller) size allocates nothing — the case
+	// the Gibbs rebuild-per-sample benchmark measures.
+	scaled []float64
+	small  []int
+	large  []int
 }
 
 // NewAlias builds an alias table for the given non-negative weights.
 // It panics if weights is empty, contains a negative or NaN entry, or
 // sums to zero.
 func NewAlias(weights []float64) *Alias {
+	a := &Alias{}
+	a.Rebuild(weights)
+	return a
+}
+
+// Rebuild re-derives the table in place for a new weight vector,
+// reusing the existing storage when cap allows (zero allocations for
+// same-size rebuilds). The panics and the resulting table state are
+// identical to NewAlias: after Rebuild(w), the table is word-for-word
+// equal to NewAlias(w)'s.
+func (a *Alias) Rebuild(weights []float64) {
 	n := len(weights)
 	if n == 0 {
 		panic("rng: NewAlias needs at least one weight")
@@ -31,14 +49,13 @@ func NewAlias(weights []float64) *Alias {
 	if total <= 0 {
 		panic("rng: NewAlias weights must have positive sum")
 	}
-	a := &Alias{
-		prob:  make([]float64, n),
-		alias: make([]int, n),
-	}
+	a.prob = grow(a.prob, n)
+	a.alias = grow(a.alias, n)
 	// Scaled probabilities; partition into small (<1) and large (>=1).
-	scaled := make([]float64, n)
-	small := make([]int, 0, n)
-	large := make([]int, 0, n)
+	a.scaled = grow(a.scaled, n)
+	scaled := a.scaled
+	small := a.small[:0]
+	large := a.large[:0]
 	for i, w := range weights {
 		scaled[i] = w * float64(n) / total
 		if scaled[i] < 1 {
@@ -70,7 +87,16 @@ func NewAlias(weights []float64) *Alias {
 		a.prob[i] = 1
 		a.alias[i] = i
 	}
-	return a
+	a.small, a.large = small, large
+}
+
+// grow returns s resized to length n, reusing its backing array when
+// the capacity allows.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 // Len returns the number of categories.

@@ -1,0 +1,213 @@
+package rng
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// randWeights returns a length-n weight vector with roughly zeroFrac of
+// the entries exactly zero (never all of them).
+func randWeights(src *Source, n int, zeroFrac float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		if src.Float64() < zeroFrac {
+			continue // leave exactly zero
+		}
+		w[i] = src.Float64() * 10
+	}
+	w[src.Intn(n)] += 1 // guarantee a positive sum
+	return w
+}
+
+// TestAliasRebuildWordExact checks Rebuild's contract: after
+// a.Rebuild(w), the table is word-for-word the table NewAlias(w) builds
+// — same probability bits, same alias indices, same serialized bytes —
+// regardless of what the table held before.
+func TestAliasRebuildWordExact(t *testing.T) {
+	src := New(101)
+	a := NewAlias([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + src.Intn(70)
+		w := randWeights(src, n, 0.3)
+		a.Rebuild(w)
+		fresh := NewAlias(w)
+		if a.Len() != fresh.Len() {
+			t.Fatalf("trial %d: Len %d != %d", trial, a.Len(), fresh.Len())
+		}
+		for i := range fresh.prob {
+			if math.Float64bits(a.prob[i]) != math.Float64bits(fresh.prob[i]) {
+				t.Fatalf("trial %d: prob[%d] %v != %v", trial, i, a.prob[i], fresh.prob[i])
+			}
+			if a.alias[i] != fresh.alias[i] {
+				t.Fatalf("trial %d: alias[%d] %d != %d", trial, i, a.alias[i], fresh.alias[i])
+			}
+		}
+		ab, err := a.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := fresh.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab, fb) {
+			t.Fatalf("trial %d: rebuilt table serializes differently from fresh table", trial)
+		}
+	}
+}
+
+// TestAliasSingleLabelRow covers the degenerate M=1 full-conditional
+// (one label row): the table must always return index 0, including
+// after rebuilding down from a larger table.
+func TestAliasSingleLabelRow(t *testing.T) {
+	a := NewAlias([]float64{0, 2, 0, 5})
+	a.Rebuild([]float64{0.125})
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", a.Len())
+	}
+	src := New(5)
+	for i := 0; i < 100; i++ {
+		if got := a.Sample(src); got != 0 {
+			t.Fatalf("draw %d: single-category table returned %d", i, got)
+		}
+	}
+}
+
+// TestAliasZeroWeightEntries: zero-weight categories (labels whose
+// Boltzmann rate underflowed, or masked labels) must never be sampled,
+// and the positive entries must keep their relative frequencies.
+func TestAliasZeroWeightEntries(t *testing.T) {
+	w := []float64{0, 3, 0, 0, 1, 0}
+	a := NewAlias(w)
+	src := New(77)
+	const draws = 200000
+	counts := make([]int, len(w))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(src)]++
+	}
+	for i, c := range counts {
+		if w[i] == 0 && c > 0 {
+			t.Fatalf("zero-weight category %d drawn %d times", i, c)
+		}
+	}
+	got := float64(counts[1]) / float64(counts[4])
+	if got < 2.8 || got > 3.2 {
+		t.Fatalf("frequency ratio of weights 3:1 came out %.3f", got)
+	}
+	// All-but-one zero: the survivor must absorb every draw.
+	a.Rebuild([]float64{0, 0, 7, 0})
+	for i := 0; i < 100; i++ {
+		if got := a.Sample(src); got != 2 {
+			t.Fatalf("only-positive-category table returned %d", got)
+		}
+	}
+}
+
+// TestAliasStateRoundTripAfterRebuild: the word-exact serialization
+// contract must hold for a rebuilt (storage-reusing) table just as for
+// a fresh one — a checkpoint taken after any number of rebuilds
+// restores a table with identical draws.
+func TestAliasStateRoundTripAfterRebuild(t *testing.T) {
+	a := NewAlias([]float64{1, 1, 1, 1, 1, 1, 1, 1})
+	a.Rebuild([]float64{0.5, 0, 3.25, 1e-9})
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Alias
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.prob {
+		if math.Float64bits(back.prob[i]) != math.Float64bits(a.prob[i]) {
+			t.Fatalf("prob[%d]: restored %v != %v", i, back.prob[i], a.prob[i])
+		}
+		if back.alias[i] != a.alias[i] {
+			t.Fatalf("alias[%d]: restored %d != %d", i, back.alias[i], a.alias[i])
+		}
+	}
+	s1, s2 := New(13), New(13)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Sample(s1), back.Sample(s2); x != y {
+			t.Fatalf("draw %d: original %d != restored %d", i, x, y)
+		}
+	}
+}
+
+// TestAliasRebuildAllocFree: same-size (and shrinking) rebuilds must
+// reuse the table's storage — this is what keeps the rebuild-per-sample
+// Gibbs benchmark honest about the alias method's true per-site cost.
+func TestAliasRebuildAllocFree(t *testing.T) {
+	a := NewAlias(randWeights(New(2), 16, 0))
+	w := randWeights(New(3), 16, 0.25)
+	small := randWeights(New(4), 5, 0.25)
+	if allocs := testing.AllocsPerRun(100, func() { a.Rebuild(w) }); allocs != 0 {
+		t.Fatalf("same-size Rebuild allocates %.1f times per call", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { a.Rebuild(small) }); allocs != 0 {
+		t.Fatalf("shrinking Rebuild allocates %.1f times per call", allocs)
+	}
+}
+
+// TestAliasRebuildPanics: Rebuild enforces exactly the NewAlias input
+// contract, and a panicking Rebuild must not be reachable with weights
+// NewAlias would accept.
+func TestAliasRebuildPanics(t *testing.T) {
+	cases := map[string][]float64{
+		"empty":    {},
+		"negative": {1, -0.5, 2},
+		"nan":      {1, math.NaN()},
+		"zero-sum": {0, 0, 0},
+	}
+	for name, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Rebuild did not panic", name)
+				}
+			}()
+			a := NewAlias([]float64{1, 2})
+			a.Rebuild(w)
+		}()
+	}
+}
+
+// TestCategoricalRatesBranchfreeMatches: the branch-free draw must
+// select the identical index to CategoricalRates from the identical
+// generator state — the keystone of the compiled kernel's byte-identity
+// chain. Exercised across sizes (including single-label), zero-weight
+// patterns, and LUT-shaped rate vectors (exp(-k/T) with a guaranteed
+// 1.0 entry).
+func TestCategoricalRatesBranchfreeMatches(t *testing.T) {
+	meta := New(2024)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + meta.Intn(64)
+		var w []float64
+		switch trial % 3 {
+		case 0:
+			w = randWeights(meta, n, 0)
+		case 1:
+			w = randWeights(meta, n, 0.5)
+		default:
+			// Boltzmann-rate shape: integer energy gaps through exp.
+			w = make([]float64, n)
+			for i := range w {
+				w[i] = math.Exp(-float64(meta.Intn(40)) / 12)
+			}
+			w[meta.Intn(n)] = 1 // the min-energy label
+		}
+		seed := meta.Uint64() | 1
+		s1, s2 := New(seed), New(seed)
+		for d := 0; d < 20; d++ {
+			ref := s1.CategoricalRates(w)
+			got := s2.CategoricalRatesBranchfree(w)
+			if ref != got {
+				t.Fatalf("trial %d draw %d (n=%d): reference %d, branch-free %d", trial, d, n, ref, got)
+			}
+			if s1.State() != s2.State() {
+				t.Fatalf("trial %d draw %d: generator states diverged", trial, d)
+			}
+		}
+	}
+}

@@ -270,6 +270,46 @@ func (r *Source) CategoricalRates(weights []float64) int {
 	return len(weights) - 1
 }
 
+// CategoricalRatesBranchfree draws the same index CategoricalRates
+// would draw from the same generator state, but with a branch-free
+// inner loop: instead of scanning the cumulative sum until it passes
+// u (a data-dependent branch the CPU mispredicts roughly once per
+// draw), it counts the prefix sums that u has NOT yet passed using
+// the sign bit of (u - acc). The selected index is the number of
+// prefixes with u >= acc, which is exactly the first index whose
+// cumulative sum exceeds u — the index the early-exit scan returns.
+//
+// Byte-identity argument (relied on by the compiled-vs-closure
+// equivalence tests): both paths consume a single Float64, compute
+// the same total and the same partial sums in the same order, and
+// resolve floating-point slack (u never passed by any prefix, which
+// can happen when rounding makes acc's final value dip below u) by
+// falling back to the last index with positive weight.
+func (r *Source) CategoricalRatesBranchfree(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	n := 0
+	for _, w := range weights {
+		acc += w
+		// (u - acc) has its sign bit set iff u < acc; invert so n
+		// counts the prefixes with u >= acc.
+		n += int(math.Float64bits(u-acc)>>63) ^ 1
+	}
+	if n < len(weights) {
+		return n
+	}
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
 // GumbelArgmax draws an index distributed ∝ exp(logits[i]) using the
 // Gumbel-max trick. It is the log-domain analogue of Categorical and the
 // direct mathematical cousin of the first-to-fire race: adding Gumbel
