@@ -3,7 +3,11 @@
 #   make build   compile everything
 #   make vet     go vet over the module
 #   make lint    rsulint static-analysis suite (determinism, bit-width,
-#                RNG-ownership invariants) — must exit clean
+#                RNG-ownership, ctx-flow, hot-allocation, checkpoint-field
+#                and error-wrapping invariants) — must exit clean
+#   make lint-escape  lint plus the compiler-assisted escape cross-check
+#                of //rsulint:hot functions (slower: rebuilds with -m)
+#   make fuzz-smoke   30s coverage-guided fuzz of the snapshot decoder
 #   make test    full test suite
 #   make race    race-detector pass over the whole module
 #   make bench   sweep-engine micro-benchmarks + throughput report
@@ -12,7 +16,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench chaos sweep-report faults-report obs-smoke kernel-report bench-smoke all
+.PHONY: build vet lint lint-escape test race bench chaos sweep-report faults-report obs-smoke kernel-report bench-smoke fuzz-smoke all
 
 all: build vet lint test race
 
@@ -22,10 +26,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific analyzers (cmd/rsulint): detrand, rngshare, bitwidth,
-# floateq, deadassign. Exit 1 on any finding — the tree stays lint-clean.
+# Project-specific analyzers (cmd/rsulint): bitwidth, ckptfield, ctxflow,
+# deadassign, detrand, errwrap, floateq, hotalloc, rngshare — plus stale
+# //lint:ignore detection. Exit 1 on any finding — the tree stays
+# lint-clean.
 lint:
 	$(GO) run ./cmd/rsulint ./...
+
+# Lint plus the escape-analysis cross-check: rebuilds every package that
+# contains a //rsulint:hot function with -gcflags=-m (fresh build cache)
+# and fails if the compiler reports a heap escape inside a hot function
+# or any same-package callee on its hot path.
+lint-escape:
+	$(GO) run ./cmd/rsulint -hot-escape ./...
 
 test:
 	$(GO) test ./...
@@ -63,6 +76,13 @@ kernel-report:
 # allocation-free).
 bench-smoke:
 	$(GO) run ./cmd/rsubench -quick -compare BENCH_kernel.json -threshold 5
+
+# Coverage-guided fuzz of the snapshot decoder: 30 seconds of arbitrary
+# bytes through Decode, asserting the typed-error contract (ErrCorrupt /
+# ErrVersion only) and that every accepted input re-encodes to a
+# canonical fixed point.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzCheckpointLoad -fuzztime=30s ./internal/checkpoint
 
 # Observability gate: run the recorder-overhead + determinism
 # experiment (fails if an observed run diverges from an unobserved

@@ -100,22 +100,22 @@ func main() {
 		run("Table 4", bench.Table4)
 	}
 	if *figure == 7 || !selected {
-		run("Figure 7", func(w io.Writer) error { return bench.Figure7(w, *outDir) })
+		run("Figure 7", func(w io.Writer) error { return bench.Figure7(ctx, w, *outDir) })
 	}
 	if *figure == 8 || !selected {
 		run("Figure 8", bench.Figure8)
 	}
 	if *experiment == "accelerator" || !selected {
-		run("Accelerator analysis (8.2)", bench.Accelerator)
+		run("Accelerator analysis (8.2)", func(w io.Writer) error { return bench.Accelerator(ctx, w) })
 	}
 	if *experiment == "ratio" || !selected {
 		run("Prototype ratio sweep (7)", bench.Ratio)
 	}
 	if *experiment == "fidelity" || !selected {
-		run("Functional fidelity", bench.Fidelity)
+		run("Functional fidelity", func(w io.Writer) error { return bench.Fidelity(ctx, w) })
 	}
 	if *experiment == "ablation" || !selected {
-		run("Design ablations", bench.Ablation)
+		run("Design ablations", func(w io.Writer) error { return bench.Ablation(ctx, w) })
 	}
 	if *experiment == "gpusim" || !selected {
 		run("Bottom-up GPU simulation", bench.GPUSim)
@@ -123,23 +123,23 @@ func main() {
 	if *experiment == "faults" || !selected {
 		run("Fault injection and degradation", func(w io.Writer) error {
 			if *faultsJSON != "" {
-				return bench.FaultsJSON(w, *faultsJSON)
+				return bench.FaultsJSON(ctx, w, *faultsJSON)
 			}
-			return bench.Faults(w)
+			return bench.Faults(ctx, w)
 		})
 	}
 	// Host-speed measurements, not paper artifacts: only on request.
 	if *experiment == "checkpoint" {
 		run("Checkpoint overhead", func(w io.Writer) error {
-			return bench.CheckpointCtx(ctx, w)
+			return bench.Checkpoint(ctx, w)
 		})
 	}
 	if *experiment == "sweep" {
 		run("Sweep engine throughput", func(w io.Writer) error {
 			if *sweepJSON != "" {
-				return bench.SweepJSON(w, *sweepJSON, *sweepBaseline)
+				return bench.SweepJSON(ctx, w, *sweepJSON, *sweepBaseline)
 			}
-			return bench.Sweep(w)
+			return bench.Sweep(ctx, w)
 		})
 	}
 	if *experiment == "observed" {

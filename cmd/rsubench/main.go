@@ -21,10 +21,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/bench"
 )
@@ -54,18 +57,21 @@ func main() {
 		rest = rest[1:]
 	}
 
-	if err := run(*jsonPath, *quick, *compare, *threshold, *baseline, files); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *jsonPath, *quick, *compare, *threshold, *baseline, files); err != nil {
 		fmt.Fprintf(os.Stderr, "rsubench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(jsonPath string, quick, compare bool, threshold, baseline float64, args []string) error {
+func run(ctx context.Context, jsonPath string, quick, compare bool, threshold, baseline float64, args []string) error {
 	if !compare {
 		if len(args) != 0 {
 			return fmt.Errorf("unexpected arguments %v (did you mean -compare?)", args)
 		}
-		rep, err := bench.RunKernelSuite(quick, baseline)
+		rep, err := bench.RunKernelSuite(ctx, quick, baseline)
 		if err != nil {
 			return err
 		}
@@ -94,7 +100,7 @@ func run(jsonPath string, quick, compare bool, threshold, baseline float64, args
 		if err != nil {
 			return err
 		}
-		return bench.GateKernelReport(os.Stdout, ref, threshold)
+		return bench.GateKernelReport(ctx, os.Stdout, ref, threshold)
 	default:
 		return fmt.Errorf("-compare needs one (gate) or two (diff) report files, got %d args", len(args))
 	}

@@ -1,13 +1,16 @@
 // Command rsulint runs the project's static-analysis suite over the
-// module: five analyzers (detrand, rngshare, bitwidth, floateq,
-// deadassign) that mechanically enforce the reproduction's determinism,
-// datapath bit-width and RNG-ownership invariants. It is stdlib-only:
-// packages are parsed and type-checked from source, so it needs no
-// pre-built export data and no external dependencies.
+// module: nine analyzers that mechanically enforce the reproduction's
+// invariants — determinism (detrand, rngshare), datapath bit-widths
+// (bitwidth), float discipline (floateq), dead stores (deadassign),
+// context-first cancellation flow (ctxflow), allocation-free hot
+// kernels (hotalloc), checkpoint field balance (ckptfield) and error
+// identity (errwrap). It is stdlib-only: packages are parsed and
+// type-checked from source, so it needs no pre-built export data and no
+// external dependencies.
 //
 // Usage:
 //
-//	rsulint [-json] [-allow list] [packages]
+//	rsulint [-json] [-fix] [-hot-escape] [-allow list] [packages]
 //
 // Packages default to ./... relative to the enclosing module. The
 // allowlist exempts packages from analyzers; each comma-separated entry
@@ -17,10 +20,20 @@
 // wall clock to print timings, but every other invariant still applies
 // to them.
 //
+// -fix renders suggested rewrites as dry-run diffs on stdout; nothing
+// is written back. -hot-escape recompiles the packages containing
+// //rsulint:hot functions with -gcflags=-m in a throwaway build cache
+// and reports compiler-proven heap escapes inside the hot ranges —
+// exact where the AST mode approximates, at the cost of a fresh build.
+//
 // Individual findings can be silenced in source with a trailing or
 // immediately preceding comment:
 //
 //	//lint:ignore rsulint/<analyzer> reason
+//
+// A comment that suppresses nothing is itself reported (analyzer
+// "staleignore") so the escape hatches cannot outlive the code they
+// excused.
 //
 // Exit status: 0 clean, 1 findings reported, 2 load or usage failure.
 package main
@@ -30,20 +43,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/bitwidth"
+	"repro/internal/analysis/ckptfield"
+	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/deadassign"
 	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/errwrap"
 	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/rngshare"
 )
 
 var analyzers = []*analysis.Analyzer{
 	bitwidth.Analyzer,
+	ckptfield.Analyzer,
+	ctxflow.Analyzer,
 	deadassign.Analyzer,
 	detrand.Analyzer,
+	errwrap.Analyzer,
 	floateq.Analyzer,
+	hotalloc.Analyzer,
 	rngshare.Analyzer,
 }
 
@@ -57,10 +79,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("rsulint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	fixOut := fs.Bool("fix", false, "render suggested fixes as dry-run diffs (no files are modified)")
+	hotEscape := fs.Bool("hot-escape", false, "cross-check //rsulint:hot functions against compiler escape analysis (recompiles)")
 	allowFlag := fs.String("allow", defaultAllow, "package allowlist: comma-separated prefix[:analyzer+analyzer] entries")
 	list := fs.Bool("analyzers", false, "list the analyzers and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: rsulint [-json] [-allow list] [packages]\n")
+		fmt.Fprintf(stderr, "usage: rsulint [-json] [-fix] [-hot-escape] [-allow list] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -118,7 +142,23 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	findings := analysis.RunAll(pkgs, analyzers, allow)
+	// Facts span every loaded package (requested plus dependencies) so
+	// cross-package knowledge — deprecation marks, hot annotations —
+	// resolves even when linting a subset.
+	facts := analysis.NewFacts(loader.Packages())
+	findings := analysis.RunAllOpts(pkgs, analyzers, allow, analysis.Options{
+		Facts:       facts,
+		ReportStale: true,
+	})
+	if *hotEscape {
+		escapes, err := hotalloc.EscapeCheck(root, pkgs, facts)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		findings = append(findings, escapes...)
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -132,6 +172,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	} else {
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
+			if *fixOut && f.Fix != nil {
+				printFixDiff(stdout, f)
+			}
 		}
 	}
 	if len(findings) > 0 {
@@ -141,4 +184,42 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// printFixDiff renders one suggested fix as a dry-run unified-style
+// diff: the source lines spanning the replaced byte range, before and
+// after. Nothing is written back — the diff is the deliverable.
+func printFixDiff(out *os.File, f analysis.Finding) {
+	data, err := os.ReadFile(f.File)
+	if err != nil || f.Fix.Start > len(data) || f.Fix.End > len(data) || f.Fix.Start > f.Fix.End {
+		return
+	}
+	// Widen [Start, End) to whole lines.
+	lo := f.Fix.Start
+	for lo > 0 && data[lo-1] != '\n' {
+		lo--
+	}
+	hi := f.Fix.End
+	for hi < len(data) && data[hi] != '\n' {
+		hi++
+	}
+	oldBlock := string(data[lo:hi])
+	newBlock := string(data[lo:f.Fix.Start]) + f.Fix.NewText + string(data[f.Fix.End:hi])
+	fmt.Fprintf(out, "\t--- %s:%d\n", f.File, f.Line)
+	for _, line := range splitBlock(oldBlock) {
+		fmt.Fprintf(out, "\t- %s\n", line)
+	}
+	for _, line := range splitBlock(newBlock) {
+		fmt.Fprintf(out, "\t+ %s\n", line)
+	}
+}
+
+// splitBlock splits a diff block into lines, representing the empty
+// block (a pure deletion) as no lines at all.
+func splitBlock(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
 }

@@ -35,19 +35,33 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Diagnostic is one finding at a source position.
+// Diagnostic is one finding at a source position. Fix, when non-nil,
+// describes a mechanical rewrite that resolves the finding; cmd/rsulint
+// renders it as a dry-run diff under -fix.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	Fix     *SuggestedFix
 }
 
-// Pass carries one type-checked package through one analyzer.
+// SuggestedFix is a single-range source rewrite: replace [Start, End)
+// with NewText (empty NewText deletes the range).
+type SuggestedFix struct {
+	Start, End token.Pos
+	NewText    string
+}
+
+// Pass carries one type-checked package through one analyzer. Facts is
+// the run-wide shared knowledge base (deprecation, hot annotations,
+// call-graph-lite); it is never nil when the pass is built through
+// RunAnalyzer or RunAll.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Facts    *Facts
 
 	diags []Diagnostic
 }
@@ -57,15 +71,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// ReportFix records a diagnostic carrying a mechanical fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Fix: fix})
+}
+
 // RunAnalyzer applies a to pkg and returns its diagnostics in source
-// order.
+// order, computing single-package facts on the fly. Multi-package runs
+// should build Facts once and use RunAnalyzerFacts so cross-package
+// deprecation marks resolve.
 func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	return RunAnalyzerFacts(a, pkg, nil)
+}
+
+// RunAnalyzerFacts applies a to pkg under the given shared facts (nil
+// falls back to facts over pkg alone).
+func RunAnalyzerFacts(a *Analyzer, pkg *Package, facts *Facts) []Diagnostic {
+	if facts == nil {
+		facts = NewFacts([]*Package{pkg})
+	}
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		Facts:    facts,
 	}
 	a.Run(pass)
 	sort.SliceStable(pass.diags, func(i, j int) bool { return pass.diags[i].Pos < pass.diags[j].Pos })

@@ -48,7 +48,11 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		t.Fatalf("load fixture %s: %v", dir, err)
 	}
 	wants := collectWants(t, pkg)
-	for _, d := range analysis.RunAnalyzer(a, pkg) {
+	// Facts span every package the fixture pulled in, so deprecation
+	// marks on module packages (repro/internal/gibbs.RunCtx, ...) are
+	// visible to the analyzer under test.
+	facts := analysis.NewFacts(loader.Packages())
+	for _, d := range analysis.RunAnalyzerFacts(a, pkg, facts) {
 		pos := pkg.Fset.Position(d.Pos)
 		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
 		if !wants.match(key, d.Message) {

@@ -1,0 +1,285 @@
+// Package ckptfield guards the checkpoint wire format against silent
+// field drops. PR 4's crash-safe runtime round-trips Snapshot,
+// Fingerprint, RNG state and fault-session state through hand-written
+// binary codecs; adding a field to one of those structs and forgetting
+// one side of the codec produces a checkpoint that encodes, decodes,
+// validates — and quietly resumes with a zero value. That bug class is
+// invisible to the type checker and usually to tests (the dropped field
+// has to matter for the assertion to fire).
+//
+// The analyzer applies to the serialization packages
+// (internal/checkpoint, internal/rng, internal/fault, internal/ret).
+// For every codec pair — a type's MarshalBinary/UnmarshalBinary
+// methods, or a package-level Encode/Decode function pair — it collects
+// the struct fields referenced on each side, following same-package
+// static calls (call-graph-lite) so helpers like Snapshot.SetSection
+// and Validate credit the fields they touch. A struct belongs to the
+// pair's wire format when at least one of its exported fields is
+// referenced on each side; once it qualifies, every exported field must
+// appear on both sides, and a field present on one side only is
+// reported at its declaration.
+//
+// Deliberately permitted: unexported fields (rebuilt caches, pooled
+// scratch — resumability is the exported surface), structs the pair
+// never touches or touches on one side only with no counterpart at all
+// (config mirrors, in-memory views), and fields acknowledged via an
+// explicit //lint:ignore rsulint/ckptfield comment stating why they are
+// derived rather than serialized.
+package ckptfield
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ckptfield check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ckptfield",
+	Doc: "every exported field of a checkpointed struct must be referenced " +
+		"by both the encode and decode halves of its codec pair",
+	Run: run,
+}
+
+// serializedSuffixes names the packages whose structs cross the
+// checkpoint wire format.
+var serializedSuffixes = []string{"/checkpoint", "/rng", "/fault", "/ret"}
+
+func run(pass *analysis.Pass) {
+	path := pass.Pkg.Path()
+	serialized := false
+	for _, s := range serializedSuffixes {
+		if strings.HasSuffix(path, s) {
+			serialized = true
+			break
+		}
+	}
+	if !serialized {
+		return
+	}
+
+	decls := funcDecls(pass)
+	structs := packageStructs(pass)
+	if len(structs) == 0 {
+		return
+	}
+
+	for _, pair := range codecPairs(pass, decls) {
+		enc := fieldRefs(pass, decls, pass.Facts.Reachable([]types.Object{pair.enc}))
+		dec := fieldRefs(pass, decls, pass.Facts.Reachable([]types.Object{pair.dec}))
+		for _, si := range structs {
+			encHits, decHits := 0, 0
+			for _, f := range si.exported {
+				if enc[f] {
+					encHits++
+				}
+				if dec[f] {
+					decHits++
+				}
+			}
+			// The pair serializes this struct only if both sides touch
+			// it; a one-sided or absent struct is not on this wire
+			// format.
+			if encHits == 0 || decHits == 0 {
+				continue
+			}
+			for _, f := range si.exported {
+				switch {
+				case !enc[f] && !dec[f]:
+					pass.Reportf(f.Pos(),
+						"field %s.%s is never referenced by %s or %s; a checkpoint round-trip silently drops it",
+						si.name, f.Name(), pair.encName, pair.decName)
+				case !enc[f]:
+					pass.Reportf(f.Pos(),
+						"field %s.%s is restored by %s but never written by %s; the checkpoint round-trip drops it",
+						si.name, f.Name(), pair.decName, pair.encName)
+				case !dec[f]:
+					pass.Reportf(f.Pos(),
+						"field %s.%s is written by %s but never restored by %s; resume will zero it",
+						si.name, f.Name(), pair.encName, pair.decName)
+				}
+			}
+		}
+	}
+}
+
+// codecPair is one encode/decode couple checked for field balance.
+type codecPair struct {
+	enc, dec         types.Object
+	encName, decName string
+}
+
+// codecPairs finds the package's codec pairs: MarshalBinary /
+// UnmarshalBinary methods sharing a receiver type, and package-level
+// Encode / Decode functions.
+func codecPairs(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl) []codecPair {
+	type half struct{ enc, dec types.Object }
+	byRecv := map[string]*half{}
+	var recvOrder []string
+	var pkgEnc, pkgDec types.Object
+	for obj := range decls {
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			switch fn.Name() {
+			case "Encode":
+				pkgEnc = obj
+			case "Decode":
+				pkgDec = obj
+			}
+			continue
+		}
+		name := fn.Name()
+		if name != "MarshalBinary" && name != "UnmarshalBinary" {
+			continue
+		}
+		key := recvTypeName(sig.Recv().Type())
+		if key == "" {
+			continue
+		}
+		h := byRecv[key]
+		if h == nil {
+			h = &half{}
+			byRecv[key] = h
+			recvOrder = append(recvOrder, key)
+		}
+		if name == "MarshalBinary" {
+			h.enc = obj
+		} else {
+			h.dec = obj
+		}
+	}
+	var pairs []codecPair
+	sort.Strings(recvOrder) // deterministic pair order
+	for _, key := range recvOrder {
+		h := byRecv[key]
+		if h.enc != nil && h.dec != nil {
+			pairs = append(pairs, codecPair{
+				enc: h.enc, dec: h.dec,
+				encName: key + ".MarshalBinary",
+				decName: key + ".UnmarshalBinary",
+			})
+		}
+	}
+	if pkgEnc != nil && pkgDec != nil {
+		pairs = append(pairs, codecPair{enc: pkgEnc, dec: pkgDec, encName: "Encode", decName: "Decode"})
+	}
+	return pairs
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// structInfo is one package-level struct type and its exported fields.
+type structInfo struct {
+	name     string
+	exported []*types.Var
+}
+
+func packageStructs(pass *analysis.Pass) []*structInfo {
+	scope := pass.Pkg.Scope()
+	var out []*structInfo
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		si := &structInfo{name: name}
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); f.Exported() && !f.Embedded() {
+				si.exported = append(si.exported, f)
+			}
+		}
+		if len(si.exported) > 0 {
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+func funcDecls(pass *analysis.Pass) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if obj := pass.Info.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// fieldRefs collects every struct field referenced in the bodies of
+// fns: selector reads/writes, keyed composite-literal fields, and (for
+// positional literals) every field of the literal's type.
+func fieldRefs(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, fns []types.Object) map[types.Object]bool {
+	refs := map[types.Object]bool{}
+	for _, o := range fns {
+		fd := decls[o]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					refs[sel.Obj()] = true
+				}
+			case *ast.CompositeLit:
+				litFields(pass, n, refs)
+			}
+			return true
+		})
+	}
+	return refs
+}
+
+func litFields(pass *analysis.Pass, lit *ast.CompositeLit, refs map[types.Object]bool) {
+	t := pass.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for _, e := range lit.Elts {
+		kv, ok := e.(*ast.KeyValueExpr)
+		if !ok {
+			// Positional literal: every field is spelled out.
+			for i := 0; i < st.NumFields(); i++ {
+				refs[st.Field(i)] = true
+			}
+			return
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				refs[obj] = true
+			}
+		}
+	}
+}

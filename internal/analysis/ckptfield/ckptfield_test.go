@@ -1,0 +1,12 @@
+package ckptfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/ckptfield"
+)
+
+func TestCkptfield(t *testing.T) {
+	analyzertest.Run(t, ckptfield.Analyzer, "testdata/checkpoint")
+}

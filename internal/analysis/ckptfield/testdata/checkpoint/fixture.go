@@ -1,0 +1,93 @@
+// Package fixture seeds ckptfield violations and allowed patterns. The
+// fixture directory is named "checkpoint" so its synthetic import path
+// carries a serialized-package suffix and the analyzer engages.
+package fixture
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+)
+
+// Header round-trips Rows but drops Cols on the decode side — the
+// planted missing-field bug: encode, decode, resume with Cols == 0.
+type Header struct {
+	Rows  int32
+	Cols  int32 // want "written by Header.MarshalBinary but never restored by Header.UnmarshalBinary"
+	Depth int32 // want "never referenced by Header.MarshalBinary or Header.UnmarshalBinary"
+	tag   string
+}
+
+func (h *Header) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, h.Rows)
+	binary.Write(&buf, binary.LittleEndian, h.Cols)
+	return buf.Bytes(), nil
+}
+
+func (h *Header) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	return binary.Read(r, binary.LittleEndian, &h.Rows)
+}
+
+// Trailer shows the mirror-image bug: Note is conjured during decode
+// but never written, so every checkpoint restores a fabricated value.
+type Trailer struct {
+	Crc  uint32
+	Note string // want "restored by Trailer.UnmarshalBinary but never written by Trailer.MarshalBinary"
+}
+
+func (t *Trailer) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, t.Crc)
+	return buf.Bytes(), nil
+}
+
+func (t *Trailer) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	if err := binary.Read(r, binary.LittleEndian, &t.Crc); err != nil {
+		return err
+	}
+	t.Note = "restored"
+	return nil
+}
+
+// Snapshot is serialized by the package-level Encode/Decode pair. Meta
+// is balanced only through the setMeta helper: the call-graph-lite
+// closure must credit fields touched by same-package callees, so this
+// struct stays clean.
+type Snapshot struct {
+	Sweep int64
+	Meta  string
+}
+
+// Encode writes the snapshot wire format.
+func Encode(s *Snapshot) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, s.Sweep)
+	buf.WriteString(s.Meta)
+	return buf.Bytes()
+}
+
+// Decode restores a snapshot, crediting Meta through setMeta.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < 8 {
+		return nil, errors.New("short snapshot")
+	}
+	s := &Snapshot{}
+	s.Sweep = int64(binary.LittleEndian.Uint64(data))
+	s.setMeta(string(data[8:]))
+	return s, nil
+}
+
+func (s *Snapshot) setMeta(m string) { s.Meta = m }
+
+// Tuning never crosses the wire format — no codec side references it,
+// so its exported fields are exempt.
+type Tuning struct {
+	Threads int
+	Verbose bool
+}
+
+// DefaultTuning is in-memory configuration, not serialization.
+func DefaultTuning() Tuning { return Tuning{Threads: 1} }

@@ -1,0 +1,18 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analyzertest.Run(t, ctxflow.Analyzer, "testdata/ctxflow")
+}
+
+// TestCtxflowSweepLoops runs the rule-3 fixture, whose directory name
+// gives it a /gibbs import-path suffix.
+func TestCtxflowSweepLoops(t *testing.T) {
+	analyzertest.Run(t, ctxflow.Analyzer, "testdata/gibbs")
+}

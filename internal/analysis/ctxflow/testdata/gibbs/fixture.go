@@ -1,0 +1,56 @@
+// Package fixture exercises ctxflow rule 3: the fixture's synthetic
+// import path ends in /gibbs, so a function taking a context must
+// consult it inside any iteration-bounded or sweeping loop.
+package fixture
+
+import "context"
+
+// RunChain loops over iterations without ever consulting ctx.
+func RunChain(ctx context.Context, iterations int) {
+	for it := 0; it < iterations; it++ { // want "sweep loop never consults ctx"
+		relax(it)
+	}
+}
+
+// RunChainOK checks ctx at the sweep boundary.
+func RunChainOK(ctx context.Context, iterations int) error {
+	for it := 0; it < iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		relax(it)
+	}
+	return nil
+}
+
+// Sweeper qualifies through its body (it sweeps) even though the bound
+// is not iteration-named.
+func Sweeper(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // want "sweep loop never consults ctx"
+		sweepOnce()
+	}
+}
+
+// NoCtx takes no context: it is a per-sweep primitive and its caller
+// owns the cancellation check.
+func NoCtx(iterations int) {
+	for it := 0; it < iterations; it++ {
+		relax(it)
+	}
+}
+
+// Nested checks ctx in the outermost qualifying loop; the per-site
+// inner loop is below sweep granularity and stays unflagged.
+func Nested(ctx context.Context, totalSweeps, w int) {
+	for s := 0; s < totalSweeps; s++ {
+		if ctx.Err() != nil {
+			return
+		}
+		for x := 0; x < w; x++ {
+			sweepOnce()
+		}
+	}
+}
+
+func relax(int)  {}
+func sweepOnce() {}

@@ -1,0 +1,160 @@
+// Package errwrap enforces the error-identity discipline the checkpoint
+// and config layers rely on: callers branch on sentinel errors
+// (checkpoint.ErrCorrupt, checkpoint.ErrVersion, core.ErrInvalidConfig,
+// ...) to decide between resume-from-scratch, refuse-to-start, and
+// crash, so an error that loses its identity on the way up converts a
+// recoverable corruption into a silent cold restart.
+//
+// Two rules:
+//
+//  1. Sentinel comparison: a package-level error variable named Err*
+//     must be compared with errors.Is, never == or !=. The sentinels
+//     cross package boundaries wrapped (rule 2), and == sees only the
+//     outermost wrapper. The finding carries a suggested fix rewriting
+//     the comparison to errors.Is(err, ErrX) (rendered by rsulint
+//     -fix as a dry-run diff; add the errors import when applying).
+//  2. Wrap on re-raise: an fmt.Errorf call that formats an error value
+//     must use %w, not %v or %s, so errors.Is/As keep seeing through
+//     it. Formatting an error into a plain string for logging is the
+//     obs layer's job, not the return path's.
+//
+// Deliberately permitted: err == nil / err != nil (nil is not a
+// sentinel), comparisons where neither side is an Err* package
+// variable (e.g. io.EOF handling in tight decode loops is still
+// flagged only when the sentinel is module-local — stdlib sentinels
+// follow the same Err naming and are caught too, which is intended:
+// bufio readers wrap io.EOF), and errors.New/fmt.Errorf creating new
+// root errors with no error operand.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errwrap check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "compare sentinel errors with errors.Is and wrap re-raised errors " +
+		"with %w so identity survives package boundaries",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkComparison flags ==/!= against a sentinel error variable and
+// suggests the errors.Is form.
+func checkComparison(pass *analysis.Pass, cmp *ast.BinaryExpr) {
+	if cmp.Op != token.EQL && cmp.Op != token.NEQ {
+		return
+	}
+	xSent := sentinelOf(pass.Info, cmp.X)
+	ySent := sentinelOf(pass.Info, cmp.Y)
+	if xSent == nil && ySent == nil {
+		return
+	}
+	sent := xSent
+	errExpr, sentExpr := cmp.Y, cmp.X
+	if sent == nil {
+		sent = ySent
+		errExpr, sentExpr = cmp.X, cmp.Y
+	}
+	newText := "errors.Is(" + render(pass.Fset, errExpr) + ", " + render(pass.Fset, sentExpr) + ")"
+	if cmp.Op == token.NEQ {
+		newText = "!" + newText
+	}
+	pass.ReportFix(cmp.Pos(), &analysis.SuggestedFix{
+		Start:   cmp.Pos(),
+		End:     cmp.End(),
+		NewText: newText,
+	}, "sentinel %s compared with %s; use errors.Is so the match survives %%w wrapping",
+		sent.Name(), cmp.Op)
+}
+
+// sentinelOf returns the package-level Err* error variable expr refers
+// to, or nil.
+func sentinelOf(info *types.Info, expr ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if !implementsError(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error operand with
+// anything other than %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if !analysis.PkgFunc(pass.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constString(pass.Info, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if t := pass.Info.TypeOf(arg); t != nil && implementsError(t) {
+			pass.Reportf(arg.Pos(),
+				"fmt.Errorf formats an error without %%w; the sentinel identity is lost to errors.Is/As upstream")
+			return
+		}
+	}
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// render prints an expression back to source for fix text.
+func render(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return "<expr>"
+	}
+	return sb.String()
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}

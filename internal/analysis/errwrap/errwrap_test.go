@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analyzertest.Run(t, errwrap.Analyzer, "testdata/errwrap")
+}

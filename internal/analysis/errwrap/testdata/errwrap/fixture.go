@@ -1,0 +1,58 @@
+// Package fixture seeds errwrap violations and allowed patterns.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt mirrors checkpoint.ErrCorrupt: a sentinel callers branch
+// on to pick resume-from-scratch over crash.
+var ErrCorrupt = errors.New("fixture: corrupt")
+
+// ErrInvalidConfig mirrors core.ErrInvalidConfig.
+var ErrInvalidConfig = errors.New("fixture: invalid config")
+
+// timeout is package-level but not Err-named: not a sentinel.
+var timeout = errors.New("fixture: timeout")
+
+// Classify compares sentinels the broken way.
+func Classify(err error) string {
+	if err == ErrCorrupt { // want "sentinel ErrCorrupt compared with =="
+		return "corrupt"
+	}
+	if ErrInvalidConfig != err { // want "sentinel ErrInvalidConfig compared with !="
+		return "other"
+	}
+	return "config"
+}
+
+// ClassifyOK goes through errors.Is, which sees through wrapping.
+func ClassifyOK(err error) bool {
+	return errors.Is(err, ErrCorrupt)
+}
+
+// NilCheck is fine: nil is not a sentinel.
+func NilCheck(err error) bool {
+	return err != nil
+}
+
+// LocalCompare is fine: timeout is not an Err* sentinel.
+func LocalCompare(err error) bool {
+	return err == timeout
+}
+
+// Wrap keeps identity with %w.
+func Wrap(err error) error {
+	return fmt.Errorf("load checkpoint: %w", err)
+}
+
+// Flatten launders the error into a plain string on the return path.
+func Flatten(err error) error {
+	return fmt.Errorf("load checkpoint: %v", err) // want "formats an error without %w"
+}
+
+// Describe is fine: no error operand, just data.
+func Describe(sweep int) error {
+	return fmt.Errorf("bad sweep %d", sweep)
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Facts is the cross-analyzer knowledge base computed once per run and
+// shared through Pass.Facts: which functions are deprecated shims
+// (ctxflow refuses calls to them from live code), which carry the
+// //rsulint:hot annotation (hotalloc's roots), and a call-graph-lite —
+// static same-package call edges — that lets analyzers reason one level
+// beyond a single function body without a whole-program analysis:
+// hotalloc extends the allocation ban to a hot function's same-package
+// callees, and ckptfield credits a field reference made inside a helper
+// (Snapshot.SetSection, Snapshot.Validate) to the marshal/unmarshal
+// method that calls it.
+//
+// Facts are keyed by types.Object. The loader type-checks module-local
+// imports through itself, so the *types.Func an importing package sees
+// is the same object the declaring package defines — cross-package
+// lookups need no name matching.
+type Facts struct {
+	deprecated map[types.Object]bool
+	hot        map[types.Object]bool
+	callees    map[types.Object][]types.Object
+}
+
+// HotMark is the annotation that places a function under hotalloc's
+// allocation-free contract, written alone on a line of the function's
+// doc comment: //rsulint:hot
+const HotMark = "rsulint:hot"
+
+// HasHotMark reports whether the declaration's doc comment carries the
+// //rsulint:hot annotation.
+func HasHotMark(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == HotMark || strings.HasPrefix(text, HotMark+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// NewFacts scans the given packages (typically every package loaded for
+// the run, dependencies included, so cross-package facts resolve) and
+// builds the shared fact tables.
+func NewFacts(pkgs []*Package) *Facts {
+	f := &Facts{
+		deprecated: map[types.Object]bool{},
+		hot:        map[types.Object]bool{},
+		callees:    map[types.Object][]types.Object{},
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				obj := pkg.Info.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				if IsDeprecated(fd) {
+					f.deprecated[obj] = true
+				}
+				if HasHotMark(fd) {
+					f.hot[obj] = true
+				}
+				if fd.Body != nil {
+					f.collectCallees(pkg, obj, fd.Body)
+				}
+			}
+		}
+	}
+	return f
+}
+
+// collectCallees records obj's static same-package call edges in source
+// order (calls inside nested function literals are attributed to the
+// enclosing declaration: their allocations and field references happen
+// under its dynamic extent).
+func (f *Facts) collectCallees(pkg *Package, obj types.Object, body *ast.BlockStmt) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := CalleeOf(pkg.Info, call)
+		if callee == nil || callee.Pkg() != pkg.Types || seen[callee] {
+			return true
+		}
+		seen[callee] = true
+		f.callees[obj] = append(f.callees[obj], callee)
+		return true
+	})
+}
+
+// CalleeOf resolves the function or method a call statically invokes,
+// or nil for dynamic calls (interface methods, function values whose
+// target the type checker cannot name, builtins, conversions).
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsDeprecatedFunc reports whether obj is a function or method whose
+// declaration carries a "Deprecated:" doc marker, in any scanned
+// package.
+func (f *Facts) IsDeprecatedFunc(obj types.Object) bool {
+	return obj != nil && f.deprecated[obj]
+}
+
+// IsHot reports whether obj carries the //rsulint:hot annotation.
+func (f *Facts) IsHot(obj types.Object) bool { return obj != nil && f.hot[obj] }
+
+// Callees returns obj's static same-package call edges in source order.
+func (f *Facts) Callees(obj types.Object) []types.Object { return f.callees[obj] }
+
+// Reachable returns the same-package static call closure of the roots:
+// the roots plus every function transitively called from them within
+// their own package, in deterministic (position) order.
+func (f *Facts) Reachable(roots []types.Object) []types.Object {
+	seen := map[types.Object]bool{}
+	var out []types.Object
+	var visit func(o types.Object)
+	visit = func(o types.Object) {
+		if o == nil || seen[o] {
+			return
+		}
+		seen[o] = true
+		out = append(out, o)
+		for _, c := range f.callees[o] {
+			visit(c)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

@@ -1,0 +1,176 @@
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// hotRange is the source span of one function on the hot path, used to
+// filter compiler escape diagnostics down to the annotated kernels.
+type hotRange struct {
+	pkg        string
+	fn         string
+	start, end int
+}
+
+// EscapeCheck is the compiler-assisted half of the hotalloc contract
+// (rsulint -hot-escape). It recompiles every package containing a
+// //rsulint:hot function with -gcflags=-m, parses the escape-analysis
+// diagnostics, and reports any "escapes to heap" / "moved to heap"
+// inside a hot function or its same-package callees. Where the AST mode
+// guesses, this mode asks the compiler — it sees allocations the AST
+// walk cannot (fmt boxing through interfaces, map/channel internals)
+// and stays silent about ones the compiler proves stack-bound.
+//
+// The build runs with a throwaway GOCACHE: -m diagnostics are emitted
+// only on a real compile, and a warm cache would silently skip it and
+// report nothing. That makes this mode cost a full fresh build of the
+// hot packages and their deps (~10-15 s), which is why it hides behind
+// a flag instead of running on every lint.
+func EscapeCheck(root string, pkgs []*analysis.Package, facts *analysis.Facts) ([]analysis.Finding, error) {
+	ranges := map[string][]hotRange{} // filename -> spans
+	hotPkgs := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, spans := range collectHotRanges(pkg, facts) {
+			ranges[spans.file] = append(ranges[spans.file], spans.r)
+			hotPkgs[pkg.ImportPath] = true
+		}
+	}
+	if len(hotPkgs) == 0 {
+		return nil, nil
+	}
+	var paths []string
+	for p := range hotPkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	// A warm build cache swallows -m output entirely; compile into a
+	// throwaway cache so the diagnostics always materialize.
+	cache, err := os.MkdirTemp("", "rsulint-escape-*")
+	if err != nil {
+		return nil, fmt.Errorf("hotalloc: escape cache: %w", err)
+	}
+	defer os.RemoveAll(cache)
+
+	args := []string{"build"}
+	for _, p := range paths {
+		args = append(args, "-gcflags="+p+"=-m")
+	}
+	args = append(args, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	cmd.Env = append(os.Environ(), "GOCACHE="+cache)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("hotalloc: go %s: %w\n%s", strings.Join(args, " "), err, out)
+	}
+	return parseEscapes(string(out), root, ranges), nil
+}
+
+type fileRange struct {
+	file string
+	r    hotRange
+}
+
+// collectHotRanges returns the line span of every function reachable
+// from a //rsulint:hot annotation in pkg — the same reachability the
+// AST mode applies, so the two modes police an identical set.
+func collectHotRanges(pkg *analysis.Package, facts *analysis.Facts) []fileRange {
+	decls := map[types.Object]*ast.FuncDecl{}
+	var roots []types.Object
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			obj := pkg.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			if analysis.HasHotMark(fd) {
+				roots = append(roots, obj)
+			}
+		}
+	}
+	var out []fileRange
+	for _, o := range facts.Reachable(roots) {
+		fd := decls[o]
+		if fd == nil {
+			continue
+		}
+		start := pkg.Fset.Position(fd.Pos())
+		end := pkg.Fset.Position(fd.End())
+		out = append(out, fileRange{
+			file: start.Filename,
+			r: hotRange{
+				pkg:   pkg.ImportPath,
+				fn:    fd.Name.Name,
+				start: start.Line,
+				end:   end.Line,
+			},
+		})
+	}
+	return out
+}
+
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// parseEscapes filters -m output down to heap allocations inside hot
+// ranges. "leaking param" notes are informational (the callee keeps a
+// reference; the caller decides where it lives) and are skipped.
+func parseEscapes(out, root string, ranges map[string][]hotRange) []analysis.Finding {
+	var findings []analysis.Finding
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeLineRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !strings.HasPrefix(file, string(os.PathSeparator)) {
+			file = root + string(os.PathSeparator) + strings.TrimPrefix(file, "./")
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		for _, hr := range ranges[file] {
+			if lineNo < hr.start || lineNo > hr.end {
+				continue
+			}
+			findings = append(findings, analysis.Finding{
+				File:     file,
+				Line:     lineNo,
+				Col:      col,
+				Analyzer: "hotalloc",
+				Message: fmt.Sprintf("escape analysis: %s inside //rsulint:hot path %s.%s",
+					msg, hr.pkg, hr.fn),
+			})
+			break
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return findings
+}

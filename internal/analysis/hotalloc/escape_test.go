@@ -1,0 +1,47 @@
+package hotalloc
+
+import "testing"
+
+// TestParseEscapes feeds canned -gcflags=-m output through the filter:
+// only heap diagnostics inside a hot range survive; leaking-param notes
+// and out-of-range escapes do not.
+func TestParseEscapes(t *testing.T) {
+	ranges := map[string][]hotRange{
+		"/mod/internal/mrf/kernel.go": {
+			{pkg: "repro/internal/mrf", fn: "SweepRow", start: 90, end: 200},
+		},
+	}
+	out := `# repro/internal/mrf
+./internal/mrf/kernel.go:48:10: make([]int32, n) escapes to heap
+./internal/mrf/kernel.go:95:6: moved to heap: acc
+./internal/mrf/kernel.go:120:14: s escapes to heap
+./internal/mrf/kernel.go:130:7: leaking param: row
+not a diagnostic line
+`
+	got := parseEscapes(out, "/mod", ranges)
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(got), got)
+	}
+	for i, wantLine := range []int{95, 120} {
+		f := got[i]
+		if f.Line != wantLine || f.Analyzer != "hotalloc" {
+			t.Errorf("finding %d = %+v, want line %d analyzer hotalloc", i, f, wantLine)
+		}
+		if f.File != "/mod/internal/mrf/kernel.go" {
+			t.Errorf("finding %d file = %q", i, f.File)
+		}
+	}
+}
+
+// TestParseEscapesSorted checks the deterministic ordering contract.
+func TestParseEscapesSorted(t *testing.T) {
+	ranges := map[string][]hotRange{
+		"/mod/b.go": {{pkg: "p", fn: "B", start: 1, end: 99}},
+		"/mod/a.go": {{pkg: "p", fn: "A", start: 1, end: 99}},
+	}
+	out := "./b.go:5:1: x escapes to heap\n./a.go:7:1: y escapes to heap\n"
+	got := parseEscapes(out, "/mod", ranges)
+	if len(got) != 2 || got[0].File != "/mod/a.go" || got[1].File != "/mod/b.go" {
+		t.Fatalf("not sorted by file: %v", got)
+	}
+}

@@ -1,0 +1,216 @@
+// Package hotalloc enforces the allocation-free contract of functions
+// annotated //rsulint:hot — the fused sweep kernel (mrf.Kernel.SweepRow
+// and everything it calls), the engine's tile dispatch, and the
+// branch-free categorical draw. A single heap allocation per site would
+// dominate the ~56 ns/site budget (BENCH_kernel.json), and the
+// BenchmarkSweepSteadyState gate requires 0 allocs/op; this analyzer
+// catches the regression at review time instead of at the benchmark
+// gate.
+//
+// The check runs at the AST level over every hot function and its
+// same-package static callees (call-graph-lite, Facts.Reachable):
+// make/new, composite literals, append, function literals (closure
+// captures), go/defer statements, string<->[]byte conversions, string
+// concatenation, and interface boxing (a concrete value passed,
+// assigned or converted to an interface type) are all reported.
+//
+// AST-level detection is necessarily approximate — it cannot see an
+// allocation the compiler introduces, and it cannot prove one it sees
+// is elided — so the suite pairs it with a compiler-assisted mode
+// (rsulint -hot-escape, EscapeCheck) that parses `go build -gcflags=-m`
+// escape-analysis output and cross-checks it against the same
+// annotations. AST mode runs always and is fast; escape mode is exact
+// and costs a fresh compile.
+//
+// Deliberately permitted: calls into other packages (escape mode and
+// their own annotations cover them), dynamic method calls through
+// interfaces (dispatch, not allocation), and everything in functions
+// not reachable from a //rsulint:hot annotation.
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the AST-level hotalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid heap allocations, closures, append growth and interface " +
+		"boxing in //rsulint:hot functions and their same-package callees",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	decls := map[types.Object]*ast.FuncDecl{}
+	var roots []types.Object
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			obj := pass.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			if analysis.HasHotMark(fd) {
+				roots = append(roots, obj)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	rootName := map[types.Object]string{}
+	for _, r := range roots {
+		for _, o := range pass.Facts.Reachable([]types.Object{r}) {
+			if _, claimed := rootName[o]; !claimed {
+				rootName[o] = r.Name()
+			}
+		}
+	}
+	for _, obj := range pass.Facts.Reachable(roots) {
+		fd := decls[obj]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		where := "//rsulint:hot function"
+		if root := rootName[obj]; root != obj.Name() {
+			where = fmt.Sprintf("hot path (called from //rsulint:hot %s)", root)
+		}
+		checkBody(pass, fd, where)
+	}
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, where string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s: function literal allocates its closure on the heap", where)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s: go statement allocates a goroutine", where)
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "%s: defer carries per-call bookkeeping; hoist cleanup out of the hot path", where)
+		case *ast.CompositeLit:
+			pass.Reportf(n.Pos(), "%s: composite literal may allocate; hoist it into per-run scratch", where)
+		case *ast.CallExpr:
+			checkCall(pass, n, where)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				if boxes(pass.Info, pass.Info.TypeOf(n.Lhs[i]), rhs) {
+					pass.Reportf(rhs.Pos(), "%s: assignment boxes a concrete value into an interface", where)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.Info.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "%s: string concatenation allocates", where)
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, where string) {
+	// Builtins and conversions.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pass.Info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s: %s allocates; use per-run scratch (mrf.GetScratch / sync.Pool at tile granularity)", where, b.Name())
+				return
+			case "append":
+				pass.Reportf(call.Pos(), "%s: append may grow the backing array; size buffers up front", where)
+				return
+			}
+		}
+	}
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := pass.Info.TypeOf(call.Args[0])
+		switch {
+		case types.IsInterface(to) && from != nil && !types.IsInterface(from):
+			pass.Reportf(call.Pos(), "%s: conversion boxes a concrete value into an interface", where)
+		case isString(to) != isString(from) && (isByteSlice(to) || isByteSlice(from)):
+			pass.Reportf(call.Pos(), "%s: string<->[]byte conversion copies", where)
+		}
+		return
+	}
+	// Interface-typed parameters box concrete arguments.
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // forwarding a slice, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(pass.Info, pt, arg) {
+			pass.Reportf(arg.Pos(), "%s: argument boxes a concrete value into interface parameter %s", where, paramName(params, i, sig.Variadic()))
+		}
+	}
+}
+
+// boxes reports whether passing expr where type dst is expected wraps a
+// concrete value in an interface.
+func boxes(info *types.Info, dst types.Type, expr ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	src := info.TypeOf(expr)
+	if src == nil || types.IsInterface(src) {
+		return false
+	}
+	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+func paramName(params *types.Tuple, i int, variadic bool) string {
+	if variadic && i >= params.Len()-1 {
+		i = params.Len() - 1
+	}
+	if i < params.Len() && params.At(i).Name() != "" {
+		return params.At(i).Name()
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analyzertest.Run(t, hotalloc.Analyzer, "testdata/hotalloc")
+}

@@ -1,0 +1,96 @@
+// Package fixture seeds hotalloc violations and allowed patterns. Only
+// functions reachable from a //rsulint:hot annotation are policed; the
+// cold setup path at the bottom allocates freely.
+package fixture
+
+type point struct{ x, y int }
+
+//rsulint:hot
+func HotMake(buf []int, n int) []int {
+	tmp := make([]int, n) // want "make allocates"
+	for i := range tmp {
+		tmp[i] = i
+	}
+	return append(buf, tmp...) // want "append may grow the backing array"
+}
+
+//rsulint:hot
+func HotClosure(xs []int) int {
+	f := func() int { return len(xs) } // want "function literal allocates its closure"
+	return f()
+}
+
+//rsulint:hot
+func HotSpawn() {
+	go worker() // want "go statement allocates a goroutine"
+}
+
+//rsulint:hot
+func HotDefer(release func()) {
+	defer release() // want "defer carries per-call bookkeeping"
+}
+
+//rsulint:hot
+func HotLit(a, b int) int {
+	p := point{a, b} // want "composite literal may allocate"
+	return p.x + p.y
+}
+
+//rsulint:hot
+func HotConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//rsulint:hot
+func HotConv(b []byte) int {
+	return len(string(b)) // want "conversion copies"
+}
+
+//rsulint:hot
+func HotBoxAssign(v int) {
+	var sink interface{}
+	sink = v // want "assignment boxes a concrete value"
+	_ = sink
+}
+
+//rsulint:hot
+func HotBoxArg(n int) {
+	consume(n) // want "boxes a concrete value into interface parameter v"
+}
+
+// HotCaller is clean itself; the violation sits in its same-package
+// callee, reached through the call-graph-lite closure.
+//
+//rsulint:hot
+func HotCaller(n int) int {
+	return helper(n)
+}
+
+func helper(n int) int {
+	s := new(int) // want "new allocates"
+	*s = n
+	return *s
+}
+
+// HotClean stays allocation-free the way the real kernels do: index
+// arithmetic over caller-owned slices.
+//
+//rsulint:hot
+func HotClean(labels []uint8, w int) int {
+	sum := 0
+	for i := 0; i < w && i < len(labels); i++ {
+		sum += int(labels[i])
+	}
+	return sum
+}
+
+func consume(v interface{}) bool { return v != nil }
+
+func worker() {}
+
+// coldSetup is not on any hot path: allocations are fine here.
+func coldSetup(n int) []int {
+	return make([]int, n)
+}
+
+var _ = coldSetup

@@ -212,6 +212,22 @@ func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*
 	return l.std.ImportFrom(path, dir, mode)
 }
 
+// Packages returns every package the loader has successfully loaded so
+// far — the explicitly requested ones plus their transitively imported
+// module-local dependencies — sorted by import path. Fact computation
+// (deprecation marks, call edges) runs over this set so cross-package
+// knowledge is available even when only a subset was requested.
+func (l *Loader) Packages() []*Package {
+	var out []*Package
+	for _, e := range l.pkgs {
+		if e.pkg != nil {
+			out = append(out, e.pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out
+}
+
 // Expand resolves package patterns into import paths. Supported forms:
 // "./..." (every package in the module), "dir/..." subtree wildcards,
 // and plain directory or import paths. Directories named "testdata" or

@@ -9,18 +9,34 @@ import (
 )
 
 // Finding is one diagnostic resolved to a file position, as emitted by
-// cmd/rsulint (and serialized by its -json mode).
+// cmd/rsulint (and serialized by its -json mode). Fix is present only
+// for mechanically fixable findings.
 type Finding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	File     string      `json:"file"`
+	Line     int         `json:"line"`
+	Col      int         `json:"col"`
+	Analyzer string      `json:"analyzer"`
+	Message  string      `json:"message"`
+	Fix      *FindingFix `json:"fix,omitempty"`
+}
+
+// FindingFix is a SuggestedFix resolved to byte offsets in File:
+// replace [Start, End) of the file's current contents with NewText.
+type FindingFix struct {
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
+
+// StaleIgnoreAnalyzer is the analyzer name stale-suppression findings
+// are reported under. It is a runner-level check, not a registered
+// analyzer: only the runner knows whether a //lint:ignore comment
+// suppressed anything across the whole suite.
+const StaleIgnoreAnalyzer = "staleignore"
 
 // AllowRule exempts packages from analyzers. Prefix matches an import
 // path exactly or as a path prefix ("repro/cmd" matches
@@ -61,7 +77,8 @@ func ParseAllowList(s string) ([]AllowRule, error) {
 	return rules, nil
 }
 
-// Allowed reports whether analyzer name is exempted for pkgPath.
+// Allowed reports whether analyzer name is exempted for pkgPath. The
+// empty name matches only full-package rules (no analyzer list).
 func Allowed(rules []AllowRule, pkgPath, name string) bool {
 	for _, r := range rules {
 		if pkgPath != r.Prefix && !strings.HasPrefix(pkgPath, r.Prefix+"/") {
@@ -79,10 +96,34 @@ func Allowed(rules []AllowRule, pkgPath, name string) bool {
 	return false
 }
 
+// Options tunes a RunAll invocation.
+type Options struct {
+	// Facts, when non-nil, is the shared fact base for the run.
+	// Leaving it nil computes facts over the analyzed packages only —
+	// fine for cmd/rsulint's whole-module runs, too narrow for fixture
+	// runs whose deprecation marks live in dependency packages.
+	Facts *Facts
+	// ReportStale adds a finding (analyzer "staleignore") for every
+	// //lint:ignore rsulint comment that suppressed no diagnostic in
+	// this run. Suppressions naming an analyzer the allowlist already
+	// exempts for their package are not reported: the allowlist, not
+	// the comment, is what silenced the analyzer there.
+	ReportStale bool
+}
+
 // RunAll applies every analyzer to every package, honoring the
 // allowlist and //lint:ignore suppression comments, and returns the
-// surviving findings sorted by position.
+// surviving findings sorted by (file, line, col, analyzer, message).
 func RunAll(pkgs []*Package, analyzers []*Analyzer, allow []AllowRule) []Finding {
+	return RunAllOpts(pkgs, analyzers, allow, Options{})
+}
+
+// RunAllOpts is RunAll with explicit Options.
+func RunAllOpts(pkgs []*Package, analyzers []*Analyzer, allow []AllowRule, opts Options) []Finding {
+	facts := opts.Facts
+	if facts == nil {
+		facts = NewFacts(pkgs)
+	}
 	var out []Finding
 	for _, pkg := range pkgs {
 		sup := buildSuppressions(pkg)
@@ -90,19 +131,26 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer, allow []AllowRule) []Finding
 			if Allowed(allow, pkg.ImportPath, a.Name) {
 				continue
 			}
-			for _, d := range RunAnalyzer(a, pkg) {
+			for _, d := range RunAnalyzerFacts(a, pkg, facts) {
 				pos := pkg.Fset.Position(d.Pos)
 				if sup.covers(pos, a.Name) {
 					continue
 				}
-				out = append(out, Finding{
+				f := Finding{
 					File:     pos.Filename,
 					Line:     pos.Line,
 					Col:      pos.Column,
 					Analyzer: a.Name,
 					Message:  d.Message,
-				})
+				}
+				if d.Fix != nil {
+					f.Fix = resolveFix(pkg.Fset, d.Fix)
+				}
+				out = append(out, f)
 			}
+		}
+		if opts.ReportStale {
+			out = append(out, sup.stale(pkg, analyzers, allow)...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -116,60 +164,23 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer, allow []AllowRule) []Finding
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return out
 }
 
-// suppressions records, per file and line, which analyzers are silenced
-// by a "//lint:ignore rsulint/<name> reason" comment. A suppression
-// covers diagnostics on the comment's own line (trailing comment) and
-// on the following line (comment on its own line above the finding).
-// The target "rsulint" with no analyzer name silences all analyzers.
-type suppressions map[string]map[int][]string
-
-func buildSuppressions(pkg *Package) suppressions {
-	sup := suppressions{}
-	for _, f := range pkg.Files {
-		for _, group := range f.Comments {
-			for _, c := range group.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "lint:ignore") {
-					continue
-				}
-				fields := strings.Fields(text)
-				if len(fields) < 2 {
-					continue
-				}
-				target := fields[1]
-				if target != "rsulint" && !strings.HasPrefix(target, "rsulint/") {
-					continue
-				}
-				name := strings.TrimPrefix(target, "rsulint/")
-				if name == "rsulint" {
-					name = "*"
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				lines := sup[pos.Filename]
-				if lines == nil {
-					lines = map[int][]string{}
-					sup[pos.Filename] = lines
-				}
-				lines[pos.Line] = append(lines[pos.Line], name)
-				lines[pos.Line+1] = append(lines[pos.Line+1], name)
-			}
-		}
+// resolveFix converts token positions to file byte offsets. Fixes that
+// span files (malformed) are dropped.
+func resolveFix(fset *token.FileSet, fix *SuggestedFix) *FindingFix {
+	start := fset.Position(fix.Start)
+	end := fset.Position(fix.End)
+	if start.Filename != end.Filename || end.Offset < start.Offset {
+		return nil
 	}
-	return sup
-}
-
-func (s suppressions) covers(pos token.Position, analyzer string) bool {
-	for _, name := range s[pos.Filename][pos.Line] {
-		if name == "*" || name == analyzer {
-			return true
-		}
-	}
-	return false
+	return &FindingFix{Start: start.Offset, End: end.Offset, NewText: fix.NewText}
 }
 
 // RootIdent returns the identifier at the base of a selector/index
@@ -191,4 +202,113 @@ func RootIdent(e ast.Expr) *ast.Ident {
 			return nil
 		}
 	}
+}
+
+// suppRecord is one //lint:ignore comment: the analyzer it targets
+// ("*" for the blanket form), where it sits, and whether any diagnostic
+// in the current run actually needed it.
+type suppRecord struct {
+	name string // analyzer name, or "*"
+	pos  token.Position
+	end  token.Position
+	used bool
+}
+
+// suppressions indexes the package's //lint:ignore rsulint comments by
+// file and covered line. A suppression covers diagnostics on the
+// comment's own line (trailing comment) and on the following line
+// (comment on its own line above the finding).
+type suppressions struct {
+	byLine map[string]map[int][]*suppRecord
+	recs   []*suppRecord
+}
+
+func buildSuppressions(pkg *Package) *suppressions {
+	sup := &suppressions{byLine: map[string]map[int][]*suppRecord{}}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue
+				}
+				target := fields[1]
+				if target != "rsulint" && !strings.HasPrefix(target, "rsulint/") {
+					continue
+				}
+				name := strings.TrimPrefix(target, "rsulint/")
+				if name == "rsulint" {
+					name = "*"
+				}
+				rec := &suppRecord{
+					name: name,
+					pos:  pkg.Fset.Position(c.Pos()),
+					end:  pkg.Fset.Position(c.End()),
+				}
+				sup.recs = append(sup.recs, rec)
+				lines := sup.byLine[rec.pos.Filename]
+				if lines == nil {
+					lines = map[int][]*suppRecord{}
+					sup.byLine[rec.pos.Filename] = lines
+				}
+				lines[rec.pos.Line] = append(lines[rec.pos.Line], rec)
+				lines[rec.pos.Line+1] = append(lines[rec.pos.Line+1], rec)
+			}
+		}
+	}
+	return sup
+}
+
+func (s *suppressions) covers(pos token.Position, analyzer string) bool {
+	for _, rec := range s.byLine[pos.Filename][pos.Line] {
+		if rec.name == "*" || rec.name == analyzer {
+			rec.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// stale returns one finding per suppression comment that silenced
+// nothing: either its analyzer never fired on its lines, or the
+// analyzer no longer exists. Records whose target the allowlist
+// exempts (or, for the blanket form, whole-package exemptions) are
+// skipped — there the comment is shadowed, not provably stale.
+func (s *suppressions) stale(pkg *Package, analyzers []*Analyzer, allow []AllowRule) []Finding {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, rec := range s.recs {
+		if rec.used {
+			continue
+		}
+		if rec.name == "*" {
+			if Allowed(allow, pkg.ImportPath, "") {
+				continue
+			}
+		} else if Allowed(allow, pkg.ImportPath, rec.name) {
+			continue
+		}
+		msg := fmt.Sprintf("stale //lint:ignore rsulint/%s: no %s diagnostic here any more; delete the comment", rec.name, rec.name)
+		if rec.name == "*" {
+			msg = "stale //lint:ignore rsulint: no diagnostic suppressed here any more; delete the comment"
+		} else if !known[rec.name] {
+			msg = fmt.Sprintf("stale //lint:ignore rsulint/%s: no analyzer named %q; delete or fix the comment", rec.name, rec.name)
+		}
+		out = append(out, Finding{
+			File:     rec.pos.Filename,
+			Line:     rec.pos.Line,
+			Col:      rec.pos.Column,
+			Analyzer: StaleIgnoreAnalyzer,
+			Message:  msg,
+			Fix:      &FindingFix{Start: rec.pos.Offset, End: rec.end.Offset, NewText: ""},
+		})
+	}
+	return out
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -93,5 +94,48 @@ func TestRunAllSuppressions(t *testing.T) {
 		[]AllowRule{{Prefix: "fixture/suppress"}})
 	if len(allowed) != 0 {
 		t.Fatalf("allowlisted package still produced findings: %v", allowed)
+	}
+}
+
+func TestRunAllStaleIgnore(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.LoadDir("testdata/suppress", "fixture/suppress")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings := RunAllOpts([]*Package{pkg}, []*Analyzer{countIdents}, nil,
+		Options{ReportStale: true})
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want the unsuppressed call plus one stale ignore", findings)
+	}
+	stale := findings[1]
+	if stale.Analyzer != StaleIgnoreAnalyzer {
+		t.Fatalf("second finding analyzer = %q, want %q", stale.Analyzer, StaleIgnoreAnalyzer)
+	}
+	if stale.Line != 15 {
+		t.Errorf("stale finding at line %d, want 15 (the wrong-target comment)", stale.Line)
+	}
+	if !strings.Contains(stale.Message, `no analyzer named "otheranalyzer"`) {
+		t.Errorf("stale message = %q, want the unknown-analyzer form", stale.Message)
+	}
+	if stale.Fix == nil || stale.Fix.NewText != "" || stale.Fix.End <= stale.Fix.Start {
+		t.Errorf("stale finding fix = %+v, want a delete-the-comment span", stale.Fix)
+	}
+
+	// A whole-package allowlist rule shadows the comment: the analyzer
+	// is exempt there, so the suppression is not provably stale.
+	allowed := RunAllOpts([]*Package{pkg}, []*Analyzer{countIdents},
+		[]AllowRule{{Prefix: "fixture/suppress"}}, Options{ReportStale: true})
+	if len(allowed) != 0 {
+		t.Fatalf("allowlisted package still produced findings: %v", allowed)
+	}
+
+	// RunAll (no options) keeps stale reporting off: suppression
+	// lifecycle is the whole-module runner's concern, not fixture runs'.
+	quiet := RunAll([]*Package{pkg}, []*Analyzer{countIdents}, nil)
+	for _, f := range quiet {
+		if f.Analyzer == StaleIgnoreAnalyzer {
+			t.Fatalf("RunAll reported a stale ignore without opting in: %v", f)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -89,7 +90,7 @@ func TestFigure8Generates(t *testing.T) {
 
 func TestAcceleratorGenerates(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Accelerator(&buf); err != nil {
+	if err := Accelerator(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "336") {
@@ -100,7 +101,7 @@ func TestAcceleratorGenerates(t *testing.T) {
 func TestFigure7Generates(t *testing.T) {
 	var buf bytes.Buffer
 	dir := t.TempDir()
-	if err := Figure7(&buf, dir); err != nil {
+	if err := Figure7(context.Background(), &buf, dir); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "mislabel rate") {
@@ -113,7 +114,7 @@ func TestFidelityGenerates(t *testing.T) {
 		t.Skip("fidelity sweep is slow")
 	}
 	var buf bytes.Buffer
-	if err := Fidelity(&buf); err != nil {
+	if err := Fidelity(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	for _, app := range []string{"segmentation", "motion", "stereo"} {
@@ -128,7 +129,7 @@ func TestAblationGenerates(t *testing.T) {
 		t.Skip("ablation sweep is slow")
 	}
 	var buf bytes.Buffer
-	if err := Ablation(&buf); err != nil {
+	if err := Ablation(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"geometric", "binary", "K=4"} {

@@ -30,7 +30,7 @@ type CheckpointMeasurement struct {
 // measureCheckpointed times checkpointSweeps-sweep exact-Gibbs runs on
 // the acceptance grid (256x256, M=16, compiled, checkerboard), with a
 // durable every-N-sweeps checkpoint policy when everySweeps > 0.
-func measureCheckpointed(everySweeps int, path string) (CheckpointMeasurement, error) {
+func measureCheckpointed(ctx context.Context, everySweeps int, path string) (CheckpointMeasurement, error) {
 	model, init := sweepModel(sweepGridW, sweepGridH, 16)
 	if err := model.Compile(); err != nil {
 		return CheckpointMeasurement{}, err
@@ -51,7 +51,7 @@ func measureCheckpointed(everySweeps int, path string) (CheckpointMeasurement, e
 	var runErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := gibbs.Run(context.Background(), model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
+			if _, err := gibbs.Run(ctx, model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
 				runErr = err
 				b.FailNow()
 			}
@@ -78,14 +78,10 @@ func measureCheckpointed(everySweeps int, path string) (CheckpointMeasurement, e
 // 256x256, M=16, compiled): a run checkpointing every 10 sweeps vs the
 // same run with checkpoints off. The acceptance bound for the
 // every-10-sweeps policy is < 5% (ISSUE 4); the experiment also
-// verifies the written snapshot round-trips through Load.
-func Checkpoint(w io.Writer) error {
-	return CheckpointCtx(context.Background(), w)
-}
-
-// CheckpointCtx is Checkpoint with cooperative cancellation between the
-// timed configurations.
-func CheckpointCtx(ctx context.Context, w io.Writer) error {
+// verifies the written snapshot round-trips through Load. ctx cancels
+// cooperatively between (and, via gibbs.Run, inside) the timed
+// configurations.
+func Checkpoint(ctx context.Context, w io.Writer) error {
 	dir, err := os.MkdirTemp("", "ckpt-bench")
 	if err != nil {
 		return err
@@ -93,14 +89,14 @@ func CheckpointCtx(ctx context.Context, w io.Writer) error {
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "bench.ckpt")
 
-	base, err := measureCheckpointed(0, "")
+	base, err := measureCheckpointed(ctx, 0, "")
 	if err != nil {
 		return err
 	}
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("bench: checkpoint experiment stopped: %w", err)
 	}
-	every10, err := measureCheckpointed(10, path)
+	every10, err := measureCheckpointed(ctx, 10, path)
 	if err != nil {
 		return err
 	}

@@ -126,7 +126,7 @@ func Table4(w io.Writer) error {
 // segmented by the emulated RSU-G2 in 10 MCMC iterations. When outDir
 // is non-empty the input and the 10th-iteration sample are written as
 // PGM files (the paper's Figure 7a/7b).
-func Figure7(w io.Writer, outDir string) error {
+func Figure7(ctx context.Context, w io.Writer, outDir string) error {
 	src := rng.New(7)
 	scene := img.TwoRegionScene(50, 67, 10, src)
 	app, err := apps.NewSegmentation(scene.Image, scene.Means, 2, 40)
@@ -134,7 +134,7 @@ func Figure7(w io.Writer, outDir string) error {
 		return err
 	}
 	init := img.NewLabelMap(50, 67)
-	res, err := gibbs.Run(context.Background(), app.Model(), init, prototype.NewSampler(prototype.New()), gibbs.Options{
+	res, err := gibbs.Run(ctx, app.Model(), init, prototype.NewSampler(prototype.New()), gibbs.Options{
 		Iterations: 10, Schedule: gibbs.Raster,
 	}, 8)
 	if err != nil {
@@ -176,7 +176,7 @@ func Figure8(w io.Writer) error {
 }
 
 // Accelerator prints the §8.2 discrete-accelerator analysis.
-func Accelerator(w io.Writer) error {
+func Accelerator(ctx context.Context, w io.Writer) error {
 	g := arch.TitanX()
 	a := arch.DefaultAccelerator()
 	t := Table{
@@ -235,7 +235,7 @@ func Accelerator(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	_, mode, stats, err := accel.Run(context.Background(), segApp, unit, accel.PaperConfig(5, 50, 31))
+	_, mode, stats, err := accel.Run(ctx, segApp, unit, accel.PaperConfig(5, 50, 31))
 	if err != nil {
 		return err
 	}
@@ -281,7 +281,7 @@ func Ratio(w io.Writer) error {
 
 // Fidelity runs the exact-vs-RSU functional comparison on all three
 // applications (small scenes) and prints quality metrics.
-func Fidelity(w io.Writer) error {
+func Fidelity(ctx context.Context, w io.Writer) error {
 	t := Table{
 		Title:  "Functional fidelity: exact software Gibbs vs emulated RSU-G",
 		Header: []string{"app", "metric", "software", "RSU", "agreement"},
@@ -298,11 +298,11 @@ func Fidelity(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	swSeg, err := apps.RunSoftware(context.Background(), segApp, segApp.InitLabels(), opt, 11)
+	swSeg, err := apps.RunSoftware(ctx, segApp, segApp.InitLabels(), opt, 11)
 	if err != nil {
 		return err
 	}
-	hwSeg, err := apps.RunRSU(context.Background(), segApp, segUnit, segApp.InitLabels(), opt, 12)
+	hwSeg, err := apps.RunRSU(ctx, segApp, segUnit, segApp.InitLabels(), opt, 12)
 	if err != nil {
 		return err
 	}
@@ -321,11 +321,11 @@ func Fidelity(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	swMot, err := apps.RunSoftware(context.Background(), motApp, motApp.InitLabels(), opt, 14)
+	swMot, err := apps.RunSoftware(ctx, motApp, motApp.InitLabels(), opt, 14)
 	if err != nil {
 		return err
 	}
-	hwMot, err := apps.RunRSU(context.Background(), motApp, motUnit, motApp.InitLabels(), opt, 15)
+	hwMot, err := apps.RunRSU(ctx, motApp, motUnit, motApp.InitLabels(), opt, 15)
 	if err != nil {
 		return err
 	}
@@ -344,11 +344,11 @@ func Fidelity(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	swSt, err := apps.RunSoftware(context.Background(), stApp, stApp.InitLabels(), opt, 17)
+	swSt, err := apps.RunSoftware(ctx, stApp, stApp.InitLabels(), opt, 17)
 	if err != nil {
 		return err
 	}
-	hwSt, err := apps.RunRSU(context.Background(), stApp, stUnit, stApp.InitLabels(), opt, 18)
+	hwSt, err := apps.RunRSU(ctx, stApp, stUnit, stApp.InitLabels(), opt, 18)
 	if err != nil {
 		return err
 	}
@@ -376,7 +376,7 @@ func retDefaultBinary() *ret.Circuit {
 // RET-circuit replication (initiation interval). The workload is dense
 // motion estimation — with M=49 labels the sampler's tail behavior is
 // exposed far more than at M=5.
-func Ablation(w io.Writer) error {
+func Ablation(ctx context.Context, w io.Writer) error {
 	scene := img.MotionPair(40, 40, 2, -1, 3, 3, rng.New(20))
 	app, err := apps.NewMotionEstimation(scene.Frame1, scene.Frame2, 3, 1, 8)
 	if err != nil {
@@ -390,7 +390,7 @@ func Ablation(w io.Writer) error {
 	}
 
 	runVariant := func(name string, unit *rsu.Unit, seed uint64) error {
-		res, err := apps.RunRSU(context.Background(), app, unit, app.InitLabels(), opt, seed)
+		res, err := apps.RunRSU(ctx, app, unit, app.InitLabels(), opt, seed)
 		if err != nil {
 			return err
 		}

@@ -134,14 +134,14 @@ func faultWorkload() (img.Scene, apps.App, *rsu.Unit, error) {
 }
 
 // runFaults executes the full rate × policy sweep.
-func runFaults() (*FaultReport, error) {
+func runFaults(ctx context.Context) (*FaultReport, error) {
 	scene, app, unit, err := faultWorkload()
 	if err != nil {
 		return nil, err
 	}
 	cfg := accel.PaperConfig(5, faultIterations, faultChainSeed)
 
-	_, baseMode, baseStats, err := accel.Run(context.Background(), app, unit, cfg)
+	_, baseMode, baseStats, err := accel.Run(ctx, app, unit, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +168,7 @@ func runFaults() (*FaultReport, error) {
 				return nil, err
 			}
 			fopt := fault.Options{Schedule: spec, Seed: faultScheduleSeed, Policy: policy}
-			_, mode, stats, fstats, err := accel.RunFaulty(context.Background(), app, unit, cfg, fopt)
+			_, mode, stats, fstats, err := accel.RunFaulty(ctx, app, unit, cfg, fopt)
 			if err != nil {
 				return nil, err
 			}
@@ -221,20 +221,20 @@ func (r *FaultReport) acceptance(rateIdx int) FaultAcceptance {
 
 // Faults runs the fault-injection experiment and renders it as a text
 // table.
-func Faults(w io.Writer) error {
-	return faultsTo(w, "")
+func Faults(ctx context.Context, w io.Writer) error {
+	return faultsTo(ctx, w, "")
 }
 
 // FaultsJSON runs the fault experiment and additionally writes the
 // machine-readable FaultReport to jsonPath (the committed
 // BENCH_faults.json artifact, which the CI faults-smoke job diffs
 // byte-for-byte against a regenerated copy).
-func FaultsJSON(w io.Writer, jsonPath string) error {
-	return faultsTo(w, jsonPath)
+func FaultsJSON(ctx context.Context, w io.Writer, jsonPath string) error {
+	return faultsTo(ctx, w, jsonPath)
 }
 
-func faultsTo(w io.Writer, jsonPath string) error {
-	rep, err := runFaults()
+func faultsTo(ctx context.Context, w io.Writer, jsonPath string) error {
+	rep, err := runFaults(ctx)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func reportJSON(t *testing.T) []byte {
 	t.Helper()
-	rep, err := runFaults()
+	rep, err := runFaults(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestFaultsReportDeterministic(t *testing.T) {
 // within 5% of the fault-free baseline, the unprotected baseline
 // measurably degrades, and the audit accounts for every injection.
 func TestFaultsAcceptance(t *testing.T) {
-	rep, err := runFaults()
+	rep, err := runFaults(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,7 +50,7 @@ type KernelReport struct {
 	// configuration (256x256, M=16, compiled) throughput of the
 	// pre-kernel tree, measured on the same machine and injected via
 	// rsubench -baseline.
-	BaselineNsPerSite float64            `json:"baseline_ns_per_site,omitempty"`
+	BaselineNsPerSite float64             `json:"baseline_ns_per_site,omitempty"`
 	Results           []KernelMeasurement `json:"results"`
 	// SpeedupPackedVsClosure compares compiled vs closure sites/sec on
 	// the acceptance configuration. It is a within-tree ratio, so it
@@ -94,7 +94,7 @@ func kernelSuite(quick bool) []kernelConfig {
 
 // measureKernel times one configuration and measures its steady-state
 // per-sweep allocation cost.
-func measureKernel(cfg kernelConfig) (KernelMeasurement, error) {
+func measureKernel(ctx context.Context, cfg kernelConfig) (KernelMeasurement, error) {
 	model, init := sweepModel(cfg.w, cfg.h, cfg.m)
 	if cfg.compiled {
 		if err := model.Compile(); err != nil {
@@ -105,7 +105,7 @@ func measureKernel(cfg kernelConfig) (KernelMeasurement, error) {
 	var runErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := gibbs.Run(context.Background(), model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
+			if _, err := gibbs.Run(ctx, model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
 				runErr = err
 				b.FailNow()
 			}
@@ -114,7 +114,7 @@ func measureKernel(cfg kernelConfig) (KernelMeasurement, error) {
 	if runErr != nil {
 		return KernelMeasurement{}, runErr
 	}
-	allocs, bytes, err := steadyAllocsPerSweep(cfg)
+	allocs, bytes, err := steadyAllocsPerSweep(ctx, cfg)
 	if err != nil {
 		return KernelMeasurement{}, err
 	}
@@ -139,7 +139,7 @@ func measureKernel(cfg kernelConfig) (KernelMeasurement, error) {
 // allocation-count delta by the extra sweeps: run setup cancels, so
 // the result is the marginal cost of one more sweep (0 for the packed
 // kernel path).
-func steadyAllocsPerSweep(cfg kernelConfig) (allocs, bytes float64, err error) {
+func steadyAllocsPerSweep(ctx context.Context, cfg kernelConfig) (allocs, bytes float64, err error) {
 	model, init := sweepModel(cfg.w, cfg.h, cfg.m)
 	if cfg.compiled {
 		if err := model.Compile(); err != nil {
@@ -151,7 +151,7 @@ func steadyAllocsPerSweep(cfg kernelConfig) (allocs, bytes float64, err error) {
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
-		if _, err := gibbs.Run(context.Background(), model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
+		if _, err := gibbs.Run(ctx, model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
 			return 0, 0, err
 		}
 		runtime.ReadMemStats(&after)
@@ -202,7 +202,7 @@ func processRSS() uint64 {
 // RunKernelSuite executes the fixed kernel suite and derives the
 // headline ratios. baselineNsPerSite, when positive, is recorded as
 // the pre-kernel same-machine reference.
-func RunKernelSuite(quick bool, baselineNsPerSite float64) (*KernelReport, error) {
+func RunKernelSuite(ctx context.Context, quick bool, baselineNsPerSite float64) (*KernelReport, error) {
 	suite := "full"
 	if quick {
 		suite = "quick"
@@ -217,7 +217,7 @@ func RunKernelSuite(quick bool, baselineNsPerSite float64) (*KernelReport, error
 		BaselineNsPerSite: baselineNsPerSite,
 	}
 	for _, cfg := range kernelSuite(quick) {
-		meas, err := measureKernel(cfg)
+		meas, err := measureKernel(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -340,8 +340,8 @@ func CompareKernelReports(ref, cur *KernelReport, thresholdPct float64) []string
 // thresholdPct percent) and the packed path's steady-state allocation
 // freedom — rather than absolute wall-clock numbers, which do not
 // transfer between the benchmark machine and a CI runner.
-func GateKernelReport(w io.Writer, ref *KernelReport, thresholdPct float64) error {
-	rep, err := RunKernelSuite(true, 0)
+func GateKernelReport(ctx context.Context, w io.Writer, ref *KernelReport, thresholdPct float64) error {
+	rep, err := RunKernelSuite(ctx, true, 0)
 	if err != nil {
 		return err
 	}

@@ -84,7 +84,7 @@ func sweepModel(w, h, m int) (*mrf.Model, *img.LabelMap) {
 
 // measureSweep times full exact-Gibbs sweeps of one configuration and
 // returns ns/site.
-func measureSweep(schedule gibbs.Schedule, m int, compiled bool, workers int) (SweepMeasurement, error) {
+func measureSweep(ctx context.Context, schedule gibbs.Schedule, m int, compiled bool, workers int) (SweepMeasurement, error) {
 	model, init := sweepModel(sweepGridW, sweepGridH, m)
 	if compiled {
 		if err := model.Compile(); err != nil {
@@ -95,7 +95,7 @@ func measureSweep(schedule gibbs.Schedule, m int, compiled bool, workers int) (S
 	var runErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := gibbs.Run(context.Background(), model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
+			if _, err := gibbs.Run(ctx, model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
 				runErr = err
 				b.FailNow()
 			}
@@ -120,7 +120,7 @@ func measureSweep(schedule gibbs.Schedule, m int, compiled bool, workers int) (S
 }
 
 // runSweep executes the full sweep-engine experiment grid.
-func runSweep(seedNsPerSite float64) (*SweepReport, error) {
+func runSweep(ctx context.Context, seedNsPerSite float64) (*SweepReport, error) {
 	workers := runtime.GOMAXPROCS(0)
 	rep := &SweepReport{
 		Grid:          fmt.Sprintf("%dx%d", sweepGridW, sweepGridH),
@@ -134,7 +134,7 @@ func runSweep(seedNsPerSite float64) (*SweepReport, error) {
 				if schedule == gibbs.Checkerboard {
 					w = workers
 				}
-				meas, err := measureSweep(schedule, m, compiled, w)
+				meas, err := measureSweep(ctx, schedule, m, compiled, w)
 				if err != nil {
 					return nil, err
 				}
@@ -165,20 +165,20 @@ func runSweep(seedNsPerSite float64) (*SweepReport, error) {
 // text table: exact-Gibbs full sweeps at 256x256 for M in {2,16,64},
 // raster and checkerboard schedules, closure vs compiled
 // (mrf.Model.Compile) evaluation paths.
-func Sweep(w io.Writer) error {
-	return sweepTo(w, 0, "")
+func Sweep(ctx context.Context, w io.Writer) error {
+	return sweepTo(ctx, w, 0, "")
 }
 
 // SweepJSON runs the sweep experiment and additionally writes the
 // machine-readable SweepReport to jsonPath (the committed
 // BENCH_sweep.json artifact). seedNsPerSite, when positive, records the
 // measured seed-tree baseline for the acceptance configuration.
-func SweepJSON(w io.Writer, jsonPath string, seedNsPerSite float64) error {
-	return sweepTo(w, seedNsPerSite, jsonPath)
+func SweepJSON(ctx context.Context, w io.Writer, jsonPath string, seedNsPerSite float64) error {
+	return sweepTo(ctx, w, seedNsPerSite, jsonPath)
 }
 
-func sweepTo(w io.Writer, seedNsPerSite float64, jsonPath string) error {
-	rep, err := runSweep(seedNsPerSite)
+func sweepTo(ctx context.Context, w io.Writer, seedNsPerSite float64, jsonPath string) error {
+	rep, err := runSweep(ctx, seedNsPerSite)
 	if err != nil {
 		return err
 	}

@@ -113,15 +113,18 @@ const (
 // Event is a structured detection record with full provenance.
 type Event struct {
 	// Seq is the global event sequence number (assigned by Audit).
+	//lint:ignore rsulint/ckptfield Seq is assigned by Audit over the merged event list, not serialized
 	Seq int `json:"seq"`
 	// Sweep and Unit locate the detection; Replica is the physical
 	// RET replica flagged (-1: unit-wide).
-	Sweep   int `json:"sweep"`
+	Sweep int `json:"sweep"`
+	//lint:ignore rsulint/ckptfield Unit is the owning unitCtl's index, recomputed on restore
 	Unit    int `json:"unit"`
 	Replica int `json:"replica"`
 	// Suspect names the monitor class that tripped; Measure is the
 	// monitored statistic at trip time and Threshold the limit it
 	// crossed.
+	//lint:ignore rsulint/ckptfield Suspect is SuspectID.String(), rederived from the serialized id
 	Suspect   string  `json:"suspect"`
 	Measure   float64 `json:"measure"`
 	Threshold float64 `json:"threshold"`

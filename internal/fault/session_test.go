@@ -401,8 +401,12 @@ func TestAuditJSONStable(t *testing.T) {
 }
 
 // TestFaultCodeLintIgnoreFree: the fault subsystem must pass rsulint
-// without a single suppression — the determinism and bit-width
-// invariants apply to the fault path exactly as to the healthy path.
+// without suppressing any determinism, bit-width or hot-path analyzer —
+// those invariants apply to the fault path exactly as to the healthy
+// path. The one sanctioned exception is rsulint/ckptfield: Event
+// carries fields that are derived on restore rather than serialized
+// (Seq, Unit, Suspect), and each such acknowledgment must name the
+// analyzer explicitly and state its reason.
 func TestFaultCodeLintIgnoreFree(t *testing.T) {
 	files, err := filepath.Glob("*.go")
 	if err != nil {
@@ -411,7 +415,9 @@ func TestFaultCodeLintIgnoreFree(t *testing.T) {
 	checked := 0
 	// The needles are assembled at run time so this test's own source
 	// does not match them.
-	needles := []string{"lint:" + "ignore", "no" + "lint"}
+	ignoreNeedle := "lint:" + "ignore"
+	needles := []string{ignoreNeedle, "no" + "lint"}
+	allowed := ignoreNeedle + " rsulint/ckptfield "
 	for _, f := range files {
 		if strings.HasSuffix(f, "_test.go") {
 			continue
@@ -421,9 +427,15 @@ func TestFaultCodeLintIgnoreFree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, needle := range needles {
-			if strings.Contains(string(src), needle) {
-				t.Errorf("%s contains a lint suppression", f)
+		for _, line := range strings.Split(string(src), "\n") {
+			for _, needle := range needles {
+				if !strings.Contains(line, needle) {
+					continue
+				}
+				if idx := strings.Index(line, allowed); idx >= 0 && len(strings.TrimSpace(line[idx+len(allowed):])) > 0 {
+					continue // reasoned ckptfield acknowledgment
+				}
+				t.Errorf("%s contains a lint suppression outside the sanctioned ckptfield form: %s", f, strings.TrimSpace(line))
 			}
 		}
 	}

@@ -20,8 +20,9 @@ import (
 // word-exact rather than decimal-exact, matching the rng serializers.
 
 // sessionStateVersion guards the section blob layout (the snapshot
-// format version above it guards the container).
-const sessionStateVersion = 1
+// format version above it guards the container). v2 added the schedule
+// sweep count to the geometry shape check.
+const sessionStateVersion = 2
 
 type repMonState struct {
 	Samples     int    `json:"samples"`
@@ -70,6 +71,7 @@ type unitState struct {
 type sessionState struct {
 	Version   int         `json:"version"`
 	Units     int         `json:"units"`
+	Sweeps    int         `json:"sweeps"`
 	Replicas  int         `json:"replicas"`
 	Phys      int         `json:"phys"`
 	LastSweep int         `json:"last_sweep"`
@@ -83,6 +85,7 @@ func (s *Session) MarshalBinary() ([]byte, error) {
 	st := sessionState{
 		Version:   sessionStateVersion,
 		Units:     s.tl.Units,
+		Sweeps:    s.tl.Sweeps,
 		Replicas:  s.tl.Replicas,
 		Phys:      s.tl.Replicas + s.spares,
 		LastSweep: s.lastSweep,
@@ -156,6 +159,9 @@ func (s *Session) UnmarshalBinary(data []byte) error {
 	case st.Units != s.tl.Units || st.Replicas != s.tl.Replicas:
 		return fmt.Errorf("fault: session state is %d units x %d replicas, session has %d x %d",
 			st.Units, st.Replicas, s.tl.Units, s.tl.Replicas)
+	case st.Sweeps != s.tl.Sweeps:
+		return fmt.Errorf("fault: session state was compiled for %d sweeps, session schedule has %d",
+			st.Sweeps, s.tl.Sweeps)
 	case st.Phys != phys:
 		return fmt.Errorf("fault: session state has %d physical replicas, session has %d", st.Phys, phys)
 	case len(st.UnitState) != len(s.units):

@@ -176,6 +176,8 @@ func (e *engine) sweep() {
 
 // sweepSpan updates every site of sp's color in rows [y0, y1) using
 // worker w's sampler and the rows' own RNG streams.
+//
+//rsulint:hot
 func (e *engine) sweepSpan(w int, sp span) {
 	m, lm := e.m, e.lm
 	if k := e.kernel; k != nil && k.Ready() {

@@ -91,6 +91,8 @@ func PutScratch(sc *Scratch) { scratchPool.Put(sc) }
 // it was re-sampled, preserving the sequential-chain semantics). The
 // caller must hold the conditional-independence contract for parallel
 // use and must have checked Ready.
+//
+//rsulint:hot
 func (k *Kernel) SweepRow(lm *img.LabelMap, y, x0, stride int, src *rng.Source, sc *Scratch) {
 	m := k.m
 	labels := lm.Labels

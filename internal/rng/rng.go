@@ -285,6 +285,8 @@ func (r *Source) CategoricalRates(weights []float64) int {
 // resolve floating-point slack (u never passed by any prefix, which
 // can happen when rounding makes acc's final value dip below u) by
 // falling back to the last index with positive weight.
+//
+//rsulint:hot
 func (r *Source) CategoricalRatesBranchfree(weights []float64) int {
 	total := 0.0
 	for _, w := range weights {
