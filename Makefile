@@ -13,10 +13,12 @@
 #   make bench   sweep-engine micro-benchmarks + throughput report
 #   make chaos   kill-and-recover harness (subprocess SIGKILL + resume)
 #   make obs-smoke  recorder determinism + metrics-snapshot schema gate
+#   make serve-smoke  end-to-end rsuserve drain/restart exercise
+#   make serve-chaos  serving chaos harness (SIGKILL + resume) under -race
 
 GO ?= go
 
-.PHONY: build vet lint lint-escape test race bench chaos sweep-report faults-report obs-smoke kernel-report bench-smoke fuzz-smoke all
+.PHONY: build vet lint lint-escape test race bench chaos sweep-report faults-report obs-smoke kernel-report bench-smoke fuzz-smoke serve-smoke serve-chaos all
 
 all: build vet lint test race
 
@@ -83,6 +85,23 @@ bench-smoke:
 # canonical fixed point.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzCheckpointLoad -fuzztime=30s ./internal/checkpoint
+
+# End-to-end serving exercise against the real binary: build
+# cmd/rsuserve, start it with two tenants, submit jobs over HTTP,
+# SIGTERM mid-flight (graceful drain checkpoints in-flight chains),
+# restart on the same state directory, and require every accepted job
+# to reach a terminal state with the admission gauges exported.
+serve-smoke:
+	bash scripts/serve-smoke.sh
+
+# Serving chaos harness under the race detector: the test binary
+# re-executes itself as a daemon, floods it from two tenants, SIGKILLs
+# it at a seeded-random point, restarts at a different worker count,
+# and requires every job to end completed / resumed-and-completed
+# (digest-identical to an uninterrupted golden run) /
+# deadline-exceeded-with-partial.
+serve-chaos:
+	$(GO) test -race -run 'TestServeChaosSIGKILLResume' ./internal/serve/
 
 # Observability gate: run the recorder-overhead + determinism
 # experiment (fails if an observed run diverges from an unobserved

@@ -49,13 +49,21 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file after the run")
 	httpAddr := flag.String("http", "", "serve live /metrics, /debug/vars and /debug/pprof on this address")
+	timeout := flag.Duration("timeout", 0, "abort the run after this wall time (0: none); the chain stops at a sweep boundary and partial outputs are flushed")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the run context: the chain stops at the next
 	// sweep boundary, a final checkpoint is written (when -checkpoint is
 	// set), and partial outputs are flushed instead of dying mid-write.
+	// -timeout bounds the same context, so expiry takes the same graceful
+	// path as an interrupt.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var ckpt *core.CheckpointSpec
 	if *ckptPath != "" {
@@ -81,7 +89,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mrfdemo: %v\n", err)
 			os.Exit(1)
 		}
-		defer shutdown()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = shutdown(sctx)
+		}()
 		fmt.Printf("observability endpoint on http://%s\n", addr)
 	}
 

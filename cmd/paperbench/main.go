@@ -23,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/obs"
@@ -39,13 +40,20 @@ func main() {
 	faultsJSON := flag.String("faultsjson", "", "with -experiment faults: also write the machine-readable report to this file (e.g. BENCH_faults.json)")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file after the run")
 	httpAddr := flag.String("http", "", "serve live /metrics, /debug/vars and /debug/pprof on this address")
+	timeout := flag.Duration("timeout", 0, "abort the report after this wall time (0: none); sections stop at the next boundary")
 	flag.Parse()
 
 	// SIGINT/SIGTERM stop the report at the next section boundary (and
 	// cancel in-flight context-aware experiments) so partially written
-	// artifacts are flushed rather than torn.
+	// artifacts are flushed rather than torn. -timeout bounds the same
+	// context, taking the identical graceful path.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var reg *obs.Registry
 	if *metricsOut != "" || *httpAddr != "" {
@@ -57,7 +65,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 			os.Exit(1)
 		}
-		defer shutdown()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = shutdown(sctx)
+		}()
 		fmt.Printf("observability endpoint on http://%s\n", addr)
 	}
 

@@ -110,7 +110,29 @@ type Config struct {
 	// produces byte-identical labels to an unobserved one; the field is
 	// likewise excluded from checkpoint fingerprints.
 	Recorder obs.Recorder
+	// Deadline bounds the wall time of one Solve call (0: none). On
+	// expiry the chain stops at the next sweep boundary exactly as an
+	// external context deadline would: a final checkpoint is written
+	// when armed, and Solve returns the partial Result together with an
+	// error wrapping context.DeadlineExceeded. Like Workers, Deadline is
+	// deliberately excluded from checkpoint fingerprints — it truncates
+	// the chain but never changes any sampled label, so a snapshot taken
+	// under one deadline resumes bit-exactly under another.
+	Deadline time.Duration
 }
+
+// Config limit bounds. Validate rejects values beyond these: they are
+// far past any real workload, so exceeding one always indicates a
+// corrupted or hostile configuration (a serving daemon must refuse it
+// at admission, not discover it mid-solve).
+const (
+	// MaxDeadline bounds Config.Deadline.
+	MaxDeadline = 30 * 24 * time.Hour
+	// MaxIterations bounds Config.Iterations.
+	MaxIterations = 1 << 30
+	// MaxWorkers bounds Config.Workers.
+	MaxWorkers = 4096
+)
 
 // CheckpointSpec wires the checkpoint subsystem into a solve: periodic
 // durable snapshots at sweep boundaries, and resume from the last one.
@@ -152,11 +174,23 @@ func (cfg Config) Validate() error {
 	if cfg.Iterations <= 0 {
 		return fmt.Errorf("%w: iterations must be positive, got %d", ErrInvalidConfig, cfg.Iterations)
 	}
+	if cfg.Iterations > MaxIterations {
+		return fmt.Errorf("%w: iterations %d > limit %d", ErrInvalidConfig, cfg.Iterations, MaxIterations)
+	}
 	if cfg.BurnIn < 0 || cfg.BurnIn >= cfg.Iterations {
 		return fmt.Errorf("%w: burn-in %d outside [0,%d)", ErrInvalidConfig, cfg.BurnIn, cfg.Iterations)
 	}
 	if cfg.Workers < 0 {
 		return fmt.Errorf("%w: workers %d < 0", ErrInvalidConfig, cfg.Workers)
+	}
+	if cfg.Workers > MaxWorkers {
+		return fmt.Errorf("%w: workers %d > limit %d", ErrInvalidConfig, cfg.Workers, MaxWorkers)
+	}
+	if cfg.Deadline < 0 {
+		return fmt.Errorf("%w: deadline %v < 0", ErrInvalidConfig, cfg.Deadline)
+	}
+	if cfg.Deadline > MaxDeadline {
+		return fmt.Errorf("%w: deadline %v > limit %v", ErrInvalidConfig, cfg.Deadline, MaxDeadline)
 	}
 	if cfg.RSUWidth < 0 {
 		return fmt.Errorf("%w: RSU width %d < 0", ErrInvalidConfig, cfg.RSUWidth)
@@ -299,8 +333,18 @@ func (s *Solver) Fingerprint() checkpoint.Fingerprint {
 // written (if armed), and Solve returns the *partial* Result computed
 // so far together with an error wrapping ctx.Err().
 func (s *Solver) Solve(ctx context.Context) (*Result, error) {
+	if d := s.cfg.Deadline; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 	m := s.app.Model()
-	if s.cfg.Compile {
+	if s.cfg.Compile && !m.Compiled() {
+		// An already-compiled model is reused as-is: tables depend only
+		// on the model parameters, and table evaluation is bit-identical
+		// to the closure path, so recompiling could only waste work.
+		// This is what lets a serving layer share one compiled model
+		// across many sequential jobs (internal/serve's compile cache).
 		if err := m.Compile(); err != nil {
 			return nil, err
 		}

@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"time"
 )
 
 // Handler serves a live Registry over HTTP:
@@ -43,18 +45,49 @@ func Handler(r *Registry) http.Handler {
 	return mux
 }
 
+// NewServer returns an http.Server hardened for unattended exposure:
+// slowloris-resistant header/read timeouts and an idle-connection
+// reaper. WriteTimeout is deliberately left zero — the handlers this
+// package (and internal/serve) mount include long-lived streams (pprof
+// profiles, NDJSON progress followers) that a write deadline would cut
+// mid-response; per-request bounds belong to the handlers themselves.
+func NewServer(handler http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // Serve starts the observability endpoint on addr (e.g. ":8080" or
 // "127.0.0.1:0") in a background goroutine. It returns the bound
-// address and a shutdown func; CLIs call it when -http is set and let
-// process exit tear it down.
-func Serve(addr string, r *Registry) (string, func(), error) {
+// address and a shutdown func that drains in-flight requests until its
+// context expires (then closes abruptly). CLIs call it when -http is
+// set; passing an already-expired context degrades to an immediate
+// close.
+func Serve(addr string, r *Registry) (string, func(context.Context) error, error) {
+	return ServeHandler(addr, Handler(r))
+}
+
+// ServeHandler is Serve for an arbitrary handler (internal/serve mounts
+// its job API alongside the registry endpoints): hardened server, same
+// graceful-shutdown contract.
+func ServeHandler(addr string, h http.Handler) (string, func(context.Context) error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := NewServer(h)
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+	shutdown := func(ctx context.Context) error {
+		if err := srv.Shutdown(ctx); err != nil {
+			_ = srv.Close()
+			return fmt.Errorf("obs: shutdown: %w", err)
+		}
+		return nil
+	}
+	return ln.Addr().String(), shutdown, nil
 }
 
 // writePrometheus renders the snapshot in the Prometheus text format.

@@ -1,0 +1,189 @@
+// Package backoff is the serving layer's retry policy: exponential
+// delays with multiplicative growth, a hard cap, and downward jitter
+// drawn from an injected deterministic source.
+//
+// Two properties matter more than the arithmetic:
+//
+//   - Determinism boundaries. Jitter comes from a *rng.Source the caller
+//     owns, never from the solver's chain streams, so retrying a job can
+//     never perturb the labels it samples (the serving determinism test
+//     in internal/serve pins this). Sleeping goes through an injectable
+//     SleepFunc, so tests drive the policy with a fake clock.
+//   - Error classification. Permanent errors — configuration rejections,
+//     checkpoint fingerprint mismatches, anything retrying cannot fix —
+//     are never retried: Do stops on the first error that matches a
+//     Policy.Permanent sentinel (via errors.Is) or carries the
+//     Permanent() marker.
+package backoff
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ErrInvalidPolicy is wrapped by every policy-validation error.
+var ErrInvalidPolicy = errors.New("backoff: invalid policy")
+
+// Policy shapes the retry schedule. The delay before retry n (0-based)
+// is min(Cap, Base·Factorⁿ), minus up to a Jitter fraction drawn
+// uniformly, so every delay lies in [(1−Jitter)·dₙ, dₙ] and never
+// exceeds Cap.
+type Policy struct {
+	// Base is the unjittered delay before the first retry. Required
+	// positive when MaxRetries > 0.
+	Base time.Duration
+	// Cap bounds every delay from above (0: uncapped).
+	Cap time.Duration
+	// Factor is the per-retry growth multiplier (0: default 2; must
+	// otherwise be >= 1).
+	Factor float64
+	// Jitter is the fraction of each delay randomized downward, in
+	// [0, 1]. 0 disables jitter.
+	Jitter float64
+	// MaxRetries bounds retries after the initial attempt (0: the
+	// first failure is final).
+	MaxRetries int
+	// Permanent lists error classes that must never be retried:
+	// Do stops as soon as the attempt error errors.Is one of them.
+	Permanent []error
+}
+
+// Validate checks the policy, wrapping ErrInvalidPolicy.
+func (p Policy) Validate() error {
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("%w: MaxRetries %d < 0", ErrInvalidPolicy, p.MaxRetries)
+	}
+	if p.Base < 0 {
+		return fmt.Errorf("%w: Base %v < 0", ErrInvalidPolicy, p.Base)
+	}
+	if p.MaxRetries > 0 && p.Base == 0 {
+		return fmt.Errorf("%w: MaxRetries %d needs a positive Base", ErrInvalidPolicy, p.MaxRetries)
+	}
+	if p.Cap < 0 {
+		return fmt.Errorf("%w: Cap %v < 0", ErrInvalidPolicy, p.Cap)
+	}
+	if p.Cap > 0 && p.Cap < p.Base {
+		return fmt.Errorf("%w: Cap %v < Base %v", ErrInvalidPolicy, p.Cap, p.Base)
+	}
+	if p.Factor != 0 && p.Factor < 1 {
+		return fmt.Errorf("%w: Factor %g < 1 (delays must not shrink)", ErrInvalidPolicy, p.Factor)
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		return fmt.Errorf("%w: Jitter %g outside [0,1]", ErrInvalidPolicy, p.Jitter)
+	}
+	return nil
+}
+
+// Delay returns the jittered delay before retry n (0-based). The draw
+// consumes exactly one src.Float64 when jitter is enabled, so a given
+// (policy, src state) pair always yields the same schedule. A nil src
+// disables jitter regardless of the policy.
+func (p Policy) Delay(n int, src *rng.Source) time.Duration {
+	factor := p.Factor
+	if factor == 0 {
+		factor = 2
+	}
+	d := float64(p.Base)
+	ceil := float64(p.Cap)
+	for i := 0; i < n; i++ {
+		d *= factor
+		if p.Cap > 0 && d >= ceil {
+			d = ceil
+			break
+		}
+	}
+	if p.Cap > 0 && d > ceil {
+		d = ceil
+	}
+	if p.Jitter > 0 && src != nil {
+		d -= src.Float64() * p.Jitter * d
+	}
+	return time.Duration(d)
+}
+
+// PermanentError marks an error that must never be retried. Callers
+// usually wrap with Permanent; Do unwraps transparently, so errors.Is
+// and errors.As see through the marker.
+type PermanentError struct{ Err error }
+
+// Error implements error.
+func (e *PermanentError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the marked error to errors.Is/As.
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// Permanent marks err as non-retryable. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PermanentError{Err: err}
+}
+
+// IsPermanent reports whether err is marked Permanent or matches one of
+// the policy's permanent sentinels.
+func (p Policy) IsPermanent(err error) bool {
+	var pe *PermanentError
+	if errors.As(err, &pe) {
+		return true
+	}
+	for _, sentinel := range p.Permanent {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+// SleepFunc waits for d or until ctx is done, returning ctx.Err() when
+// the wait was cut short. Tests inject fakes that record d and return
+// immediately.
+type SleepFunc func(ctx context.Context, d time.Duration) error
+
+// SleepTimer is the production SleepFunc, backed by a real timer.
+func SleepTimer(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs op, retrying per the policy until it succeeds, fails
+// permanently, exhausts MaxRetries, or ctx is canceled during a backoff
+// wait. op receives the 0-based attempt number. The returned error is
+// the last attempt's error (nil on success); callers that need to
+// distinguish a canceled wait inspect ctx.Err() themselves. A nil sleep
+// uses SleepTimer.
+func Do(ctx context.Context, p Policy, src *rng.Source, sleep SleepFunc, op func(ctx context.Context, attempt int) error) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if sleep == nil {
+		sleep = SleepTimer
+	}
+	for attempt := 0; ; attempt++ {
+		err := op(ctx, attempt)
+		if err == nil {
+			return nil
+		}
+		if p.IsPermanent(err) || attempt >= p.MaxRetries {
+			return err
+		}
+		if serr := sleep(ctx, p.Delay(attempt, src)); serr != nil {
+			// Canceled mid-backoff: surface the attempt's error; the
+			// caller sees the cancellation on its own ctx.
+			return err
+		}
+	}
+}

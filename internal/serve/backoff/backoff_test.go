@@ -1,0 +1,233 @@
+package backoff
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// fakeSleep records every requested delay and returns immediately —
+// the fake clock driving Do in these tests.
+type fakeSleep struct {
+	delays []time.Duration
+	err    error
+}
+
+func (f *fakeSleep) sleep(_ context.Context, d time.Duration) error {
+	f.delays = append(f.delays, d)
+	return f.err
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Policy{
+		{MaxRetries: -1},
+		{Base: -time.Second},
+		{MaxRetries: 1}, // retries need a Base
+		{Base: time.Second, Cap: -1, MaxRetries: 0}, // negative cap
+		{Base: time.Second, Cap: time.Millisecond},  // cap < base
+		{Base: time.Second, Factor: 0.5},            // shrinking delays
+		{Base: time.Second, Jitter: -0.1},           //
+		{Base: time.Second, Jitter: 1.5},            //
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrInvalidPolicy) {
+			t.Errorf("bad[%d] %+v: err %v, want ErrInvalidPolicy", i, p, err)
+		}
+	}
+	good := []Policy{
+		{},
+		{Base: time.Second, MaxRetries: 5, Cap: time.Minute, Factor: 2, Jitter: 0.5},
+		{Base: time.Millisecond, Jitter: 1},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("good[%d] %+v: %v", i, p, err)
+		}
+	}
+}
+
+func TestDelayExactWithoutJitter(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 2 * time.Second, Factor: 2, MaxRetries: 10}
+	want := []time.Duration{
+		100 * time.Millisecond, // n=0
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second, // stays capped
+	}
+	for n, w := range want {
+		if got := p.Delay(n, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+func TestDelayJitterBoundsAndCap(t *testing.T) {
+	p := Policy{Base: 50 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: 0.5, MaxRetries: 20}
+	src := rng.New(42)
+	for n := 0; n < 20; n++ {
+		got := p.Delay(n, src)
+		unjittered := p.Delay(n, nil)
+		lo := time.Duration(float64(unjittered) * (1 - p.Jitter))
+		if got < lo || got > unjittered {
+			t.Errorf("Delay(%d) = %v outside [%v, %v]", n, got, lo, unjittered)
+		}
+		if got > p.Cap {
+			t.Errorf("Delay(%d) = %v exceeds Cap %v", n, got, p.Cap)
+		}
+	}
+}
+
+func TestDelayDeterministicSchedule(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: time.Second, Jitter: 1, MaxRetries: 8}
+	a, b := rng.New(7), rng.New(7)
+	for n := 0; n < 8; n++ {
+		if da, db := p.Delay(n, a), p.Delay(n, b); da != db {
+			t.Fatalf("Delay(%d): %v vs %v from identical sources", n, da, db)
+		}
+	}
+}
+
+func TestDoRetriesTransientThenSucceeds(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: time.Second, Jitter: 0.5, MaxRetries: 5}
+	fs := &fakeSleep{}
+	var attempts []int
+	err := Do(context.Background(), p, rng.New(3), fs.sleep, func(_ context.Context, attempt int) error {
+		attempts = append(attempts, attempt)
+		if attempt < 2 {
+			return fmt.Errorf("transient %d", attempt)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if len(attempts) != 3 {
+		t.Fatalf("attempts %v, want [0 1 2]", attempts)
+	}
+	// The sleeps must match the policy schedule drawn from an identical
+	// jitter source.
+	ref := rng.New(3)
+	for n, got := range fs.delays {
+		if want := p.Delay(n, ref); got != want {
+			t.Errorf("sleep[%d] = %v, want %v", n, got, want)
+		}
+	}
+	if len(fs.delays) != 2 {
+		t.Errorf("slept %d times, want 2", len(fs.delays))
+	}
+}
+
+func TestDoExhaustsRetries(t *testing.T) {
+	p := Policy{Base: time.Millisecond, MaxRetries: 3}
+	fs := &fakeSleep{}
+	calls := 0
+	wantErr := errors.New("still broken")
+	err := Do(context.Background(), p, nil, fs.sleep, func(_ context.Context, _ int) error {
+		calls++
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Do: %v, want last attempt error", err)
+	}
+	if calls != 4 {
+		t.Errorf("op ran %d times, want MaxRetries+1 = 4", calls)
+	}
+}
+
+// TestDoPermanentSentinelsNeverRetry pins the serving contract: the
+// error classes that retrying cannot fix — invalid configurations and
+// checkpoint fingerprint mismatches — stop Do on the first attempt.
+func TestDoPermanentSentinelsNeverRetry(t *testing.T) {
+	p := Policy{
+		Base: time.Millisecond, MaxRetries: 5,
+		Permanent: []error{core.ErrInvalidConfig, checkpoint.ErrMismatch, checkpoint.ErrVersion},
+	}
+	for _, base := range []error{core.ErrInvalidConfig, checkpoint.ErrMismatch, checkpoint.ErrVersion} {
+		wrapped := fmt.Errorf("attempt failed: %w", base)
+		fs := &fakeSleep{}
+		calls := 0
+		err := Do(context.Background(), p, nil, fs.sleep, func(_ context.Context, _ int) error {
+			calls++
+			return wrapped
+		})
+		if !errors.Is(err, base) {
+			t.Errorf("%v: Do returned %v", base, err)
+		}
+		if calls != 1 {
+			t.Errorf("%v: op ran %d times, want 1 (permanent)", base, calls)
+		}
+		if len(fs.delays) != 0 {
+			t.Errorf("%v: slept %d times for a permanent error", base, len(fs.delays))
+		}
+	}
+}
+
+func TestDoPermanentMarker(t *testing.T) {
+	p := Policy{Base: time.Millisecond, MaxRetries: 5}
+	inner := errors.New("broken precondition")
+	calls := 0
+	err := Do(context.Background(), p, nil, (&fakeSleep{}).sleep, func(_ context.Context, _ int) error {
+		calls++
+		return Permanent(fmt.Errorf("wrap: %w", inner))
+	})
+	if calls != 1 {
+		t.Errorf("op ran %d times, want 1", calls)
+	}
+	// The marker must be transparent to errors.Is.
+	if !errors.Is(err, inner) {
+		t.Errorf("errors.Is fails through PermanentError: %v", err)
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+}
+
+func TestDoCanceledSleepSurfacesAttemptError(t *testing.T) {
+	p := Policy{Base: time.Millisecond, MaxRetries: 5}
+	attemptErr := errors.New("transient")
+	fs := &fakeSleep{err: context.Canceled}
+	calls := 0
+	err := Do(context.Background(), p, nil, fs.sleep, func(_ context.Context, _ int) error {
+		calls++
+		return attemptErr
+	})
+	if !errors.Is(err, attemptErr) {
+		t.Fatalf("Do: %v, want the attempt error", err)
+	}
+	if calls != 1 {
+		t.Errorf("op ran %d times after canceled sleep, want 1", calls)
+	}
+}
+
+func TestDoInvalidPolicy(t *testing.T) {
+	err := Do(context.Background(), Policy{MaxRetries: -1}, nil, nil, func(_ context.Context, _ int) error {
+		t.Fatal("op must not run under an invalid policy")
+		return nil
+	})
+	if !errors.Is(err, ErrInvalidPolicy) {
+		t.Fatalf("Do: %v, want ErrInvalidPolicy", err)
+	}
+}
+
+func TestSleepTimer(t *testing.T) {
+	if err := SleepTimer(context.Background(), 0); err != nil {
+		t.Errorf("zero sleep: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := SleepTimer(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled sleep: %v", err)
+	}
+	if err := SleepTimer(context.Background(), time.Microsecond); err != nil {
+		t.Errorf("short sleep: %v", err)
+	}
+}

@@ -1,0 +1,323 @@
+package serve
+
+// The serving chaos harness, in the style of internal/checkpoint/
+// chaostest: the test binary re-executes itself as a real rsuserve-
+// shaped daemon (SERVE_CHAOS_MODE=server), the parent floods it with
+// jobs over HTTP from two tenants, SIGKILLs it at a seeded-random point
+// partway through the stream, restarts it on the same state directory
+// at a different worker count, and then holds the service to the
+// acceptance invariant: every accepted job ends in exactly one of
+// {completed, resumed-and-completed, deadline-exceeded-with-partial},
+// and every completed chain is byte-identical (digest) to an
+// uninterrupted golden run.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("SERVE_CHAOS_MODE") == "server" {
+		os.Exit(runChaosServer())
+	}
+	os.Exit(m.Run())
+}
+
+// runChaosServer is the subprocess: a full Server with its HTTP surface
+// on an ephemeral port. It prints "ADDR <host:port>" for the parent and
+// then blocks until killed — SIGKILL is the only way it exits, which is
+// the point.
+func runChaosServer() int {
+	workers, _ := strconv.Atoi(os.Getenv("SERVE_CHAOS_WORKERS"))
+	cfg := Config{
+		StateDir:              os.Getenv("SERVE_CHAOS_STATE"),
+		QueueDepth:            64,
+		Shards:                2,
+		WorkerOverride:        workers,
+		CheckpointEverySweeps: 1,
+		BackoffSeed:           7,
+		Recorder:              obs.New(),
+	}
+	s, err := New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos server:", err)
+		return 1
+	}
+	if err := s.Start(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos server:", err)
+		return 1
+	}
+	addr, _, err := obs.ServeHandler("127.0.0.1:0", s.Handler())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos server:", err)
+		return 1
+	}
+	fmt.Printf("ADDR %s\n", addr)
+	select {}
+}
+
+// startChaosServer launches the subprocess and returns its command and
+// bound address.
+func startChaosServer(t *testing.T, stateDir string, workers int) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"SERVE_CHAOS_MODE=server",
+		"SERVE_CHAOS_STATE="+stateDir,
+		"SERVE_CHAOS_WORKERS="+strconv.Itoa(workers),
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "ADDR "); ok {
+				addrCh <- a
+				// Keep draining so the child never blocks on stdout.
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("chaos server did not report its address")
+		return nil, ""
+	}
+}
+
+func httpSubmit(t *testing.T, addr, tenant string, spec JobSpec) string {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	req, _ := http.NewRequest("POST", "http://"+addr+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set(tenantHeader, tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("submit to %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit -> %d: %s", resp.StatusCode, data)
+	}
+	var view statusView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view.ID
+}
+
+func httpStatus(t *testing.T, addr, id string) (statusView, error) {
+	t.Helper()
+	resp, err := http.DefaultClient.Get("http://" + addr + "/v1/jobs/" + id)
+	if err != nil {
+		return statusView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusView{}, fmt.Errorf("status %s -> %d", id, resp.StatusCode)
+	}
+	var view statusView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return statusView{}, err
+	}
+	return view, nil
+}
+
+// chaosSpecs is the job stream: eight digest-comparable jobs over the
+// four applications plus one whose wall-clock deadline cannot fit its
+// chain budget (it must surface as deadline-exceeded with a partial).
+func chaosSpecs() []JobSpec {
+	specs := make([]JobSpec, 0, 9)
+	apps := []string{"segmentation", "stereo", "motion", "restoration"}
+	for i := 0; i < 8; i++ {
+		specs = append(specs, JobSpec{
+			App:        apps[i%len(apps)],
+			Size:       16,
+			Labels:     3,
+			Iterations: 60 + 10*i,
+			BurnIn:     10,
+			Seed:       uint64(1000 + i),
+			SceneSeed:  uint64(40 + i%3),
+		})
+	}
+	specs = append(specs, JobSpec{
+		App: "segmentation", Size: 16, Labels: 3,
+		Iterations: 1 << 19, BurnIn: 1, Seed: 2000, SceneSeed: 41,
+		DeadlineMS: 300,
+	})
+	return specs
+}
+
+func TestServeChaosSIGKILLResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos matrix skipped in -short mode")
+	}
+	specs := chaosSpecs()
+	deadlineIdx := len(specs) - 1
+
+	// Golden digests: an uninterrupted in-process server at W=1.
+	goldenCfg := testConfig(t)
+	goldenCfg.WorkerOverride = 1
+	golden := startServer(t, goldenCfg)
+	goldenDigest := make([]string, len(specs)-1)
+	for i, spec := range specs[:deadlineIdx] {
+		id, err := golden.Submit("golden", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := waitTerminal(t, golden, id, 120*time.Second)
+		if st.State != StateDone {
+			t.Fatalf("golden job %d: %s (%s)", i, st.State, st.Error)
+		}
+		goldenDigest[i] = st.Digest
+	}
+
+	// Run 1: W=2 server, jobs from two tenants, SIGKILL at a seeded-
+	// random point once the stream is demonstrably mid-flight.
+	state := t.TempDir()
+	srv1, addr1 := startChaosServer(t, state, 2)
+	killed := false
+	defer func() {
+		if !killed {
+			_ = srv1.Process.Kill()
+		}
+	}()
+	ids := make([]string, len(specs))
+	tenants := make([]string, len(specs))
+	for i, spec := range specs {
+		tenants[i] = "alice"
+		if i%2 == 1 {
+			tenants[i] = "bob"
+		}
+		ids[i] = httpSubmit(t, addr1, tenants[i], spec)
+	}
+
+	// The kill trigger: wait until at least killAfter jobs have a durable
+	// chain snapshot (the chain passed a sweep boundary in this
+	// incarnation), then SIGKILL mid-stream. The threshold is drawn from
+	// a seeded stream — randomized offsets, reproducible schedule.
+	src := rng.New(0xC4A05)
+	killAfter := 2 + src.Intn(3)
+	ckptDir := filepath.Join(state, "ckpt")
+	killDeadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(killDeadline) {
+			t.Fatal("chaos stream never reached the kill threshold")
+		}
+		entries, _ := os.ReadDir(ckptDir)
+		live := 0
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".ckpt") {
+				live++
+			}
+		}
+		if live >= killAfter {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := srv1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	killed = true
+	_ = srv1.Wait()
+
+	// Run 2: same state directory, W=3. Recovery must requeue every
+	// non-terminal job and drive all of them to a terminal state.
+	srv2, addr2 := startChaosServer(t, state, 3)
+	defer func() { _ = srv2.Process.Kill() }()
+
+	final := make([]statusView, len(ids))
+	allDeadline := time.Now().Add(180 * time.Second)
+	for i, id := range ids {
+		for {
+			if time.Now().After(allDeadline) {
+				t.Fatalf("job %s not terminal after restart (last: %+v)", id, final[i])
+			}
+			view, err := httpStatus(t, addr2, id)
+			if err == nil {
+				final[i] = view
+				if view.Terminal {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// The acceptance invariant: every accepted job ends in exactly one of
+	// completed / resumed-and-completed (digest-identical to golden) /
+	// deadline-exceeded-with-partial.
+	for i, view := range final {
+		if i == deadlineIdx {
+			if view.State != StateExpired {
+				t.Errorf("deadline job: state %s (error %q), want deadline-exceeded", view.State, view.Error)
+				continue
+			}
+			if view.Sweeps <= 0 {
+				t.Errorf("deadline job: partial sweeps %d, want > 0", view.Sweeps)
+			}
+			continue
+		}
+		if view.State != StateDone {
+			t.Errorf("job %d (%s): state %s (error %q), want done", i, view.ID, view.State, view.Error)
+			continue
+		}
+		if view.Sweeps != specs[i].Iterations {
+			t.Errorf("job %d: sweeps %d, want the full budget %d", i, view.Sweeps, specs[i].Iterations)
+		}
+		if view.Digest != goldenDigest[i] {
+			t.Errorf("job %d (%s): digest %s != golden %s — resume is not byte-exact",
+				i, view.ID, view.Digest, goldenDigest[i])
+		}
+	}
+
+	// Labels of the deadline-exceeded job are fetchable partials.
+	resp, err := http.DefaultClient.Get("http://" + addr2 + "/v1/jobs/" + ids[deadlineIdx] + "/labels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgm, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.HasPrefix(pgm, []byte("P5")) {
+		t.Errorf("deadline job labels: code %d, %d bytes", resp.StatusCode, len(pgm))
+	}
+
+	// The restarted server's metrics must admit it recovered work.
+	resp, err = http.DefaultClient.Get("http://" + addr2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "serve_jobs_recovered") {
+		t.Error("/metrics after restart missing serve_jobs_recovered")
+	}
+}

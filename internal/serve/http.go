@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxBodyBytes bounds a submit request body; specs are small JSON
+// documents, so anything bigger is garbage or abuse.
+const maxBodyBytes = 64 << 10
+
+// tenantHeader names the submitting tenant; absent, the submission is
+// attributed to "anonymous" (which gets DefaultLimits like any other
+// unlisted tenant).
+const tenantHeader = "X-Tenant"
+
+// Handler returns the job API plus the observability endpoints:
+//
+//	POST /v1/jobs             submit (JSON JobSpec; 202 + id, 400, 429, 503)
+//	GET  /v1/jobs             list all known jobs
+//	GET  /v1/jobs/{id}        status
+//	GET  /v1/jobs/{id}/events NDJSON progress stream (follows until terminal)
+//	GET  /v1/jobs/{id}/labels terminal labels as PGM
+//	GET  /healthz             200 serving / 503 draining
+//	/metrics, /debug/vars, /debug/pprof  server-wide obs registry
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/labels", s.handleLabels)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("/", obs.Handler(s.reg))
+	return mux
+}
+
+// statusView is the wire form of a job's status.
+type statusView struct {
+	ID          string `json:"id"`
+	Tenant      string `json:"tenant"`
+	State       State  `json:"state"`
+	Terminal    bool   `json:"terminal"`
+	Attempts    int    `json:"attempts"`
+	Sweeps      int    `json:"sweeps"`
+	Error       string `json:"error,omitempty"`
+	Digest      string `json:"digest,omitempty"`
+	FaultPolicy string `json:"fault_policy,omitempty"`
+}
+
+func viewOf(rec jobRecord, st jobStatus) statusView {
+	return statusView{
+		ID: rec.ID, Tenant: rec.Tenant,
+		State: st.State, Terminal: st.State.Terminal(),
+		Attempts: st.Attempts, Sweeps: st.Sweeps,
+		Error: st.Error, Digest: st.Digest, FaultPolicy: st.FaultPolicy,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get(tenantHeader)
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrInvalidSpec, err))
+		return
+	}
+	id, err := s.Submit(tenant, spec)
+	if err != nil {
+		var shed *ShedError
+		switch {
+		case errors.As(err, &shed):
+			w.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
+			writeErr(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfterHint))
+			writeErr(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrInvalidSpec):
+			writeErr(w, http.StatusBadRequest, err)
+		default:
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+id)
+	rec, st, _ := s.Job(id)
+	writeJSON(w, http.StatusAccepted, viewOf(rec, st))
+}
+
+// retryAfterSeconds renders a Retry-After header value (integral
+// seconds, minimum 1 — a zero hint would tell clients to hammer).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	recs := s.Jobs()
+	views := make([]statusView, 0, len(recs))
+	for _, rec := range recs {
+		_, st, err := s.Job(rec.ID)
+		if err != nil {
+			continue
+		}
+		views = append(views, viewOf(rec, st))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rec, st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(rec, st))
+}
+
+func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, err := s.Labels(id)
+	if err != nil {
+		code := http.StatusConflict
+		if errors.Is(err, ErrUnknownJob) {
+			code = http.StatusNotFound
+		}
+		writeErr(w, code, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/x-portable-graymap")
+	_, _ = w.Write(data)
+}
+
+// handleEvents streams the job's NDJSON progress events, following
+// live appends until the job reaches a terminal state or the client
+// disconnects. `?follow=0` returns the buffered events and closes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %s", ErrUnknownJob, id))
+		return
+	}
+	follow := r.URL.Query().Get("follow") != "0"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	off := 0
+	for {
+		chunk, closed, wake := j.events.snapshot(off)
+		if len(chunk) > 0 {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+			off += len(chunk)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if closed || !follow {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wake:
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfterHint))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "serving"})
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// State is a job's position in the lifecycle state machine
+// (DESIGN.md §14):
+//
+//	queued ──► running ──► done
+//	  ▲           │ ├────► deadline-exceeded   (partial labels kept)
+//	  │           │ ├────► failed              (permanent error)
+//	  │           │ └────► retry-wait ──► running (transient error,
+//	  │           │                               backoff + jitter)
+//	  │           └────► preempted             (drain/crash: checkpointed)
+//	  └───────────────────── preempted jobs re-enter queued on restart
+//
+// done, deadline-exceeded and failed are terminal; every accepted job
+// reaches exactly one of them (the serve chaos test's invariant).
+type State string
+
+// Job lifecycle states.
+const (
+	// StateQueued: accepted, journaled, waiting for a solver shard.
+	StateQueued State = "queued"
+	// StateRunning: a shard is sweeping the chain.
+	StateRunning State = "running"
+	// StateRetryWait: last attempt failed transiently; the job is
+	// sitting out its backoff delay.
+	StateRetryWait State = "retry-wait"
+	// StatePreempted: the chain was checkpointed and parked by a drain
+	// (or the status survived a crash); it resumes on restart.
+	StatePreempted State = "preempted"
+	// StateDone: completed; labels and digest are durable.
+	StateDone State = "done"
+	// StateExpired: the per-attempt deadline elapsed; the partial
+	// labels and sweep count the chain reached are durable.
+	StateExpired State = "deadline-exceeded"
+	// StateFailed: a permanent error or exhausted retries.
+	StateFailed State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateExpired, StateFailed:
+		return true
+	}
+	return false
+}
+
+// job is the in-memory side of one accepted job. The store holds the
+// durable truth; job mirrors it for the HTTP layer plus the purely
+// runtime parts (event stream, waiter wakeups).
+type job struct {
+	rec jobRecord
+
+	mu     sync.Mutex
+	status jobStatus
+	// resumed records that at least one attempt in this process resumed
+	// from a snapshot taken by an earlier incarnation.
+	resumed bool
+
+	// events is the job's NDJSON progress stream; reg is the per-job
+	// registry feeding it (chain sweep counters, checkpoint events, and
+	// the serve layer's job.state transitions).
+	events *eventBuf
+	reg    *obs.Registry
+}
+
+func newJob(rec jobRecord, status jobStatus) *job {
+	j := &job{rec: rec, status: status, events: newEventBuf(maxEventBytes)}
+	j.reg = obs.New()
+	j.reg.StreamTo(obs.NewEventSink(j.events))
+	return j
+}
+
+// Status returns a copy of the current status.
+func (j *job) Status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// setState mutates the in-memory status under the job lock and returns
+// the updated copy for persistence.
+func (j *job) setState(mut func(*jobStatus)) jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	mut(&j.status)
+	return j.status
+}
+
+// previewState applies mut to a copy of the current status without
+// publishing it — the first half of Server.persist's publish ordering
+// (journal and events first, in-memory state last).
+func (j *job) previewState(mut func(*jobStatus)) jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.status
+	mut(&st)
+	return st
+}
+
+// commitState publishes a previously previewed status.
+func (j *job) commitState(st jobStatus) {
+	j.mu.Lock()
+	j.status = st
+	j.mu.Unlock()
+}
+
+// maxEventBytes bounds one job's buffered event stream; past it new
+// events are counted but dropped, so a runaway chain cannot hold the
+// server's memory hostage.
+const maxEventBytes = 1 << 20
+
+// eventBuf accumulates NDJSON lines and wakes streaming readers on
+// every append. Closed when the job reaches a terminal state so
+// followers drain and disconnect.
+type eventBuf struct {
+	mu      sync.Mutex
+	buf     []byte
+	max     int
+	dropped int64
+	closed  bool
+	wake    chan struct{}
+}
+
+func newEventBuf(max int) *eventBuf {
+	return &eventBuf{max: max, wake: make(chan struct{})}
+}
+
+// Write implements io.Writer for the job's EventSink.
+func (b *eventBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	if len(b.buf)+len(p) > b.max {
+		b.dropped++
+	} else {
+		b.buf = append(b.buf, p...)
+	}
+	close(b.wake)
+	b.wake = make(chan struct{})
+	b.mu.Unlock()
+	return len(p), nil
+}
+
+// Close marks the stream complete and wakes all followers.
+func (b *eventBuf) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.wake)
+		b.wake = make(chan struct{})
+	}
+	b.mu.Unlock()
+}
+
+// snapshot returns the bytes past off, whether the stream is complete,
+// and a channel that is closed on the next append.
+func (b *eventBuf) snapshot(off int) ([]byte, bool, <-chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var chunk []byte
+	if off < len(b.buf) {
+		chunk = append([]byte(nil), b.buf[off:]...)
+	}
+	return chunk, b.closed, b.wake
+}

@@ -1,0 +1,839 @@
+// Package serve is the inference-as-a-service layer (ROADMAP item 1):
+// a multi-tenant job runtime that admits MRF inference jobs through a
+// bounded, load-shedding queue, runs them on a sharded pool of solver
+// workers, and survives both graceful drains (SIGTERM → checkpoint →
+// restart → resume) and outright SIGKILL with no job lost and no job
+// completed twice.
+//
+// Robustness invariants, in the order the request path meets them:
+//
+//   - Admission is never unbounded: a full queue, an empty tenant token
+//     bucket, or an exhausted tenant quota sheds the submit with a typed
+//     ShedError (HTTP 429 + Retry-After) instead of blocking.
+//   - Every accepted job is durable before the client learns its ID
+//     (journal record fsynced first), and reaches exactly one terminal
+//     state: done, deadline-exceeded (with the partial labels and sweep
+//     count the chain reached), or failed.
+//   - Per-job deadlines ride the PR 4 context plumbing: expiry stops the
+//     chain at a sweep boundary and keeps the partial result.
+//   - Transient attempt failures retry with exponential backoff and
+//     deterministic jitter (internal/serve/backoff); the jitter stream
+//     is derived from the server's BackoffSeed and the job sequence,
+//     never from the solver's chain streams, so retrying cannot change
+//     a single sampled label. Permanent errors (invalid configs,
+//     checkpoint fingerprint mismatches) never retry.
+//   - Fault-degraded attempts escalate the degradation policy
+//     (→ quarantine → fallback) instead of failing outright.
+//   - Drain stops admission, cancels in-flight chains (each writes a
+//     final checkpoint at its sweep boundary), parks them as preempted,
+//     and a restarted server resumes them bit-exactly — fingerprint
+//     checked, worker-count invariant — per the checkpoint guarantees.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/img"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/serve/backoff"
+)
+
+// ErrInvalidConfig is wrapped by every server-configuration error.
+var ErrInvalidConfig = errors.New("serve: invalid config")
+
+// ErrDraining rejects submissions while the server is shutting down.
+var ErrDraining = errors.New("serve: draining")
+
+// ErrUnknownJob marks status/labels lookups for IDs never accepted.
+var ErrUnknownJob = errors.New("serve: unknown job")
+
+// ErrDegraded is the transient failure produced when a fault-armed
+// attempt completes with unaccounted injected faults — the monitors
+// missed real damage, so the result cannot be trusted. The retry runs
+// under an escalated degradation policy.
+var ErrDegraded = errors.New("serve: fault degradation exceeded policy")
+
+// errPreempted marks an attempt stopped by drain/shutdown rather than
+// by its own failure; the job parks as preempted and resumes after
+// restart.
+var errPreempted = errors.New("serve: preempted")
+
+// ShedError is a load-shedding admission rejection: the client should
+// retry after the hinted delay. The HTTP layer renders it as 429 +
+// Retry-After.
+type ShedError struct {
+	// Reason is the shed class: "queue-full" | "rate-limited" | "quota".
+	Reason string
+	// RetryAfter hints when capacity should exist again.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serve: shed (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// Config shapes a Server.
+type Config struct {
+	// StateDir is the durable root: job journal, chain snapshots,
+	// terminal outputs. Required.
+	StateDir string
+	// QueueDepth bounds the admission queue; submits past it are shed
+	// with 429 (default 64).
+	QueueDepth int
+	// Shards is the number of solver workers pulling from the queue
+	// (default 2). Each runs one job at a time; per-job checkerboard
+	// parallelism inside a solve is the job's Workers setting.
+	Shards int
+	// WorkerOverride, when positive, replaces every job's requested
+	// Workers — safe because seeded results are worker-count-invariant,
+	// and exactly what the chaos harness uses to prove W=1↔W=N resume.
+	WorkerOverride int
+	// ModelCacheSize is the compile-cache capacity in checked-in app
+	// instances (default 8; 0 keeps the default, negative disables).
+	ModelCacheSize int
+	// CheckpointEverySweeps is the per-job snapshot cadence (default 1:
+	// every sweep boundary is durable, the strongest resume guarantee).
+	CheckpointEverySweeps int
+	// Retry is the transient-failure backoff policy. Zero value gets
+	// the serving default (3 retries, 100ms base, 2s cap, 0.5 jitter).
+	Retry backoff.Policy
+	// BackoffSeed derives the per-job jitter streams (seed ^ job seq).
+	// Deliberately separate from every chain seed.
+	BackoffSeed uint64
+	// Tenants maps tenant names to their limits; unlisted tenants get
+	// DefaultLimits.
+	Tenants map[string]TenantLimits
+	// DefaultLimits applies to tenants absent from Tenants (zero value:
+	// unlimited rate, unlimited quota).
+	DefaultLimits TenantLimits
+	// RetryAfterHint is the Retry-After returned on queue-full sheds
+	// (default 1s).
+	RetryAfterHint time.Duration
+	// Recorder is the server-wide metrics registry (default: a fresh
+	// obs.New()). Queue-depth and in-flight gauges, shed/retry/deadline
+	// counters, per-tenant counters and job-latency histograms land
+	// here; /metrics serves it.
+	Recorder *obs.Registry
+	// Now supplies the wall clock (default time.Now — injected so tests
+	// and the detrand determinism discipline control time).
+	Now func() time.Time
+	// Sleep waits out backoff delays (default backoff.SleepTimer).
+	Sleep backoff.SleepFunc
+
+	// preSolve is a test hook invoked before each solve attempt; a
+	// non-nil return is handled exactly like a solver error. Unexported:
+	// only this package's tests can arm it.
+	preSolve func(jobID string, attempt int) error
+}
+
+// withDefaults returns cfg with zero fields filled in.
+func (cfg Config) withDefaults() Config {
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 2
+	}
+	if cfg.ModelCacheSize == 0 {
+		cfg.ModelCacheSize = 8
+	}
+	if cfg.CheckpointEverySweeps == 0 {
+		cfg.CheckpointEverySweeps = 1
+	}
+	if cfg.Retry.Base == 0 && cfg.Retry.MaxRetries == 0 {
+		cfg.Retry = backoff.Policy{
+			Base:       100 * time.Millisecond,
+			Cap:        2 * time.Second,
+			Factor:     2,
+			Jitter:     0.5,
+			MaxRetries: 3,
+		}
+	}
+	if cfg.RetryAfterHint == 0 {
+		cfg.RetryAfterHint = time.Second
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = obs.New()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = backoff.SleepTimer
+	}
+	return cfg
+}
+
+// Validate checks the configuration, wrapping ErrInvalidConfig.
+func (cfg Config) Validate() error {
+	if cfg.StateDir == "" {
+		return fmt.Errorf("%w: StateDir is required", ErrInvalidConfig)
+	}
+	if cfg.QueueDepth < 0 {
+		return fmt.Errorf("%w: QueueDepth %d < 0", ErrInvalidConfig, cfg.QueueDepth)
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("%w: Shards %d < 0", ErrInvalidConfig, cfg.Shards)
+	}
+	if cfg.WorkerOverride < 0 || cfg.WorkerOverride > MaxSpecWorkers {
+		return fmt.Errorf("%w: WorkerOverride %d outside [0,%d]", ErrInvalidConfig, cfg.WorkerOverride, MaxSpecWorkers)
+	}
+	if cfg.CheckpointEverySweeps < 0 {
+		return fmt.Errorf("%w: CheckpointEverySweeps %d < 0", ErrInvalidConfig, cfg.CheckpointEverySweeps)
+	}
+	if err := cfg.Retry.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	if err := cfg.DefaultLimits.Validate(); err != nil {
+		return err
+	}
+	for name, tl := range cfg.Tenants {
+		if !tenantName.MatchString(name) {
+			return fmt.Errorf("%w: tenant name %q (want %s)", ErrInvalidConfig, name, tenantName)
+		}
+		if err := tl.Validate(); err != nil {
+			return fmt.Errorf("tenant %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Server is the multi-tenant inference daemon runtime. Construct with
+// New (which also recovers the journal), start the shard pool with
+// Start, serve Handler over HTTP, and stop with Drain.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	store *store
+	cache *appCache
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	queue    chan *job
+	queued   int // client-admitted jobs currently in the queue
+	running  int
+	seq      uint64
+	tenants  map[string]*tenantState
+	draining bool
+	started  bool
+
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+	wg        sync.WaitGroup
+}
+
+// New validates the configuration, opens the state directory, and
+// recovers the journal: every non-terminal job found there is re-queued
+// with resume armed, in original admission order, ahead of any new
+// submissions. Terminal jobs stay addressable for status and labels.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	st, err := newStore(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Recorder,
+		store:   st,
+		cache:   newAppCache(cfg.ModelCacheSize),
+		jobs:    map[string]*job{},
+		tenants: map[string]*tenantState{},
+	}
+	recs, err := st.Load()
+	if err != nil {
+		return nil, err
+	}
+	var recovered []*job
+	for _, rec := range recs {
+		status, err := st.GetStatus(rec.ID)
+		if err != nil {
+			return nil, err
+		}
+		if rec.Seq >= s.seq {
+			s.seq = rec.Seq + 1
+		}
+		j := newJob(rec, status)
+		s.jobs[rec.ID] = j
+		if status.State.Terminal() {
+			j.events.Close()
+			continue
+		}
+		j.resumed = status.Sweeps > 0 || status.Attempts > 0
+		j.setState(func(st *jobStatus) { st.State = StateQueued })
+		if err := st.PutStatus(rec.ID, j.Status()); err != nil {
+			return nil, err
+		}
+		recovered = append(recovered, j)
+		s.tenant(rec.Tenant).inflight++
+	}
+	// The queue channel is sized so that recovery plus a full client
+	// admission window can never block a push: shedding is enforced by
+	// the queued counter, not by channel capacity.
+	s.queue = make(chan *job, cfg.QueueDepth+len(recovered)+1)
+	for _, j := range recovered {
+		s.queue <- j
+		s.queued++
+		obs.Add(s.reg, "serve.jobs.recovered", 1)
+	}
+	s.gauges()
+	return s, nil
+}
+
+// tenant returns (creating on first use) the tenant's state. Callers
+// hold s.mu or are in single-threaded construction.
+func (s *Server) tenant(name string) *tenantState {
+	t, ok := s.tenants[name]
+	if !ok {
+		tl, listed := s.cfg.Tenants[name]
+		if !listed {
+			tl = s.cfg.DefaultLimits
+		}
+		t = newTenantState(tl, s.cfg.Now())
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// Start launches the shard pool under ctx. Canceling ctx is a hard
+// stop (jobs park as preempted at their next sweep boundary); prefer
+// Drain for the graceful path.
+func (s *Server) Start(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("%w: Start called twice", ErrInvalidConfig)
+	}
+	s.started = true
+	s.runCtx, s.cancelRun = context.WithCancel(ctx)
+	for i := 0; i < s.cfg.Shards; i++ {
+		s.wg.Add(1)
+		go func(shard int) {
+			defer s.wg.Done()
+			s.shardLoop(s.runCtx, shard)
+		}(i)
+	}
+	return nil
+}
+
+// Drain gracefully stops the server: admission turns off (submits get
+// ErrDraining), every in-flight chain is canceled and writes its final
+// checkpoint at the next sweep boundary, queued jobs stay journaled,
+// and the shard pool exits. Returns once all shards have parked or ctx
+// expires. Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	wasStarted := s.started
+	s.draining = true
+	s.gaugesLocked()
+	if s.cancelRun != nil {
+		s.cancelRun()
+	}
+	s.mu.Unlock()
+	if !wasStarted {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+	// Shards are parked; end every live event stream so followers drain
+	// and disconnect (otherwise they would pin the HTTP shutdown).
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.events.Close()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Draining reports whether admission is off.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Metrics returns the server-wide registry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Submit admits one job for tenant: spec validation, tenant token
+// bucket, tenant quota, then a bounded-queue reservation — shedding
+// with a typed ShedError at the first limit hit — and only then the
+// durable journal write that makes the job real. Never blocks on queue
+// capacity.
+func (s *Server) Submit(tenant string, spec JobSpec) (id string, err error) {
+	if !tenantName.MatchString(tenant) {
+		return "", fmt.Errorf("%w: tenant name %q (want %s)", ErrInvalidSpec, tenant, tenantName)
+	}
+	if err := spec.Validate(); err != nil {
+		obs.Add(s.reg, "serve.jobs.rejected", 1)
+		return "", err
+	}
+	spec = spec.withDefaults()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		obs.Add(s.reg, "serve.shed.draining", 1)
+		return "", ErrDraining
+	}
+	t := s.tenant(tenant)
+	if ok, retry := t.admit(s.cfg.Now()); !ok {
+		s.mu.Unlock()
+		obs.Add(s.reg, "serve.shed.rate", 1)
+		obs.Add(s.reg, "serve.tenant."+tenant+".shed", 1)
+		return "", &ShedError{Reason: "rate-limited", RetryAfter: retry}
+	}
+	if !t.quotaOK() {
+		s.mu.Unlock()
+		obs.Add(s.reg, "serve.shed.quota", 1)
+		obs.Add(s.reg, "serve.tenant."+tenant+".shed", 1)
+		return "", &ShedError{Reason: "quota", RetryAfter: s.cfg.RetryAfterHint}
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		obs.Add(s.reg, "serve.shed.queue", 1)
+		obs.Add(s.reg, "serve.tenant."+tenant+".shed", 1)
+		return "", &ShedError{Reason: "queue-full", RetryAfter: s.cfg.RetryAfterHint}
+	}
+	seq := s.seq
+	s.seq++
+	rec := jobRecord{
+		ID:     fmt.Sprintf("%s-%06d", tenant, seq),
+		Tenant: tenant,
+		Seq:    seq,
+		Spec:   spec,
+	}
+	j := newJob(rec, jobStatus{State: StateQueued})
+	// Reserve the slot before releasing the lock so concurrent submits
+	// see the queue fill immediately; roll back if the journal write
+	// fails.
+	s.jobs[rec.ID] = j
+	s.queued++
+	t.inflight++
+	s.gaugesLocked()
+	s.mu.Unlock()
+
+	if err := s.store.PutRecord(rec); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, rec.ID)
+		s.queued--
+		t.inflight--
+		s.gaugesLocked()
+		s.mu.Unlock()
+		return "", fmt.Errorf("serve: journal: %w", err)
+	}
+	s.emitState(j, j.Status(), 0)
+	s.queue <- j
+	obs.Add(s.reg, "serve.jobs.accepted", 1)
+	obs.Add(s.reg, "serve.tenant."+tenant+".accepted", 1)
+	return rec.ID, nil
+}
+
+// Job returns the job's record and current status.
+func (s *Server) Job(id string) (jobRecord, jobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return jobRecord{}, jobStatus{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j.rec, j.Status(), nil
+}
+
+// Jobs lists every known job ID in admission order.
+func (s *Server) Jobs() []jobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := make([]jobRecord, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		recs = append(recs, j.rec)
+	}
+	for i := 1; i < len(recs); i++ { // insertion sort by seq; list endpoints are cold
+		for k := i; k > 0 && recs[k-1].Seq > recs[k].Seq; k-- {
+			recs[k-1], recs[k] = recs[k], recs[k-1]
+		}
+	}
+	return recs
+}
+
+// Labels returns the terminal label bytes (PGM) for a done or expired
+// job.
+func (s *Server) Labels(id string) ([]byte, error) {
+	_, status, err := s.Job(id)
+	if err != nil {
+		return nil, err
+	}
+	switch status.State {
+	case StateDone, StateExpired:
+		return os.ReadFile(s.store.LabelsPath(id))
+	default:
+		return nil, fmt.Errorf("serve: job %s not terminal (state %s)", id, status.State)
+	}
+}
+
+// shardLoop pulls jobs until the run context dies.
+func (s *Server) shardLoop(ctx context.Context, shard int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j := <-s.queue:
+			s.mu.Lock()
+			s.queued--
+			s.running++
+			s.gaugesLocked()
+			s.mu.Unlock()
+			s.runJob(ctx, j)
+			s.mu.Lock()
+			s.running--
+			s.gaugesLocked()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// runJob drives one job to a terminal or parked state: the backoff.Do
+// retry loop around attempts, permanent-error classification, and the
+// final bookkeeping (tenant quota release, latency histogram).
+func (s *Server) runJob(ctx context.Context, j *job) {
+	start := s.cfg.Now()
+	// The jitter stream is keyed by the job's admission sequence and the
+	// server's backoff seed — disjoint by construction from every chain
+	// seed, which only ever reaches rng.New through gibbs.Run.
+	jitter := rng.New(s.cfg.BackoffSeed ^ (j.rec.Seq+1)*0x9e3779b97f4a7c15)
+	policy := s.cfg.Retry
+	policy.Permanent = append(append([]error(nil), policy.Permanent...),
+		core.ErrInvalidConfig, ErrInvalidSpec, checkpoint.ErrMismatch, checkpoint.ErrVersion)
+
+	err := backoff.Do(ctx, policy, jitter, s.cfg.Sleep, func(ctx context.Context, attempt int) (aerr error) {
+		// A panicking attempt (hostile spec reaching an assertion, a bug
+		// in one workload) fails that job permanently instead of taking
+		// down the daemon and every other tenant's jobs with it.
+		defer func() {
+			if r := recover(); r != nil {
+				obs.Add(s.reg, "serve.attempt.panics", 1)
+				aerr = backoff.Permanent(fmt.Errorf("serve: attempt panic: %v", r))
+			}
+		}()
+		return s.attempt(ctx, j, attempt)
+	})
+
+	s.mu.Lock()
+	tenant := s.tenant(j.rec.Tenant)
+	s.mu.Unlock()
+
+	switch {
+	case err == nil:
+		// Terminal state (done or deadline-exceeded) already persisted
+		// by the attempt.
+	case errors.Is(err, errPreempted), ctx.Err() != nil:
+		// Parked, not terminal: quota stays held on the journal, and the
+		// restarted server re-counts it during recovery. The ctx.Err()
+		// arm catches a drain landing mid-backoff-wait — Do surfaces the
+		// attempt's transient error then, not a preemption marker.
+		if !errors.Is(err, errPreempted) {
+			s.persist(j, 0, func(st *jobStatus) { st.State = StatePreempted })
+			obs.Add(s.reg, "serve.jobs.preempted", 1)
+		}
+	default:
+		obs.Add(s.reg, "serve.jobs.failed", 1)
+		s.persist(j, 0, func(st *jobStatus) {
+			st.State = StateFailed
+			st.Error = err.Error()
+		})
+	}
+
+	status := j.Status()
+	if status.State.Terminal() {
+		j.events.Close()
+		s.mu.Lock()
+		tenant.inflight--
+		s.gaugesLocked()
+		s.mu.Unlock()
+		s.reg.Observe("serve.job.latency_seconds", s.cfg.Now().Sub(start).Seconds())
+		obs.Add(s.reg, "serve.tenant."+j.rec.Tenant+".terminal", 1)
+	}
+}
+
+// attempt runs one solve attempt end to end and persists any terminal
+// outcome itself. Its error return drives retry classification only:
+// nil for a terminal outcome (done or expired), errPreempted (wrapped
+// Permanent) when the server is stopping, a transient error to back
+// off and retry, or a permanent error to fail.
+func (s *Server) attempt(ctx context.Context, j *job, attempt int) error {
+	if ctx.Err() != nil {
+		s.persist(j, attempt, func(st *jobStatus) { st.State = StatePreempted })
+		obs.Add(s.reg, "serve.jobs.preempted", 1)
+		return backoff.Permanent(errPreempted)
+	}
+	if hook := s.cfg.preSolve; hook != nil {
+		if err := hook(j.rec.ID, attempt); err != nil {
+			return s.attemptFailed(j, attempt, err)
+		}
+	}
+
+	spec := j.rec.Spec
+	prev := j.Status()
+	faultPolicy := fault.PolicyRemap
+	if prev.FaultPolicy != "" {
+		p, err := fault.ParsePolicy(prev.FaultPolicy)
+		if err != nil {
+			return backoff.Permanent(fmt.Errorf("%w: %v", ErrInvalidSpec, err))
+		}
+		faultPolicy = p
+	} else if spec.FaultPolicy != "" {
+		p, err := fault.ParsePolicy(spec.FaultPolicy)
+		if err != nil {
+			return backoff.Permanent(fmt.Errorf("%w: %v", ErrInvalidSpec, err))
+		}
+		faultPolicy = p
+	}
+
+	workers := spec.Workers
+	if s.cfg.WorkerOverride > 0 {
+		workers = s.cfg.WorkerOverride
+	}
+	ckptPath := s.store.CheckpointPath(j.rec.ID)
+	cfg, err := solverConfig(spec, faultPolicy, workers, ckptPath, s.cfg.CheckpointEverySweeps)
+	if err != nil {
+		return backoff.Permanent(err)
+	}
+	cfg.Recorder = j.reg
+
+	key := spec.ModelKey()
+	app := s.cache.Get(key)
+	if app == nil {
+		obs.Add(s.reg, "serve.cache.misses", 1)
+		app, err = buildApp(spec)
+		if err != nil {
+			return backoff.Permanent(err)
+		}
+	} else {
+		obs.Add(s.reg, "serve.cache.hits", 1)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			// Do not check a panicked-over instance back in — its state
+			// is suspect and would poison later jobs. Re-panic for the
+			// attempt-level containment above.
+			panic(r)
+		}
+		s.cache.Put(key, app)
+	}()
+
+	solver, err := core.NewSolver(app, cfg)
+	if err != nil {
+		return s.attemptFailed(j, attempt, err)
+	}
+
+	s.persist(j, attempt, func(st *jobStatus) {
+		st.State = StateRunning
+		st.Attempts = attempt + 1
+		st.FaultPolicy = faultPolicy.String()
+		st.Error = ""
+	})
+
+	res, err := solver.Solve(ctx)
+
+	switch {
+	case err == nil:
+		if spec.Faults != "" && res.FaultAudit != nil && res.FaultAudit.Summary.Unaccounted > 0 {
+			return s.degraded(j, attempt, faultPolicy, res)
+		}
+		return s.finish(j, attempt, res, StateDone)
+	case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+		// The job's own deadline (core applied Config.Deadline inside
+		// this attempt) — terminal, with whatever the chain reached.
+		obs.Add(s.reg, "serve.jobs.deadline_exceeded", 1)
+		return s.finish(j, attempt, res, StateExpired)
+	case ctx.Err() != nil:
+		// Drain or hard stop: the final checkpoint is already durable
+		// (written at the cancellation sweep boundary).
+		s.persist(j, attempt, func(st *jobStatus) {
+			st.State = StatePreempted
+			if res != nil {
+				st.Sweeps = res.Iterations
+			}
+		})
+		obs.Add(s.reg, "serve.jobs.preempted", 1)
+		return backoff.Permanent(errPreempted)
+	default:
+		return s.attemptFailed(j, attempt, err)
+	}
+}
+
+// attemptFailed classifies an attempt error: permanent classes pass
+// straight through (backoff.Do stops on them), transient ones persist
+// the retry-wait state. A corrupt snapshot — external damage by the
+// checkpoint layer's contract — is cleared so the retry restarts the
+// chain from scratch.
+func (s *Server) attemptFailed(j *job, attempt int, err error) error {
+	if errors.Is(err, checkpoint.ErrCorrupt) {
+		_ = os.Remove(s.store.CheckpointPath(j.rec.ID))
+	}
+	perm := errors.Is(err, core.ErrInvalidConfig) || errors.Is(err, ErrInvalidSpec) ||
+		errors.Is(err, checkpoint.ErrMismatch) || errors.Is(err, checkpoint.ErrVersion)
+	if !perm {
+		obs.Add(s.reg, "serve.retries", 1)
+		s.persist(j, attempt, func(st *jobStatus) {
+			st.State = StateRetryWait
+			st.Error = err.Error()
+		})
+	}
+	return err
+}
+
+// degraded handles a fault-armed attempt whose audit shows unaccounted
+// injected faults: escalate the degradation policy toward the exact
+// CMOS fallback and retry on a fresh chain. An attempt already at
+// fallback is accepted — the exact kernel is the strongest response
+// available.
+func (s *Server) degraded(j *job, attempt int, current fault.Policy, res *core.Result) error {
+	next, ok := escalate(current)
+	if !ok {
+		return s.finish(j, attempt, res, StateDone)
+	}
+	// The policy is part of the checkpoint fingerprint, so the retry
+	// cannot resume the degraded chain; drop the snapshot and start
+	// clean under the stronger policy.
+	_ = os.Remove(s.store.CheckpointPath(j.rec.ID))
+	obs.Add(s.reg, "serve.retries", 1)
+	obs.Add(s.reg, "serve.fault.escalations", 1)
+	s.persist(j, attempt, func(st *jobStatus) {
+		st.State = StateRetryWait
+		st.Error = ErrDegraded.Error()
+		st.FaultPolicy = next.String()
+	})
+	return fmt.Errorf("%w: escalating %v -> %v", ErrDegraded, current, next)
+}
+
+// escalate returns the next-stronger degradation policy.
+func escalate(p fault.Policy) (fault.Policy, bool) {
+	switch p {
+	case fault.PolicyNone, fault.PolicyRemap, fault.PolicyResample:
+		return fault.PolicyQuarantine, true
+	case fault.PolicyQuarantine:
+		return fault.PolicyFallback, true
+	default:
+		return p, false
+	}
+}
+
+// finish persists a terminal result: labels first (durable before the
+// status that advertises them), then the status flip. The label bytes
+// are the raw label field as a PGM — byte-exact, so clients can golden-
+// diff results across resumes.
+func (s *Server) finish(j *job, attempt int, res *core.Result, state State) error {
+	if res == nil {
+		return s.attemptFailed(j, attempt, fmt.Errorf("serve: %s result missing", state))
+	}
+	lm := res.MAP
+	if lm == nil {
+		lm = res.Final
+	}
+	if lm == nil {
+		return s.attemptFailed(j, attempt, fmt.Errorf("serve: %s result has no labels", state))
+	}
+	gray := &img.Gray{W: lm.W, H: lm.H, Pix: append([]uint8(nil), lm.Labels...)}
+	var pgm pgmBuffer
+	if err := img.EncodePGM(&pgm, gray); err != nil {
+		return s.attemptFailed(j, attempt, err)
+	}
+	if err := s.store.PutLabels(j.rec.ID, pgm.data); err != nil {
+		return s.attemptFailed(j, attempt, err)
+	}
+	digest := Digest(res)
+	// Counters move before the state flips: pollers that observe the
+	// terminal state must also observe its counters.
+	if state == StateDone {
+		obs.Add(s.reg, "serve.jobs.completed", 1)
+		if j.resumed {
+			obs.Add(s.reg, "serve.jobs.resumed_completed", 1)
+		}
+	}
+	s.persist(j, attempt, func(st *jobStatus) {
+		st.State = state
+		st.Sweeps = res.Iterations
+		st.Digest = digest
+		st.Error = ""
+	})
+	return nil
+}
+
+// persist applies a status mutation: journal write first, then the
+// job.state event, and only then the in-memory state that pollers see —
+// so a client that observes a state has the matching journal entry and
+// event stream available. Each job has a single persisting goroutine
+// (its owning shard), which is what makes the preview/commit split
+// race-free. Journal errors on status rewrites are recorded (counter)
+// but do not fail the job: the record file plus the chain snapshot are
+// what recovery needs.
+func (s *Server) persist(j *job, attempt int, mut func(*jobStatus)) {
+	status := j.previewState(mut)
+	if err := s.store.PutStatus(j.rec.ID, status); err != nil {
+		obs.Add(s.reg, "serve.journal.errors", 1)
+	}
+	s.emitState(j, status, attempt)
+	j.commitState(status)
+}
+
+// emitState streams a job state transition into the event buffer.
+func (s *Server) emitState(j *job, status jobStatus, attempt int) {
+	fields := map[string]any{
+		"job":    j.rec.ID,
+		"tenant": j.rec.Tenant,
+		"state":  string(status.State),
+		"sweeps": status.Sweeps,
+	}
+	if attempt > 0 {
+		fields["attempt"] = attempt
+	}
+	if status.Error != "" {
+		fields["error"] = status.Error
+	}
+	obs.Emit(j.reg, "job.state", fields)
+}
+
+// gauges/gaugesLocked refresh the queue and in-flight gauges.
+func (s *Server) gauges() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gaugesLocked()
+}
+
+func (s *Server) gaugesLocked() {
+	s.reg.Gauge("serve.queue.depth", float64(s.queued))
+	s.reg.Gauge("serve.jobs.running", float64(s.running))
+	drain := 0.0
+	if s.draining {
+		drain = 1
+	}
+	s.reg.Gauge("serve.draining", drain)
+}
+
+// pgmBuffer is a minimal in-memory io.Writer for PGM encoding (avoids
+// importing bytes just for a buffer).
+type pgmBuffer struct{ data []byte }
+
+func (b *pgmBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}

@@ -1,0 +1,758 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve/backoff"
+)
+
+// testSpec is a small, fast job every test reuses (≈0.1 s with
+// per-sweep checkpoint fsyncs).
+func testSpec() JobSpec {
+	return JobSpec{
+		App: "segmentation", Size: 16, Labels: 3,
+		Iterations: 20, BurnIn: 5, Seed: 11, SceneSeed: 4,
+	}
+}
+
+// testConfig returns a server config on a fresh state dir with
+// immediate (recorded, non-sleeping) backoff.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		StateDir:    t.TempDir(),
+		QueueDepth:  16,
+		Shards:      2,
+		BackoffSeed: 9,
+		Recorder:    obs.New(),
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+}
+
+func newServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := newServer(t, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(func() {
+		dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer dcancel()
+		_ = s.Drain(dctx)
+		cancel()
+	})
+	if err := s.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// waitTerminal polls until the job leaves the non-terminal states.
+func waitTerminal(t *testing.T, s *Server, id string, timeout time.Duration) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		_, st, err := s.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_, st, _ := s.Job(id)
+	t.Fatalf("job %s not terminal after %v (state %s, error %q)", id, timeout, st.State, st.Error)
+	return jobStatus{}
+}
+
+func counterValue(reg *obs.Registry, name string) int64 {
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+func gaugeValue(reg *obs.Registry, name string) float64 {
+	for _, g := range reg.Snapshot().Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+func TestSubmitCompletesAndServesLabels(t *testing.T) {
+	cfg := testConfig(t)
+	s := startServer(t, cfg)
+	id, err := s.Submit("alice", testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, s, id, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("state %s (error %q), want done", st.State, st.Error)
+	}
+	if st.Digest == "" {
+		t.Error("done job has no digest")
+	}
+	if st.Sweeps != 20 {
+		t.Errorf("sweeps %d, want 20", st.Sweeps)
+	}
+	labels, err := s.Labels(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(labels, []byte("P5")) {
+		t.Errorf("labels are not a raw PGM: %q...", labels[:min(8, len(labels))])
+	}
+	if got := counterValue(cfg.Recorder, "serve.jobs.completed"); got != 1 {
+		t.Errorf("serve.jobs.completed = %d", got)
+	}
+	if got := counterValue(cfg.Recorder, "serve.tenant.alice.accepted"); got != 1 {
+		t.Errorf("serve.tenant.alice.accepted = %d", got)
+	}
+}
+
+// TestQueueSheddingWithRetryAfter pins the bounded-admission contract:
+// with no shards draining the queue, submissions past QueueDepth shed
+// with a typed ShedError carrying a Retry-After hint, and the shed
+// counter moves.
+func TestQueueSheddingWithRetryAfter(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QueueDepth = 2
+	s := newServer(t, cfg) // never started: nothing drains the queue
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit("alice", testSpec()); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	_, err := s.Submit("alice", testSpec())
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("overflow submit: %v, want ShedError", err)
+	}
+	if shed.Reason != "queue-full" {
+		t.Errorf("reason %q", shed.Reason)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Errorf("RetryAfter %v, want > 0", shed.RetryAfter)
+	}
+	if got := counterValue(cfg.Recorder, "serve.shed.queue"); got != 1 {
+		t.Errorf("serve.shed.queue = %d", got)
+	}
+	if got := gaugeValue(cfg.Recorder, "serve.queue.depth"); got != 2 {
+		t.Errorf("serve.queue.depth = %g", got)
+	}
+}
+
+// TestTenantIsolation pins that one tenant exhausting its rate and
+// quota limits does not shed another tenant's submissions.
+func TestTenantIsolation(t *testing.T) {
+	base := time.Unix(1000, 0)
+	now := base
+	cfg := testConfig(t)
+	cfg.Now = func() time.Time { return now }
+	cfg.Tenants = map[string]TenantLimits{
+		"noisy": {RatePerSec: 1, Burst: 1, MaxInFlight: 8},
+		"quiet": {RatePerSec: 100, Burst: 8},
+	}
+	s := newServer(t, cfg) // unstarted: jobs stay queued, quota stays held
+
+	if _, err := s.Submit("noisy", testSpec()); err != nil {
+		t.Fatalf("noisy first submit: %v", err)
+	}
+	_, err := s.Submit("noisy", testSpec())
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "rate-limited" {
+		t.Fatalf("noisy second submit: %v, want rate-limited shed", err)
+	}
+	if shed.RetryAfter <= 0 || shed.RetryAfter > time.Second {
+		t.Errorf("rate shed RetryAfter %v outside (0, 1s]", shed.RetryAfter)
+	}
+	// The noisy tenant's exhaustion must not touch quiet.
+	for i := 0; i < 4; i++ {
+		if _, err := s.Submit("quiet", testSpec()); err != nil {
+			t.Fatalf("quiet submit %d 429'd behind noisy tenant: %v", i, err)
+		}
+	}
+	// Refilled bucket admits again...
+	now = now.Add(2 * time.Second)
+	if _, err := s.Submit("noisy", testSpec()); err != nil {
+		t.Fatalf("noisy after refill: %v", err)
+	}
+	if got := counterValue(cfg.Recorder, "serve.tenant.noisy.shed"); got != 1 {
+		t.Errorf("serve.tenant.noisy.shed = %d", got)
+	}
+}
+
+func TestTenantQuota(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Tenants = map[string]TenantLimits{"a": {MaxInFlight: 2}}
+	s := newServer(t, cfg) // unstarted: in-flight never drains
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit("a", testSpec()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := s.Submit("a", testSpec())
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "quota" {
+		t.Fatalf("quota submit: %v, want quota shed", err)
+	}
+}
+
+// TestRetryTransientThenCompletes drives the backoff path: the first
+// two attempts fail with an injected transient error, the third
+// succeeds; the job ends done with Attempts = 3 and the retry counter
+// moved.
+func TestRetryTransientThenCompletes(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Retry = backoff.Policy{Base: time.Millisecond, Cap: time.Second, MaxRetries: 4, Jitter: 0.5}
+	fails := map[string]int{}
+	cfg.preSolve = func(id string, attempt int) error {
+		if fails[id] < 2 {
+			fails[id]++
+			return fmt.Errorf("injected transient %d", attempt)
+		}
+		return nil
+	}
+	s := startServer(t, cfg)
+	id, err := s.Submit("alice", testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, s, id, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("state %s (error %q), want done", st.State, st.Error)
+	}
+	if st.Attempts != 3 {
+		t.Errorf("attempts %d, want 3", st.Attempts)
+	}
+	if got := counterValue(cfg.Recorder, "serve.retries"); got != 2 {
+		t.Errorf("serve.retries = %d, want 2", got)
+	}
+}
+
+// TestPermanentErrorFailsWithoutRetry: errors wrapping the permanent
+// sentinels (here core.ErrInvalidConfig) must fail the job on the
+// first attempt.
+func TestPermanentErrorFailsWithoutRetry(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Retry = backoff.Policy{Base: time.Millisecond, MaxRetries: 5}
+	attempts := 0
+	cfg.preSolve = func(string, int) error {
+		attempts++
+		return fmt.Errorf("reject: %w", core.ErrInvalidConfig)
+	}
+	s := startServer(t, cfg)
+	id, err := s.Submit("alice", testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, s, id, 30*time.Second)
+	if st.State != StateFailed {
+		t.Fatalf("state %s, want failed", st.State)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts %d, want 1 (permanent errors never retry)", attempts)
+	}
+	if got := counterValue(cfg.Recorder, "serve.retries"); got != 0 {
+		t.Errorf("serve.retries = %d, want 0", got)
+	}
+}
+
+// TestRetryJitterDoesNotPerturbChain pins the determinism boundary in
+// the acceptance criteria: retry/backoff jitter draws from its own
+// stream, so a job that needed retries produces byte-identical labels
+// (equal digest) to the same spec solved first try.
+func TestRetryJitterDoesNotPerturbChain(t *testing.T) {
+	run := func(failures int) jobStatus {
+		cfg := testConfig(t)
+		cfg.Retry = backoff.Policy{Base: time.Millisecond, Cap: time.Second, MaxRetries: 4, Jitter: 1}
+		remaining := failures
+		cfg.preSolve = func(string, int) error {
+			if remaining > 0 {
+				remaining--
+				return errors.New("injected transient")
+			}
+			return nil
+		}
+		s := startServer(t, cfg)
+		id, err := s.Submit("alice", testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := waitTerminal(t, s, id, 30*time.Second)
+		if st.State != StateDone {
+			t.Fatalf("state %s (error %q)", st.State, st.Error)
+		}
+		return st
+	}
+	clean := run(0)
+	retried := run(3)
+	if clean.Digest != retried.Digest {
+		t.Errorf("digest drift across retries: %s vs %s", clean.Digest, retried.Digest)
+	}
+}
+
+// TestDeadlineExceededKeepsPartial submits a job whose chain budget
+// cannot fit its wall-clock deadline: it must terminate in
+// deadline-exceeded with a nonzero partial sweep count and fetchable
+// labels.
+func TestDeadlineExceededKeepsPartial(t *testing.T) {
+	cfg := testConfig(t)
+	s := startServer(t, cfg)
+	spec := testSpec()
+	spec.Iterations = 1 << 19
+	spec.BurnIn = 1
+	spec.DeadlineMS = 200
+	id, err := s.Submit("alice", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, s, id, 60*time.Second)
+	if st.State != StateExpired {
+		t.Fatalf("state %s (error %q), want deadline-exceeded", st.State, st.Error)
+	}
+	if st.Sweeps <= 0 || st.Sweeps >= 1<<19 {
+		t.Errorf("partial sweeps %d not in (0, budget)", st.Sweeps)
+	}
+	if st.Digest == "" {
+		t.Error("expired job has no digest")
+	}
+	labels, err := s.Labels(id)
+	if err != nil {
+		t.Fatalf("partial labels: %v", err)
+	}
+	if !bytes.HasPrefix(labels, []byte("P5")) {
+		t.Error("partial labels are not a PGM")
+	}
+	if got := counterValue(cfg.Recorder, "serve.jobs.deadline_exceeded"); got != 1 {
+		t.Errorf("serve.jobs.deadline_exceeded = %d", got)
+	}
+}
+
+// TestDrainPreemptsAndRestartResumes is the graceful half of the crash
+// matrix: SIGTERM-style drain checkpoints in-flight chains, a new
+// server on the same state dir resumes them (at a different worker
+// count), and the digests match an uninterrupted golden run.
+func TestDrainPreemptsAndRestartResumes(t *testing.T) {
+	spec := testSpec()
+	spec.Iterations = 400 // ≈1 s with per-sweep fsyncs: drain lands mid-chain
+
+	// Golden: the same spec, uninterrupted, W=1.
+	goldenCfg := testConfig(t)
+	goldenCfg.WorkerOverride = 1
+	golden := startServer(t, goldenCfg)
+	gid, err := golden.Submit("alice", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gst := waitTerminal(t, golden, gid, 120*time.Second)
+	if gst.State != StateDone {
+		t.Fatalf("golden state %s (error %q)", gst.State, gst.Error)
+	}
+
+	// Interrupted: start, wait for the chain to make progress, drain.
+	state := t.TempDir()
+	cfg1 := testConfig(t)
+	cfg1.StateDir = state
+	cfg1.WorkerOverride = 2
+	s1 := newServer(t, cfg1)
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	if err := s1.Start(ctx1); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s1.Submit("alice", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForCheckpoint(t, s1, id, 60*time.Second)
+	dctx, dcancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer dcancel()
+	if err := s1.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Draining() {
+		t.Error("Draining() false after Drain")
+	}
+	if _, err := s1.Submit("alice", testSpec()); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit while draining: %v, want ErrDraining", err)
+	}
+	_, st, err := s1.Job(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State.Terminal() {
+		t.Fatalf("job finished (%s) before drain; grow the spec budget", st.State)
+	}
+	if st.State != StatePreempted {
+		t.Fatalf("state after drain %s, want preempted", st.State)
+	}
+	cancel1()
+
+	// Restart on the same state dir at another worker count: the parked
+	// chain must resume bit-exactly.
+	cfg2 := testConfig(t)
+	cfg2.StateDir = state
+	cfg2.WorkerOverride = 3
+	s2 := startServer(t, cfg2)
+	if got := counterValue(cfg2.Recorder, "serve.jobs.recovered"); got != 1 {
+		t.Errorf("serve.jobs.recovered = %d, want 1", got)
+	}
+	st2 := waitTerminal(t, s2, id, 120*time.Second)
+	if st2.State != StateDone {
+		t.Fatalf("resumed state %s (error %q)", st2.State, st2.Error)
+	}
+	if st2.Digest != gst.Digest {
+		t.Errorf("resumed digest %s != golden %s (resume must be byte-exact)", st2.Digest, gst.Digest)
+	}
+	if got := counterValue(cfg2.Recorder, "serve.jobs.resumed_completed"); got != 1 {
+		t.Errorf("serve.jobs.resumed_completed = %d, want 1", got)
+	}
+}
+
+// waitForCheckpoint blocks until the job's chain snapshot exists (the
+// chain has completed at least one sweep in this incarnation).
+func waitForCheckpoint(t *testing.T, s *Server, id string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	path := s.store.CheckpointPath(id)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("no checkpoint for %s after %v", id, timeout)
+}
+
+func TestModelCacheReuse(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Shards = 1 // sequential: the second job must hit the first's check-in
+	s := startServer(t, cfg)
+	for i := 0; i < 2; i++ {
+		spec := testSpec()
+		spec.Seed = uint64(100 + i) // different chains, same model
+		id, err := s.Submit("alice", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitTerminal(t, s, id, 30*time.Second); st.State != StateDone {
+			t.Fatalf("job %d: %s (%s)", i, st.State, st.Error)
+		}
+	}
+	hits, misses, _ := s.cache.Stats()
+	if misses != 1 || hits != 1 {
+		t.Errorf("cache hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestAppCacheCheckoutSemantics(t *testing.T) {
+	c := newAppCache(2)
+	if got := c.Get("k"); got != nil {
+		t.Fatal("hit on empty cache")
+	}
+	a1, err := buildApp(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k", a1)
+	if got := c.Get("k"); got != a1 {
+		t.Fatal("checked-in instance not returned")
+	}
+	// Checkout is exclusive: a second Get must miss.
+	if got := c.Get("k"); got != nil {
+		t.Fatal("instance handed out twice")
+	}
+	// Eviction past capacity.
+	c.Put("a", a1)
+	c.Put("b", a1)
+	c.Put("c", a1)
+	if got := c.Get("a"); got != nil {
+		t.Error("LRU victim not evicted")
+	}
+	_, _, evicted := c.Stats()
+	if evicted != 1 {
+		t.Errorf("evicted = %d, want 1", evicted)
+	}
+	// Disabled cache is inert.
+	var nilCache *appCache
+	nilCache.Put("x", a1)
+	if nilCache.Get("x") != nil {
+		t.Error("nil cache returned an instance")
+	}
+}
+
+// TestHTTPAPI drives the full HTTP surface over httptest: submit (202,
+// Location), status, NDJSON events, labels, invalid spec (400),
+// unknown job (404), queue shed (429 + Retry-After header), healthz.
+func TestHTTPAPI(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QueueDepth = 4
+	s := startServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Submit.
+	body, _ := json.Marshal(testSpec())
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set(tenantHeader, "alice")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view statusView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit -> %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+view.ID {
+		t.Errorf("Location %q", loc)
+	}
+	if view.Tenant != "alice" || view.ID == "" {
+		t.Errorf("view %+v", view)
+	}
+
+	waitTerminal(t, s, view.ID, 30*time.Second)
+
+	// Status.
+	resp, err = ts.Client().Get(ts.URL + "/v1/jobs/" + view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got statusView
+	_ = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if got.State != StateDone || !got.Terminal {
+		t.Errorf("status %+v", got)
+	}
+
+	// Events: non-follow must include the terminal transition as NDJSON.
+	resp, err = ts.Client().Get(ts.URL + "/v1/jobs/" + view.ID + "/events?follow=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content-type %q", ct)
+	}
+	sawDone, lines := false, 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		lines++
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("event line %q: %v", line, err)
+		}
+		if fields, ok := ev["fields"].(map[string]any); ok && fields["state"] == "done" {
+			sawDone = true
+		}
+	}
+	resp.Body.Close()
+	if lines == 0 || !sawDone {
+		t.Errorf("event stream: %d lines, sawDone=%v", lines, sawDone)
+	}
+
+	// Labels.
+	resp, err = ts.Client().Get(ts.URL + "/v1/jobs/" + view.ID + "/labels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgm := make([]byte, 2)
+	_, _ = resp.Body.Read(pgm)
+	resp.Body.Close()
+	if string(pgm) != "P5" {
+		t.Errorf("labels endpoint did not serve a PGM (got %q)", pgm)
+	}
+
+	// Invalid spec -> 400.
+	resp, err = ts.Client().Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"app":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec -> %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown job -> 404.
+	resp, err = ts.Client().Get(ts.URL + "/v1/jobs/ghost-000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job -> %d, want 404", resp.StatusCode)
+	}
+
+	// Healthz.
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz -> %d", resp.StatusCode)
+	}
+
+	// Metrics exposition includes the serve counters.
+	resp, err = ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sc = bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	resp.Body.Close()
+	if !strings.Contains(sb.String(), "serve_jobs_accepted") {
+		t.Error("/metrics missing serve_jobs_accepted")
+	}
+}
+
+// TestHTTPQueueShed pins the 429 + Retry-After wire behavior.
+func TestHTTPQueueShed(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QueueDepth = 1
+	s := newServer(t, cfg) // unstarted: queue never drains
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	submit := func() *http.Response {
+		body, _ := json.Marshal(testSpec())
+		resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := submit(); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit -> %d", resp.StatusCode)
+	}
+	resp := submit()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit -> %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After %q, want positive seconds", ra)
+	}
+}
+
+// TestAttemptPanicFailsOnlyThatJob pins the containment boundary: a
+// panicking attempt becomes one failed job, and the daemon keeps
+// serving every other job.
+func TestAttemptPanicFailsOnlyThatJob(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Shards = 1
+	first := true
+	cfg.preSolve = func(string, int) error {
+		if first {
+			first = false
+			panic("injected attempt panic")
+		}
+		return nil
+	}
+	s := startServer(t, cfg)
+	doomed, err := s.Submit("alice", testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := s.Submit("bob", testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, s, doomed, 30*time.Second); st.State != StateFailed {
+		t.Errorf("panicked job state %s, want failed", st.State)
+	}
+	if st := waitTerminal(t, s, healthy, 30*time.Second); st.State != StateDone {
+		t.Errorf("follow-up job state %s (error %q), want done — daemon must survive the panic", st.State, st.Error)
+	}
+	if got := counterValue(cfg.Recorder, "serve.attempt.panics"); got != 1 {
+		t.Errorf("serve.attempt.panics = %d, want 1", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},                              // no state dir
+		{StateDir: "x", QueueDepth: -1}, //
+		{StateDir: "x", Shards: -1},
+		{StateDir: "x", WorkerOverride: -1},
+		{StateDir: "x", WorkerOverride: MaxSpecWorkers + 1},
+		{StateDir: "x", CheckpointEverySweeps: -1},
+		{StateDir: "x", Retry: backoff.Policy{MaxRetries: -1}},
+		{StateDir: "x", DefaultLimits: TenantLimits{RatePerSec: -1}},
+		{StateDir: "x", Tenants: map[string]TenantLimits{"bad name!": {}}},
+		{StateDir: "x", Tenants: map[string]TenantLimits{"ok": {Burst: -1}}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("bad[%d]: %v, want ErrInvalidConfig", i, err)
+		}
+	}
+	if err := (Config{StateDir: "x"}).Validate(); err != nil {
+		t.Errorf("minimal config rejected: %v", err)
+	}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	bad := []func(*JobSpec){
+		func(sp *JobSpec) { sp.App = "mining" },
+		func(sp *JobSpec) { sp.Backend = "gpu" },
+		func(sp *JobSpec) { sp.Size = 4 },
+		func(sp *JobSpec) { sp.Size = MaxSpecSize + 1 },
+		func(sp *JobSpec) { sp.Labels = 1 },
+		func(sp *JobSpec) { sp.Iterations = MaxSpecIterations + 1 },
+		func(sp *JobSpec) { sp.Workers = -1 },
+		func(sp *JobSpec) { sp.Workers = MaxSpecWorkers + 1 },
+		func(sp *JobSpec) { sp.DeadlineMS = -5 },
+		func(sp *JobSpec) { sp.Faults = "sweep:1 unit:0 stuck-max" }, // faults need rsu
+		func(sp *JobSpec) { sp.FaultPolicy = "wish-harder" },
+	}
+	for i, mut := range bad {
+		sp := testSpec()
+		mut(&sp)
+		if err := sp.Validate(); !errors.Is(err, ErrInvalidSpec) {
+			t.Errorf("bad[%d]: %v, want ErrInvalidSpec", i, err)
+		}
+	}
+	if err := testSpec().Validate(); err != nil {
+		t.Errorf("test spec rejected: %v", err)
+	}
+	if err := (JobSpec{}).Validate(); err != nil {
+		t.Errorf("zero spec (all defaults) rejected: %v", err)
+	}
+}

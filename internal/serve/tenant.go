@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"time"
+)
+
+// TenantLimits caps one tenant's slice of the server. A flooding tenant
+// exhausts its own token bucket and in-flight quota; the shared
+// admission queue is touched only after both checks pass, so a quiet
+// tenant keeps being admitted while a noisy one is shed with 429.
+type TenantLimits struct {
+	// RatePerSec is the sustained submission rate (token-bucket refill;
+	// 0: unlimited).
+	RatePerSec float64
+	// Burst is the bucket depth (0: defaults to ceil(RatePerSec), min 1).
+	Burst int
+	// MaxInFlight caps the tenant's queued+running jobs (0: unlimited).
+	MaxInFlight int
+}
+
+// Validate checks the limits, wrapping ErrInvalidConfig.
+func (tl TenantLimits) Validate() error {
+	if tl.RatePerSec < 0 || math.IsNaN(tl.RatePerSec) || math.IsInf(tl.RatePerSec, 0) {
+		return fmt.Errorf("%w: tenant rate %g", ErrInvalidConfig, tl.RatePerSec)
+	}
+	if tl.Burst < 0 {
+		return fmt.Errorf("%w: tenant burst %d < 0", ErrInvalidConfig, tl.Burst)
+	}
+	if tl.MaxInFlight < 0 {
+		return fmt.Errorf("%w: tenant max-in-flight %d < 0", ErrInvalidConfig, tl.MaxInFlight)
+	}
+	return nil
+}
+
+// burst returns the effective bucket depth.
+func (tl TenantLimits) burst() float64 {
+	if tl.Burst > 0 {
+		return float64(tl.Burst)
+	}
+	if tl.RatePerSec > 0 {
+		return math.Max(1, math.Ceil(tl.RatePerSec))
+	}
+	return 1
+}
+
+// tenantName constrains tenant identifiers: they become path components
+// of journal files and metric names, so the charset is locked down.
+var tenantName = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
+
+// tenantState is one tenant's token bucket and in-flight quota. All
+// access happens under the server mutex; time flows in through the
+// server's injected clock (library code never reads the wall clock
+// directly — the detrand discipline).
+type tenantState struct {
+	limits   TenantLimits
+	tokens   float64
+	last     time.Time
+	inflight int
+}
+
+func newTenantState(tl TenantLimits, now time.Time) *tenantState {
+	return &tenantState{limits: tl, tokens: tl.burst(), last: now}
+}
+
+// admit takes one token, refilled at RatePerSec since the last call.
+// When the bucket is empty it reports how long until the next token —
+// the Retry-After hint.
+func (t *tenantState) admit(now time.Time) (ok bool, retryAfter time.Duration) {
+	if t.limits.RatePerSec <= 0 {
+		return true, 0
+	}
+	elapsed := now.Sub(t.last).Seconds()
+	if elapsed > 0 {
+		t.tokens = math.Min(t.limits.burst(), t.tokens+elapsed*t.limits.RatePerSec)
+		t.last = now
+	}
+	if t.tokens >= 1 {
+		t.tokens--
+		return true, 0
+	}
+	need := (1 - t.tokens) / t.limits.RatePerSec
+	return false, time.Duration(math.Ceil(need * float64(time.Second)))
+}
+
+// quotaOK reports whether the tenant may hold one more in-flight job.
+func (t *tenantState) quotaOK() bool {
+	return t.limits.MaxInFlight == 0 || t.inflight < t.limits.MaxInFlight
+}
