@@ -15,10 +15,12 @@
 #   make obs-smoke  recorder determinism + metrics-snapshot schema gate
 #   make serve-smoke  end-to-end rsuserve drain/restart exercise
 #   make serve-chaos  serving chaos harness (SIGKILL + resume) under -race
+#   make migrate-chaos  two-node failover chaos matrix (primary SIGKILL,
+#                standby takeover, fencing) ×8 plus one -race pass
 
 GO ?= go
 
-.PHONY: build vet lint lint-escape test race bench chaos sweep-report faults-report obs-smoke kernel-report bench-smoke fuzz-smoke serve-smoke serve-chaos all
+.PHONY: build vet lint lint-escape test race bench chaos sweep-report faults-report obs-smoke kernel-report bench-smoke fuzz-smoke serve-smoke serve-chaos migrate-chaos all
 
 all: build vet lint test race
 
@@ -102,6 +104,16 @@ serve-smoke:
 # deadline-exceeded-with-partial.
 serve-chaos:
 	$(GO) test -race -run 'TestServeChaosSIGKILLResume' ./internal/serve/
+
+# Two-node failover chaos matrix: a standby and a replicating primary
+# from the same self-exec harness, the primary SIGKILLed at a seeded-
+# random replication boundary mid two-tenant stream. The standby must
+# take over, finish every job digest-identical to an unkilled golden
+# run at a different worker count, and fence the resurrected primary.
+# Eight seeded repetitions, then one pass under the race detector.
+migrate-chaos:
+	$(GO) test -count=8 -run 'TestMigrateChaosFailover' ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestMigrateChaosFailover' ./internal/serve/
 
 # Observability gate: run the recorder-overhead + determinism
 # experiment (fails if an observed run diverges from an unobserved

@@ -17,6 +17,18 @@
 // SIGTERM/SIGINT drain gracefully: admission turns off (503), in-flight
 // chains checkpoint at their next sweep boundary and park as preempted,
 // and a restart with the same -state resumes them bit-exactly.
+//
+// Two-node failover (DESIGN.md §15): run a standby, point the primary
+// at it, and a dead primary's jobs resume on the standby from their
+// replicated snapshots:
+//
+//	rsuserve -state /var/lib/rsu-b -addr :8081 -node b -standby
+//	rsuserve -state /var/lib/rsu-a -addr :8080 -node a -peer http://host-b:8081
+//
+// A planned handoff drains one job to the peer at its next sweep
+// boundary:
+//
+//	curl -s -X POST -d '{"id":"alice-000000"}' http://localhost:8080/v1/admin/migrate
 package main
 
 import (
@@ -25,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -33,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/serve/backoff"
+	"repro/internal/serve/migrate"
 )
 
 func main() {
@@ -51,6 +65,12 @@ func main() {
 	defaultRate := flag.Float64("default-rate", 0, "default tenant rate limit (req/s, 0 unlimited)")
 	defaultInflight := flag.Int("default-inflight", 0, "default tenant in-flight quota (0 unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight chains to checkpoint on shutdown")
+	peer := flag.String("peer", "", "standby base URL (http://host:port); makes this node a replicating primary")
+	standby := flag.Bool("standby", false, "run as the replication receiver and failover target")
+	nodeID := flag.String("node", "", "stable node identity for the lease ledger (default: absolute -state path)")
+	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "ownership lease duration (heartbeat cadence derives from it)")
+	heartbeatEvery := flag.Duration("heartbeat-every", 0, "heartbeat/liveness-check cadence (default lease-ttl/3)")
+	missLimit := flag.Int("miss-limit", 3, "consecutive missed heartbeats before the standby takes over")
 	flag.Parse()
 
 	if *stateDir == "" {
@@ -61,6 +81,25 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rsuserve: %v\n", err)
 		os.Exit(2)
+	}
+	var migrateCfg *migrate.Config
+	if *peer != "" || *standby {
+		node := *nodeID
+		if node == "" {
+			if abs, aerr := filepath.Abs(*stateDir); aerr == nil {
+				node = abs
+			} else {
+				node = *stateDir
+			}
+		}
+		migrateCfg = &migrate.Config{
+			NodeID:         node,
+			Peer:           *peer,
+			Standby:        *standby,
+			LeaseTTL:       *leaseTTL,
+			HeartbeatEvery: *heartbeatEvery,
+			MissLimit:      *missLimit,
+		}
 	}
 
 	cfg := serve.Config{
@@ -85,6 +124,7 @@ func main() {
 		},
 		Recorder: obs.New(),
 		Now:      time.Now,
+		Migrate:  migrateCfg,
 	}
 
 	if err := run(cfg, *addr, *drainTimeout); err != nil {

@@ -1,0 +1,138 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file is the streaming half of the snapshot format: encode to /
+// decode from an io stream (the replication layer moves snapshots over
+// HTTP request bodies), plus an offset-resumable chunk reader so an
+// interrupted transfer continues from the bytes the receiver already
+// holds instead of restarting. The on-wire bytes are exactly the Encode
+// bytes — same envelope, same CRC — so a receiver reassembling chunks
+// validates the finished file with the ordinary Decode path.
+
+// EncodeTo writes the snapshot's canonical encoding to w and returns
+// the byte count written.
+func EncodeTo(w io.Writer, s *Snapshot) (int64, error) {
+	data, err := Encode(s)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// DecodeFrom reads exactly one encoded snapshot from r: the fixed
+// envelope header first (which bounds the payload read against corrupt
+// or hostile length fields), then the payload and checksum trailer, and
+// then the ordinary Decode validation over the assembled bytes. Short
+// or damaged streams fail with ErrCorrupt.
+func DecodeFrom(r io.Reader) (*Snapshot, error) {
+	header := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("%w: stream header: %v", ErrCorrupt, err)
+	}
+	if string(header[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	payloadLen := binary.LittleEndian.Uint64(header[len(magic)+4:])
+	if payloadLen > maxPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrCorrupt, payloadLen)
+	}
+	data := make([]byte, headerLen+int(payloadLen)+trailerLen)
+	copy(data, header)
+	if _, err := io.ReadFull(r, data[headerLen:]); err != nil {
+		return nil, fmt.Errorf("%w: stream body: %v", ErrCorrupt, err)
+	}
+	return Decode(data)
+}
+
+// StreamReader reads an encoded snapshot file in chunks from arbitrary
+// byte offsets — the sender side of offset-resumable replication. Open
+// validates the envelope cheaply (magic, length consistency) without
+// loading the payload; the content checksum in the trailer doubles as a
+// generation identifier, so both ends can tell whether a partially
+// transferred file and a resumed transfer refer to the same snapshot.
+//
+// The reader holds the file open, and snapshot saves replace the path
+// via atomic rename, so a StreamReader always reads one complete,
+// self-consistent snapshot even while newer ones land at the same path.
+type StreamReader struct {
+	f    *os.File
+	size int64
+	crc  uint64
+}
+
+// OpenStream opens path for chunked reading. A missing file surfaces
+// the os.ErrNotExist error unwrapped; a file too short or with a
+// mismatched envelope fails with ErrCorrupt.
+func OpenStream(path string) (*StreamReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	size := fi.Size()
+	if size < int64(headerLen+trailerLen) {
+		f.Close()
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrCorrupt, size)
+	}
+	header := make([]byte, headerLen)
+	if _, err := f.ReadAt(header, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: envelope read: %v", ErrCorrupt, err)
+	}
+	if string(header[:len(magic)]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	payloadLen := binary.LittleEndian.Uint64(header[len(magic)+4:])
+	if payloadLen > maxPayload || int64(payloadLen) != size-int64(headerLen+trailerLen) {
+		f.Close()
+		return nil, fmt.Errorf("%w: payload length %d inconsistent with file size %d", ErrCorrupt, payloadLen, size)
+	}
+	trailer := make([]byte, trailerLen)
+	if _, err := f.ReadAt(trailer, size-trailerLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: trailer read: %v", ErrCorrupt, err)
+	}
+	return &StreamReader{f: f, size: size, crc: binary.LittleEndian.Uint64(trailer)}, nil
+}
+
+// Size returns the total encoded size in bytes.
+func (r *StreamReader) Size() int64 { return r.size }
+
+// CRC returns the snapshot's trailer checksum — a content fingerprint
+// that identifies this snapshot generation across transfer attempts.
+func (r *StreamReader) CRC() uint64 { return r.crc }
+
+// ReadChunk fills buf from byte offset off, returning the count read.
+// Reading at or past Size returns (0, io.EOF); a read that reaches the
+// end returns the final bytes with a nil error.
+func (r *StreamReader) ReadChunk(off int64, buf []byte) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("checkpoint: negative chunk offset %d", off)
+	}
+	if off >= r.size {
+		return 0, io.EOF
+	}
+	if rem := r.size - off; int64(len(buf)) > rem {
+		buf = buf[:rem]
+	}
+	n, err := r.f.ReadAt(buf, off)
+	if err == io.EOF && n == len(buf) {
+		err = nil
+	}
+	return n, err
+}
+
+// Close releases the underlying file.
+func (r *StreamReader) Close() error { return r.f.Close() }

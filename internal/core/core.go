@@ -154,6 +154,11 @@ type CheckpointSpec struct {
 	// from the captured sweep. The snapshot's fingerprint must match
 	// the configuration; a missing file starts from scratch.
 	Resume bool
+	// OnSave, when non-nil, is invoked after each snapshot is durably
+	// written to Path, with the sweep number the snapshot captured.
+	// Serving layers hook replication here; the callback runs on the
+	// solve goroutine, so it must not block on slow work.
+	OnSave func(sweep int)
 }
 
 // ErrInvalidConfig is wrapped by every configuration-validation error
@@ -439,7 +444,15 @@ func (s *Solver) Solve(ctx context.Context) (*Result, error) {
 			Every:       ck.Every,
 			Now:         ck.Now,
 			Fingerprint: fp,
-			Sink:        func(snap *checkpoint.Snapshot) error { return checkpoint.Save(ck.Path, snap) },
+			Sink: func(snap *checkpoint.Snapshot) error {
+				if err := checkpoint.Save(ck.Path, snap); err != nil {
+					return err
+				}
+				if ck.OnSave != nil {
+					ck.OnSave(snap.Sweep)
+				}
+				return nil
+			},
 		}
 		if sess != nil {
 			opt.Checkpoint.Extra = func(snap *checkpoint.Snapshot) error {

@@ -60,6 +60,22 @@ func TestRegistryCountersGaugesHistograms(t *testing.T) {
 	}
 }
 
+func TestGaugeAddMovesLevelsBothWays(t *testing.T) {
+	r := New()
+	r.GaugeAdd("backlog", 3) // created at delta
+	r.GaugeAdd("backlog", 2)
+	r.GaugeAdd("backlog", -4)
+	s := r.Snapshot()
+	if len(s.Gauges) != 1 || s.Gauges[0].Name != "backlog" || s.Gauges[0].Value != 1 {
+		t.Errorf("gauges = %+v, want one entry backlog=1", s.Gauges)
+	}
+	// Gauge still overwrites: a level set wins over accumulated deltas.
+	r.Gauge("backlog", 0)
+	if s := r.Snapshot(); s.Gauges[0].Value != 0 {
+		t.Errorf("after Gauge(0): %+v", s.Gauges)
+	}
+}
+
 func TestRegistrySpans(t *testing.T) {
 	r := NewWithClock(fakeClock(int64(time.Millisecond)))
 	for i := 0; i < 3; i++ {

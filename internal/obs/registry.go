@@ -116,6 +116,16 @@ func (r *Registry) Gauge(name string, v float64) {
 	r.mu.Unlock()
 }
 
+// GaugeAdd adjusts the named gauge by delta, creating it at delta if
+// absent. Counters only go up; gauges that track a level (replication
+// backlog, bytes in flight) need atomic up-and-down movement from
+// concurrent writers, which read-modify-write through Gauge would race.
+func (r *Registry) GaugeAdd(name string, delta float64) {
+	r.mu.Lock()
+	r.gauges[name] += delta
+	r.mu.Unlock()
+}
+
 // Observe implements Recorder.
 func (r *Registry) Observe(name string, v float64) {
 	r.mu.Lock()

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/serve/migrate"
 )
 
 func TestMain(m *testing.M) {
@@ -53,6 +54,22 @@ func runChaosServer() int {
 		BackoffSeed:           7,
 		Recorder:              obs.New(),
 	}
+	// The failover chaos matrix runs the same daemon as a replicating
+	// primary (PEER set) or a hot standby (STANDBY=1).
+	if peer, standby := os.Getenv("SERVE_CHAOS_PEER"), os.Getenv("SERVE_CHAOS_STANDBY") == "1"; peer != "" || standby {
+		hbMS, _ := strconv.Atoi(os.Getenv("SERVE_CHAOS_HB_MS"))
+		if hbMS == 0 {
+			hbMS = 150
+		}
+		cfg.Migrate = &migrate.Config{
+			NodeID:         os.Getenv("SERVE_CHAOS_NODE"),
+			Peer:           peer,
+			Standby:        standby,
+			LeaseTTL:       3 * time.Duration(hbMS) * time.Millisecond,
+			HeartbeatEvery: time.Duration(hbMS) * time.Millisecond,
+			MissLimit:      3,
+		}
+	}
 	s, err := New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos server:", err)
@@ -73,7 +90,7 @@ func runChaosServer() int {
 
 // startChaosServer launches the subprocess and returns its command and
 // bound address.
-func startChaosServer(t *testing.T, stateDir string, workers int) (*exec.Cmd, string) {
+func startChaosServer(t *testing.T, stateDir string, workers int, extraEnv ...string) (*exec.Cmd, string) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(),
@@ -81,6 +98,7 @@ func startChaosServer(t *testing.T, stateDir string, workers int) (*exec.Cmd, st
 		"SERVE_CHAOS_STATE="+stateDir,
 		"SERVE_CHAOS_WORKERS="+strconv.Itoa(workers),
 	)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)

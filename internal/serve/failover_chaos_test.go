@@ -1,0 +1,221 @@
+package serve
+
+// The failover chaos matrix: a real two-node cluster built from the
+// same self-exec harness as chaos_test.go. A standby comes up first,
+// a primary leases against it and starts taking jobs, and once the
+// standby has durably installed a seeded-random number of replicated
+// chain snapshots the primary is SIGKILLed mid-stream. The failure
+// detector must promote the standby, the standby must drive every
+// accepted job to a terminal state at a different worker count with
+// digests byte-identical to an uninterrupted golden run, and a
+// resurrected primary on the old state directory must find itself
+// fenced — permanently unable to serve.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// httpHealth returns /healthz's status code and reported status string.
+func httpHealth(addr string) (int, string, error) {
+	resp, err := http.DefaultClient.Get("http://" + addr + "/healthz")
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status string `json:"status"`
+	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body)
+	return resp.StatusCode, body.Status, nil
+}
+
+// waitHealth polls /healthz until it reports wantCode/wantStatus.
+func waitHealth(t *testing.T, addr string, wantCode int, wantStatus string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var code int
+	var status string
+	var err error
+	for time.Now().Before(deadline) {
+		code, status, err = httpHealth(addr)
+		if err == nil && code == wantCode && (wantStatus == "" || status == wantStatus) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("healthz on %s: last %d %q (err %v), want %d %q", addr, code, status, err, wantCode, wantStatus)
+}
+
+// countCkpts counts installed chain snapshots under a state directory.
+func countCkpts(stateDir string) int {
+	entries, _ := os.ReadDir(filepath.Join(stateDir, "ckpt"))
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ckpt") {
+			n++
+		}
+	}
+	return n
+}
+
+func TestMigrateChaosFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-node failover chaos matrix skipped in -short mode")
+	}
+	all := chaosSpecs()
+	specs := append(append([]JobSpec{}, all[:6]...), all[len(all)-1])
+	deadlineIdx := len(specs) - 1
+
+	// Golden digests: an uninterrupted in-process server at W=1.
+	goldenCfg := testConfig(t)
+	goldenCfg.WorkerOverride = 1
+	golden := startServer(t, goldenCfg)
+	goldenDigest := make([]string, deadlineIdx)
+	for i, spec := range specs[:deadlineIdx] {
+		id, err := golden.Submit("golden", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := waitTerminal(t, golden, id, 120*time.Second)
+		if st.State != StateDone {
+			t.Fatalf("golden job %d: %s (%s)", i, st.State, st.Error)
+		}
+		goldenDigest[i] = st.Digest
+	}
+
+	// The standby boots first (nothing to receive yet, health says so).
+	stateB := t.TempDir()
+	srvB, addrB := startChaosServer(t, stateB, 3,
+		"SERVE_CHAOS_STANDBY=1", "SERVE_CHAOS_NODE=node-b")
+	defer func() { _ = srvB.Process.Kill() }()
+	waitHealth(t, addrB, http.StatusServiceUnavailable, "standby", 30*time.Second)
+
+	// The primary leases against it and turns active.
+	stateA := t.TempDir()
+	primaryEnv := []string{
+		"SERVE_CHAOS_PEER=http://" + addrB,
+		"SERVE_CHAOS_NODE=node-a",
+	}
+	srvA, addrA := startChaosServer(t, stateA, 2, primaryEnv...)
+	killedA := false
+	defer func() {
+		if !killedA {
+			_ = srvA.Process.Kill()
+		}
+	}()
+	waitHealth(t, addrA, http.StatusOK, "serving", 30*time.Second)
+
+	// Jobs flow into the primary from two tenants.
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		tenant := "alice"
+		if i%2 == 1 {
+			tenant = "bob"
+		}
+		ids[i] = httpSubmit(t, addrA, tenant, spec)
+	}
+
+	// Kill trigger: the standby holds at least killAfter fully installed
+	// replicated snapshots — the cluster is demonstrably mid-replication.
+	// The threshold comes from a seeded stream: randomized, reproducible.
+	src := rng.New(0x16A7E)
+	killAfter := 1 + src.Intn(3)
+	killDeadline := time.Now().Add(120 * time.Second)
+	for countCkpts(stateB) < killAfter {
+		if time.Now().After(killDeadline) {
+			t.Fatalf("standby never installed %d snapshots (have %d)", killAfter, countCkpts(stateB))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := srvA.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	killedA = true
+	_ = srvA.Wait()
+
+	// The failure detector promotes the standby; it starts serving.
+	waitHealth(t, addrB, http.StatusOK, "serving", 60*time.Second)
+
+	// Every accepted job reaches a terminal state on the standby, at
+	// W=3, bit-exact against the golden W=1 run.
+	final := make([]statusView, len(ids))
+	allDeadline := time.Now().Add(180 * time.Second)
+	for i, id := range ids {
+		for {
+			if time.Now().After(allDeadline) {
+				t.Fatalf("job %s not terminal on the standby (last: %+v)", id, final[i])
+			}
+			view, err := httpStatus(t, addrB, id)
+			if err == nil {
+				final[i] = view
+				if view.Terminal {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	for i, view := range final {
+		if i == deadlineIdx {
+			if view.State != StateExpired {
+				t.Errorf("deadline job: state %s (error %q), want deadline-exceeded", view.State, view.Error)
+			} else if view.Sweeps <= 0 {
+				t.Errorf("deadline job: partial sweeps %d, want > 0", view.Sweeps)
+			}
+			continue
+		}
+		if view.State != StateDone {
+			t.Errorf("job %d (%s): state %s (error %q), want done", i, view.ID, view.State, view.Error)
+			continue
+		}
+		if view.Sweeps != specs[i].Iterations {
+			t.Errorf("job %d: sweeps %d, want the full budget %d", i, view.Sweeps, specs[i].Iterations)
+		}
+		if view.Digest != goldenDigest[i] {
+			t.Errorf("job %d (%s): digest %s != golden %s — failover resume is not byte-exact",
+				i, view.ID, view.Digest, goldenDigest[i])
+		}
+	}
+
+	// The standby's metrics admit the takeover happened.
+	resp, err := http.DefaultClient.Get("http://" + addrB + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "serve_migrate_takeovers") {
+		t.Error("standby /metrics missing serve_migrate_takeovers after failover")
+	}
+
+	// A resurrected primary on the old state directory is fenced: its
+	// lease is refused outright and it must refuse to serve — the
+	// split-brain door stays shut.
+	srvA2, addrA2 := startChaosServer(t, stateA, 2, primaryEnv...)
+	defer func() { _ = srvA2.Process.Kill() }()
+	waitHealth(t, addrA2, http.StatusServiceUnavailable, "fenced", 30*time.Second)
+
+	// And it rejects submissions while fenced.
+	body := []byte(fmt.Sprintf(`{"app":"segmentation","size":16,"labels":3,"iterations":20,"seed":5,"scene_seed":41}`))
+	req, _ := http.NewRequest("POST", "http://"+addrA2+"/v1/jobs", strings.NewReader(string(body)))
+	req.Header.Set(tenantHeader, "alice")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit to fenced primary -> %d, want 503", resp.StatusCode)
+	}
+}

@@ -26,8 +26,12 @@ const tenantHeader = "X-Tenant"
 //	GET  /v1/jobs/{id}        status
 //	GET  /v1/jobs/{id}/events NDJSON progress stream (follows until terminal)
 //	GET  /v1/jobs/{id}/labels terminal labels as PGM
-//	GET  /healthz             200 serving / 503 draining
+//	POST /v1/admin/migrate    planned handoff: drain a job to the peer
+//	GET  /healthz             200 serving / 503 draining|standby|fenced
 //	/metrics, /debug/vars, /debug/pprof  server-wide obs registry
+//
+// On a standby node the replication receiver (internal/serve/migrate)
+// is mounted under /v1/repl/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -35,7 +39,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/labels", s.handleLabels)
+	mux.HandleFunc("POST /v1/admin/migrate", s.handleMigrate)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if s.standby != nil {
+		mux.Handle("/v1/repl/", s.standby.Handler())
+	}
 	mux.Handle("/", obs.Handler(s.reg))
 	return mux
 }
@@ -51,6 +59,7 @@ type statusView struct {
 	Error       string `json:"error,omitempty"`
 	Digest      string `json:"digest,omitempty"`
 	FaultPolicy string `json:"fault_policy,omitempty"`
+	Peer        string `json:"peer,omitempty"`
 }
 
 func viewOf(rec jobRecord, st jobStatus) statusView {
@@ -59,6 +68,7 @@ func viewOf(rec jobRecord, st jobStatus) statusView {
 		State: st.State, Terminal: st.State.Terminal(),
 		Attempts: st.Attempts, Sweeps: st.Sweeps,
 		Error: st.Error, Digest: st.Digest, FaultPolicy: st.FaultPolicy,
+		Peer: st.Peer,
 	}
 }
 
@@ -93,7 +103,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		case errors.As(err, &shed):
 			w.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
 			writeErr(w, http.StatusTooManyRequests, err)
-		case errors.Is(err, ErrDraining):
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrNotActive):
 			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfterHint))
 			writeErr(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, ErrInvalidSpec):
@@ -158,6 +168,9 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 // handleEvents streams the job's NDJSON progress events, following
 // live appends until the job reaches a terminal state or the client
 // disconnects. `?follow=0` returns the buffered events and closes.
+// While following, a heartbeat line goes out every EventsHeartbeat so
+// a queued or slow-sweeping job cannot be mistaken for a dead stream
+// (and idle-connection middleboxes keep the socket open).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
@@ -171,6 +184,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	var beat <-chan time.Time
+	if follow && s.cfg.EventsHeartbeat > 0 {
+		t := time.NewTicker(s.cfg.EventsHeartbeat)
+		defer t.Stop()
+		beat = t.C
+	}
 	off := 0
 	for {
 		chunk, closed, wake := j.events.snapshot(off)
@@ -190,15 +209,59 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-wake:
+		case <-beat:
+			if _, err := w.Write([]byte("{\"kind\":\"heartbeat\"}\n")); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
 	}
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	if s.Draining() {
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfterHint))
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+// handleMigrate starts a planned handoff of one job to the configured
+// peer ({"id": "..."}). 202 means the drain is armed; poll the job for
+// the migrated state.
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID string `json:"id"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096))
+	if err := dec.Decode(&req); err != nil || req.ID == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("serve: body must be {\"id\": \"<job>\"}"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "serving"})
+	err := s.MigrateJob(req.ID)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": req.ID, "state": string(StateMigrating)})
+	case errors.Is(err, ErrUnknownJob):
+		writeErr(w, http.StatusNotFound, err)
+	default:
+		writeErr(w, http.StatusConflict, err)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	fenced, active, draining := s.fenced, s.active, s.draining
+	s.mu.Unlock()
+	switch {
+	case fenced:
+		// No Retry-After: fencing is permanent for this process.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "fenced"})
+	case draining:
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfterHint))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !active:
+		status := "awaiting-lease"
+		if s.standby != nil {
+			status = "standby"
+		}
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfterHint))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": status})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "serving"})
+	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/obs"
@@ -12,13 +13,17 @@ import (
 //	queued ──► running ──► done
 //	  ▲           │ ├────► deadline-exceeded   (partial labels kept)
 //	  │           │ ├────► failed              (permanent error)
-//	  │           │ └────► retry-wait ──► running (transient error,
-//	  │           │                               backoff + jitter)
+//	  │           │ ├────► retry-wait ──► running (transient error,
+//	  │           │ │                             backoff + jitter)
+//	  │           │ └────► migrating ──► migrated (planned handoff to
+//	  │           │                               the peer; DESIGN.md §15)
 //	  │           └────► preempted             (drain/crash: checkpointed)
 //	  └───────────────────── preempted jobs re-enter queued on restart
 //
-// done, deadline-exceeded and failed are terminal; every accepted job
-// reaches exactly one of them (the serve chaos test's invariant).
+// done, deadline-exceeded, failed and migrated are terminal on this
+// node; every accepted job reaches exactly one of them (the serve
+// chaos test's invariant). A migrated job continues on the peer, which
+// drives it to one of the other terminal states there.
 type State string
 
 // Job lifecycle states.
@@ -40,12 +45,18 @@ const (
 	StateExpired State = "deadline-exceeded"
 	// StateFailed: a permanent error or exhausted retries.
 	StateFailed State = "failed"
+	// StateMigrating: a planned handoff is draining the chain to its
+	// next sweep boundary and flushing replication to the peer.
+	StateMigrating State = "migrating"
+	// StateMigrated: execution was handed off to the peer (terminal on
+	// this node; the job continues there from its replicated snapshot).
+	StateMigrated State = "migrated"
 )
 
-// Terminal reports whether the state is final.
+// Terminal reports whether the state is final on this node.
 func (s State) Terminal() bool {
 	switch s {
-	case StateDone, StateExpired, StateFailed:
+	case StateDone, StateExpired, StateFailed, StateMigrated:
 		return true
 	}
 	return false
@@ -62,12 +73,70 @@ type job struct {
 	// resumed records that at least one attempt in this process resumed
 	// from a snapshot taken by an earlier incarnation.
 	resumed bool
+	// migrating asks the owning shard to hand the job off at its next
+	// sweep boundary; migrated marks the handoff complete (frames for
+	// the job stop replicating — the peer owns its status now).
+	migrating bool
+	migrated  bool
+	// attemptCancel stops the in-flight solve attempt (if any) at its
+	// next sweep boundary without touching the shard's run context.
+	attemptCancel context.CancelFunc
+
+	// queuedOnce guards recovery/adoption enqueue paths against double
+	// submission to the shard queue. Guarded by Server.mu, not j.mu.
+	queuedOnce bool
 
 	// events is the job's NDJSON progress stream; reg is the per-job
 	// registry feeding it (chain sweep counters, checkpoint events, and
 	// the serve layer's job.state transitions).
 	events *eventBuf
 	reg    *obs.Registry
+}
+
+// setMigrating arms (or clears) the planned-handoff request.
+func (j *job) setMigrating(v bool) {
+	j.mu.Lock()
+	j.migrating = v
+	j.mu.Unlock()
+}
+
+func (j *job) isMigrating() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.migrating
+}
+
+// setMigrated marks the handoff complete; from here on the peer owns
+// the job's status and this node must not replicate frames for it.
+func (j *job) setMigrated() {
+	j.mu.Lock()
+	j.migrated = true
+	j.mu.Unlock()
+}
+
+func (j *job) isMigrated() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.migrated
+}
+
+// setAttemptCancel publishes the in-flight attempt's cancel func (nil
+// when no attempt is running).
+func (j *job) setAttemptCancel(cancel context.CancelFunc) {
+	j.mu.Lock()
+	j.attemptCancel = cancel
+	j.mu.Unlock()
+}
+
+// cancelAttempt stops the in-flight attempt at its next sweep
+// boundary, if one is running.
+func (j *job) cancelAttempt() {
+	j.mu.Lock()
+	cancel := j.attemptCancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
 }
 
 func newJob(rec jobRecord, status jobStatus) *job {

@@ -216,8 +216,9 @@ func buildApp(sp JobSpec) (apps.App, error) {
 // solverConfig assembles the core configuration for one attempt of the
 // job: the spec's chain parameters, the server's checkpoint policy
 // pointed at the job's snapshot path, and the (possibly escalated)
-// fault policy.
-func solverConfig(sp JobSpec, policy fault.Policy, workers int, ckptPath string, everySweeps int) (core.Config, error) {
+// fault policy. onSave, when non-nil, fires after each durable
+// snapshot write (the replication layer's dirty-marking hook).
+func solverConfig(sp JobSpec, policy fault.Policy, workers int, ckptPath string, everySweeps int, onSave func(int)) (core.Config, error) {
 	sp = sp.withDefaults()
 	backend, err := parseBackend(sp.Backend)
 	if err != nil {
@@ -241,6 +242,7 @@ func solverConfig(sp JobSpec, policy fault.Policy, workers int, ckptPath string,
 			Path:        ckptPath,
 			EverySweeps: everySweeps,
 			Resume:      true,
+			OnSave:      onSave,
 		}
 	}
 	return cfg, nil

@@ -1,0 +1,107 @@
+package migrate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// leaseRecord is the durable ownership fact both nodes keep: the
+// highest lease epoch this node has granted, acquired, or seized, and
+// which node holds it. Epoch 0 means no lease has ever existed.
+type leaseRecord struct {
+	Epoch uint64 `json:"epoch"`
+	Node  string `json:"node"`
+}
+
+// ledger persists the lease record under <stateDir>/cluster/lease.json
+// with the same tmp+fsync+rename discipline as the job journal. The
+// fencing guarantee rests on it: epochs observed from the ledger never
+// move backwards, even across a SIGKILL at any instant.
+type ledger struct {
+	path string
+
+	mu  sync.Mutex
+	rec leaseRecord
+}
+
+func openLedger(stateDir string) (*ledger, error) {
+	dir := filepath.Join(stateDir, "cluster")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("migrate: ledger dir: %w", err)
+	}
+	l := &ledger{path: filepath.Join(dir, "lease.json")}
+	data, err := os.ReadFile(l.path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return l, nil
+	case err != nil:
+		return nil, fmt.Errorf("migrate: ledger: %w", err)
+	}
+	if err := json.Unmarshal(data, &l.rec); err != nil {
+		return nil, fmt.Errorf("migrate: ledger %s: %w", l.path, err)
+	}
+	return l, nil
+}
+
+// Current returns the last committed lease record.
+func (l *ledger) Current() leaseRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rec
+}
+
+// Commit durably replaces the lease record. Epoch regressions are a
+// protocol violation and are refused.
+func (l *ledger) Commit(rec leaseRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if rec.Epoch < l.rec.Epoch {
+		return fmt.Errorf("migrate: ledger epoch regression %d -> %d", l.rec.Epoch, rec.Epoch)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(l.path, data); err != nil {
+		return fmt.Errorf("migrate: ledger: %w", err)
+	}
+	l.rec = rec
+	return nil
+}
+
+// atomicWrite writes data via tmp+fsync+rename — a crash at any
+// instant leaves either the old or the new complete file.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+// Package migrate is the peer-to-peer replication and failover layer
+// for the serving daemon: a primary rsuserve streams every job's
+// journal frames (record, status, labels) and chain snapshots to a
+// configured hot standby, job ownership is governed by epoch-numbered
+// leases, and a heartbeat miss-count failure detector promotes the
+// standby when the primary goes silent — resuming every in-flight
+// chain bit-exactly from its last replicated sweep boundary.
+//
+// The protocol, in the order a two-node cluster meets it:
+//
+//   - Lease. The primary proposes epoch = (its durable ledger) + 1 to
+//     the standby's /v1/repl/lease. The standby grants the first
+//     proposal above its own ledger epoch, persists the grant, and
+//     refuses anything at or below it with the current epoch (the
+//     primary re-proposes current+1). Both sides fsync the ledger
+//     before acting on it, so epochs never move backwards across
+//     crashes.
+//   - Replication. Every frame the primary sends carries its lease
+//     epoch in the X-Lease-Epoch header. Snapshots go chunked with
+//     resume-from-offset: the snapshot file's CRC-64 trailer is the
+//     generation ID, the standby reports how many bytes of that
+//     generation it already holds, and the sender continues from
+//     there. The assembled bytes are validated with the ordinary
+//     checkpoint decoder before installation, so a half-replicated or
+//     damaged snapshot can never be adopted.
+//   - Failure detection. The primary heartbeats at HeartbeatEvery;
+//     the standby counts beat-free periods and takes over after
+//     MissLimit consecutive misses: it advances its ledger epoch past
+//     the dead primary's lease, marks itself owner, and recovers every
+//     replicated job.
+//   - Fencing. After takeover — or any newer lease — frames carrying a
+//     stale epoch are rejected with 409 and lease requests with 410.
+//     A resurrected primary that believed it still owned its jobs
+//     cannot commit one byte of state to the standby; it observes the
+//     refusal and fences itself (stops running jobs entirely).
+//
+// The serving layer on each side wires this package in through small
+// hook interfaces (Hooks on the standby, callbacks on the primary), so
+// migrate deals only in bytes, paths and epochs and stays free of the
+// job lifecycle.
+package migrate
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/serve/backoff"
+)
+
+// ErrInvalidConfig is wrapped by every configuration-validation error.
+var ErrInvalidConfig = errors.New("migrate: invalid config")
+
+// ErrFenced reports that the peer holds (or granted) a newer lease
+// epoch: this node's authority over its jobs is gone and it must stop
+// committing state.
+var ErrFenced = errors.New("migrate: fenced by newer lease epoch")
+
+// Config shapes both sides of the replication pair. A node is a
+// primary (Peer set), a standby (Standby true), or neither; never
+// both.
+type Config struct {
+	// NodeID identifies this node in the lease ledger. It must be
+	// stable across restarts of the same node (the standby recognizes
+	// its own takeover by finding itself as the ledger owner) and
+	// distinct between the two nodes. Required.
+	NodeID string
+	// Peer is the standby's base URL ("http://host:port"); setting it
+	// makes this node a primary.
+	Peer string
+	// Standby makes this node the replication receiver and failover
+	// target.
+	Standby bool
+	// LeaseTTL is the ownership lease duration; HeartbeatEvery and the
+	// miss budget derive from it (default 3s).
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the primary's heartbeat cadence and the
+	// standby's liveness-check tick (default LeaseTTL/3).
+	HeartbeatEvery time.Duration
+	// MissLimit is the number of consecutive beat-free periods after
+	// which the standby takes over (default 3).
+	MissLimit int
+	// ChunkBytes bounds one snapshot-replication chunk (default 256 KiB).
+	ChunkBytes int
+	// Retry is the per-frame send retry policy (default: 4 retries,
+	// 50ms base, 1s cap, 0.5 jitter). Exhausting it re-queues the frame
+	// and keeps trying — a down standby degrades replication lag, not
+	// primary availability.
+	Retry backoff.Policy
+	// JitterSeed derives the replication retry jitter stream (disjoint
+	// from every chain seed by construction: chains never see it).
+	JitterSeed uint64
+	// Now supplies the wall clock (default time.Now).
+	Now func() time.Time
+	// Sleep waits out backoff delays (default backoff.SleepTimer).
+	Sleep backoff.SleepFunc
+	// Client issues replication HTTP requests (default: 10s timeout).
+	Client *http.Client
+}
+
+// withDefaults returns cfg with zero fields filled in.
+func (cfg Config) withDefaults() Config {
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = 3 * time.Second
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = cfg.LeaseTTL / 3
+	}
+	if cfg.MissLimit == 0 {
+		cfg.MissLimit = 3
+	}
+	if cfg.ChunkBytes == 0 {
+		cfg.ChunkBytes = 256 << 10
+	}
+	if cfg.Retry.Base == 0 && cfg.Retry.MaxRetries == 0 {
+		cfg.Retry = backoff.Policy{
+			Base:       50 * time.Millisecond,
+			Cap:        time.Second,
+			Factor:     2,
+			Jitter:     0.5,
+			MaxRetries: 4,
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = backoff.SleepTimer
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return cfg
+}
+
+// Validate checks the configuration, wrapping ErrInvalidConfig.
+func (cfg Config) Validate() error {
+	if cfg.NodeID == "" {
+		return fmt.Errorf("%w: NodeID is required", ErrInvalidConfig)
+	}
+	if cfg.Peer != "" && cfg.Standby {
+		return fmt.Errorf("%w: a node is a primary (Peer) or a standby (Standby), not both", ErrInvalidConfig)
+	}
+	if cfg.Peer == "" && !cfg.Standby {
+		return fmt.Errorf("%w: neither Peer nor Standby set", ErrInvalidConfig)
+	}
+	if cfg.LeaseTTL < 0 {
+		return fmt.Errorf("%w: LeaseTTL %v < 0", ErrInvalidConfig, cfg.LeaseTTL)
+	}
+	if cfg.HeartbeatEvery < 0 {
+		return fmt.Errorf("%w: HeartbeatEvery %v < 0", ErrInvalidConfig, cfg.HeartbeatEvery)
+	}
+	if cfg.MissLimit < 0 {
+		return fmt.Errorf("%w: MissLimit %d < 0", ErrInvalidConfig, cfg.MissLimit)
+	}
+	if cfg.ChunkBytes < 0 {
+		return fmt.Errorf("%w: ChunkBytes %d < 0", ErrInvalidConfig, cfg.ChunkBytes)
+	}
+	if err := cfg.Retry.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	return nil
+}
+
+// epochHeader carries the sender's lease epoch on every replication
+// frame; the receiver fences anything stale.
+const epochHeader = "X-Lease-Epoch"
+
+// Wire bodies (JSON).
+type leaseMsg struct {
+	// Node is the requester's NodeID.
+	Node string `json:"node"`
+	// Epoch is the proposed (request) or granted/current (response)
+	// lease epoch.
+	Epoch uint64 `json:"epoch"`
+}
+
+// offsetMsg is the snapshot-offset probe response: how many bytes of
+// the named generation the standby already holds, and whether that
+// generation is fully installed.
+type offsetMsg struct {
+	Offset   int64 `json:"offset"`
+	Complete bool  `json:"complete"`
+}

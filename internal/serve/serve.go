@@ -32,6 +32,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/serve/backoff"
+	"repro/internal/serve/migrate"
 )
 
 // ErrInvalidConfig is wrapped by every server-configuration error.
@@ -66,6 +68,19 @@ var ErrDegraded = errors.New("serve: fault degradation exceeded policy")
 // by its own failure; the job parks as preempted and resumes after
 // restart.
 var errPreempted = errors.New("serve: preempted")
+
+// ErrNotActive rejects submissions on a node that does not own the
+// cluster lease: a standby, or a primary still acquiring its lease.
+// The HTTP layer renders it as 503 + Retry-After.
+var ErrNotActive = errors.New("serve: not active (standby or awaiting lease)")
+
+// ErrNoPeer rejects migration requests on a server with no replication
+// peer configured.
+var ErrNoPeer = errors.New("serve: no migration peer configured")
+
+// errMigrate marks an attempt stopped by a planned handoff rather than
+// by its own failure; runJob hands the job off to the peer.
+var errMigrate = errors.New("serve: migrating")
 
 // ShedError is a load-shedding admission rejection: the client should
 // retry after the hinted delay. The HTTP layer renders it as 429 +
@@ -129,6 +144,16 @@ type Config struct {
 	Now func() time.Time
 	// Sleep waits out backoff delays (default backoff.SleepTimer).
 	Sleep backoff.SleepFunc
+	// Migrate, when non-nil, makes this server one side of a two-node
+	// replication pair (internal/serve/migrate): a primary (Peer set)
+	// acquires an epoch lease and streams every journal frame and chain
+	// snapshot to its standby; a standby (Standby set) receives them
+	// and takes over when the primary's heartbeats stop.
+	Migrate *migrate.Config
+	// EventsHeartbeat is the cadence of heartbeat lines on followed
+	// /v1/jobs/{id}/events streams while the job is queued or running
+	// (default 15s; negative disables).
+	EventsHeartbeat time.Duration
 
 	// preSolve is a test hook invoked before each solve attempt; a
 	// non-nil return is handled exactly like a solver error. Unexported:
@@ -171,6 +196,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Sleep == nil {
 		cfg.Sleep = backoff.SleepTimer
 	}
+	if cfg.EventsHeartbeat == 0 {
+		cfg.EventsHeartbeat = 15 * time.Second
+	}
 	return cfg
 }
 
@@ -193,6 +221,11 @@ func (cfg Config) Validate() error {
 	}
 	if err := cfg.Retry.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	if cfg.Migrate != nil {
+		if err := cfg.Migrate.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
 	}
 	if err := cfg.DefaultLimits.Validate(); err != nil {
 		return err
@@ -217,6 +250,11 @@ type Server struct {
 	store *store
 	cache *appCache
 
+	// repl / standby are the two sides of the migration pair (at most
+	// one non-nil, per migrate.Config.Validate).
+	repl    *migrate.Primary
+	standby *migrate.Standby
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	queue    chan *job
@@ -226,10 +264,21 @@ type Server struct {
 	tenants  map[string]*tenantState
 	draining bool
 	started  bool
+	// active gates admission and job execution enqueueing: true on an
+	// unreplicated server, after the lease grant on a primary, and
+	// after takeover on a standby.
+	active bool
+	// fenced latches when the peer refused this node's lease epoch —
+	// the node stops committing state permanently.
+	fenced bool
+	// pendingRecovered holds journal-recovered jobs on a replicated
+	// primary until its lease is granted.
+	pendingRecovered []*job
 
-	runCtx    context.Context
-	cancelRun context.CancelFunc
-	wg        sync.WaitGroup
+	runCtx     context.Context
+	cancelRun  context.CancelFunc
+	replCancel context.CancelFunc
+	wg         sync.WaitGroup
 }
 
 // New validates the configuration, opens the state directory, and
@@ -245,6 +294,8 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	replicated := cfg.Migrate != nil && cfg.Migrate.Peer != ""
+	standbyMode := cfg.Migrate != nil && cfg.Migrate.Standby
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Recorder,
@@ -252,42 +303,83 @@ func New(cfg Config) (*Server, error) {
 		cache:   newAppCache(cfg.ModelCacheSize),
 		jobs:    map[string]*job{},
 		tenants: map[string]*tenantState{},
-	}
-	recs, err := st.Load()
-	if err != nil {
-		return nil, err
+		active:  !replicated && !standbyMode,
 	}
 	var recovered []*job
-	for _, rec := range recs {
-		status, err := st.GetStatus(rec.ID)
+	if !standbyMode {
+		// A standby skips journal recovery entirely: the primary is
+		// streaming the live truth into the journal, and takeover()
+		// rebuilds from it at promotion time. Recovering here would
+		// freeze a stale view and fight the incoming frames.
+		recs, err := st.Load()
 		if err != nil {
 			return nil, err
 		}
-		if rec.Seq >= s.seq {
-			s.seq = rec.Seq + 1
+		for _, rec := range recs {
+			status, err := st.GetStatus(rec.ID)
+			if err != nil {
+				return nil, err
+			}
+			if rec.Seq >= s.seq {
+				s.seq = rec.Seq + 1
+			}
+			j := newJob(rec, status)
+			s.jobs[rec.ID] = j
+			if status.State.Terminal() {
+				j.events.Close()
+				continue
+			}
+			j.resumed = status.Sweeps > 0 || status.Attempts > 0
+			j.setState(func(st *jobStatus) { st.State = StateQueued })
+			if _, err := st.PutStatus(rec.ID, j.Status()); err != nil {
+				return nil, err
+			}
+			recovered = append(recovered, j)
+			s.tenant(rec.Tenant).inflight++
 		}
-		j := newJob(rec, status)
-		s.jobs[rec.ID] = j
-		if status.State.Terminal() {
-			j.events.Close()
-			continue
-		}
-		j.resumed = status.Sweeps > 0 || status.Attempts > 0
-		j.setState(func(st *jobStatus) { st.State = StateQueued })
-		if err := st.PutStatus(rec.ID, j.Status()); err != nil {
-			return nil, err
-		}
-		recovered = append(recovered, j)
-		s.tenant(rec.Tenant).inflight++
 	}
 	// The queue channel is sized so that recovery plus a full client
 	// admission window can never block a push: shedding is enforced by
-	// the queued counter, not by channel capacity.
+	// the queued counter, not by channel capacity. (Takeover and
+	// adoption enqueue through feedQueue, which never blocks a caller.)
 	s.queue = make(chan *job, cfg.QueueDepth+len(recovered)+1)
-	for _, j := range recovered {
-		s.queue <- j
-		s.queued++
-		obs.Add(s.reg, "serve.jobs.recovered", 1)
+	if s.active {
+		for _, j := range recovered {
+			j.queuedOnce = true
+			s.queue <- j
+			s.queued++
+			obs.Add(s.reg, "serve.jobs.recovered", 1)
+		}
+	} else {
+		// A leaseless primary holds its recovered jobs until activate().
+		s.pendingRecovered = recovered
+	}
+	if replicated {
+		p, err := migrate.NewPrimary(cfg.StateDir, *cfg.Migrate, s.reg,
+			s.store.CheckpointPath, s.activate, s.fence)
+		if err != nil {
+			return nil, err
+		}
+		s.repl = p
+	}
+	if standbyMode {
+		sb, err := migrate.NewStandby(cfg.StateDir, *cfg.Migrate, s.reg, migrate.Hooks{
+			WriteRecord:  s.store.PutRawRecord,
+			WriteStatus:  s.store.PutRawStatus,
+			WriteLabels:  s.store.PutLabels,
+			SnapshotPath: s.store.CheckpointPath,
+			Adopt:        s.adoptJob,
+			Takeover:     s.takeover,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.standby = sb
+		if sb.TookOver() {
+			// A restarted standby that had already seized ownership
+			// resumes it immediately (the ledger is durable).
+			s.takeover(0)
+		}
 	}
 	s.gauges()
 	return s, nil
@@ -326,6 +418,19 @@ func (s *Server) Start(ctx context.Context) error {
 			s.shardLoop(s.runCtx, shard)
 		}(i)
 	}
+	// Replication runs on its own context derived from the caller's,
+	// NOT runCtx: a drain cancels the shards first, then flushes the
+	// replication queue, and only then stops the sender/detector.
+	if s.repl != nil || s.standby != nil {
+		rctx, cancel := context.WithCancel(ctx)
+		s.replCancel = cancel
+		if s.repl != nil {
+			go func() { _ = s.repl.Run(rctx) }()
+		}
+		if s.standby != nil {
+			go func() { _ = s.standby.Run(rctx) }()
+		}
+	}
 	return nil
 }
 
@@ -353,13 +458,23 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
 	}
-	// Shards are parked; end every live event stream so followers drain
-	// and disconnect (otherwise they would pin the HTTP shutdown).
+	// Shards are parked and every in-flight chain has written its final
+	// checkpoint; flush the replication queue so the standby holds the
+	// newest state before the sender stops.
+	if s.repl != nil {
+		_ = s.repl.Flush(ctx)
+	}
 	s.mu.Lock()
+	replCancel := s.replCancel
+	// End every live event stream so followers drain and disconnect
+	// (otherwise they would pin the HTTP shutdown).
 	for _, j := range s.jobs {
 		j.events.Close()
 	}
 	s.mu.Unlock()
+	if replCancel != nil {
+		replCancel()
+	}
 	return nil
 }
 
@@ -372,6 +487,278 @@ func (s *Server) Draining() bool {
 
 // Metrics returns the server-wide registry.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Active reports whether this node owns job execution (unreplicated,
+// leased primary, or promoted standby).
+func (s *Server) Active() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// Fenced reports whether the peer refused this node's lease epoch.
+func (s *Server) Fenced() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fenced
+}
+
+// activate runs when the standby grants this primary its lease: jobs
+// recovered from the journal finally enqueue, and the whole journal is
+// re-replicated so the standby can fail over even for jobs admitted
+// under an earlier lease.
+func (s *Server) activate(epoch uint64) {
+	s.mu.Lock()
+	if s.active || s.fenced {
+		s.mu.Unlock()
+		return
+	}
+	s.active = true
+	pending := s.pendingRecovered
+	s.pendingRecovered = nil
+	for _, j := range pending {
+		j.queuedOnce = true
+	}
+	known := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		known = append(known, j)
+	}
+	s.gaugesLocked()
+	s.mu.Unlock()
+
+	for _, j := range pending {
+		s.mu.Lock()
+		s.queued++
+		s.gaugesLocked()
+		s.mu.Unlock()
+		s.queue <- j
+		obs.Add(s.reg, "serve.jobs.recovered", 1)
+	}
+	// Initial journal sync. Frame order per job (record before status)
+	// matches the store's recovery contract; snapshots ride the dirty
+	// set. Terminal outputs replicate too, so a failed-over standby can
+	// serve every job's labels.
+	for _, j := range known {
+		if data, err := json.MarshalIndent(j.rec, "", "  "); err == nil {
+			s.repl.Record(j.rec.ID, data)
+		}
+		st := j.Status()
+		if data, err := json.MarshalIndent(st, "", "  "); err == nil {
+			s.repl.Status(j.rec.ID, data)
+		}
+		if st.State == StateDone || st.State == StateExpired {
+			if data, err := os.ReadFile(s.store.LabelsPath(j.rec.ID)); err == nil {
+				s.repl.Labels(j.rec.ID, data)
+			}
+		}
+		s.repl.Snapshot(j.rec.ID)
+	}
+	obs.Add(s.reg, "serve.migrate.activations", 1)
+}
+
+// fence runs when the peer refuses this node's lease epoch: a newer
+// epoch owns the jobs, so this node must never commit state again. It
+// behaves like a drain that cannot be undone — admission off, chains
+// canceled at their next sweep boundary (their local checkpoints stay,
+// but no frame leaves the node).
+func (s *Server) fence() {
+	s.mu.Lock()
+	if s.fenced {
+		s.mu.Unlock()
+		return
+	}
+	s.fenced = true
+	s.active = false
+	s.draining = true
+	cancel := s.cancelRun
+	s.gaugesLocked()
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// takeover promotes this standby: the replicated journal is re-scanned
+// and every non-terminal job enqueues exactly as local crash recovery
+// would — the replicated snapshot carries the chain, and worker-count
+// invariance means it resumes bit-exactly whatever W the primary ran.
+// Runs on the failure detector's goroutine (or New, for a restarted
+// already-promoted standby), so the queue is fed asynchronously.
+func (s *Server) takeover(uint64) {
+	recs, err := s.store.Load()
+	if err != nil {
+		obs.Add(s.reg, "serve.journal.errors", 1)
+		recs = nil
+	}
+	var enqueue []*job
+	s.mu.Lock()
+	s.active = true
+	for _, rec := range recs {
+		j, ok := s.jobs[rec.ID]
+		if !ok {
+			status, serr := s.store.GetStatus(rec.ID)
+			if serr != nil {
+				obs.Add(s.reg, "serve.journal.errors", 1)
+				continue
+			}
+			if rec.Seq >= s.seq {
+				s.seq = rec.Seq + 1
+			}
+			j = newJob(rec, status)
+			s.jobs[rec.ID] = j
+		}
+		st := j.Status()
+		if st.State.Terminal() {
+			j.events.Close()
+			continue
+		}
+		if j.queuedOnce {
+			continue
+		}
+		j.queuedOnce = true
+		j.resumed = st.Sweeps > 0 || st.Attempts > 0
+		j.setState(func(st *jobStatus) {
+			st.State = StateQueued
+			st.Peer = ""
+		})
+		s.tenant(rec.Tenant).inflight++
+		enqueue = append(enqueue, j)
+	}
+	s.gaugesLocked()
+	s.mu.Unlock()
+	s.feedQueue(enqueue)
+}
+
+// adoptJob is the standby's planned-handoff hook: the primary has
+// flushed the job's frames and snapshot, and now transfers execution.
+// Idempotent — a retried adopt finds queuedOnce set and does nothing.
+func (s *Server) adoptJob(id string) error {
+	rec, err := s.store.GetRecord(id)
+	if err != nil {
+		return err
+	}
+	status, err := s.store.GetStatus(id)
+	if err != nil {
+		return err
+	}
+	var enqueue []*job
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		if rec.Seq >= s.seq {
+			s.seq = rec.Seq + 1
+		}
+		j = newJob(rec, status)
+		s.jobs[id] = j
+	}
+	st := j.Status()
+	switch {
+	case st.State.Terminal():
+		j.events.Close()
+	case j.queuedOnce:
+		// Already adopted (or recovered by a takeover racing this
+		// handoff); nothing to do.
+	default:
+		j.queuedOnce = true
+		j.resumed = st.Sweeps > 0 || st.Attempts > 0
+		j.setState(func(st *jobStatus) {
+			st.State = StateQueued
+			st.Peer = ""
+		})
+		s.tenant(j.rec.Tenant).inflight++
+		enqueue = append(enqueue, j)
+	}
+	s.gaugesLocked()
+	s.mu.Unlock()
+	s.feedQueue(enqueue)
+	return nil
+}
+
+// feedQueue persists the queued statuses and pushes the jobs onto the
+// shard queue from a separate goroutine — takeover and adoption run on
+// replication goroutines that must never block on queue capacity.
+func (s *Server) feedQueue(jobs []*job) {
+	if len(jobs) == 0 {
+		return
+	}
+	go func() {
+		for _, j := range jobs {
+			if _, err := s.store.PutStatus(j.rec.ID, j.Status()); err != nil {
+				obs.Add(s.reg, "serve.journal.errors", 1)
+			}
+			s.mu.Lock()
+			s.queued++
+			s.gaugesLocked()
+			s.mu.Unlock()
+			s.queue <- j
+			obs.Add(s.reg, "serve.jobs.recovered", 1)
+		}
+	}()
+}
+
+// MigrateJob starts a planned handoff: the job's in-flight attempt (if
+// any) stops at its next sweep boundary, replication flushes its final
+// checkpoint, and the peer adopts execution. The handoff completes
+// asynchronously; poll the job for the migrated state.
+func (s *Server) MigrateJob(id string) error {
+	if s.repl == nil {
+		return ErrNoPeer
+	}
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if st := j.Status(); st.State.Terminal() {
+		return fmt.Errorf("serve: job %s already terminal (%s)", id, st.State)
+	}
+	obs.Add(s.reg, "serve.migrate.requests", 1)
+	j.setMigrating(true)
+	j.cancelAttempt()
+	return nil
+}
+
+// handoff completes a planned migration on the owning shard: the final
+// snapshot is marked dirty, the replication queue flushes (record,
+// statuses, snapshot — everything the peer needs), and the peer adopts
+// the job. Failure is not terminal: the job clears its migrating flag
+// and re-queues locally.
+func (s *Server) handoff(ctx context.Context, j *job) {
+	id := j.rec.ID
+	err := func() error {
+		if s.repl == nil {
+			return ErrNoPeer
+		}
+		s.repl.Snapshot(id)
+		if err := s.repl.Flush(ctx); err != nil {
+			return err
+		}
+		return s.repl.Adopt(ctx, id)
+	}()
+	if err != nil {
+		obs.Add(s.reg, "serve.migrate.handoff_failures", 1)
+		j.setMigrating(false)
+		s.persist(j, 0, func(st *jobStatus) {
+			st.State = StateQueued
+		})
+		s.mu.Lock()
+		s.queued++
+		s.gaugesLocked()
+		s.mu.Unlock()
+		s.queue <- j
+		return
+	}
+	// Mark migrated BEFORE persisting, so the terminal status is local
+	// only: the peer owns the job's status stream from here on.
+	j.setMigrated()
+	s.persist(j, 0, func(st *jobStatus) {
+		st.State = StateMigrated
+		st.Peer = s.cfg.Migrate.Peer
+		st.Error = ""
+	})
+	obs.Add(s.reg, "serve.migrate.jobs_migrated", 1)
+}
 
 // Submit admits one job for tenant: spec validation, tenant token
 // bucket, tenant quota, then a bounded-queue reservation — shedding
@@ -393,6 +780,11 @@ func (s *Server) Submit(tenant string, spec JobSpec) (id string, err error) {
 		s.mu.Unlock()
 		obs.Add(s.reg, "serve.shed.draining", 1)
 		return "", ErrDraining
+	}
+	if !s.active {
+		s.mu.Unlock()
+		obs.Add(s.reg, "serve.shed.inactive", 1)
+		return "", ErrNotActive
 	}
 	t := s.tenant(tenant)
 	if ok, retry := t.admit(s.cfg.Now()); !ok {
@@ -422,6 +814,7 @@ func (s *Server) Submit(tenant string, spec JobSpec) (id string, err error) {
 		Spec:   spec,
 	}
 	j := newJob(rec, jobStatus{State: StateQueued})
+	j.queuedOnce = true
 	// Reserve the slot before releasing the lock so concurrent submits
 	// see the queue fill immediately; roll back if the journal write
 	// fails.
@@ -431,7 +824,8 @@ func (s *Server) Submit(tenant string, spec JobSpec) (id string, err error) {
 	s.gaugesLocked()
 	s.mu.Unlock()
 
-	if err := s.store.PutRecord(rec); err != nil {
+	recData, err := s.store.PutRecord(rec)
+	if err != nil {
 		s.mu.Lock()
 		delete(s.jobs, rec.ID)
 		s.queued--
@@ -439,6 +833,9 @@ func (s *Server) Submit(tenant string, spec JobSpec) (id string, err error) {
 		s.gaugesLocked()
 		s.mu.Unlock()
 		return "", fmt.Errorf("serve: journal: %w", err)
+	}
+	if s.repl != nil {
+		s.repl.Record(rec.ID, recData)
 	}
 	s.emitState(j, j.Status(), 0)
 	s.queue <- j
@@ -544,6 +941,10 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	case err == nil:
 		// Terminal state (done or deadline-exceeded) already persisted
 		// by the attempt.
+	case errors.Is(err, errMigrate):
+		// Planned handoff: flush replication and transfer execution to
+		// the peer (or re-queue locally on failure).
+		s.handoff(ctx, j)
 	case errors.Is(err, errPreempted), ctx.Err() != nil:
 		// Parked, not terminal: quota stays held on the journal, and the
 		// restarted server re-counts it during recovery. The ctx.Err()
@@ -579,6 +980,11 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 // Permanent) when the server is stopping, a transient error to back
 // off and retry, or a permanent error to fail.
 func (s *Server) attempt(ctx context.Context, j *job, attempt int) error {
+	if j.isMigrating() {
+		// A planned handoff armed while the job was queued or waiting
+		// out a backoff: hand it off without starting the attempt.
+		return backoff.Permanent(errMigrate)
+	}
 	if ctx.Err() != nil {
 		s.persist(j, attempt, func(st *jobStatus) { st.State = StatePreempted })
 		obs.Add(s.reg, "serve.jobs.preempted", 1)
@@ -612,7 +1018,19 @@ func (s *Server) attempt(ctx context.Context, j *job, attempt int) error {
 		workers = s.cfg.WorkerOverride
 	}
 	ckptPath := s.store.CheckpointPath(j.rec.ID)
-	cfg, err := solverConfig(spec, faultPolicy, workers, ckptPath, s.cfg.CheckpointEverySweeps)
+	// Every durable snapshot marks the job's replication state dirty;
+	// the sender ships the newest generation. The hook runs on the
+	// solve goroutine, so it only flips a flag.
+	var onSave func(int)
+	if s.repl != nil {
+		id := j.rec.ID
+		onSave = func(int) {
+			if !j.isMigrated() {
+				s.repl.Snapshot(id)
+			}
+		}
+	}
+	cfg, err := solverConfig(spec, faultPolicy, workers, ckptPath, s.cfg.CheckpointEverySweeps, onSave)
 	if err != nil {
 		return backoff.Permanent(err)
 	}
@@ -651,7 +1069,19 @@ func (s *Server) attempt(ctx context.Context, j *job, attempt int) error {
 		st.Error = ""
 	})
 
-	res, err := solver.Solve(ctx)
+	// The attempt runs under its own cancel so a planned handoff can
+	// stop this chain at its next sweep boundary without touching the
+	// shard's run context. Re-check the flag after publishing the
+	// cancel func: a MigrateJob landing in between would miss it.
+	actx, cancelAttempt := context.WithCancel(ctx)
+	defer cancelAttempt()
+	j.setAttemptCancel(cancelAttempt)
+	defer j.setAttemptCancel(nil)
+	if j.isMigrating() {
+		cancelAttempt()
+	}
+
+	res, err := solver.Solve(actx)
 
 	switch {
 	case err == nil:
@@ -659,12 +1089,23 @@ func (s *Server) attempt(ctx context.Context, j *job, attempt int) error {
 			return s.degraded(j, attempt, faultPolicy, res)
 		}
 		return s.finish(j, attempt, res, StateDone)
-	case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+	case errors.Is(err, context.DeadlineExceeded) && actx.Err() == nil:
 		// The job's own deadline (core applied Config.Deadline inside
 		// this attempt) — terminal, with whatever the chain reached.
 		obs.Add(s.reg, "serve.jobs.deadline_exceeded", 1)
 		return s.finish(j, attempt, res, StateExpired)
-	case ctx.Err() != nil:
+	case actx.Err() != nil && ctx.Err() == nil && j.isMigrating():
+		// Planned handoff stopped the chain; its final checkpoint is
+		// durable at the cancellation sweep boundary, and OnSave has
+		// already marked it for replication.
+		s.persist(j, attempt, func(st *jobStatus) {
+			st.State = StateMigrating
+			if res != nil {
+				st.Sweeps = res.Iterations
+			}
+		})
+		return backoff.Permanent(errMigrate)
+	case ctx.Err() != nil, actx.Err() != nil:
 		// Drain or hard stop: the final checkpoint is already durable
 		// (written at the cancellation sweep boundary).
 		s.persist(j, attempt, func(st *jobStatus) {
@@ -688,6 +1129,7 @@ func (s *Server) attempt(ctx context.Context, j *job, attempt int) error {
 func (s *Server) attemptFailed(j *job, attempt int, err error) error {
 	if errors.Is(err, checkpoint.ErrCorrupt) {
 		_ = os.Remove(s.store.CheckpointPath(j.rec.ID))
+		obs.Add(s.reg, "serve.ckpt.corrupt_dropped", 1)
 	}
 	perm := errors.Is(err, core.ErrInvalidConfig) || errors.Is(err, ErrInvalidSpec) ||
 		errors.Is(err, checkpoint.ErrMismatch) || errors.Is(err, checkpoint.ErrVersion)
@@ -760,6 +1202,9 @@ func (s *Server) finish(j *job, attempt int, res *core.Result, state State) erro
 	if err := s.store.PutLabels(j.rec.ID, pgm.data); err != nil {
 		return s.attemptFailed(j, attempt, err)
 	}
+	if s.repl != nil && !j.isMigrated() {
+		s.repl.Labels(j.rec.ID, pgm.data)
+	}
 	digest := Digest(res)
 	// Counters move before the state flips: pollers that observe the
 	// terminal state must also observe its counters.
@@ -788,8 +1233,15 @@ func (s *Server) finish(j *job, attempt int, res *core.Result, state State) erro
 // what recovery needs.
 func (s *Server) persist(j *job, attempt int, mut func(*jobStatus)) {
 	status := j.previewState(mut)
-	if err := s.store.PutStatus(j.rec.ID, status); err != nil {
+	data, err := s.store.PutStatus(j.rec.ID, status)
+	if err != nil {
 		obs.Add(s.reg, "serve.journal.errors", 1)
+	}
+	if s.repl != nil && err == nil && !j.isMigrated() {
+		// The exact journal bytes stream to the standby. Migrated jobs
+		// are excluded: the peer owns their status from adoption on,
+		// and a stale frame must not stomp its progress.
+		s.repl.Status(j.rec.ID, data)
 	}
 	s.emitState(j, status, attempt)
 	j.commitState(status)
@@ -827,6 +1279,16 @@ func (s *Server) gaugesLocked() {
 		drain = 1
 	}
 	s.reg.Gauge("serve.draining", drain)
+	active := 0.0
+	if s.active {
+		active = 1
+	}
+	s.reg.Gauge("serve.active", active)
+	fenced := 0.0
+	if s.fenced {
+		fenced = 1
+	}
+	s.reg.Gauge("serve.fenced", fenced)
 }
 
 // pgmBuffer is a minimal in-memory io.Writer for PGM encoding (avoids

@@ -52,6 +52,9 @@ type jobStatus struct {
 	// FaultPolicy is the degradation policy the next attempt will run
 	// with (escalates toward fallback on degraded attempts).
 	FaultPolicy string `json:"fault_policy,omitempty"`
+	// Peer names the node a migrated job was handed off to (terminal
+	// state migrated only).
+	Peer string `json:"peer,omitempty"`
 }
 
 func newStore(dir string) (*store, error) {
@@ -74,22 +77,60 @@ func (st *store) LabelsPath(id string) string { return filepath.Join(st.dir, "ou
 
 // PutRecord durably writes the immutable record (fsynced: the record is
 // what makes an accepted job survive SIGKILL, so it must be on disk
-// before the client sees 202).
-func (st *store) PutRecord(rec jobRecord) error {
+// before the client sees 202). The encoded bytes are returned so the
+// replication layer can forward the exact journal frame.
+func (st *store) PutRecord(rec jobRecord) ([]byte, error) {
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return atomicWrite(st.recordPath(rec.ID), data)
+	return data, atomicWrite(st.recordPath(rec.ID), data)
 }
 
-// PutStatus atomically replaces the job's status file.
-func (st *store) PutStatus(id string, status jobStatus) error {
+// PutStatus atomically replaces the job's status file, returning the
+// encoded bytes for replication.
+func (st *store) PutStatus(id string, status jobStatus) ([]byte, error) {
 	data, err := json.MarshalIndent(status, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
+	}
+	return data, atomicWrite(st.statusPath(id), data)
+}
+
+// PutRawRecord / PutRawStatus install replicated journal frames
+// byte-for-byte — the standby's copy of the journal is identical to
+// the primary's, so recovery after takeover follows the exact same
+// path as recovery after a local restart.
+func (st *store) PutRawRecord(id string, data []byte) error {
+	var rec jobRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("serve: replicated record %s: %w", id, err)
+	}
+	if rec.ID != id {
+		return fmt.Errorf("serve: replicated record id %q != %q", rec.ID, id)
+	}
+	return atomicWrite(st.recordPath(id), data)
+}
+
+func (st *store) PutRawStatus(id string, data []byte) error {
+	var status jobStatus
+	if err := json.Unmarshal(data, &status); err != nil {
+		return fmt.Errorf("serve: replicated status %s: %w", id, err)
 	}
 	return atomicWrite(st.statusPath(id), data)
+}
+
+// GetRecord loads one job's immutable record.
+func (st *store) GetRecord(id string) (jobRecord, error) {
+	data, err := os.ReadFile(st.recordPath(id))
+	if err != nil {
+		return jobRecord{}, err
+	}
+	var rec jobRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return jobRecord{}, fmt.Errorf("serve: record %s: %w", id, err)
+	}
+	return rec, nil
 }
 
 // GetStatus loads a job's status. A record with no status file yet is

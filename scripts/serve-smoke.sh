@@ -20,11 +20,22 @@ BIN=$(mktemp -d)/rsuserve
 STATE=$(mktemp -d)
 LOG1=$(mktemp) LOG2=$(mktemp)
 PID=""
+PIDS=()
+# cleanup runs on every exit path — success, die, set -e failure, or a
+# signal — and reaps every daemon this script ever started plus any
+# children they forked, so CI never accumulates orphaned rsuserve
+# processes.
 cleanup() {
-    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    status=$?
+    trap - EXIT INT TERM
+    for pid in ${PIDS+"${PIDS[@]}"}; do
+        pkill -9 -P "$pid" 2>/dev/null || true
+        kill -9 "$pid" 2>/dev/null || true
+    done
     rm -rf "$(dirname "$BIN")" "$STATE" "$LOG1" "$LOG2"
+    exit "$status"
 }
-trap cleanup EXIT
+trap cleanup EXIT INT TERM
 
 say() { printf 'serve-smoke: %s\n' "$*"; }
 die() { say "FAIL: $*"; exit 1; }
@@ -37,6 +48,7 @@ start_server() {
     "$BIN" -state "$STATE" -addr 127.0.0.1:0 -shards 2 -workers 2 \
         -tenants 'alice=0:0,bob=0:0' >"$1" 2>&1 &
     PID=$!
+    PIDS+=("$PID")
     for _ in $(seq 1 100); do
         ADDR=$(sed -n 's#^rsuserve: serving on http://\([^ ]*\).*#\1#p' "$1")
         [ -n "$ADDR" ] && return 0
