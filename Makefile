@@ -13,6 +13,8 @@
 #   make bench   sweep-engine micro-benchmarks + throughput report
 #   make chaos   kill-and-recover harness (subprocess SIGKILL + resume)
 #   make obs-smoke  recorder determinism + metrics-snapshot schema gate
+#   make backends-smoke  approximate-sampler invariance tests + the
+#                cross-backend Pareto sweep gated against BENCH_backends.json
 #   make serve-smoke  end-to-end rsuserve drain/restart exercise
 #   make serve-chaos  serving chaos harness (SIGKILL + resume) under -race
 #   make migrate-chaos  two-node failover chaos matrix (primary SIGKILL,
@@ -20,7 +22,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint lint-escape test race bench chaos sweep-report faults-report obs-smoke kernel-report bench-smoke fuzz-smoke serve-smoke serve-chaos migrate-chaos all
+.PHONY: build vet lint lint-escape test race bench chaos sweep-report faults-report obs-smoke kernel-report bench-smoke backends-report backends-smoke fuzz-smoke serve-smoke serve-chaos migrate-chaos all
 
 all: build vet lint test race
 
@@ -80,6 +82,22 @@ kernel-report:
 # allocation-free).
 bench-smoke:
 	$(GO) run ./cmd/rsubench -quick -compare BENCH_kernel.json -threshold 5
+
+# Regenerates the committed BENCH_backends.json (deterministic columns
+# only change when a chain, knob or the energy model changes).
+backends-report:
+	$(GO) run ./cmd/paperbench -experiment backends -backendsjson BENCH_backends.json
+
+# Backend-registry gate: the new approximate samplers' invariants
+# (spiking W=1 == W=N byte-equality, mean-field fixed-point
+# reproducibility, registry/enum equivalence), then the cross-backend
+# Pareto sweep with its deterministic columns (label digests, accuracy,
+# agreement, modeled energy) held to the committed BENCH_backends.json.
+# ns/site is machine-dependent and never gated.
+backends-smoke:
+	$(GO) test ./internal/sampler/... -run 'TestWorkerInvariance|TestFixedPoint|TestRunReset|TestDistribution'
+	$(GO) test ./internal/core/ -run 'TestBackendNameEquivalence|TestParseBackendRoundTrip|TestCapabilityChecks'
+	$(GO) run ./cmd/paperbench -experiment backends -backendscompare BENCH_backends.json
 
 # Coverage-guided fuzz of the snapshot decoder: 30 seconds of arbitrary
 # bytes through Decode, asserting the typed-error contract (ErrCorrupt /

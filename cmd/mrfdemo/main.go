@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	appName := flag.String("app", "segmentation", "segmentation | motion | stereo | restoration")
-	backend := flag.String("backend", "rsu", "software | first-to-fire | metropolis | rsu")
+	backend := flag.String("backend", "rsu", "sampling backend: "+strings.Join(core.Backends(), " | "))
 	width := flag.Int("width", 1, "RSU-G width K")
 	iters := flag.Int("iters", 100, "MCMC iterations")
 	burn := flag.Int("burn", 30, "burn-in iterations")
@@ -111,21 +112,18 @@ func main() {
 }
 
 func run(ctx context.Context, appName, backendName string, width, iters, burn int, inPath string, labels, size int, outDir string, seed uint64, order int, ckpt *core.CheckpointSpec, rec *obs.Registry) error {
-	var backend core.Backend
+	// Legacy spellings predating the registry names stay accepted.
 	switch backendName {
 	case "software":
-		backend = core.SoftwareGibbs
+		backendName = "software-gibbs"
 	case "first-to-fire":
-		backend = core.SoftwareFirstToFire
-	case "metropolis":
-		backend = core.Metropolis
-	case "rsu":
-		backend = core.RSU
-	default:
-		return fmt.Errorf("unknown backend %q", backendName)
+		backendName = "software-first-to-fire"
+	}
+	if _, err := core.ParseBackend(backendName); err != nil {
+		return err
 	}
 	cfg := core.Config{
-		Backend: backend, RSUWidth: width,
+		BackendName: backendName, RSUWidth: width,
 		Iterations: iters, BurnIn: burn, Seed: seed,
 		Checkpoint: ckpt,
 	}

@@ -12,6 +12,10 @@
 //	                            # sweep-engine throughput report
 //	paperbench -experiment faults -faultsjson BENCH_faults.json
 //	                            # fault-injection rate x policy sweep
+//	paperbench -experiment backends -backendsjson BENCH_backends.json
+//	                            # cross-backend accuracy/throughput/energy Pareto sweep
+//	paperbench -experiment backends -backendscompare BENCH_backends.json
+//	                            # CI gate: re-run the sweep, compare deterministic columns
 package main
 
 import (
@@ -32,12 +36,14 @@ import (
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-4)")
 	figure := flag.Int("figure", 0, "regenerate one figure (7 or 8)")
-	experiment := flag.String("experiment", "", "ratio | accelerator | fidelity | ablation | gpusim | sweep | faults | checkpoint | observed")
+	experiment := flag.String("experiment", "", "ratio | accelerator | fidelity | ablation | gpusim | sweep | faults | backends | checkpoint | observed")
 	outDir := flag.String("out", ".", "directory for Figure 7 PGM output")
 	csvDir := flag.String("csv", "", "also write CSV series (table2, figure8, ratio, size sweep) into this directory")
 	sweepJSON := flag.String("sweepjson", "", "with -experiment sweep: also write the machine-readable report to this file (e.g. BENCH_sweep.json)")
 	sweepBaseline := flag.Float64("sweepbaseline", 0, "with -sweepjson: measured seed-tree ns/site for the acceptance config, recorded in the report")
 	faultsJSON := flag.String("faultsjson", "", "with -experiment faults: also write the machine-readable report to this file (e.g. BENCH_faults.json)")
+	backendsJSON := flag.String("backendsjson", "", "with -experiment backends: also write the machine-readable report to this file (e.g. BENCH_backends.json)")
+	backendsCompare := flag.String("backendscompare", "", "with -experiment backends: gate the sweep's deterministic columns against this committed report")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file after the run")
 	httpAddr := flag.String("http", "", "serve live /metrics, /debug/vars and /debug/pprof on this address")
 	timeout := flag.Duration("timeout", 0, "abort the report after this wall time (0: none); sections stop at the next boundary")
@@ -141,6 +147,17 @@ func main() {
 		})
 	}
 	// Host-speed measurements, not paper artifacts: only on request.
+	if *experiment == "backends" {
+		run("Cross-backend Pareto sweep", func(w io.Writer) error {
+			if *backendsCompare != "" {
+				return bench.BackendsCompare(ctx, w, *backendsCompare)
+			}
+			if *backendsJSON != "" {
+				return bench.BackendsJSON(ctx, w, *backendsJSON)
+			}
+			return bench.Backends(ctx, w)
+		})
+	}
 	if *experiment == "checkpoint" {
 		run("Checkpoint overhead", func(w io.Writer) error {
 			return bench.Checkpoint(ctx, w)

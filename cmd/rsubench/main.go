@@ -13,6 +13,7 @@
 //	                                         # CI gate: re-run the quick suite and check the
 //	                                         # machine-portable invariants of the committed report
 //	rsubench -threshold 5                    # regression tolerance in percent (default 5)
+//	rsubench -quick -backend spiking         # run the suite on another registry backend
 //
 // The file-vs-file mode assumes both reports were measured on the same
 // machine (absolute ns/site comparison, benchstat style). The CI gate
@@ -30,6 +31,7 @@ import (
 	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/sampler"
 )
 
 func main() {
@@ -38,6 +40,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare mode: two file args = file vs file; one file arg = gate the current tree against it")
 	threshold := flag.Float64("threshold", 5, "regression threshold in percent")
 	baseline := flag.Float64("baseline", 0, "pre-kernel ns/site on the acceptance config (same machine), recorded in the report")
+	backend := flag.String("backend", "", "sampler backend for the suite ("+strings.Join(sampler.Names(), " | ")+"; empty = software-gibbs)")
 	flag.Parse()
 
 	// The flag package stops at the first positional argument; accept
@@ -60,18 +63,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *jsonPath, *quick, *compare, *threshold, *baseline, files); err != nil {
+	if err := run(ctx, *jsonPath, *quick, *compare, *threshold, *baseline, *backend, files); err != nil {
 		fmt.Fprintf(os.Stderr, "rsubench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, jsonPath string, quick, compare bool, threshold, baseline float64, args []string) error {
+func run(ctx context.Context, jsonPath string, quick, compare bool, threshold, baseline float64, backend string, args []string) error {
 	if !compare {
 		if len(args) != 0 {
 			return fmt.Errorf("unexpected arguments %v (did you mean -compare?)", args)
 		}
-		rep, err := bench.RunKernelSuite(ctx, quick, baseline)
+		rep, err := bench.RunKernelSuite(ctx, quick, baseline, backend)
 		if err != nil {
 			return err
 		}

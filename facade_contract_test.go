@@ -64,6 +64,10 @@ func TestFacadeContract(t *testing.T) {
 		_ *StagedAccelerator
 		_ AccelConfig
 		_ AccelStats
+		_ SamplerBackend
+		_ SamplerCapabilities
+		_ SpikingSpec
+		_ MeanFieldSpec
 		_ Option
 		_ Recorder
 		_ *MetricsRegistry
@@ -89,6 +93,8 @@ func TestFacadeContract(t *testing.T) {
 	_ = NewRand
 	_, _, _, _, _ = NewSegmentation, NewMotion, NewStereo, NewRestoration, KMeans1D
 	_, _ = NewSolver, NewSolverOpts
+	_, _, _ = Backends, ParseBackend, LookupBackend
+	_, _, _ = WithBackendName, WithSpiking, WithMeanField
 	_, _ = SaveSnapshot, LoadSnapshot
 	_, _ = ParseFaults, ParseFaultPolicy
 	_, _, _ = NewUnit, BuildUnit, BuildIntensityMap
@@ -193,5 +199,77 @@ func TestFacadeOptions(t *testing.T) {
 	}
 	if _, err := NewSolverOpts(app, WithFaults(FaultOptions{Schedule: "dead:unit=1,sweep=4"})); !errors.Is(err, ErrInvalidConfig) {
 		t.Fatalf("faults on software backend: got %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestFacadeBackendRegistry pins the registry surface: every registered
+// name round-trips through ParseBackend/String, resolves through
+// LookupBackend, and is accepted by WithBackendName; unknown names are
+// rejected wrapping ErrInvalidConfig at both parse and solve time.
+func TestFacadeBackendRegistry(t *testing.T) {
+	src := NewRand(1)
+	scene := BlobScene(16, 16, 2, 6, src)
+	app, err := NewSegmentation(scene.Image, scene.Means, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names := Backends()
+	if len(names) < 7 {
+		t.Fatalf("registry lists %d backends, want >= 7: %v", len(names), names)
+	}
+	for _, name := range names {
+		b, err := ParseBackend(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.String() != name {
+			t.Fatalf("ParseBackend(%q).String() = %q", name, b.String())
+		}
+		be, ok := LookupBackend(name)
+		if !ok || be.Name() != name {
+			t.Fatalf("LookupBackend(%q) failed", name)
+		}
+		if _, err := NewSolverOpts(app, WithBackendName(name), WithIterations(3), WithBurnIn(1)); err != nil {
+			t.Fatalf("WithBackendName(%q) rejected: %v", name, err)
+		}
+	}
+	// The compatibility constants resolve to their historical names.
+	if SoftwareGibbs.String() != "software-gibbs" || RSU.String() != "rsu" || PrototypeBackend.String() != "prototype" {
+		t.Fatal("compatibility constants renamed")
+	}
+	if _, err := ParseBackend("sram-sampler"); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("unknown parse: got %v, want ErrInvalidConfig", err)
+	}
+	if _, err := NewSolverOpts(app, WithBackendName("sram-sampler")); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("unknown backend name: got %v, want ErrInvalidConfig", err)
+	}
+	if _, ok := LookupBackend("sram-sampler"); ok {
+		t.Fatal("unknown name resolved")
+	}
+
+	// The approximate-backend option constructors select their backend
+	// and carry the knobs.
+	s, err := NewSolverOpts(app, WithSpiking(SpikingSpec{Bits: 4}), WithIterations(6), WithBurnIn(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplerName != "spiking-b4" {
+		t.Fatalf("WithSpiking ran sampler %q", res.SamplerName)
+	}
+	s, err = NewSolverOpts(app, WithMeanField(MeanFieldSpec{}), WithIterations(6), WithBurnIn(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplerName != "meanfield" {
+		t.Fatalf("WithMeanField ran sampler %q", res.SamplerName)
 	}
 }

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMarkPareto pins the frontier logic on a hand-built task slice:
+// dominated points cleared, frontier points set, exact ties both kept.
+func TestMarkPareto(t *testing.T) {
+	points := []BackendPoint{
+		{Backend: "a", Accuracy: 0.99, EnergyNJPerSite: 4000}, // dominated by b
+		{Backend: "b", Accuracy: 0.99, EnergyNJPerSite: 10},   // frontier
+		{Backend: "c", Accuracy: 0.95, EnergyNJPerSite: 1},    // frontier (cheapest)
+		{Backend: "d", Accuracy: 0.94, EnergyNJPerSite: 1},    // dominated by c
+		{Backend: "e", Accuracy: 0.95, EnergyNJPerSite: 1},    // exact tie with c: kept
+	}
+	markPareto(points)
+	want := map[string]bool{"a": false, "b": true, "c": true, "d": false, "e": true}
+	for _, p := range points {
+		if p.Pareto != want[p.Backend] {
+			t.Errorf("point %s: pareto=%v, want %v", p.Backend, p.Pareto, want[p.Backend])
+		}
+	}
+}
+
+// TestCompareBackendsReports checks the gate flags exactly the
+// deterministic columns: digest, accuracy, agreement, energy, Pareto
+// membership and missing points — and ignores ns/site.
+func TestCompareBackendsReports(t *testing.T) {
+	base := func() *BackendsReport {
+		return &BackendsReport{Points: []BackendPoint{
+			{Task: "seg", Backend: "a", Accuracy: 0.5, AgreementVsExact: 1, EnergyNJPerSite: 7, Digest: "d1", NsPerSite: 100, Pareto: true},
+			{Task: "seg", Backend: "s", Config: "bits=4", Accuracy: 0.4, AgreementVsExact: 0.9, EnergyNJPerSite: 1, Digest: "d2", NsPerSite: 50},
+		}}
+	}
+	if bad := CompareBackendsReports(base(), base()); len(bad) != 0 {
+		t.Fatalf("identical reports flagged: %v", bad)
+	}
+	// ns/site is machine-dependent: never compared.
+	cur := base()
+	cur.Points[0].NsPerSite = 9999
+	if bad := CompareBackendsReports(base(), cur); len(bad) != 0 {
+		t.Fatalf("ns/site drift flagged: %v", bad)
+	}
+	mutations := []struct {
+		name   string
+		mutate func(*BackendsReport)
+		want   string
+	}{
+		{"digest", func(r *BackendsReport) { r.Points[0].Digest = "dX" }, "digest"},
+		{"accuracy", func(r *BackendsReport) { r.Points[1].Accuracy += 1e-9 }, "accuracy"},
+		{"agreement", func(r *BackendsReport) { r.Points[1].AgreementVsExact -= 1e-9 }, "agreement"},
+		{"energy", func(r *BackendsReport) { r.Points[0].EnergyNJPerSite += 1e-9 }, "energy"},
+		{"pareto", func(r *BackendsReport) { r.Points[0].Pareto = false }, "Pareto"},
+		{"missing", func(r *BackendsReport) { r.Points = r.Points[:1] }, "missing"},
+	}
+	for _, m := range mutations {
+		cur := base()
+		m.mutate(cur)
+		bad := CompareBackendsReports(base(), cur)
+		if len(bad) != 1 || !strings.Contains(bad[0], m.want) {
+			t.Errorf("%s mutation: got %v, want one finding containing %q", m.name, bad, m.want)
+		}
+	}
+}

@@ -12,6 +12,9 @@ import (
 	"testing"
 
 	"repro/internal/gibbs"
+	"repro/internal/img"
+	"repro/internal/mrf"
+	"repro/internal/sampler"
 )
 
 // This file is the fixed kernel-benchmark suite behind cmd/rsubench:
@@ -43,9 +46,13 @@ type KernelReport struct {
 	Suite    string `json:"suite"` // "full" or "quick"
 	Schedule string `json:"schedule"`
 	Workers  int    `json:"workers"`
-	GoOS     string `json:"goos"`
-	GoArch   string `json:"goarch"`
-	NumCPU   int    `json:"num_cpu"`
+	// Sampler names the registry backend the suite ran on. Empty means
+	// "software-gibbs" (the suite's historical default), so committed
+	// reports from before the field existed stay valid.
+	Sampler string `json:"sampler,omitempty"`
+	GoOS    string `json:"goos"`
+	GoArch  string `json:"goarch"`
+	NumCPU  int    `json:"num_cpu"`
 	// BaselineNsPerSite, when positive, records the acceptance
 	// configuration (256x256, M=16, compiled) throughput of the
 	// pre-kernel tree, measured on the same machine and injected via
@@ -92,20 +99,50 @@ func kernelSuite(quick bool) []kernelConfig {
 	return cfgs
 }
 
+// kernelFactory resolves the suite's sampler through the registry: an
+// empty name keeps the historical exact-Gibbs kernel, anything else is
+// built bare-model (no application), so hardware-emulation backends
+// that need one (rsu, prototype with faults) report their own clear
+// errors. The factory is rebuilt per model because stateful samplers
+// (meanfield) bind to the grid they were constructed against.
+func kernelFactory(name string, model *mrf.Model, init *img.LabelMap) (gibbs.Factory, error) {
+	if name == "" {
+		return gibbs.NewExactGibbs(), nil
+	}
+	be, ok := sampler.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown sampler %q (known: %s)", name, strings.Join(sampler.Names(), ", "))
+	}
+	caps := be.Caps()
+	if model.M < caps.MinLabels || (caps.MaxLabels > 0 && model.M > caps.MaxLabels) {
+		return nil, fmt.Errorf("bench: sampler %s supports %d..%d labels, suite configuration has %d",
+			name, caps.MinLabels, caps.MaxLabels, model.M)
+	}
+	inst, err := be.New(sampler.BuildSpec{Model: model, Init: init})
+	if err != nil {
+		return nil, err
+	}
+	return inst.Factory(), nil
+}
+
 // measureKernel times one configuration and measures its steady-state
 // per-sweep allocation cost.
-func measureKernel(ctx context.Context, cfg kernelConfig) (KernelMeasurement, error) {
+func measureKernel(ctx context.Context, cfg kernelConfig, samplerName string) (KernelMeasurement, error) {
 	model, init := sweepModel(cfg.w, cfg.h, cfg.m)
 	if cfg.compiled {
 		if err := model.Compile(); err != nil {
 			return KernelMeasurement{}, err
 		}
 	}
+	factory, err := kernelFactory(samplerName, model, init)
+	if err != nil {
+		return KernelMeasurement{}, err
+	}
 	opt := gibbs.Options{Iterations: 1, Schedule: gibbs.Checkerboard, Workers: 1}
 	var runErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := gibbs.Run(ctx, model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
+			if _, err := gibbs.Run(ctx, model, init, factory, opt, 7); err != nil {
 				runErr = err
 				b.FailNow()
 			}
@@ -114,7 +151,7 @@ func measureKernel(ctx context.Context, cfg kernelConfig) (KernelMeasurement, er
 	if runErr != nil {
 		return KernelMeasurement{}, runErr
 	}
-	allocs, bytes, err := steadyAllocsPerSweep(ctx, cfg)
+	allocs, bytes, err := steadyAllocsPerSweep(ctx, cfg, samplerName)
 	if err != nil {
 		return KernelMeasurement{}, err
 	}
@@ -139,19 +176,23 @@ func measureKernel(ctx context.Context, cfg kernelConfig) (KernelMeasurement, er
 // allocation-count delta by the extra sweeps: run setup cancels, so
 // the result is the marginal cost of one more sweep (0 for the packed
 // kernel path).
-func steadyAllocsPerSweep(ctx context.Context, cfg kernelConfig) (allocs, bytes float64, err error) {
+func steadyAllocsPerSweep(ctx context.Context, cfg kernelConfig, samplerName string) (allocs, bytes float64, err error) {
 	model, init := sweepModel(cfg.w, cfg.h, cfg.m)
 	if cfg.compiled {
 		if err := model.Compile(); err != nil {
 			return 0, 0, err
 		}
 	}
+	factory, err := kernelFactory(samplerName, model, init)
+	if err != nil {
+		return 0, 0, err
+	}
 	run := func(iters int) (uint64, uint64, error) {
 		opt := gibbs.Options{Iterations: iters, Schedule: gibbs.Checkerboard, Workers: 1}
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
-		if _, err := gibbs.Run(ctx, model, init, gibbs.NewExactGibbs(), opt, 7); err != nil {
+		if _, err := gibbs.Run(ctx, model, init, factory, opt, 7); err != nil {
 			return 0, 0, err
 		}
 		runtime.ReadMemStats(&after)
@@ -201,8 +242,10 @@ func processRSS() uint64 {
 
 // RunKernelSuite executes the fixed kernel suite and derives the
 // headline ratios. baselineNsPerSite, when positive, is recorded as
-// the pre-kernel same-machine reference.
-func RunKernelSuite(ctx context.Context, quick bool, baselineNsPerSite float64) (*KernelReport, error) {
+// the pre-kernel same-machine reference. samplerName selects a
+// registry backend for the sweeps; empty runs the historical default
+// (software-gibbs / exact Gibbs).
+func RunKernelSuite(ctx context.Context, quick bool, baselineNsPerSite float64, samplerName string) (*KernelReport, error) {
 	suite := "full"
 	if quick {
 		suite = "quick"
@@ -211,13 +254,14 @@ func RunKernelSuite(ctx context.Context, quick bool, baselineNsPerSite float64) 
 		Suite:             suite,
 		Schedule:          "checkerboard",
 		Workers:           1,
+		Sampler:           samplerName,
 		GoOS:              runtime.GOOS,
 		GoArch:            runtime.GOARCH,
 		NumCPU:            runtime.NumCPU(),
 		BaselineNsPerSite: baselineNsPerSite,
 	}
 	for _, cfg := range kernelSuite(quick) {
-		meas, err := measureKernel(ctx, cfg)
+		meas, err := measureKernel(ctx, cfg, samplerName)
 		if err != nil {
 			return nil, err
 		}
@@ -247,8 +291,12 @@ func RunKernelSuite(ctx context.Context, quick bool, baselineNsPerSite float64) 
 // WriteKernelReport renders rep as a table on w and, when jsonPath is
 // non-empty, writes the JSON artifact.
 func WriteKernelReport(w io.Writer, rep *KernelReport, jsonPath string) error {
+	samplerName := rep.Sampler
+	if samplerName == "" {
+		samplerName = "exact Gibbs"
+	}
 	t := Table{
-		Title:  fmt.Sprintf("Kernel suite (%s, exact Gibbs, %s, %d worker(s))", rep.Suite, rep.Schedule, rep.Workers),
+		Title:  fmt.Sprintf("Kernel suite (%s, %s, %s, %d worker(s))", rep.Suite, samplerName, rep.Schedule, rep.Workers),
 		Header: []string{"Grid", "M", "Backend", "ns/site", "sites/sec", "allocs/sweep"},
 	}
 	for _, r := range rep.Results {
@@ -341,7 +389,7 @@ func CompareKernelReports(ref, cur *KernelReport, thresholdPct float64) []string
 // freedom — rather than absolute wall-clock numbers, which do not
 // transfer between the benchmark machine and a CI runner.
 func GateKernelReport(ctx context.Context, w io.Writer, ref *KernelReport, thresholdPct float64) error {
-	rep, err := RunKernelSuite(ctx, true, 0)
+	rep, err := RunKernelSuite(ctx, true, 0, ref.Sampler)
 	if err != nil {
 		return err
 	}

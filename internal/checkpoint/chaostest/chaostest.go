@@ -43,20 +43,17 @@ const (
 )
 
 // ParseBackend maps the scenario names the harness passes between
-// processes onto core backends.
+// processes onto core backends through the registry. The harness's
+// historical shorthand "first-to-fire" stays accepted.
 func ParseBackend(name string) (core.Backend, error) {
-	switch name {
-	case "software-gibbs":
-		return core.SoftwareGibbs, nil
-	case "first-to-fire":
-		return core.SoftwareFirstToFire, nil
-	case "metropolis":
-		return core.Metropolis, nil
-	case "rsu":
-		return core.RSU, nil
-	default:
+	if name == "first-to-fire" {
+		name = "software-first-to-fire"
+	}
+	b, err := core.ParseBackend(name)
+	if err != nil {
 		return 0, fmt.Errorf("chaostest: unknown backend %q", name)
 	}
+	return b, nil
 }
 
 // NewSolver builds the deterministic chaos scenario: a blob-scene

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/apps"
@@ -21,15 +22,27 @@ import (
 	"repro/internal/img"
 	"repro/internal/obs"
 	"repro/internal/power"
-	"repro/internal/prototype"
 	"repro/internal/ret"
 	"repro/internal/rsu"
+	"repro/internal/sampler"
+	"repro/internal/sampler/meanfield"
+	"repro/internal/sampler/spiking"
 )
 
-// Backend selects the sampling engine.
+// Backend selects the sampling engine by registry index
+// (internal/sampler). The named constants below cover the original
+// enum; every registered backend — including ones added after these
+// constants froze — is addressable by name through Config.BackendName,
+// which is the preferred selector.
 type Backend int
 
-// Available sampling backends.
+// Compatibility aliases for the first five registry entries.
+//
+// Deprecated: the registry (internal/sampler) is the source of truth
+// for available backends; select by name with Config.BackendName /
+// WithBackendName, and enumerate with Backends(). These constants
+// remain valid forever — they resolve to the same registry entries by
+// index — but new backends get no constant.
 const (
 	// SoftwareGibbs is the exact softmax Gibbs kernel (the paper's
 	// software baseline).
@@ -43,33 +56,45 @@ const (
 	// RSU emulates an RSU-G unit (width set by Config.RSUWidth).
 	RSU
 	// Prototype drives the emulated macro-scale RSU-G2 bench (§7).
-	// Restricted to two-label models.
+	// Restricted to two-label models (a declared registry capability).
 	Prototype
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer: the registered name of the backend
+// at this index, so String()/ParseBackend round-trip exactly.
 func (b Backend) String() string {
-	switch b {
-	case SoftwareGibbs:
-		return "software-gibbs"
-	case SoftwareFirstToFire:
-		return "software-first-to-fire"
-	case Metropolis:
-		return "metropolis"
-	case RSU:
-		return "rsu"
-	case Prototype:
-		return "prototype"
-	default:
-		return fmt.Sprintf("Backend(%d)", int(b))
+	if be, ok := sampler.At(int(b)); ok {
+		return be.Name()
 	}
+	return fmt.Sprintf("Backend(%d)", int(b))
 }
+
+// ParseBackend resolves a registered backend name to its Backend
+// value — the inverse of String. Unknown names wrap ErrInvalidConfig.
+func ParseBackend(name string) (Backend, error) {
+	i, ok := sampler.Index(name)
+	if !ok {
+		return 0, fmt.Errorf("%w: unknown backend %q (known: %s)",
+			ErrInvalidConfig, name, strings.Join(sampler.Names(), ", "))
+	}
+	return Backend(i), nil
+}
+
+// Backends returns the registered backend names in registry order —
+// the single source of allowed-values help text for CLI flags.
+func Backends() []string { return sampler.Names() }
 
 // Config selects the backend and chain parameters.
 type Config struct {
-	Backend    Backend
-	Iterations int
-	BurnIn     int
+	// Backend selects the sampling engine by registry index. Ignored
+	// when BackendName is set.
+	Backend Backend
+	// BackendName selects the sampling engine by registry name
+	// (see Backends()); when non-empty it takes precedence over
+	// Backend. Unknown names fail Validate with ErrInvalidConfig.
+	BackendName string
+	Iterations  int
+	BurnIn      int
 	// Workers sets checkerboard parallelism (defaults to 1). Seeded
 	// results are identical for every worker count.
 	Workers int
@@ -93,12 +118,20 @@ type Config struct {
 	// iteration, and floors at the model temperature. Sharper MAP
 	// estimates for hard energy landscapes.
 	Anneal *AnnealSpec
+	// Spiking tunes the spiking backend's comparator width and tick
+	// length (nil: package defaults). Other backends ignore it.
+	Spiking *spiking.Spec
+	// MeanField tunes the meanfield backend's damping and fixed-point
+	// tolerance (nil: package defaults). Other backends ignore it.
+	MeanField *meanfield.Spec
 	// Faults optionally arms the fault-injection and degradation
-	// subsystem (internal/fault) on the RSU backend: the schedule is
-	// compiled over the image geometry (fault unit = image row), online
-	// monitors watch every TTF measurement, and the selected policy
-	// degrades around detected faults. Solve's Result then carries the
-	// injected-vs-detected audit. RSU backend only.
+	// subsystem (internal/fault): the schedule is compiled over the
+	// image geometry (fault unit = image row), online monitors watch
+	// every TTF measurement, and the selected policy degrades around
+	// detected faults. Solve's Result then carries the
+	// injected-vs-detected audit. Only backends whose registry
+	// capabilities declare fault support (the rsu hardware emulation)
+	// accept it.
 	Faults *fault.Options
 	// Checkpoint optionally arms durable snapshots and crash recovery
 	// (internal/checkpoint). Nil disables checkpointing.
@@ -166,16 +199,34 @@ type CheckpointSpec struct {
 // errors.Is.
 var ErrInvalidConfig = errors.New("core: invalid config")
 
+// resolveBackend looks up the configured backend in the registry:
+// BackendName when set, the Backend index otherwise.
+func (cfg Config) resolveBackend() (sampler.Backend, error) {
+	if cfg.BackendName != "" {
+		be, ok := sampler.Lookup(cfg.BackendName)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown backend %q (known: %s)",
+				ErrInvalidConfig, cfg.BackendName, strings.Join(sampler.Names(), ", "))
+		}
+		return be, nil
+	}
+	be, ok := sampler.At(int(cfg.Backend))
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown backend %v", ErrInvalidConfig, cfg.Backend)
+	}
+	return be, nil
+}
+
 // Validate checks every user-facing Config field, returning an error
 // wrapping ErrInvalidConfig that names the offending field. App-
 // dependent checks (label-space compatibility, RSU unit construction)
 // happen in NewSolver, which calls Validate first.
 func (cfg Config) Validate() error {
-	switch cfg.Backend {
-	case SoftwareGibbs, SoftwareFirstToFire, Metropolis, RSU, Prototype:
-	default:
-		return fmt.Errorf("%w: unknown backend %v", ErrInvalidConfig, cfg.Backend)
+	be, err := cfg.resolveBackend()
+	if err != nil {
+		return err
 	}
+	caps := be.Caps()
 	if cfg.Iterations <= 0 {
 		return fmt.Errorf("%w: iterations must be positive, got %d", ErrInvalidConfig, cfg.Iterations)
 	}
@@ -203,15 +254,30 @@ func (cfg Config) Validate() error {
 	if a := cfg.Anneal; a != nil && (a.StartT <= 0 || a.Rate <= 0 || a.Rate >= 1) {
 		return fmt.Errorf("%w: anneal spec %+v (want StartT > 0 and Rate in (0,1))", ErrInvalidConfig, *a)
 	}
+	if sp := cfg.Spiking; sp != nil {
+		if err := sp.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+	}
+	if mf := cfg.MeanField; mf != nil {
+		if err := mf.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+	}
 	if f := cfg.Faults; f != nil {
-		if cfg.Backend != RSU {
-			return fmt.Errorf("%w: fault injection models RSU hardware; backend is %v", ErrInvalidConfig, cfg.Backend)
+		if !caps.Faults {
+			return fmt.Errorf("%w: fault injection models RSU hardware; backend %s does not support it",
+				ErrInvalidConfig, be.Name())
 		}
 		if _, err := fault.Parse(f.Schedule); err != nil {
 			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 		}
 	}
 	if ck := cfg.Checkpoint; ck != nil {
+		if !caps.Checkpoint {
+			return fmt.Errorf("%w: backend %s keeps state outside the snapshot format and cannot checkpoint/resume",
+				ErrInvalidConfig, be.Name())
+		}
 		if ck.Path == "" {
 			return fmt.Errorf("%w: checkpoint spec needs a Path", ErrInvalidConfig)
 		}
@@ -238,12 +304,15 @@ type AnnealSpec struct {
 
 // Solver runs inference for one application instance.
 type Solver struct {
-	app  apps.App
-	cfg  Config
-	unit *rsu.Unit
+	app     apps.App
+	cfg     Config
+	backend string // resolved registry name
+	caps    sampler.Capabilities
+	inst    sampler.Instance
 }
 
-// NewSolver validates the configuration and prepares the backend.
+// NewSolver validates the configuration against the selected backend's
+// registry capabilities and constructs the backend instance.
 func NewSolver(app apps.App, cfg Config) (*Solver, error) {
 	if app == nil {
 		return nil, fmt.Errorf("%w: nil application", ErrInvalidConfig)
@@ -251,27 +320,40 @@ func NewSolver(app apps.App, cfg Config) (*Solver, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Solver{app: app, cfg: cfg}
-	if cfg.Backend == Prototype && app.Model().M != 2 {
-		return nil, fmt.Errorf("%w: the RSU-G2 prototype supports exactly 2 labels, model has %d",
-			ErrInvalidConfig, app.Model().M)
+	be, err := cfg.resolveBackend()
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Backend == RSU {
-		width := cfg.RSUWidth
-		if width == 0 {
-			width = 1
-		}
-		unit, err := apps.BuildUnit(app, cfg.Circuit, width, cfg.RSUMode)
-		if err != nil {
-			return nil, err
-		}
-		s.unit = unit
+	caps := be.Caps()
+	if m := app.Model().M; (caps.MinLabels > 0 && m < caps.MinLabels) ||
+		(caps.MaxLabels > 0 && m > caps.MaxLabels) {
+		return nil, fmt.Errorf("%w: backend %s supports %d..%d labels, model has %d",
+			ErrInvalidConfig, be.Name(), caps.MinLabels, caps.MaxLabels, m)
 	}
-	return s, nil
+	inst, err := be.New(sampler.BuildSpec{
+		App:       app,
+		RSUWidth:  cfg.RSUWidth,
+		RSUMode:   cfg.RSUMode,
+		Circuit:   cfg.Circuit,
+		Spiking:   cfg.Spiking,
+		MeanField: cfg.MeanField,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{app: app, cfg: cfg, backend: be.Name(), caps: caps, inst: inst}, nil
 }
 
 // Unit returns the RSU unit (nil for software backends).
-func (s *Solver) Unit() *rsu.Unit { return s.unit }
+func (s *Solver) Unit() *rsu.Unit { return s.inst.Unit() }
+
+// BackendName returns the resolved registry name of the solver's
+// backend.
+func (s *Solver) BackendName() string { return s.backend }
+
+// Capabilities returns the registry capability descriptor of the
+// solver's backend.
+func (s *Solver) Capabilities() sampler.Capabilities { return s.caps }
 
 // Result is the outcome of a Solve call.
 type Result struct {
@@ -307,7 +389,7 @@ type Result struct {
 func (s *Solver) Fingerprint() checkpoint.Fingerprint {
 	f := checkpoint.Fingerprint{
 		App:        s.app.Name(),
-		Backend:    s.cfg.Backend.String(),
+		Backend:    s.backend,
 		Seed:       s.cfg.Seed,
 		Iterations: s.cfg.Iterations,
 		BurnIn:     s.cfg.BurnIn,
@@ -317,15 +399,12 @@ func (s *Solver) Fingerprint() checkpoint.Fingerprint {
 		f.AnnealStartT = a.StartT
 		f.AnnealRate = a.Rate
 	}
-	if s.cfg.Backend == RSU {
-		c := s.unit.Config()
-		f.Tag = fmt.Sprintf("rsu:w=%d,mode=%v,replicas=%d", c.Width, c.Mode, c.Replicas)
-		if fo := s.cfg.Faults; fo != nil {
-			f.Tag += fmt.Sprintf(";faults=%q,seed=%d,policy=%v,spares=%d,maxresamples=%d",
-				fo.Schedule, fo.Seed, fo.Policy, fo.Spares, fo.MaxResamples)
-			if fo.Monitor != nil {
-				f.Tag += fmt.Sprintf(",mon=%+v", *fo.Monitor)
-			}
+	f.Tag = s.inst.Tag()
+	if fo := s.cfg.Faults; fo != nil {
+		f.Tag += fmt.Sprintf(";faults=%q,seed=%d,policy=%v,spares=%d,maxresamples=%d",
+			fo.Schedule, fo.Seed, fo.Policy, fo.Spares, fo.MaxResamples)
+		if fo.Monitor != nil {
+			f.Tag += fmt.Sprintf(",mon=%+v", *fo.Monitor)
 		}
 	}
 	return f
@@ -359,7 +438,7 @@ func (s *Solver) Solve(ctx context.Context) (*Result, error) {
 	rec := s.cfg.Recorder
 	endSolve := obs.Span(rec, "core.solve")
 	obs.Emit(rec, "solve.start", map[string]any{
-		"app": s.app.Name(), "backend": s.cfg.Backend.String(),
+		"app": s.app.Name(), "backend": s.backend,
 		"iterations": s.cfg.Iterations, "workers": s.cfg.Workers,
 	})
 	opt := gibbs.Options{
@@ -374,41 +453,30 @@ func (s *Solver) Solve(ctx context.Context) (*Result, error) {
 	if a := s.cfg.Anneal; a != nil {
 		opt.Anneal = gibbs.GeometricAnneal(a.StartT, a.Rate, m.T)
 	}
-	var factory gibbs.Factory
+	factory := s.inst.Factory()
 	var sess *fault.Session
-	switch s.cfg.Backend {
-	case SoftwareGibbs:
-		factory = gibbs.NewExactGibbs()
-	case SoftwareFirstToFire:
-		factory = gibbs.NewFirstToFire()
-	case Metropolis:
-		factory = gibbs.NewMetropolis()
-	case RSU:
-		if f := s.cfg.Faults; f != nil {
-			sched, err := fault.Parse(f.Schedule)
-			if err != nil {
-				return nil, err
-			}
-			sched.Seed = f.Seed
-			// Fault unit = image row; exposure = W site-samples per
-			// unit per sweep; primaries = the unit's RET replica count.
-			tl, err := sched.Compile(m.H, s.cfg.Iterations, m.W, s.unit.Config().Replicas)
-			if err != nil {
-				return nil, err
-			}
-			fo := *f
-			if fo.Recorder == nil {
-				fo.Recorder = rec
-			}
-			sess = fault.NewSession(tl, fo)
-			factory = apps.NewFaultRSUSampler(s.app, s.unit, sess)
-		} else {
-			factory = apps.NewRSUSampler(s.app, s.unit)
+	if f := s.cfg.Faults; f != nil {
+		fa, ok := s.inst.(sampler.FaultAware)
+		if !ok {
+			return nil, fmt.Errorf("core: backend %s declares fault support but its instance cannot arm a session", s.backend)
 		}
-	case Prototype:
-		factory = prototype.NewSampler(prototype.New())
-	default:
-		return nil, fmt.Errorf("core: unknown backend %v", s.cfg.Backend)
+		sched, err := fault.Parse(f.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		sched.Seed = f.Seed
+		// Fault unit = image row; exposure = W site-samples per
+		// unit per sweep; primaries = the unit's RET replica count.
+		tl, err := sched.Compile(m.H, s.cfg.Iterations, m.W, s.inst.Unit().Config().Replicas)
+		if err != nil {
+			return nil, err
+		}
+		fo := *f
+		if fo.Recorder == nil {
+			fo.Recorder = rec
+		}
+		sess = fault.NewSession(tl, fo)
+		factory = fa.FaultFactory(sess)
 	}
 
 	if ck := s.cfg.Checkpoint; ck != nil {

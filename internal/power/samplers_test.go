@@ -1,0 +1,74 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSamplerEnergyModel pins the per-backend energy arithmetic to the
+// documented constants so the BENCH_backends.json energy column cannot
+// drift silently.
+func TestSamplerEnergyModel(t *testing.T) {
+	// RSU-G1 at 15 nm: 3.91 mW / 1 GHz = 3.91 pJ/cycle.
+	if got := RSUG1NJPerCycle(N15); math.Abs(got-3.91e-3) > 1e-12 {
+		t.Fatalf("15nm pJ/cycle: got %g nJ", got)
+	}
+	cases := []struct {
+		name string
+		spec SamplerEnergySpec
+		want float64
+	}{
+		{"software-gibbs", SamplerEnergySpec{Labels: 2}, (CPUGibbsBaseCycles + 2*CPUGibbsPerLabelCycles) * CPUNJPerCycle},
+		{"software-first-to-fire", SamplerEnergySpec{Labels: 4}, 4 * CPUFirstToFireCyclesPerLabel * CPUNJPerCycle},
+		{"metropolis", SamplerEnergySpec{Labels: 64}, CPUMetropolisCycles * CPUNJPerCycle},
+		{"meanfield", SamplerEnergySpec{Labels: 2}, (CPUMeanFieldBaseCycles + 4*CPUMeanFieldPerPairCycles) * CPUNJPerCycle},
+		{"rsu", SamplerEnergySpec{Labels: 2, RSUCycles: 8}, 8 * 3.91e-3},
+		{"prototype", SamplerEnergySpec{Labels: 2}, 4000},
+	}
+	for _, c := range cases {
+		got, err := SamplerEnergyNJ(c.name, c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: got %g nJ, want %g", c.name, got, c.want)
+		}
+	}
+
+	// Spiking scales with bits and with the expected tick count: a
+	// shorter exposure window (smaller tau) means more expected ticks
+	// and therefore more energy per sample.
+	lo, err := SamplerEnergyNJ("spiking", SamplerEnergySpec{Labels: 2, SpikingBits: 4, SpikingTau: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := SamplerEnergyNJ("spiking", SamplerEnergySpec{Labels: 2, SpikingBits: 8, SpikingTau: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := SamplerEnergyNJ("spiking", SamplerEnergySpec{Labels: 2, SpikingBits: 4, SpikingTau: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Errorf("8-bit spiking (%g) not above 4-bit (%g)", hi, lo)
+	}
+	if short <= lo {
+		t.Errorf("tau=0.1 spiking (%g) not above tau=1 (%g)", short, lo)
+	}
+
+	// Missing knobs and unknown backends are errors, not guesses.
+	if _, err := SamplerEnergyNJ("rsu", SamplerEnergySpec{Labels: 2}); err == nil {
+		t.Error("rsu without cycles accepted")
+	}
+	if _, err := SamplerEnergyNJ("spiking", SamplerEnergySpec{Labels: 2}); err == nil {
+		t.Error("spiking without knobs accepted")
+	}
+	if _, err := SamplerEnergyNJ("software-gibbs", SamplerEnergySpec{}); err == nil {
+		t.Error("zero label count accepted")
+	}
+	if _, err := SamplerEnergyNJ("sram-sampler", SamplerEnergySpec{Labels: 2}); err == nil || !strings.Contains(err.Error(), "sram-sampler") {
+		t.Errorf("unknown backend: got %v", err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package meanfield implements a damped mean-field (naive variational)
+// approximation for binary MRFs (Zheng et al., PAPERS.md) as a fast
+// deterministic counterpoint to the sampling backends.
+//
+// Instead of drawing labels, each site carries a belief vector q_i over
+// the labels. One sweep performs a Jacobi update of every belief from
+// the previous sweep's beliefs:
+//
+//	q̂_i(l) ∝ exp(-(λS·S_i(l) + Σ_n Σ_l' q_n(l')·λ·d(l,l')) / T)
+//	q_i ← (1-α)·q_i + α·q̂_i
+//
+// where α is the damping factor (α=1 is undamped Jacobi, which can
+// oscillate on strong-coupling models). The label reported for a site is
+// the argmax of its belief, ties to the lowest label. Updates read only
+// the previous sweep's buffer, so the result is independent of site
+// visit order and of the worker count, and no RNG is ever drawn: the
+// chain is a deterministic fixed-point iteration. When the largest
+// belief change in a sweep falls below Tol the state freezes — further
+// sweeps are free — and the convergence sweep is recorded.
+package meanfield
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gibbs"
+	"repro/internal/img"
+	"repro/internal/mrf"
+	"repro/internal/rng"
+)
+
+// Spec are the mean-field knobs.
+type Spec struct {
+	// Damping is the update step α in (0,1]; 0 selects DefaultDamping.
+	Damping float64
+	// Tol freezes the iteration once the largest single belief change of
+	// a sweep drops below it; 0 selects DefaultTol. Negative disables
+	// freezing (every sweep updates).
+	Tol float64
+}
+
+// Default knob values: half-step damping (stable on the repo's
+// strong-smoothness models) and a tight fixed-point tolerance.
+const (
+	DefaultDamping = 0.5
+	DefaultTol     = 1e-6
+)
+
+// WithDefaults returns the spec with zero fields replaced by defaults.
+func (sp Spec) WithDefaults() Spec {
+	if sp.Damping == 0 {
+		sp.Damping = DefaultDamping
+	}
+	if sp.Tol == 0 {
+		sp.Tol = DefaultTol
+	}
+	return sp
+}
+
+// Validate rejects out-of-range knobs. It applies defaults first, so a
+// zero Spec is valid.
+func (sp Spec) Validate() error {
+	sp = sp.WithDefaults()
+	if sp.Damping <= 0 || sp.Damping > 1 || math.IsNaN(sp.Damping) {
+		return fmt.Errorf("meanfield: damping %v outside (0,1]", sp.Damping)
+	}
+	if math.IsNaN(sp.Tol) || math.IsInf(sp.Tol, 0) {
+		return fmt.Errorf("meanfield: tolerance %v must be finite", sp.Tol)
+	}
+	return nil
+}
+
+// Tag is the checkpoint-fingerprint identity of the spec.
+func (sp Spec) Tag() string {
+	sp = sp.WithDefaults()
+	return fmt.Sprintf("meanfield:damping=%g,tol=%g", sp.Damping, sp.Tol)
+}
+
+// State is the belief field shared by every worker's sampler for one
+// solver. SampleSite writes are per-site disjoint and reads touch only
+// the previous sweep's buffer, so concurrent workers need no locking;
+// the sweep-boundary bookkeeping runs in BeginSweep, which the engine
+// calls with no site update in flight.
+type State struct {
+	spec      Spec
+	w, h, m   int
+	init      []uint8 // initial labeling, for reset at sweep 0
+	cur, next []float64
+	lastSweep int
+	frozen    bool
+	converged int // sweep at which the fixed point was reached, -1 before
+}
+
+// NewState builds the belief field for a model: beliefs start as the
+// one-hot encoding of the initial labeling.
+func NewState(m *mrf.Model, init *img.LabelMap, spec Spec) (*State, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	st := &State{
+		spec: spec,
+		w:    m.W, h: m.H, m: m.M,
+		init:      make([]uint8, m.W*m.H),
+		cur:       make([]float64, m.W*m.H*m.M),
+		next:      make([]float64, m.W*m.H*m.M),
+		lastSweep: -1,
+		converged: -1,
+	}
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			st.init[y*m.W+x] = uint8(init.At(x, y))
+		}
+	}
+	st.reset()
+	return st, nil
+}
+
+// reset re-one-hots the beliefs from the initial labeling; called at
+// construction and whenever a new run begins (BeginSweep(0)).
+func (st *State) reset() {
+	for i := range st.cur {
+		st.cur[i] = 0
+	}
+	for i, l := range st.init {
+		st.cur[i*st.m+int(l)] = 1
+	}
+	st.frozen = false
+	st.converged = -1
+}
+
+// Converged returns the sweep at which the beliefs reached the spec's
+// fixed-point tolerance, or -1 if they have not (yet).
+func (st *State) Converged() int { return st.converged }
+
+// Frozen reports whether the iteration has reached its fixed point.
+func (st *State) Frozen() bool { return st.frozen }
+
+// Belief returns a copy of the current belief vector of site (x, y) —
+// the backend's approximate posterior marginal.
+func (st *State) Belief(x, y int) []float64 {
+	out := make([]float64, st.m)
+	copy(out, st.cur[(y*st.w+x)*st.m:])
+	return out
+}
+
+// Factory returns a gibbs.Factory whose samplers all share this state.
+func (st *State) Factory() gibbs.Factory {
+	return func() gibbs.Sampler { return &sampler{st: st} }
+}
+
+type sampler struct {
+	st  *State
+	buf []float64
+}
+
+// Name implements gibbs.Sampler.
+func (s *sampler) Name() string { return "meanfield" }
+
+// BeginSweep implements gibbs.SweepAware. Every worker's sampler shares
+// one State, so the first call of an iteration does the bookkeeping and
+// the rest deduplicate on the iteration index. Iteration 0 resets the
+// beliefs (a solver may run more than once); any later iteration first
+// finalizes the sweep that just completed: measure the largest belief
+// change, publish `next` as the new `cur`, and freeze at the fixed
+// point.
+func (s *sampler) BeginSweep(iteration int) {
+	st := s.st
+	if iteration == st.lastSweep {
+		return
+	}
+	if iteration == 0 {
+		st.reset()
+		st.lastSweep = 0
+		return
+	}
+	st.lastSweep = iteration
+	if st.frozen {
+		return
+	}
+	maxDelta := 0.0
+	for i, q := range st.next {
+		d := math.Abs(q - st.cur[i])
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+	st.cur, st.next = st.next, st.cur
+	if st.spec.Tol > 0 && maxDelta < st.spec.Tol {
+		st.frozen = true
+		st.converged = iteration
+	}
+}
+
+// SampleSite implements gibbs.Sampler. It never draws from src: the
+// update is the deterministic damped Jacobi step, and the returned
+// label is the belief argmax (ties to the lowest label).
+func (s *sampler) SampleSite(m *mrf.Model, lm *img.LabelMap, x, y int, src *rng.Source) int {
+	st := s.st
+	idx := (y*st.w + x) * st.m
+	if st.frozen {
+		return argmax(st.cur[idx : idx+st.m])
+	}
+	if cap(s.buf) < st.m {
+		s.buf = make([]float64, st.m)
+	}
+	e := s.buf[:st.m]
+	for l := 0; l < st.m; l++ {
+		e[l] = m.LambdaS * m.Singleton(x, y, l)
+	}
+	s.addNeighborEnergies(m, e, x, y, mrf.NeighborOffsets[:], m.LambdaD)
+	if m.Hood == mrf.SecondOrder {
+		s.addNeighborEnergies(m, e, x, y, m.Hood.Offsets()[4:], m.LambdaDiag)
+	}
+	// Boltzmann responsibilities of the expected energies, with the
+	// usual min-subtraction for stability.
+	minE := e[0]
+	for _, v := range e[1:] {
+		if v < minE {
+			minE = v
+		}
+	}
+	sum := 0.0
+	for l, v := range e {
+		p := math.Exp(-(v - minE) / m.T)
+		e[l] = p
+		sum += p
+	}
+	alpha := st.spec.Damping
+	out := st.next[idx : idx+st.m]
+	for l, p := range e {
+		out[l] = (1-alpha)*st.cur[idx+l] + alpha*p/sum
+	}
+	return argmax(out)
+}
+
+// addNeighborEnergies accumulates the expected doubleton energy
+// Σ_l' q_n(l')·w·d(l,l') of every in-grid neighbor at the given offsets
+// into e, reading beliefs from the previous sweep's buffer.
+func (s *sampler) addNeighborEnergies(m *mrf.Model, e []float64, x, y int, offsets [][2]int, weight float64) {
+	st := s.st
+	for _, off := range offsets {
+		nx, ny := x+off[0], y+off[1]
+		if nx < 0 || nx >= st.w || ny < 0 || ny >= st.h {
+			continue
+		}
+		q := st.cur[(ny*st.w+nx)*st.m:]
+		for l := 0; l < st.m; l++ {
+			acc := 0.0
+			for lp := 0; lp < st.m; lp++ {
+				acc += q[lp] * m.Doubleton(l, lp)
+			}
+			e[l] += weight * acc
+		}
+	}
+}
+
+func argmax(q []float64) int {
+	best, bestQ := 0, q[0]
+	for l, v := range q[1:] {
+		if v > bestQ {
+			best, bestQ = l+1, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,157 @@
+package meanfield_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/gibbs"
+	"repro/internal/img"
+	"repro/internal/rng"
+	"repro/internal/sampler/meanfield"
+)
+
+func TestSpecValidate(t *testing.T) {
+	if err := (meanfield.Spec{}).Validate(); err != nil {
+		t.Fatalf("zero spec: %v", err)
+	}
+	for _, bad := range []meanfield.Spec{
+		{Damping: -0.1}, {Damping: 1.5}, {Damping: math.NaN()}, {Tol: math.Inf(1)},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("spec %+v accepted", bad)
+		}
+	}
+	// Negative tolerance is the documented "never freeze" setting.
+	if err := (meanfield.Spec{Tol: -1}).Validate(); err != nil {
+		t.Fatalf("negative tol rejected: %v", err)
+	}
+}
+
+func testApp(t *testing.T, seed uint64) apps.App {
+	t.Helper()
+	scene := img.BlobScene(24, 24, 2, 6, rng.New(seed))
+	app, err := apps.NewSegmentation(scene.Image, scene.Means, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func run(t *testing.T, app apps.App, st *meanfield.State, workers int, seed uint64, iters int) *gibbs.Result {
+	t.Helper()
+	opt := gibbs.Options{
+		Iterations: iters, BurnIn: iters / 4,
+		Schedule: gibbs.Checkerboard, Workers: workers, TrackMode: true,
+	}
+	res, err := gibbs.Run(context.Background(), app.Model(), app.InitLabels(), st.Factory(), opt, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func newState(t *testing.T, app apps.App, spec meanfield.Spec) *meanfield.State {
+	t.Helper()
+	st, err := meanfield.NewState(app.Model(), app.InitLabels(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestDeterministicAcrossSeeds: mean-field never draws from the RNG, so
+// the labels are a function of the model and knobs alone — different
+// chain seeds must produce byte-identical output.
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	app := testApp(t, 3)
+	a := run(t, app, newState(t, app, meanfield.Spec{}), 1, 1, 40)
+	b := run(t, app, newState(t, app, meanfield.Spec{}), 1, 999, 40)
+	if !bytes.Equal(a.Final.Labels, b.Final.Labels) {
+		t.Fatal("labels depend on the chain seed")
+	}
+	if !bytes.Equal(a.MAP.Labels, b.MAP.Labels) {
+		t.Fatal("MAP depends on the chain seed")
+	}
+}
+
+// TestWorkerInvariance: the Jacobi update reads only the previous
+// sweep's buffer, so site visit order — and therefore worker count —
+// cannot matter.
+func TestWorkerInvariance(t *testing.T) {
+	app := testApp(t, 4)
+	a := run(t, app, newState(t, app, meanfield.Spec{}), 1, 7, 40)
+	b := run(t, app, newState(t, app, meanfield.Spec{}), 8, 7, 40)
+	if !bytes.Equal(a.Final.Labels, b.Final.Labels) {
+		t.Fatal("meanfield W=1 vs W=8 labels differ")
+	}
+}
+
+// TestFixedPoint: on an easy scene the damped iteration reaches the
+// tolerance, freezes, and reports the convergence sweep; beliefs remain
+// a distribution throughout.
+func TestFixedPoint(t *testing.T) {
+	app := testApp(t, 5)
+	st := newState(t, app, meanfield.Spec{Damping: 0.5, Tol: 1e-4})
+	res := run(t, app, st, 2, 7, 200)
+	if !st.Frozen() {
+		t.Fatal("no fixed point within 200 sweeps")
+	}
+	if got := st.Converged(); got <= 0 || got >= 200 {
+		t.Fatalf("converged sweep %d out of range", got)
+	}
+	q := st.Belief(10, 10)
+	sum := 0.0
+	for _, v := range q {
+		if v < 0 || v > 1 {
+			t.Fatalf("belief %v outside [0,1]", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("beliefs sum to %v", sum)
+	}
+	// A frozen chain's final labels must equal the belief argmax.
+	m := app.Model()
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			q := st.Belief(x, y)
+			want := 0
+			if q[1] > q[0] {
+				want = 1
+			}
+			if got := res.Final.At(x, y); got != want {
+				t.Fatalf("site (%d,%d): label %d, belief argmax %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+// TestRunReset: a second run on the same state must reset the beliefs
+// at sweep 0 and reproduce the first run exactly.
+func TestRunReset(t *testing.T) {
+	app := testApp(t, 6)
+	st := newState(t, app, meanfield.Spec{})
+	a := run(t, app, st, 1, 7, 30)
+	b := run(t, app, st, 1, 7, 30)
+	if !bytes.Equal(a.Final.Labels, b.Final.Labels) {
+		t.Fatal("second run on the same state diverges")
+	}
+}
+
+// TestAccuracy: mean-field is approximate but must still basically
+// solve an easy high-contrast segmentation.
+func TestAccuracy(t *testing.T) {
+	scene := img.BlobScene(32, 32, 2, 6, rng.New(21))
+	app, err := apps.NewSegmentation(scene.Image, scene.Means, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newState(t, app, meanfield.Spec{})
+	res := run(t, app, st, 1, 7, 60)
+	if rate := res.MAP.MislabelRate(scene.Truth); rate > 0.05 {
+		t.Fatalf("mislabel rate %v > 0.05", rate)
+	}
+}

@@ -1,0 +1,157 @@
+package sampler_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/img"
+	"repro/internal/rng"
+	"repro/internal/sampler"
+)
+
+// TestRegistryOrder pins the registration order: the first five indices
+// are the historical core.Backend enum values, and the approximate
+// backends append after. Reordering would silently repoint every
+// integer-configured caller at a different engine.
+func TestRegistryOrder(t *testing.T) {
+	want := []string{
+		"software-gibbs", "software-first-to-fire", "metropolis",
+		"rsu", "prototype", "spiking", "meanfield",
+	}
+	got := sampler.Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d backends, want %d: %v", len(got), len(want), got)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Fatalf("index %d: %q, want %q", i, got[i], name)
+		}
+	}
+}
+
+// TestIndexLookupAgree: every name resolves to the backend at its
+// index.
+func TestIndexLookupAgree(t *testing.T) {
+	for i, name := range sampler.Names() {
+		byName, ok := sampler.Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing", name)
+		}
+		byIdx, ok := sampler.At(i)
+		if !ok {
+			t.Fatalf("At(%d) missing", i)
+		}
+		if byName != byIdx {
+			t.Fatalf("%q: Lookup and At disagree", name)
+		}
+		if idx, _ := sampler.Index(name); idx != i {
+			t.Fatalf("Index(%q) = %d, want %d", name, idx, i)
+		}
+	}
+	if _, ok := sampler.Lookup("no-such-backend"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	if _, ok := sampler.At(len(sampler.Names())); ok {
+		t.Fatal("out-of-range index resolved")
+	}
+}
+
+// TestEnumAlias: the core compatibility constants resolve — by index —
+// to the registry entries carrying their historical names.
+func TestEnumAlias(t *testing.T) {
+	aliases := map[core.Backend]string{
+		core.SoftwareGibbs:       "software-gibbs",
+		core.SoftwareFirstToFire: "software-first-to-fire",
+		core.Metropolis:          "metropolis",
+		core.RSU:                 "rsu",
+		core.Prototype:           "prototype",
+	}
+	for b, name := range aliases {
+		if b.String() != name {
+			t.Fatalf("%d.String() = %q, want %q", int(b), b.String(), name)
+		}
+		parsed, err := core.ParseBackend(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parsed != b {
+			t.Fatalf("ParseBackend(%q) = %d, want %d", name, parsed, b)
+		}
+	}
+}
+
+// TestCapabilities pins the declared capability surface the rest of the
+// stack validates against.
+func TestCapabilities(t *testing.T) {
+	caps := func(name string) sampler.Capabilities {
+		be, ok := sampler.Lookup(name)
+		if !ok {
+			t.Fatalf("backend %q missing", name)
+		}
+		return be.Caps()
+	}
+	for _, exact := range []string{"software-gibbs", "software-first-to-fire", "metropolis"} {
+		c := caps(exact)
+		if !c.Exact || !c.Checkpoint || c.Faults || c.Deterministic {
+			t.Fatalf("%s caps %+v", exact, c)
+		}
+	}
+	if c := caps("rsu"); c.Exact || !c.Faults || !c.Checkpoint {
+		t.Fatalf("rsu caps %+v", c)
+	}
+	if c := caps("prototype"); c.MinLabels != 2 || c.MaxLabels != 2 || c.Faults {
+		t.Fatalf("prototype caps %+v", c)
+	}
+	if c := caps("spiking"); c.Exact || c.Deterministic || !c.Checkpoint || c.Faults {
+		t.Fatalf("spiking caps %+v", c)
+	}
+	if c := caps("meanfield"); !c.Deterministic || c.Checkpoint || c.MaxLabels != 2 {
+		t.Fatalf("meanfield caps %+v", c)
+	}
+}
+
+// TestBareModelBuilds: the software kernels and the approximate
+// backends build from a bare model (the kernel bench has no App); the
+// hardware emulations require the application and must say so.
+func TestBareModelBuilds(t *testing.T) {
+	scene := img.BlobScene(16, 16, 2, 6, rng.New(3))
+	app, err := apps.NewSegmentation(scene.Image, scene.Means, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sampler.BuildSpec{Model: app.Model(), Init: app.InitLabels()}
+	for _, name := range []string{"software-gibbs", "software-first-to-fire", "metropolis", "prototype", "spiking", "meanfield"} {
+		be, _ := sampler.Lookup(name)
+		inst, err := be.New(spec)
+		if err != nil {
+			t.Fatalf("%s: bare-model build: %v", name, err)
+		}
+		if inst.Factory() == nil {
+			t.Fatalf("%s: nil factory", name)
+		}
+	}
+	rsuBE, _ := sampler.Lookup("rsu")
+	if _, err := rsuBE.New(spec); err == nil {
+		t.Fatal("rsu accepted a bare-model spec")
+	}
+	if _, err := rsuBE.New(sampler.BuildSpec{App: app}); err != nil {
+		t.Fatalf("rsu app build: %v", err)
+	}
+}
+
+// TestRegisterPanics: duplicate and anonymous registrations are
+// programming errors.
+func TestRegisterPanics(t *testing.T) {
+	expectPanic := func(what string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", what)
+			}
+		}()
+		f()
+	}
+	be, _ := sampler.Lookup("software-gibbs")
+	expectPanic("duplicate name", func() { sampler.Register(be) })
+}

@@ -1,0 +1,152 @@
+// Package spiking implements a Gibbs site update built from low-power
+// spiking digital neurons (Das et al., "Gibbs Sampling with Low-Power
+// Spiking Digital Neurons", PAPERS.md) — a digital counterpoint to the
+// paper's molecular-optical exponential race.
+//
+// The RSU-G decides a site by racing M continuous-time exponential
+// clocks with rates proportional to the Boltzmann weights; the first
+// photon detected wins. A spiking digital neuron approximates that race
+// in discrete time: each label gets a neuron that fires in a clock tick
+// with probability p_l = 1 - exp(-(λ_l/λ_max)·τ), where τ is the tick
+// length in units of the fastest clock's period. The firing probability
+// is quantized to the neuron's pseudo-random bit width (an LFSR
+// threshold comparator), and ties within a tick are broken uniformly —
+// the digital analogue of two photons inside one detector window.
+//
+// As τ→0 and bits→∞ the tick race converges to the exact exponential
+// race (the probability that neuron l fires first approaches
+// λ_l/Σλ). Coarse τ and narrow comparators bias the draw toward
+// uniform — the accuracy/energy knob the Pareto report sweeps.
+package spiking
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gibbs"
+	"repro/internal/img"
+	"repro/internal/mrf"
+	"repro/internal/rng"
+)
+
+// Spec are the spiking-neuron knobs.
+type Spec struct {
+	// Bits is the firing-probability comparator width: probabilities are
+	// quantized to multiples of 1/(2^Bits-1). Range [1,16]; 0 selects
+	// DefaultBits.
+	Bits int
+	// Tau is the tick length in units of the maximum-rate neuron's mean
+	// inter-spike time. Larger ticks finish races in fewer (cheaper)
+	// ticks but flatten the distribution. Must be positive; 0 selects
+	// DefaultTau.
+	Tau float64
+}
+
+// Default knob values: an 8-bit comparator (the Das design point) and a
+// one-mean-inter-spike-time tick.
+const (
+	DefaultBits = 8
+	DefaultTau  = 1.0
+)
+
+// WithDefaults returns the spec with zero fields replaced by defaults.
+func (sp Spec) WithDefaults() Spec {
+	if sp.Bits == 0 {
+		sp.Bits = DefaultBits
+	}
+	if sp.Tau == 0 {
+		sp.Tau = DefaultTau
+	}
+	return sp
+}
+
+// Validate rejects out-of-range knobs. It applies defaults first, so a
+// zero Spec is valid.
+func (sp Spec) Validate() error {
+	sp = sp.WithDefaults()
+	if sp.Bits < 1 || sp.Bits > 16 {
+		return fmt.Errorf("spiking: comparator width %d outside [1,16]", sp.Bits)
+	}
+	if sp.Tau <= 0 || math.IsInf(sp.Tau, 0) || math.IsNaN(sp.Tau) {
+		return fmt.Errorf("spiking: tick length tau %v must be positive and finite", sp.Tau)
+	}
+	return nil
+}
+
+// Tag is the checkpoint-fingerprint identity of the spec: two runs with
+// equal tags draw identical chains.
+func (sp Spec) Tag() string {
+	sp = sp.WithDefaults()
+	return fmt.Sprintf("spiking:bits=%d,tau=%g", sp.Bits, sp.Tau)
+}
+
+// sampler holds per-worker scratch only — no cross-site state — so the
+// engine's row-attached RNG streams make results worker-count-invariant
+// exactly as for the exact kernels.
+type sampler struct {
+	spec   Spec
+	levels float64 // 2^Bits - 1
+	rates  []float64
+	codes  []int
+	fired  []int
+}
+
+// New returns a gibbs.Factory of spiking samplers. The spec must have
+// passed Validate.
+func New(spec Spec) gibbs.Factory {
+	spec = spec.WithDefaults()
+	return func() gibbs.Sampler {
+		return &sampler{spec: spec, levels: float64(uint64(1)<<spec.Bits - 1)}
+	}
+}
+
+// Name implements gibbs.Sampler.
+func (s *sampler) Name() string { return fmt.Sprintf("spiking-b%d", s.spec.Bits) }
+
+// SampleSite implements gibbs.Sampler: quantize each label's firing
+// probability, then run discrete ticks until exactly one neuron fires
+// (ties broken uniformly). ConditionalRates normalizes so the
+// minimum-energy label has rate exactly 1; its code is clamped to ≥1,
+// guaranteeing termination even when τ quantizes every probability to
+// zero.
+func (s *sampler) SampleSite(m *mrf.Model, lm *img.LabelMap, x, y int, src *rng.Source) int {
+	s.rates = m.ConditionalRates(s.rates, lm, x, y)
+	if cap(s.codes) < m.M {
+		s.codes = make([]int, m.M)
+		s.fired = make([]int, 0, m.M)
+	}
+	codes := s.codes[:m.M]
+	argmax, rmax := 0, s.rates[0]
+	for l, r := range s.rates {
+		// p = 1 - exp(-r·τ), r ∈ (0,1]; quantize to the comparator grid.
+		codes[l] = int(math.Round((1 - math.Exp(-r*s.spec.Tau)) * s.levels))
+		if r > rmax {
+			argmax, rmax = l, r
+		}
+	}
+	if codes[argmax] == 0 {
+		codes[argmax] = 1
+	}
+	for {
+		fired := s.fired[:0]
+		for l, c := range codes {
+			if c == 0 {
+				// A zero code never fires: the comparator threshold is
+				// below every LFSR value, so no bit is drawn at all (the
+				// dark-rung case of the optical ladder).
+				continue
+			}
+			if src.Float64()*s.levels < float64(c) {
+				fired = append(fired, l)
+			}
+		}
+		switch len(fired) {
+		case 0:
+			continue
+		case 1:
+			return fired[0]
+		default:
+			return fired[src.Intn(len(fired))]
+		}
+	}
+}

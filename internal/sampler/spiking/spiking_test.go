@@ -1,0 +1,149 @@
+package spiking_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/gibbs"
+	"repro/internal/img"
+	"repro/internal/mrf"
+	"repro/internal/rng"
+	"repro/internal/sampler/spiking"
+)
+
+func TestSpecValidate(t *testing.T) {
+	if err := (spiking.Spec{}).Validate(); err != nil {
+		t.Fatalf("zero spec: %v", err)
+	}
+	for _, bad := range []spiking.Spec{
+		{Bits: -1}, {Bits: 17}, {Tau: -0.5}, {Tau: math.Inf(1)}, {Tau: math.NaN()},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("spec %+v accepted", bad)
+		}
+	}
+}
+
+func TestSpecTagIncludesKnobs(t *testing.T) {
+	a := spiking.Spec{Bits: 4, Tau: 2}.Tag()
+	b := spiking.Spec{Bits: 8, Tau: 2}.Tag()
+	c := spiking.Spec{Bits: 4, Tau: 0.5}.Tag()
+	if a == b || a == c || b == c {
+		t.Fatalf("knobs not distinguished: %q %q %q", a, b, c)
+	}
+}
+
+func testApp(t *testing.T, labels int, seed uint64) apps.App {
+	t.Helper()
+	scene := img.BlobScene(24, 24, labels, 6, rng.New(seed))
+	app, err := apps.NewSegmentation(scene.Image, scene.Means, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+// TestDistribution: at a fine tick and wide comparator, the discrete
+// race converges to the exact full conditional — repeated draws at one
+// site must match ConditionalProbs within Monte-Carlo error.
+func TestDistribution(t *testing.T) {
+	app := testApp(t, 3, 7)
+	m := app.Model()
+	lm := app.InitLabels()
+	s := spiking.New(spiking.Spec{Bits: 16, Tau: 0.05})()
+	src := rng.New(99)
+	const draws = 20000
+	counts := make([]float64, m.M)
+	x, y := 11, 13
+	for i := 0; i < draws; i++ {
+		counts[s.SampleSite(m, lm, x, y, src)]++
+	}
+	want := m.ConditionalProbs(nil, lm, x, y)
+	for l := 0; l < m.M; l++ {
+		got := counts[l] / draws
+		if math.Abs(got-want[l]) > 0.015 {
+			t.Fatalf("label %d: empirical %v want %v", l, got, want[l])
+		}
+	}
+}
+
+// TestCoarseKnobFlattens: a one-bit comparator with a long tick biases
+// the draw toward uniform relative to the exact conditional — the
+// accuracy knob must actually move the distribution.
+func TestCoarseKnobFlattens(t *testing.T) {
+	// A controlled binary model with a one-unit energy gap: the exact
+	// conditional is p(0) = 1/(1+e^-1) ≈ 0.731 at every site. A 1-bit
+	// comparator with a long tick quantizes both labels' firing
+	// probabilities to 1, so every race ties and the draw flattens to
+	// uniform.
+	m := &mrf.Model{
+		W: 4, H: 4, M: 2, T: 1, LambdaS: 1,
+		Singleton: func(x, y, l int) float64 { return float64(l) },
+		Doubleton: func(a, b int) float64 { return 0 },
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lm := img.NewLabelMap(4, 4)
+	s := spiking.New(spiking.Spec{Bits: 1, Tau: 4})()
+	src := rng.New(5)
+	want := m.ConditionalProbs(nil, lm, 1, 1)
+	if want[0] < 0.7 || want[0] > 0.76 {
+		t.Fatalf("unexpected exact conditional %v", want)
+	}
+	const draws = 20000
+	hits := 0.0
+	for i := 0; i < draws; i++ {
+		if s.SampleSite(m, lm, 1, 1, src) == 0 {
+			hits++
+		}
+	}
+	if got := hits / draws; got > want[0]-0.05 {
+		t.Fatalf("1-bit/τ=4 draw not flattened: mode mass %v vs exact %v", got, want[0])
+	}
+}
+
+// TestTinyTauTerminates: when τ quantizes every firing probability to
+// zero, the clamped argmax code must still finish the race.
+func TestTinyTauTerminates(t *testing.T) {
+	app := testApp(t, 2, 9)
+	m := app.Model()
+	lm := app.InitLabels()
+	s := spiking.New(spiking.Spec{Bits: 1, Tau: 1e-9})()
+	src := rng.New(1)
+	for i := 0; i < 100; i++ {
+		l := s.SampleSite(m, lm, i%24, (i*7)%24, src)
+		if l < 0 || l >= m.M {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+// TestWorkerInvariance pins the contract the registry capability
+// advertises: spiking keeps scratch only, so W=1 and W=N draw the
+// byte-identical chain off the row-attached RNG streams.
+func TestWorkerInvariance(t *testing.T) {
+	app := testApp(t, 4, 11)
+	run := func(workers int) *gibbs.Result {
+		opt := gibbs.Options{
+			Iterations: 30, BurnIn: 8,
+			Schedule: gibbs.Checkerboard, Workers: workers, TrackMode: true,
+		}
+		res, err := gibbs.Run(context.Background(), app.Model(), app.InitLabels(),
+			spiking.New(spiking.Spec{Bits: 8, Tau: 1}), opt, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	w1, w8 := run(1), run(8)
+	if !bytes.Equal(w1.Final.Labels, w8.Final.Labels) {
+		t.Fatal("spiking W=1 vs W=8 final labels differ")
+	}
+	if !bytes.Equal(w1.MAP.Labels, w8.MAP.Labels) {
+		t.Fatal("spiking W=1 vs W=8 MAP labels differ")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"repro/internal/apps"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/img"
 	"repro/internal/mrf"
 	"repro/internal/rng"
+	"repro/internal/sampler"
 )
 
 // ErrInvalidSpec is wrapped by every job-spec validation error; the
@@ -50,8 +52,11 @@ type JobSpec struct {
 	// SceneSeed draws the synthetic observation (independent of the
 	// chain seed).
 	SceneSeed uint64 `json:"scene_seed"`
-	// Backend selects the sampling engine: software | first-to-fire |
-	// metropolis | rsu (default software).
+	// Backend selects the sampling engine by registry name (see
+	// core.Backends(); default software). The legacy spellings
+	// "software" and "first-to-fire" remain accepted. Backends that
+	// cannot checkpoint (meanfield) are rejected: the server
+	// checkpoints every in-flight chain.
 	Backend string `json:"backend,omitempty"`
 	// Width is the RSU-G unit width K (rsu backend; default 1).
 	Width int `json:"width,omitempty"`
@@ -173,20 +178,32 @@ func (sp JobSpec) ModelKey() string {
 	return fmt.Sprintf("%s/size=%d/labels=%d/scene=%d", sp.App, sp.Size, sp.Labels, sp.SceneSeed)
 }
 
-// parseBackend maps a spec backend name onto a core backend.
+// specBackendAliases maps the spec spellings that predate the backend
+// registry onto registry names; canonical names pass through untouched.
+var specBackendAliases = map[string]string{
+	"software":      "software-gibbs",
+	"first-to-fire": "software-first-to-fire",
+}
+
+// parseBackend maps a spec backend name onto a core backend through
+// the registry. The server checkpoints every in-flight chain (drain,
+// migration, crash recovery), so backends whose registry capabilities
+// exclude checkpointing are rejected at admission rather than failing
+// mid-drain.
 func parseBackend(name string) (core.Backend, error) {
-	switch name {
-	case "software":
-		return core.SoftwareGibbs, nil
-	case "first-to-fire":
-		return core.SoftwareFirstToFire, nil
-	case "metropolis":
-		return core.Metropolis, nil
-	case "rsu":
-		return core.RSU, nil
-	default:
-		return 0, fmt.Errorf("unknown backend %q", name)
+	canon := name
+	if a, ok := specBackendAliases[name]; ok {
+		canon = a
 	}
+	b, err := core.ParseBackend(canon)
+	if err != nil {
+		return 0, fmt.Errorf("unknown backend %q (known: %s)", name, strings.Join(core.Backends(), ", "))
+	}
+	be, _ := sampler.Lookup(canon)
+	if !be.Caps().Checkpoint {
+		return 0, fmt.Errorf("backend %q cannot checkpoint/resume and is not servable", name)
+	}
+	return b, nil
 }
 
 // buildApp synthesizes the spec's deterministic scene and constructs

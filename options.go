@@ -11,9 +11,38 @@ import (
 // validated by NewSolver exactly as a literal Config would be.
 type Option func(*Config)
 
-// WithBackend selects the sampling engine (default SoftwareGibbs).
+// WithBackend selects the sampling engine by compatibility constant
+// (default SoftwareGibbs). Prefer WithBackendName: the registry accepts
+// names for every backend, including ones without a constant.
 func WithBackend(b Backend) Option {
 	return func(c *Config) { c.Backend = b }
+}
+
+// WithBackendName selects the sampling engine by registry name — see
+// Backends() for the available names. Unknown names fail solver
+// construction with an error wrapping ErrInvalidConfig.
+func WithBackendName(name string) Option {
+	return func(c *Config) { c.BackendName = name }
+}
+
+// WithSpiking selects the spiking digital-neuron backend and sets its
+// comparator bit width and tick length τ (zero fields pick the package
+// defaults).
+func WithSpiking(spec SpikingSpec) Option {
+	return func(c *Config) {
+		c.BackendName = "spiking"
+		c.Spiking = &spec
+	}
+}
+
+// WithMeanField selects the deterministic mean-field backend for binary
+// MRFs and sets its damping factor and fixed-point tolerance (zero
+// fields pick the package defaults).
+func WithMeanField(spec MeanFieldSpec) Option {
+	return func(c *Config) {
+		c.BackendName = "meanfield"
+		c.MeanField = &spec
+	}
 }
 
 // WithIterations sets the MCMC sweep budget.

@@ -7,8 +7,11 @@
 //   - build a vision application (Segmentation, Motion, Stereo) over a
 //     first-order MRF with smoothness priors,
 //   - solve it with a Solver on a selectable backend — exact software
-//     Gibbs, ideal first-to-fire, Metropolis, or an emulated RSU-G
-//     molecular-optical sampling unit of any width,
+//     Gibbs, ideal first-to-fire, Metropolis, an emulated RSU-G
+//     molecular-optical sampling unit of any width, or the approximate
+//     spiking-neuron and mean-field engines from the related
+//     literature — all behind an open registry (Backends,
+//     WithBackendName) new backends plug into,
 //   - and query the paper's architecture models (GPU, discrete
 //     accelerator, power, area) for the equivalent workload.
 //
@@ -56,6 +59,9 @@ import (
 	"repro/internal/ret"
 	"repro/internal/rng"
 	"repro/internal/rsu"
+	"repro/internal/sampler"
+	"repro/internal/sampler/meanfield"
+	"repro/internal/sampler/spiking"
 )
 
 // Images and label fields.
@@ -146,11 +152,14 @@ type (
 	Config = core.Config
 	// Result carries the MAP estimate and diagnostics.
 	Result = core.Result
-	// Backend selects the sampling engine.
+	// Backend selects the sampling engine by registry index; prefer
+	// selecting by name (WithBackendName / Config.BackendName).
 	Backend = core.Backend
 )
 
-// Backends.
+// Compatibility backend constants: aliases of the first five registry
+// entries. The registry (Backends, WithBackendName) is the source of
+// truth; newer backends — "spiking", "meanfield" — have no constant.
 const (
 	// SoftwareGibbs is the exact softmax Gibbs kernel.
 	SoftwareGibbs = core.SoftwareGibbs
@@ -163,6 +172,37 @@ const (
 	RSU = core.RSU
 	// PrototypeBackend drives the emulated §7 macro bench (2 labels).
 	PrototypeBackend = core.Prototype
+)
+
+// Backend registry (internal/sampler): every sampling engine registers
+// a named descriptor with declared capabilities, and solvers resolve
+// names through it — the seam new backends plug into without touching
+// core.
+type (
+	// SamplerBackend is one registered engine: name, capability
+	// descriptor, per-solver instance construction.
+	SamplerBackend = sampler.Backend
+	// SamplerCapabilities declares what a backend supports: label-count
+	// bounds, exactness, determinism, checkpoint and fault support.
+	SamplerCapabilities = sampler.Capabilities
+	// SpikingSpec tunes the spiking digital-neuron backend (comparator
+	// bit width, tick length τ).
+	SpikingSpec = spiking.Spec
+	// MeanFieldSpec tunes the deterministic mean-field backend (damping
+	// factor, fixed-point tolerance).
+	MeanFieldSpec = meanfield.Spec
+)
+
+// Registry lookups.
+var (
+	// Backends returns the registered backend names in registry order.
+	Backends = core.Backends
+	// ParseBackend resolves a registered name to its Backend value;
+	// unknown names wrap ErrInvalidConfig.
+	ParseBackend = core.ParseBackend
+	// LookupBackend returns the registered backend descriptor for a
+	// name (capability introspection).
+	LookupBackend = sampler.Lookup
 )
 
 // NewSolver builds a solver for an application.
